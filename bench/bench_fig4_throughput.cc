@@ -1,0 +1,80 @@
+// Figure 4: uplink throughput of two-party sessions for FaceTime with
+// spatial persona (F), FaceTime with 2D persona (F*), Zoom (Z), Webex (W),
+// and Teams (T). Each box is built from 1-second throughput bins captured
+// at U1's access point, exactly as the paper measures (§3.2, §4.2).
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "vca/session.h"
+
+using namespace vtp;
+
+namespace {
+
+struct Config {
+  const char* label;
+  vca::VcaApp app;
+  vca::DeviceType u2_device;
+};
+
+core::Summary MeasureUplink(const Config& config) {
+  std::vector<double> bins;
+  for (int repeat = 0; repeat < bench::Repeats(); ++repeat) {
+    vca::SessionConfig session_config;
+    session_config.app = config.app;
+    session_config.participants = {
+        {.name = "U1", .metro = "SanFrancisco", .device = vca::DeviceType::kVisionPro},
+        {.name = "U2", .metro = "NewYork", .device = config.u2_device}};
+    session_config.duration = bench::SessionDuration();
+    session_config.seed = 100 + static_cast<std::uint64_t>(repeat);
+    session_config.enable_reconstruction = false;  // throughput-only runs
+    vca::TelepresenceSession session(std::move(session_config));
+    session.Run();
+    const vca::SessionReport report = session.BuildReport();
+    // Collect the per-second series (the report keeps the summary; rebuild
+    // the bins from the capture for the pooled box).
+    const net::Capture& cap = session.capture(0);
+    const auto filter = net::Capture::FromNode(session.host(0));
+    for (net::SimTime t = net::Seconds(3); t + net::kSecond <= bench::SessionDuration();
+         t += net::kSecond) {
+      bins.push_back(cap.MeanThroughputBps(filter, t, t + net::kSecond) / 1e6);
+    }
+    (void)report;
+  }
+  return core::Summarize(bins);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Reproduction of Figure 4: two-party uplink throughput (Mbps).\n"
+            << "(F = FaceTime spatial, F* = FaceTime 2D persona, Z = Zoom, W = Webex,"
+            << " T = Teams)\n";
+
+  const std::vector<Config> configs = {
+      {"F  (spatial persona)", vca::VcaApp::kFaceTime, vca::DeviceType::kVisionPro},
+      {"F* (2D persona)", vca::VcaApp::kFaceTime, vca::DeviceType::kMacBook},
+      {"Z  (Zoom 640x360)", vca::VcaApp::kZoom, vca::DeviceType::kMacBook},
+      {"W  (Webex 1920x1080)", vca::VcaApp::kWebex, vca::DeviceType::kMacBook},
+      {"T  (Teams 1280x720)", vca::VcaApp::kTeams, vca::DeviceType::kMacBook},
+  };
+
+  bench::Banner("Figure 4: uplink throughput per application (Mbps)");
+  core::TextTable table;
+  table.SetHeader(bench::BoxHeader("config"));
+  core::Summary spatial, webex;
+  for (const Config& config : configs) {
+    const core::Summary s = MeasureUplink(config);
+    if (std::string(config.label).starts_with("F ")) spatial = s;
+    if (std::string(config.label).starts_with("W")) webex = s;
+    table.AddRow(bench::BoxRow(config.label, s));
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nPaper's headline (§4.2): spatial persona ~0.67 Mbps — LOWER than every\n"
+            << "2D pipeline (Webex >4 Mbps). Measured here: spatial "
+            << core::Fmt(spatial.mean, 2) << " Mbps vs Webex " << core::Fmt(webex.mean, 2)
+            << " Mbps (" << core::Fmt(webex.mean / std::max(spatial.mean, 1e-9), 1)
+            << "x).\n";
+  return 0;
+}

@@ -1,0 +1,174 @@
+// Figure 5 + §4.4: visibility-aware optimizations for the spatial persona.
+//
+//   BL — baseline: staring at the persona from 1 m (no optimization)
+//   V  — viewport adaptation: persona out of the viewport
+//   F  — foveated rendering: persona in the periphery of the gaze
+//   D  — distance-aware: persona beyond 3 m
+//
+// For each condition we run the real visibility -> LOD -> cost-model path
+// over many frames and report the number of rendered triangles and the GPU
+// time per frame. Also reproduces §4.4's occlusion experiment (5 users in a
+// line: FaceTime does NOT cull occluded personas) and the distance sweep.
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "netsim/random.h"
+#include "render/cost_model.h"
+#include "render/lod.h"
+#include "render/visibility.h"
+
+using namespace vtp;
+
+namespace {
+
+struct Condition {
+  const char* label;
+  render::Camera camera;
+  render::Placement placement;
+};
+
+render::Camera CameraLooking(double head_yaw_deg, double gaze_yaw_deg) {
+  render::Camera cam;
+  cam.position = {0, 0, 0};
+  const auto dir = [](double deg) {
+    const double rad = deg * render::kRadPerDeg;
+    return render::Vec3{static_cast<float>(std::sin(rad)), 0,
+                        static_cast<float>(std::cos(rad))};
+  };
+  cam.forward = dir(head_yaw_deg);
+  cam.gaze = dir(gaze_yaw_deg);
+  return cam;
+}
+
+struct Measured {
+  core::Summary triangles;
+  core::Summary gpu_ms;
+};
+
+Measured MeasureCondition(const render::PersonaLodLadder& ladder,
+                          const render::LodPolicy& policy, const render::Camera& camera,
+                          const render::Placement& placement,
+                          std::span<const render::Placement> occluders, int frames,
+                          std::uint64_t seed) {
+  net::Rng rng(seed);
+  const render::CostModelConfig cost_model;
+  std::vector<double> tris, gpu;
+  for (int i = 0; i < frames; ++i) {
+    const render::Visibility vis = render::EvaluateVisibility(camera, placement, occluders);
+    const render::LodClass lod = render::SelectLod(vis, policy);
+    render::RenderItem item;
+    item.triangles = ladder.TriangleCount(lod);
+    item.coverage = (lod == render::LodClass::kProxy || !vis.in_viewport)
+                        ? 0.0
+                        : render::NormalizedScreenCoverage(camera, placement);
+    item.peripheral_shading = lod == render::LodClass::kPeripheral;
+    tris.push_back(static_cast<double>(item.triangles));
+    gpu.push_back(render::GpuFrameTimeMs(std::vector<render::RenderItem>{item}, cost_model, rng));
+  }
+  return {core::Summarize(tris), core::Summarize(gpu)};
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Reproduction of Figure 5 and the Section 4.4 experiments.\n"
+            << "(building the persona LOD ladder with the real simplifier...)\n";
+  const render::LodPolicy policy;  // FaceTime defaults: occlusion-aware OFF
+  const render::PersonaLodLadder ladder(1, policy);
+  const int frames = bench::FullRuns() ? 2000 : 600;
+
+  const std::vector<Condition> conditions = {
+      {"BL (stare, 1 m)", CameraLooking(0, 0), {{0, 0, 1.0f}, 0.35f}},
+      {"V  (out of viewport)", CameraLooking(120, 120), {{0, 0, 1.0f}, 0.35f}},
+      {"F  (peripheral gaze)", CameraLooking(0, 40), {{0, 0, 1.0f}, 0.35f}},
+      {"D  (3.5 m away)", CameraLooking(0, 0), {{0, 0, 3.5f}, 0.35f}},
+  };
+
+  bench::Banner("Figure 5(a): rendered triangles per optimization");
+  core::TextTable tri_table;
+  tri_table.SetHeader({"condition", "triangles (mean)", "paper"});
+  const char* paper_tris[] = {"78030", "36", "21036", "45036"};
+  std::vector<Measured> results;
+  for (std::size_t i = 0; i < conditions.size(); ++i) {
+    results.push_back(MeasureCondition(ladder, policy, conditions[i].camera,
+                                       conditions[i].placement, {}, frames, 7 + i));
+    tri_table.AddRow({conditions[i].label, core::Fmt(results[i].triangles.mean, 0),
+                      paper_tris[i]});
+  }
+  tri_table.Print(std::cout);
+
+  bench::Banner("Figure 5(b): GPU time per frame (ms)");
+  core::TextTable gpu_table;
+  gpu_table.SetHeader({"condition", "mean±std", "paper"});
+  const char* paper_gpu[] = {"6.55±0.11", "2.68±0.05", "3.97±0.07", "3.91±0.05"};
+  for (std::size_t i = 0; i < conditions.size(); ++i) {
+    gpu_table.AddRow({conditions[i].label, core::MeanPlusMinus(results[i].gpu_ms),
+                      paper_gpu[i]});
+  }
+  gpu_table.Print(std::cout);
+  const double v_saving = 1.0 - results[1].gpu_ms.mean / results[0].gpu_ms.mean;
+  std::cout << "\nViewport adaptation cuts GPU time by " << core::Fmt(100 * v_saving, 0)
+            << "% (paper: 59%).\n";
+
+  // ---- §4.4 distance sweep (the threshold sits past 3 m) --------------------
+  bench::Banner("Section 4.4: distance sweep, 1-10 m");
+  core::TextTable dist_table;
+  dist_table.SetHeader({"distance (m)", "triangles", "GPU ms"});
+  for (int d = 1; d <= 10; ++d) {
+    const Measured m =
+        MeasureCondition(ladder, policy, CameraLooking(0, 0),
+                         {{0, 0, static_cast<float>(d)}, 0.35f}, {}, frames / 4, 50 + d);
+    dist_table.AddRow({core::Fmt(d, 0), core::Fmt(m.triangles.mean, 0),
+                       core::Fmt(m.gpu_ms.mean, 2)});
+  }
+  dist_table.Print(std::cout);
+  std::cout << "\nA lower-quality persona appears beyond "
+            << core::Fmt(policy.distance_threshold_m, 0) << " m, as in the paper.\n";
+
+  // ---- §4.4 occlusion experiment: U2..U5 in a line ---------------------------
+  bench::Banner("Section 4.4: occlusion experiment (5 users in a line)");
+  std::vector<render::Placement> line;
+  for (int i = 0; i < 4; ++i) {
+    line.push_back({{0, 0, 1.0f + 0.6f * static_cast<float>(i)}, 0.28f});
+  }
+  const auto measure_line = [&](const render::LodPolicy& p) {
+    double tris = 0, gpu = 0;
+    net::Rng rng(99);
+    const render::CostModelConfig cost_model;
+    for (int f = 0; f < frames / 2; ++f) {
+      std::vector<render::RenderItem> items;
+      for (std::size_t k = 0; k < line.size(); ++k) {
+        std::vector<render::Placement> others;
+        for (std::size_t m = 0; m < line.size(); ++m) {
+          if (m != k) others.push_back(line[m]);
+        }
+        const render::Visibility vis =
+            render::EvaluateVisibility(CameraLooking(0, 0), line[k], others);
+        const render::LodClass lod = render::SelectLod(vis, p);
+        items.push_back({.triangles = ladder.TriangleCount(lod),
+                         .coverage = render::NormalizedScreenCoverage(CameraLooking(0, 0), line[k]),
+                         .peripheral_shading = false});
+      }
+      for (const auto& item : items) tris += static_cast<double>(item.triangles);
+      gpu += render::GpuFrameTimeMs(items, cost_model, rng);
+    }
+    return std::make_pair(tris / (frames / 2), gpu / (frames / 2));
+  };
+
+  render::LodPolicy occlusion_on = policy;
+  occlusion_on.occlusion_aware = true;
+  const auto [facetime_tris, facetime_gpu] = measure_line(policy);
+  const auto [ablation_tris, ablation_gpu] = measure_line(occlusion_on);
+
+  core::TextTable occ_table;
+  occ_table.SetHeader({"policy", "triangles/frame", "GPU ms/frame"});
+  occ_table.AddRow({"FaceTime (occlusion-aware OFF, as measured)",
+                    core::Fmt(facetime_tris, 0), core::Fmt(facetime_gpu, 2)});
+  occ_table.AddRow({"ablation (occlusion-aware ON)", core::Fmt(ablation_tris, 0),
+                    core::Fmt(ablation_gpu, 2)});
+  occ_table.Print(std::cout);
+  std::cout << "\nWith FaceTime's policy, occluded personas are still rendered in full\n"
+               "(no triangle reduction), matching §4.4; the ablation row shows the\n"
+               "saving FaceTime leaves on the table.\n";
+  return 0;
+}

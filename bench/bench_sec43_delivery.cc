@@ -1,0 +1,162 @@
+// §4.3 "What is Being Delivered?" — the paper's four discriminating
+// experiments:
+//
+//   (a) direct 3D streaming: Draco-class compression of ~70-90 K-triangle
+//       head meshes at 90 FPS needs ~107 Mbps — ruled out;
+//   (b) pre-rendered 2D video: the persona-vs-real-world display-latency
+//       difference would track injected network delay — it does not;
+//   (c) semantic keypoints: 74 points (32 mouth/eyes + 2x21 hands), LZMA'd
+//       floats at 90 FPS ~ 0.64 Mbps — matches the measured ~0.67 Mbps;
+//   (d) no rate adaptation: capping the uplink below ~700 Kbps makes the
+//       spatial persona unavailable, while 2D pipelines adapt gracefully.
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "core/display_latency.h"
+#include "mesh/codec.h"
+#include "mesh/generator.h"
+#include "netsim/random.h"
+#include "semantic/codec.h"
+#include "semantic/generator.h"
+#include "vca/session.h"
+
+using namespace vtp;
+
+namespace {
+
+void RunMeshStreaming() {
+  bench::Banner("4.3a: direct 3D streaming (Draco-class mesh codec @ 90 FPS)");
+
+  // Five head scans of 70-90 K triangles, like the paper's Sketchfab picks,
+  // compressed once and streamed at 90 FPS (the paper's exact procedure).
+  const std::size_t budgets[] = {70000, 75000, 80000, 85000, 90000};
+
+  core::TextTable table;
+  table.SetHeader({"mesh", "triangles", "bytes/frame", "bytes/tri", "Mbps @90FPS"});
+  std::vector<double> mbps_all;
+  for (std::size_t m = 0; m < 5; ++m) {
+    const mesh::TriangleMesh head = mesh::GenerateHead(budgets[m], 100 + m);
+    const double bytes_per_frame = static_cast<double>(mesh::EncodeMesh(head).size());
+    const double mbps = bytes_per_frame * 8 * 90 / 1e6;
+    mbps_all.push_back(mbps);
+    table.AddRow({"head-" + std::to_string(m + 1),
+                  core::Fmt(static_cast<double>(head.triangle_count()), 0),
+                  core::Fmt(bytes_per_frame, 0),
+                  core::Fmt(bytes_per_frame / static_cast<double>(head.triangle_count()), 2),
+                  core::Fmt(mbps, 1)});
+  }
+  table.Print(std::cout);
+  const core::Summary s = core::Summarize(mbps_all);
+  std::cout << "\nMeasured " << core::MeanPlusMinus(s, 1)
+            << " Mbps (paper: 107.4±14.1) — two orders of magnitude above the\n"
+               "~0.7 Mbps the spatial persona consumes, so 3D streaming is ruled out.\n";
+}
+
+void RunKeypointStreaming() {
+  bench::Banner("4.3c: semantic keypoint delivery (74 points, lzr, 90 FPS)");
+
+  const int frames = bench::FullRuns() ? 2000 : 2000;  // the paper's 2,000 frames
+  semantic::KeypointTrackGenerator generator({}, 9);
+  semantic::SemanticEncoder encoder;  // float32 + LZ: the paper's scheme
+  std::vector<double> frame_bytes;
+  for (int i = 0; i < frames; ++i) {
+    frame_bytes.push_back(static_cast<double>(
+        encoder.EncodeFrame(semantic::ExtractSemanticSubset(generator.Next())).size()));
+  }
+  const core::Summary bytes = core::Summarize(frame_bytes);
+  const double mbps = bytes.mean * 8 * 90 / 1e6;
+  const double std_mbps = bytes.stddev * 8 * 90 / 1e6;
+
+  core::TextTable table;
+  table.SetHeader({"metric", "measured", "paper"});
+  table.AddRow({"keypoints per frame", "74 (32 face + 2x21 hands)", "74"});
+  table.AddRow({"bytes/frame", core::MeanPlusMinus(bytes, 0), "-"});
+  table.AddRow({"throughput (Mbps)",
+                core::Fmt(mbps, 2) + "±" + core::Fmt(std_mbps, 2), "0.64±0.02"});
+  table.Print(std::cout);
+  std::cout << "\nWithin noise of FaceTime's measured 0.67 Mbps: semantic delivery is\n"
+               "the only hypothesis consistent with the traffic.\n";
+}
+
+void RunDisplayLatency() {
+  bench::Banner("4.3b: display-latency difference vs injected delay (tc netem)");
+
+  core::TextTable table;
+  table.SetHeader({"injected delay (ms)", "local reconstruction (ms)", "remote pre-rendered (ms)"});
+  for (const int delay_ms : {0, 100, 250, 500, 1000}) {
+    core::DisplayLatencyConfig config;
+    config.injected_delay = net::Millis(delay_ms);
+    config.mode = core::DeliveryMode::kLocalReconstruction;
+    const double local = core::MeasureDisplayLatency(config).difference_ms;
+    config.mode = core::DeliveryMode::kRemotePrerendered;
+    const double remote = core::MeasureDisplayLatency(config).difference_ms;
+    table.AddRow({core::Fmt(delay_ms, 0), core::Fmt(local, 1), core::Fmt(remote, 1)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nThe measured difference stays <16 ms at any delay (left column), which\n"
+               "matches the paper and rules out remotely pre-rendered 2D video (right).\n";
+}
+
+void RunRateAdaptation() {
+  bench::Banner("4.3d: rate adaptation — uplink caps vs persona availability");
+
+  core::TextTable table;
+  table.SetHeader({"uplink cap (Kbps)", "FaceTime persona availability",
+                   "Webex uplink after cap (Mbps)"});
+  for (const double cap_kbps : {1200.0, 900.0, 700.0, 600.0, 500.0, 400.0}) {
+    // FaceTime spatial: does the persona survive the cap?
+    double availability = 0;
+    {
+      vca::SessionConfig config;
+      config.participants = {
+          {.name = "U1", .metro = "SanFrancisco", .device = vca::DeviceType::kVisionPro},
+          {.name = "U2", .metro = "NewYork", .device = vca::DeviceType::kVisionPro}};
+      config.duration = net::Seconds(15);
+      config.enable_reconstruction = false;
+      vca::TelepresenceSession session(std::move(config));
+      net::Netem netem = session.UplinkNetem(0);
+      session.sim().After(net::Seconds(4), [&netem, cap_kbps] {
+        netem.SetRateBps(cap_kbps * 1e3);
+      });
+      session.Run();
+      availability = session.BuildReport().participants[1].persona_available_fraction;
+    }
+    // Webex 2D: the codec adapts its bitrate to the cap instead.
+    double webex_after = 0;
+    {
+      vca::SessionConfig config;
+      config.app = vca::VcaApp::kWebex;
+      config.participants = {
+          {.name = "U1", .metro = "SanFrancisco", .device = vca::DeviceType::kMacBook},
+          {.name = "U2", .metro = "NewYork", .device = vca::DeviceType::kMacBook}};
+      config.duration = net::Seconds(20);
+      vca::TelepresenceSession session(std::move(config));
+      net::Netem netem = session.UplinkNetem(0);
+      session.sim().After(net::Seconds(4), [&netem, cap_kbps] {
+        netem.SetRateBps(cap_kbps * 1e3);
+      });
+      session.Run();
+      webex_after = session.capture(0).MeanThroughputBps(
+                        net::Capture::FromNode(session.host(0)), net::Seconds(14),
+                        net::Seconds(19)) /
+                    1e6;
+    }
+    table.AddRow({core::Fmt(cap_kbps, 0), core::Fmt(100 * availability, 0) + "%",
+                  core::Fmt(webex_after, 2)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nBelow ~700 Kbps the spatial persona drops out (\"poor connection\"):\n"
+               "semantic streams have no quality ladder to adapt down. The 2D pipeline\n"
+               "keeps operating by shrinking its bitrate toward the cap.\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Reproduction of Section 4.3: what is being delivered?\n";
+  RunMeshStreaming();
+  RunKeypointStreaming();
+  RunDisplayLatency();
+  RunRateAdaptation();
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Shared helpers for the figure/table benches.
+//
+// Every bench prints the same rows/series its paper counterpart reports.
+// By default sessions are shorter than the paper's 120 s x >=5 repeats so
+// the whole harness runs in minutes; set VTP_FULL=1 for paper-length runs.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/stats.h"
+#include "core/table.h"
+#include "netsim/time.h"
+
+namespace vtp::bench {
+
+/// True when VTP_FULL=1 is set in the environment.
+inline bool FullRuns() {
+  const char* env = std::getenv("VTP_FULL");
+  return env != nullptr && std::string(env) == "1";
+}
+
+/// Session length: the paper's 120 s under VTP_FULL, else 20 s.
+inline net::SimTime SessionDuration() {
+  return FullRuns() ? net::Seconds(120) : net::Seconds(20);
+}
+
+/// Repeats per configuration: the paper's 5 under VTP_FULL, else 3.
+inline int Repeats() { return FullRuns() ? 5 : 3; }
+
+/// Prints a section banner.
+inline void Banner(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n\n";
+}
+
+/// Formats a Summary as the box-plot row the paper's figures show.
+inline std::vector<std::string> BoxRow(const std::string& label, const core::Summary& s,
+                                       int precision = 2) {
+  return {label,          core::Fmt(s.mean, precision), core::Fmt(s.stddev, precision),
+          core::Fmt(s.p5, precision),  core::Fmt(s.p25, precision),
+          core::Fmt(s.p50, precision), core::Fmt(s.p75, precision),
+          core::Fmt(s.p95, precision)};
+}
+
+inline std::vector<std::string> BoxHeader(const std::string& metric) {
+  return {metric, "mean", "std", "p5", "p25", "p50", "p75", "p95"};
+}
+
+}  // namespace vtp::bench

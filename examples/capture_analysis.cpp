@@ -1,0 +1,70 @@
+// Example: the paper's measurement methodology as a library — run a session
+// and analyse it purely from the packet capture, the way §3.2 does with
+// Wireshark + MaxMind: enumerate flows, classify protocols from first
+// bytes, geolocate endpoints, and compute per-flow throughput.
+//
+// Build & run:  ./build/examples/capture_analysis
+#include <iostream>
+
+#include "core/table.h"
+#include "netsim/geoip.h"
+#include "transport/classifier.h"
+#include "vca/session.h"
+
+using namespace vtp;
+
+int main() {
+  // A three-user Webex call (RTP via SFU) with mixed devices.
+  vca::SessionConfig config;
+  config.app = vca::VcaApp::kWebex;
+  config.participants = {
+      {.name = "U1", .metro = "SanFrancisco", .device = vca::DeviceType::kVisionPro},
+      {.name = "U2", .metro = "Chicago", .device = vca::DeviceType::kMacBook},
+      {.name = "U3", .metro = "Miami", .device = vca::DeviceType::kIpad}};
+  config.duration = net::Seconds(10);
+  std::cout << "Running a 10 s three-user Webex session and analysing U1's capture...\n\n";
+  vca::TelepresenceSession session(std::move(config));
+  session.Run();
+
+  const net::Capture& cap = session.capture(0);
+  const net::GeoIpDb geo(session.network());
+
+  std::cout << "captured " << cap.records().size() << " packets at U1's access point\n\n";
+
+  // Flow table, like a Wireshark conversation view.
+  core::TextTable table;
+  table.SetHeader({"flow", "endpoint (geolocated)", "proto", "pkts", "Mbps", "RTP PT"});
+  const auto flows = cap.Flows();
+  const auto protocols = transport::ClassifyFlows(cap);
+  for (const auto& [key, stats] : flows) {
+    const bool uplink = key.src == session.host(0);
+    const net::NodeId peer = uplink ? key.dst : key.src;
+    const auto entry = geo.LookupNode(peer);
+    const std::string where =
+        entry ? entry->node_name + " (" + std::string(net::RegionCode(entry->region)) + ", " +
+                    net::Ipv4ToString(session.network().node(peer).ipv4) + ")"
+              : "unknown";
+    const auto proto_it = protocols.find(key);
+    const auto proto = proto_it == protocols.end() ? transport::FlowProtocol::kUnknown
+                                                   : proto_it->second;
+    const double mbps = static_cast<double>(stats.bytes) * 8 /
+                        std::max(1e-9, net::ToSeconds(stats.last_time - stats.first_time)) / 1e6;
+    const int pt = proto == transport::FlowProtocol::kRtp
+                       ? transport::DominantRtpPayloadType(cap, key)
+                       : -1;
+    table.AddRow({uplink ? "uplink" : "downlink", where,
+                  proto == transport::FlowProtocol::kRtp    ? "RTP"
+                  : proto == transport::FlowProtocol::kQuic ? "QUIC"
+                                                            : "other",
+                  core::Fmt(static_cast<double>(stats.packets), 0), core::Fmt(mbps, 2),
+                  pt >= 0 ? core::Fmt(pt, 0) : "-"});
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nEverything above came from the capture alone: the server's identity\n"
+               "and region from geolocating the remote address, the protocol from the\n"
+               "first payload bytes, the codec hint from the RTP payload type — the\n"
+               "paper's §4.1 workflow, reproducible against any session this library\n"
+               "can express.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Example: reproduce the "poor connection" cliff live (§4.3).
+//
+// A two-user FaceTime spatial call runs while U1's uplink degrades in
+// steps (1.5 Mbps -> 0.9 -> 0.7 -> 0.5 -> back to unlimited). Every second
+// we print U2's view: is U1's persona available, and at what decoded rate?
+//
+// Build & run:  ./build/examples/poor_connection_demo
+#include <iomanip>
+#include <iostream>
+
+#include "vca/session.h"
+
+using namespace vtp;
+
+int main() {
+  vca::SessionConfig config;
+  config.participants = {
+      {.name = "U1", .metro = "SanFrancisco", .device = vca::DeviceType::kVisionPro},
+      {.name = "U2", .metro = "NewYork", .device = vca::DeviceType::kVisionPro}};
+  config.duration = net::Seconds(40);
+  config.enable_reconstruction = false;
+  vca::TelepresenceSession session(std::move(config));
+
+  // Staircase of uplink caps, like dragging a tc tbf rate down and back up.
+  net::Netem netem = session.UplinkNetem(0);
+  struct Step {
+    double at_s;
+    double cap_bps;  // 0 = unlimited
+    const char* label;
+  };
+  const std::vector<Step> steps = {
+      {8, 1.5e6, "cap 1.5 Mbps"}, {14, 0.9e6, "cap 0.9 Mbps"}, {20, 0.7e6, "cap 0.7 Mbps"},
+      {26, 0.5e6, "cap 0.5 Mbps"}, {32, 0, "cap removed"},
+  };
+  for (const Step& step : steps) {
+    session.sim().At(net::Seconds(step.at_s), [&netem, step] {
+      if (step.cap_bps > 0) {
+        netem.SetRateBps(step.cap_bps);
+      } else {
+        netem.SetRateBps(std::nullopt);
+      }
+      std::cout << "  [t=" << step.at_s << "s] tc: " << step.label << "\n";
+    });
+  }
+
+  // A 1 Hz probe of U2's view of U1 (sender id 0).
+  std::uint64_t last_decoded = 0;
+  std::function<void()> probe = [&] {
+    const auto* receiver = session.spatial_receiver(1);
+    const auto& stats = receiver->remote(0);
+    const bool available = receiver->PersonaAvailable(0, session.sim().now());
+    const std::uint64_t fps = stats.frames_decoded - last_decoded;
+    last_decoded = stats.frames_decoded;
+    std::cout << "t=" << std::setw(4) << net::ToSeconds(session.sim().now()) << "s  U1 persona: "
+              << (available ? "VISIBLE       " : "poor connection") << "  decoded "
+              << std::setw(3) << fps << " fps\n";
+    if (session.sim().now() < net::Seconds(39)) session.sim().After(net::kSecond, probe);
+  };
+  session.sim().At(net::Seconds(2), probe);
+
+  std::cout << "Two-user FaceTime spatial call; degrading U1's uplink...\n\n";
+  session.Run();
+
+  std::cout << "\nThe persona survives caps above its ~0.7 Mbps semantic rate and drops\n"
+               "out below it — there is no lower-quality ladder to fall back to (§4.3).\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Quickstart: simulate a two-user FaceTime spatial-persona call between
+// San Francisco and New York, then print what the paper's testbed would
+// have measured — assigned server, wire protocol, per-user throughput, and
+// Vision Pro render statistics.
+//
+// Build & run:  ./build/examples/quickstart
+#include <iostream>
+
+#include "core/table.h"
+#include "vca/session.h"
+
+int main() {
+  using namespace vtp;
+
+  vca::SessionConfig config;
+  config.app = vca::VcaApp::kFaceTime;
+  config.participants = {
+      {.name = "U1", .metro = "SanFrancisco", .device = vca::DeviceType::kVisionPro},
+      {.name = "U2", .metro = "NewYork", .device = vca::DeviceType::kVisionPro},
+  };
+  config.duration = net::Seconds(15);
+  config.seed = 42;
+
+  std::cout << "Simulating a 15 s FaceTime call (2x Vision Pro, SF <-> NYC)...\n\n";
+  vca::TelepresenceSession session(std::move(config));
+  session.Run();
+  const vca::SessionReport report = session.BuildReport();
+
+  std::cout << "app:            " << report.app << "\n";
+  std::cout << "persona kind:   "
+            << (report.persona_kind == vca::PersonaKind::kSpatial ? "spatial" : "2D") << "\n";
+  std::cout << "topology:       " << (report.p2p ? "P2P" : "server-relayed") << "\n";
+  if (!report.server_metros.empty()) {
+    std::cout << "server metro:   " << report.server_metros.front()
+              << " (nearest to the initiating user, as in the paper)\n";
+  }
+  std::cout << "\n";
+
+  core::TextTable table;
+  table.SetHeader({"user", "metro", "proto", "up Mbps", "down Mbps", "GPU ms", "CPU ms",
+                   "triangles", "avail"});
+  for (const vca::ParticipantReport& p : report.participants) {
+    table.AddRow({p.name, p.metro, p.uplink_protocol, core::Fmt(p.uplink_mbps.mean),
+                  core::Fmt(p.downlink_mbps.mean), core::Fmt(p.gpu_ms.mean),
+                  core::Fmt(p.cpu_ms.mean), core::Fmt(p.triangles.mean, 0),
+                  core::Fmt(100 * p.persona_available_fraction, 1) + "%"});
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nNote the headline result of the paper: the immersive spatial persona\n"
+               "needs LESS bandwidth (~0.7 Mbps) than any 2D-persona pipeline, because\n"
+               "it ships 74 keypoints of semantic information instead of video.\n";
+  return 0;
+}

@@ -1,0 +1,117 @@
+#include "audio/codec.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "compress/bitstream.h"
+#include "compress/entropy.h"
+#include "compress/range_coder.h"
+
+namespace vtp::audio {
+
+namespace {
+
+constexpr int kBlock = 120;                          // 2.5 ms sub-blocks
+constexpr int kBlocksPerFrame = kFrameSamples / kBlock;  // 8
+
+constexpr std::uint8_t kFlagDtx = 0x01;
+
+/// Orthonormal DCT-II basis of length 120, built once.
+struct Basis {
+  std::array<std::array<float, kBlock>, kBlock> c{};
+  Basis() {
+    for (int u = 0; u < kBlock; ++u) {
+      const float alpha = u == 0 ? std::sqrt(1.0f / kBlock) : std::sqrt(2.0f / kBlock);
+      for (int x = 0; x < kBlock; ++x) {
+        c[u][x] = alpha * std::cos((2 * x + 1) * u * std::numbers::pi_v<float> /
+                                   (2.0f * kBlock));
+      }
+    }
+  }
+};
+
+const Basis& TheBasis() {
+  static const Basis basis;
+  return basis;
+}
+
+/// Quantization step per coefficient: quality sets the floor, and steps
+/// grow toward high frequencies (where speech energy and hearing acuity
+/// both fall off).
+float StepFor(int coefficient, int quality) {
+  const float base = 24.0f * std::exp2(static_cast<float>(10 - quality) * 0.5f);
+  return base * (1.0f + 0.03f * static_cast<float>(coefficient));
+}
+
+}  // namespace
+
+AudioEncoder::AudioEncoder(AudioCodecConfig config) : config_(config) {
+  if (config_.quality < 0 || config_.quality > 10) {
+    throw std::invalid_argument("audio quality out of range");
+  }
+}
+
+std::vector<std::uint8_t> AudioEncoder::EncodeFrame(const AudioFrame& frame) {
+  std::vector<std::uint8_t> out;
+  if (config_.dtx && frame.IsSilence()) {
+    out.push_back(kFlagDtx);
+    out.push_back(static_cast<std::uint8_t>(config_.quality));
+    return out;
+  }
+  out.push_back(0);
+  out.push_back(static_cast<std::uint8_t>(config_.quality));
+
+  const auto& basis = TheBasis().c;
+  compress::RangeEncoder rc(&out);
+  compress::SignedValueCoder low, high;
+  for (int b = 0; b < kBlocksPerFrame; ++b) {
+    for (int u = 0; u < kBlock; ++u) {
+      float acc = 0;
+      for (int x = 0; x < kBlock; ++x) {
+        acc += static_cast<float>(frame.samples[static_cast<std::size_t>(b * kBlock + x)]) *
+               basis[u][x];
+      }
+      const auto level = static_cast<std::int32_t>(
+          std::lround(acc / StepFor(u, config_.quality)));
+      (u < 24 ? low : high).Encode(rc, level);
+    }
+  }
+  rc.Flush();
+  return out;
+}
+
+AudioFrame AudioDecoder::DecodeFrame(std::span<const std::uint8_t> payload) {
+  if (payload.size() < 2) throw compress::CorruptStream("audio: truncated header");
+  const std::uint8_t flags = payload[0];
+  const int quality = payload[1];
+  if (quality > 10) throw compress::CorruptStream("audio: bad quality");
+
+  AudioFrame frame;  // zero-initialized: exactly what DTX means
+  if (flags & kFlagDtx) return frame;
+
+  const auto& basis = TheBasis().c;
+  compress::RangeDecoder rc(payload.subspan(2));
+  compress::SignedValueCoder low, high;
+  std::array<float, kBlock> coeffs{};
+  for (int b = 0; b < kBlocksPerFrame; ++b) {
+    for (int u = 0; u < kBlock; ++u) {
+      const std::int64_t level = (u < 24 ? low : high).Decode(rc);
+      coeffs[static_cast<std::size_t>(u)] =
+          static_cast<float>(level) * StepFor(u, quality);
+    }
+    for (int x = 0; x < kBlock; ++x) {
+      float acc = 0;
+      for (int u = 0; u < kBlock; ++u) {
+        acc += coeffs[static_cast<std::size_t>(u)] * basis[u][x];
+      }
+      frame.samples[static_cast<std::size_t>(b * kBlock + x)] = static_cast<std::int16_t>(
+          std::clamp(acc, -32767.0f, 32767.0f));
+    }
+  }
+  return frame;
+}
+
+}  // namespace vtp::audio

@@ -1,0 +1,45 @@
+// "vop" — a transform speech codec in the Opus operating range.
+//
+// 20 ms frames are split into eight 120-sample blocks; each block gets a
+// DCT-II, frequency-weighted quantization (coarser toward the top of the
+// spectrum), and adaptive range coding of the coefficients — yielding
+// ~20-60 Kbps depending on the quality knob, like the VoIP codecs inside
+// the measured VCAs. Silent frames are signalled with 2-byte DTX packets,
+// so conversational audio averages well below the peak rate.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "audio/frame.h"
+
+namespace vtp::audio {
+
+/// Codec configuration.
+struct AudioCodecConfig {
+  int quality = 5;   ///< 0 (coarsest) .. 10 (near-transparent)
+  bool dtx = true;   ///< send 2-byte frames during silence
+};
+
+/// Encodes 20 ms frames independently (no inter-frame state: packet loss
+/// costs exactly the lost frame, as VoIP codecs are designed to behave).
+class AudioEncoder {
+ public:
+  explicit AudioEncoder(AudioCodecConfig config = {});
+
+  std::vector<std::uint8_t> EncodeFrame(const AudioFrame& frame);
+
+ private:
+  AudioCodecConfig config_;
+};
+
+/// Decoder; returns silence for DTX frames.
+class AudioDecoder {
+ public:
+  /// Throws compress::CorruptStream on malformed input.
+  AudioFrame DecodeFrame(std::span<const std::uint8_t> payload);
+};
+
+}  // namespace vtp::audio

@@ -1,0 +1,32 @@
+#include "audio/frame.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vtp::audio {
+
+double AudioFrame::Rms() const {
+  double acc = 0;
+  for (const std::int16_t s : samples) {
+    acc += static_cast<double>(s) * static_cast<double>(s);
+  }
+  return std::sqrt(acc / static_cast<double>(samples.size()));
+}
+
+double SnrDb(const AudioFrame& original, const AudioFrame& decoded) {
+  if (original.samples.size() != decoded.samples.size()) {
+    throw std::invalid_argument("SnrDb: frame size mismatch");
+  }
+  double signal = 0, noise = 0;
+  for (std::size_t i = 0; i < original.samples.size(); ++i) {
+    const double s = original.samples[i];
+    const double e = s - static_cast<double>(decoded.samples[i]);
+    signal += s * s;
+    noise += e * e;
+  }
+  if (noise <= 0) return 99.0;
+  if (signal <= 0) return 0.0;
+  return 10.0 * std::log10(signal / noise);
+}
+
+}  // namespace vtp::audio

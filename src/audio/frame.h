@@ -1,0 +1,34 @@
+// Audio frames for the telepresence pipelines.
+//
+// All four VCAs carry an audio stream next to the persona media; its
+// ~20-60 Kbps ride along in every throughput number the paper reports.
+// Frames are 20 ms of 48 kHz mono 16-bit PCM (960 samples) — the ubiquitous
+// VoIP framing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace vtp::audio {
+
+inline constexpr int kSampleRate = 48000;
+inline constexpr int kFrameMs = 20;
+inline constexpr int kFrameSamples = kSampleRate * kFrameMs / 1000;  // 960
+
+/// One 20 ms frame of mono PCM.
+struct AudioFrame {
+  std::vector<std::int16_t> samples;  // kFrameSamples entries
+
+  AudioFrame() : samples(kFrameSamples, 0) {}
+
+  /// Root-mean-square level in [0, 32767].
+  double Rms() const;
+
+  /// True if the frame is effectively silent (RMS below ~-50 dBFS).
+  bool IsSilence() const { return Rms() < 100.0; }
+};
+
+/// Signal-to-noise ratio of `decoded` against `original`, in dB.
+double SnrDb(const AudioFrame& original, const AudioFrame& decoded);
+
+}  // namespace vtp::audio

@@ -1,0 +1,56 @@
+#include "audio/speech_source.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace vtp::audio {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+constexpr double kDt = 1.0 / kSampleRate;
+}  // namespace
+
+SpeechSource::SpeechSource(SpeechConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  state_ends_at_s_ = rng_.Exponential(1.0 / config_.talk_spurt_s);
+}
+
+AudioFrame SpeechSource::Next() {
+  AudioFrame frame;
+  for (int i = 0; i < kFrameSamples; ++i) {
+    if (t_ >= state_ends_at_s_) {
+      talking_ = !talking_;
+      state_ends_at_s_ =
+          t_ + rng_.Exponential(1.0 / (talking_ ? config_.talk_spurt_s : config_.pause_s));
+    }
+    double sample = 0;
+    if (talking_) {
+      // Syllabic energy envelope (~4 Hz) with pitch vibrato.
+      const double envelope =
+          std::max(0.0, 0.55 + 0.45 * std::sin(2 * kPi * 3.7 * t_) +
+                            0.15 * std::sin(2 * kPi * 1.3 * t_));
+      const double pitch = config_.pitch_hz * (1.0 + 0.04 * std::sin(2 * kPi * 5.1 * t_));
+      phase_ += 2 * kPi * pitch * kDt;
+      // Harmonic stack with a -6 dB/octave rolloff (glottal-ish spectrum).
+      double voiced = 0;
+      for (int h = 1; h <= 8; ++h) {
+        voiced += std::sin(phase_ * h) / static_cast<double>(h);
+      }
+      // Unvoiced component: low-passed noise, stronger between syllables.
+      noise_lp_ += 0.15 * (rng_.Normal(0, 1.0) - noise_lp_);
+      const double unvoiced = noise_lp_ * (1.2 - envelope);
+      sample = config_.level * envelope * (0.8 * voiced / 2.0 + 0.35 * unvoiced);
+    } else {
+      // Room tone.
+      noise_lp_ += 0.05 * (rng_.Normal(0, 1.0) - noise_lp_);
+      sample = 40.0 * noise_lp_;
+    }
+    frame.samples[static_cast<std::size_t>(i)] =
+        static_cast<std::int16_t>(std::clamp(sample, -32767.0, 32767.0));
+    t_ += kDt;
+  }
+  return frame;
+}
+
+}  // namespace vtp::audio

@@ -1,0 +1,44 @@
+// Synthetic conversational speech.
+//
+// Generates speech-like audio: voiced segments (a pitch-contoured harmonic
+// stack under a syllabic energy envelope), unvoiced bursts (shaped noise),
+// and the pauses of natural turn-taking. Drives the audio codec with
+// realistic spectra and gives sessions honest DTX (silence) behaviour.
+#pragma once
+
+#include <cstdint>
+
+#include "audio/frame.h"
+#include "netsim/random.h"
+
+namespace vtp::audio {
+
+/// Voice/behaviour tunables.
+struct SpeechConfig {
+  double pitch_hz = 120.0;          ///< base fundamental
+  double talk_spurt_s = 3.0;        ///< mean talking duration
+  double pause_s = 1.5;             ///< mean pause duration
+  double level = 6000.0;            ///< peak amplitude (16-bit units)
+};
+
+/// Seeded stream of 20 ms speech frames.
+class SpeechSource {
+ public:
+  SpeechSource(SpeechConfig config, std::uint64_t seed);
+
+  /// Next 20 ms frame.
+  AudioFrame Next();
+
+  bool currently_talking() const { return talking_; }
+
+ private:
+  SpeechConfig config_;
+  net::Rng rng_;
+  bool talking_ = true;
+  double state_ends_at_s_ = 0;
+  double t_ = 0;
+  double phase_ = 0;
+  double noise_lp_ = 0;
+};
+
+}  // namespace vtp::audio

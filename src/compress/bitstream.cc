@@ -1,0 +1,57 @@
+#include "compress/bitstream.h"
+
+#include <algorithm>
+
+namespace vtp::compress {
+
+void BitWriter::WriteBits(std::uint64_t value, int count) {
+  if (count < 0 || count > 64) throw std::invalid_argument("bit count out of range");
+  for (int i = count - 1; i >= 0; --i) {
+    if (used_ == 8) {
+      buffer_.push_back(0);
+      used_ = 0;
+    }
+    const std::uint8_t bit = static_cast<std::uint8_t>((value >> i) & 1u);
+    buffer_.back() = static_cast<std::uint8_t>(buffer_.back() | (bit << (7 - used_)));
+    ++used_;
+  }
+}
+
+void BitWriter::AlignToByte() { used_ = 8; }
+
+void BitWriter::WriteBytes(std::span<const std::uint8_t> bytes) {
+  if (used_ != 8) throw std::logic_error("WriteBytes requires byte alignment");
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+std::vector<std::uint8_t> BitWriter::Finish() {
+  AlignToByte();
+  return std::move(buffer_);
+}
+
+std::uint64_t BitReader::ReadBits(int count) {
+  if (count < 0 || count > 64) throw std::invalid_argument("bit count out of range");
+  if (bits_remaining() < static_cast<std::size_t>(count)) {
+    throw CorruptStream("bit stream truncated");
+  }
+  std::uint64_t value = 0;
+  for (int i = 0; i < count; ++i) {
+    const std::size_t byte = bit_pos_ >> 3;
+    const int offset = static_cast<int>(bit_pos_ & 7);
+    value = (value << 1) | ((data_[byte] >> (7 - offset)) & 1u);
+    ++bit_pos_;
+  }
+  return value;
+}
+
+void BitReader::AlignToByte() { bit_pos_ = (bit_pos_ + 7) & ~std::size_t{7}; }
+
+void BitReader::ReadBytes(std::span<std::uint8_t> out) {
+  if ((bit_pos_ & 7) != 0) throw std::logic_error("ReadBytes requires byte alignment");
+  const std::size_t byte = bit_pos_ >> 3;
+  if (byte + out.size() > data_.size()) throw CorruptStream("byte stream truncated");
+  std::copy_n(data_.begin() + static_cast<std::ptrdiff_t>(byte), out.size(), out.begin());
+  bit_pos_ += out.size() * 8;
+}
+
+}  // namespace vtp::compress

@@ -1,0 +1,29 @@
+#include "compress/crc32.h"
+
+#include <array>
+
+namespace vtp::compress {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> MakeTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kTable = MakeTable();
+
+}  // namespace
+
+std::uint32_t Crc32(std::span<const std::uint8_t> data, std::uint32_t seed) {
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (const std::uint8_t byte : data) c = kTable[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace vtp::compress

@@ -1,0 +1,13 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) for integrity checks on
+// serialized payloads crossing the simulated network.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace vtp::compress {
+
+/// Computes the CRC-32 of `data`, optionally continuing from a prior value.
+std::uint32_t Crc32(std::span<const std::uint8_t> data, std::uint32_t seed = 0);
+
+}  // namespace vtp::compress

@@ -1,0 +1,38 @@
+// Greedy LZ77 match finder with hash chains.
+//
+// Produces a token stream (literals and back-references) that the "lzr"
+// container entropy-codes. Kept separate from the container so other codecs
+// can reuse the matcher (e.g. for byte-plane compression experiments).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace vtp::compress {
+
+/// One LZ77 token: either a literal byte or a (length, distance) match.
+struct LzToken {
+  bool is_match = false;
+  std::uint8_t literal = 0;     // valid when !is_match
+  std::uint32_t length = 0;     // valid when is_match; >= kMinMatch
+  std::uint32_t distance = 0;   // valid when is_match; >= 1
+};
+
+/// Tunables for the match finder.
+struct LzParams {
+  static constexpr std::uint32_t kMinMatch = 3;
+  static constexpr std::uint32_t kMaxMatch = 273;
+
+  std::uint32_t window_size = 1u << 20;  ///< max back-reference distance
+  int max_chain_length = 64;             ///< hash-chain probes per position
+};
+
+/// Tokenises `data` greedily. Deterministic for identical inputs.
+std::vector<LzToken> LzTokenize(std::span<const std::uint8_t> data, const LzParams& params = {});
+
+/// Reconstructs the original bytes from a token stream.
+/// Throws CorruptStream if a token references data before the start.
+std::vector<std::uint8_t> LzReconstruct(std::span<const LzToken> tokens);
+
+}  // namespace vtp::compress

@@ -1,0 +1,111 @@
+#include "compress/lzr.h"
+
+#include <array>
+#include <bit>
+
+#include "compress/bitstream.h"
+#include "compress/range_coder.h"
+#include "compress/varint.h"
+
+namespace vtp::compress {
+
+namespace {
+
+constexpr std::array<std::uint8_t, 4> kMagic = {'L', 'Z', 'R', '1'};
+
+// Distance encoding: a 6-bit "slot" bit tree selects a power-of-two bucket,
+// then (slot/2 - 1) direct bits give the offset within the bucket.
+constexpr int kDistSlotBits = 6;
+
+std::uint32_t DistanceToSlot(std::uint32_t dist) {
+  // dist >= 1. Slots 0..3 encode distances 1..4 exactly.
+  if (dist <= 4) return dist - 1;
+  const int log = 31 - std::countl_zero(dist - 1);
+  return static_cast<std::uint32_t>((log << 1) + (((dist - 1) >> (log - 1)) & 1));
+}
+
+struct Models {
+  BitModel is_match;
+  BitTree<8> literal;
+  BitTree<9> length;  // encodes length - kMinMatch, range [0, 270] fits 9 bits
+  BitTree<kDistSlotBits> dist_slot;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> LzrCompress(std::span<const std::uint8_t> data, const LzParams& params) {
+  std::vector<std::uint8_t> out(kMagic.begin(), kMagic.end());
+  PutUleb128(out, data.size());
+  if (data.empty()) return out;
+
+  const std::vector<LzToken> tokens = LzTokenize(data, params);
+
+  RangeEncoder rc(&out);
+  Models m;
+  for (const LzToken& t : tokens) {
+    if (!t.is_match) {
+      rc.EncodeBit(m.is_match, 0);
+      m.literal.Encode(rc, t.literal);
+      continue;
+    }
+    rc.EncodeBit(m.is_match, 1);
+    m.length.Encode(rc, t.length - LzParams::kMinMatch);
+    const std::uint32_t slot = DistanceToSlot(t.distance);
+    m.dist_slot.Encode(rc, slot);
+    if (slot >= 4) {
+      const int direct = static_cast<int>(slot / 2 - 1);
+      const std::uint32_t base = (2u | (slot & 1u)) << direct;
+      rc.EncodeDirectBits((t.distance - 1) - base, direct);
+    }
+  }
+  rc.Flush();
+  return out;
+}
+
+std::vector<std::uint8_t> LzrDecompress(std::span<const std::uint8_t> data) {
+  if (data.size() < kMagic.size() ||
+      !std::equal(kMagic.begin(), kMagic.end(), data.begin())) {
+    throw CorruptStream("lzr: bad magic");
+  }
+  std::size_t pos = kMagic.size();
+  const std::uint64_t original_size = GetUleb128(data, &pos);
+  // Plausibility bound: adaptive coding of a fully repetitive stream can
+  // spend well under a bit per max-length match, but not less than ~1/60 of
+  // one. Protects decoders of attacker-controlled headers from huge
+  // allocations while admitting any stream the encoder can produce.
+  const std::uint64_t max_plausible = static_cast<std::uint64_t>(data.size()) * 16384 + 4096;
+  if (original_size > max_plausible) throw CorruptStream("lzr: implausible original size");
+  std::vector<std::uint8_t> out;
+  out.reserve(original_size);
+  if (original_size == 0) return out;
+
+  RangeDecoder rc(data.subspan(pos));
+  Models m;
+  while (out.size() < original_size) {
+    if (rc.DecodeBit(m.is_match) == 0) {
+      out.push_back(static_cast<std::uint8_t>(m.literal.Decode(rc)));
+      continue;
+    }
+    const std::uint32_t length = m.length.Decode(rc) + LzParams::kMinMatch;
+    const std::uint32_t slot = m.dist_slot.Decode(rc);
+    std::uint32_t dist;
+    if (slot < 4) {
+      dist = slot + 1;
+    } else {
+      const int direct = static_cast<int>(slot / 2 - 1);
+      const std::uint32_t base = (2u | (slot & 1u)) << direct;
+      dist = base + rc.DecodeDirectBits(direct) + 1;
+    }
+    if (dist > out.size()) throw CorruptStream("lzr: distance out of range");
+    if (out.size() + length > original_size) throw CorruptStream("lzr: output overrun");
+    const std::size_t from = out.size() - dist;
+    for (std::uint32_t i = 0; i < length; ++i) out.push_back(out[from + i]);
+  }
+  return out;
+}
+
+std::size_t LzrCompressedSize(std::span<const std::uint8_t> data) {
+  return LzrCompress(data).size();
+}
+
+}  // namespace vtp::compress

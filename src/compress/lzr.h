@@ -1,0 +1,32 @@
+// "lzr" — a general-purpose LZ77 + adaptive-range-coder compressor.
+//
+// This is the repository's stand-in for LZMA (the paper compresses keypoint
+// streams with LZMA in §4.3). The container is:
+//
+//   magic "LZR1" | uleb128 original_size | range-coded token stream
+//
+// Tokens are entropy-coded with adaptive bit models: a match/literal flag,
+// order-0 context literals, a length bit tree, and distance slots with direct
+// bits (the LZMA distance scheme, simplified).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "compress/lz77.h"
+
+namespace vtp::compress {
+
+/// Compresses `data`. Never fails; output is at worst slightly larger than
+/// the input (incompressible data costs ~1.05x + 16 bytes).
+std::vector<std::uint8_t> LzrCompress(std::span<const std::uint8_t> data, const LzParams& params = {});
+
+/// Decompresses an LzrCompress stream.
+/// Throws CorruptStream on bad magic, truncation, or invalid tokens.
+std::vector<std::uint8_t> LzrDecompress(std::span<const std::uint8_t> data);
+
+/// Convenience: compressed size in bytes without keeping the buffer.
+std::size_t LzrCompressedSize(std::span<const std::uint8_t> data);
+
+}  // namespace vtp::compress

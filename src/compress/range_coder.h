@@ -1,0 +1,105 @@
+// Adaptive binary range coder in the LZMA style.
+//
+// The coder encodes one binary decision at a time against an adaptive
+// probability model (BitModel). Sequences of decisions are usually organised
+// as bit trees (BitTree) which encode fixed-width symbols with per-node
+// context. This is the entropy-coding engine behind the "lzr" general-purpose
+// compressor, the mesh codec, and the video codec in this repository.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "compress/bitstream.h"
+
+namespace vtp::compress {
+
+/// Adaptive probability of a bit being 0, in units of 1/2048.
+/// Updated with shift-based exponential decay exactly as in LZMA.
+struct BitModel {
+  static constexpr std::uint32_t kTotalBits = 11;
+  static constexpr std::uint32_t kTotal = 1u << kTotalBits;
+  static constexpr int kMoveBits = 5;
+
+  std::uint16_t prob = kTotal / 2;
+};
+
+/// Carry-aware range encoder producing a byte stream.
+class RangeEncoder {
+ public:
+  explicit RangeEncoder(std::vector<std::uint8_t>* out) : out_(out) {}
+
+  /// Encodes `bit` under adaptive model `m`, updating the model.
+  void EncodeBit(BitModel& m, int bit);
+
+  /// Encodes `count` bits of `value` (MSB first) at fixed probability 1/2.
+  void EncodeDirectBits(std::uint32_t value, int count);
+
+  /// Flushes the final bytes; the encoder must not be used afterwards.
+  void Flush();
+
+ private:
+  void ShiftLow();
+
+  std::vector<std::uint8_t>* out_;
+  std::uint64_t low_ = 0;
+  std::uint32_t range_ = 0xFFFFFFFFu;
+  std::uint8_t cache_ = 0;
+  std::uint64_t cache_size_ = 1;
+};
+
+/// Decoder matching RangeEncoder's byte stream.
+class RangeDecoder {
+ public:
+  /// Binds to `data` and primes the 5-byte code window.
+  /// Throws CorruptStream if `data` is shorter than the preamble.
+  explicit RangeDecoder(std::span<const std::uint8_t> data);
+
+  /// Decodes one bit under adaptive model `m`.
+  int DecodeBit(BitModel& m);
+
+  /// Decodes `count` direct (probability 1/2) bits, MSB first.
+  std::uint32_t DecodeDirectBits(int count);
+
+  /// Bytes consumed from the input so far (including the 5-byte preamble).
+  std::size_t bytes_consumed() const { return pos_; }
+
+ private:
+  std::uint8_t NextByte();
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  std::uint32_t range_ = 0xFFFFFFFFu;
+  std::uint32_t code_ = 0;
+};
+
+/// A complete binary tree of adaptive bit models encoding `Bits`-wide symbols.
+template <int Bits>
+class BitTree {
+ public:
+  static constexpr int kBits = Bits;
+
+  void Encode(RangeEncoder& rc, std::uint32_t symbol) {
+    std::uint32_t node = 1;
+    for (int i = Bits - 1; i >= 0; --i) {
+      const int bit = static_cast<int>((symbol >> i) & 1u);
+      rc.EncodeBit(models_[node], bit);
+      node = (node << 1) | static_cast<std::uint32_t>(bit);
+    }
+  }
+
+  std::uint32_t Decode(RangeDecoder& rc) {
+    std::uint32_t node = 1;
+    for (int i = 0; i < Bits; ++i) {
+      node = (node << 1) | static_cast<std::uint32_t>(rc.DecodeBit(models_[node]));
+    }
+    return node - (1u << Bits);
+  }
+
+ private:
+  std::array<BitModel, std::size_t{1} << Bits> models_{};
+};
+
+}  // namespace vtp::compress

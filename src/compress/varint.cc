@@ -1,0 +1,30 @@
+#include "compress/varint.h"
+
+#include "compress/bitstream.h"
+
+namespace vtp::compress {
+
+void PutUleb128(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  do {
+    std::uint8_t byte = value & 0x7Fu;
+    value >>= 7;
+    if (value != 0) byte |= 0x80u;
+    out.push_back(byte);
+  } while (value != 0);
+}
+
+std::uint64_t GetUleb128(std::span<const std::uint8_t> data, std::size_t* pos) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  while (true) {
+    if (*pos >= data.size()) throw CorruptStream("uleb128 truncated");
+    if (shift >= 64) throw CorruptStream("uleb128 overflows 64 bits");
+    const std::uint8_t byte = data[(*pos)++];
+    value |= static_cast<std::uint64_t>(byte & 0x7Fu) << shift;
+    if ((byte & 0x80u) == 0) break;
+    shift += 7;
+  }
+  return value;
+}
+
+}  // namespace vtp::compress

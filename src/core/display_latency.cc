@@ -1,0 +1,112 @@
+#include "core/display_latency.h"
+
+#include <optional>
+#include <vector>
+
+#include "netsim/event_queue.h"
+#include "netsim/netem.h"
+#include "netsim/network.h"
+
+namespace vtp::core {
+
+namespace {
+
+constexpr std::uint16_t kSemanticPort = 7100;
+constexpr std::uint16_t kRequestPort = 7101;
+constexpr std::uint16_t kFramePort = 7102;
+
+/// Remote pre-rendered frames are video-sized (~a dozen MTU packets).
+constexpr int kPrerenderedPackets = 12;
+
+}  // namespace
+
+DisplayLatencyResult MeasureDisplayLatency(const DisplayLatencyConfig& config) {
+  net::Simulator sim(config.seed);
+  net::Network network(&sim);
+  network.BuildBackbone();
+  const net::NodeId viewer = network.AddHost("viewer", config.viewer_metro);
+  const net::NodeId sender = network.AddHost("sender", config.sender_metro);
+  network.ComputeRoutes();
+
+  // tc at the APs: extra delay both ways, like the paper's setup.
+  net::Netem up(&network, sender, network.AccessRouter(sender));
+  net::Netem down(&network, network.AccessRouter(viewer), viewer);
+  up.SetDelay(config.injected_delay);
+  down.SetDelay(config.injected_delay);
+
+  const net::SimTime frame_interval = static_cast<net::SimTime>(net::kSecond / config.fps);
+
+  // Viewer-side state.
+  std::optional<net::SimTime> latest_semantic_arrival;
+  std::optional<net::SimTime> prerendered_frame_arrival;
+  int prerendered_packets_seen = 0;
+
+  network.BindUdp(viewer, kSemanticPort, [&](const net::Packet&) {
+    latest_semantic_arrival = sim.now();
+  });
+  network.BindUdp(viewer, kFramePort, [&](const net::Packet&) {
+    if (++prerendered_packets_seen == kPrerenderedPackets) {
+      prerendered_frame_arrival = sim.now();
+    }
+  });
+
+  // Sender-side: stream semantics at fps (local mode), or answer viewport
+  // requests with a freshly rendered frame burst (remote mode).
+  if (config.mode == DeliveryMode::kLocalReconstruction) {
+    std::function<void()> tick = [&] {
+      network.SendUdp(sender, kSemanticPort, viewer, kSemanticPort,
+                      std::vector<std::uint8_t>(900, 0));
+    };
+    for (int i = 0; i < 400; ++i) {
+      sim.At(i * frame_interval, tick);
+    }
+  } else {
+    network.BindUdp(sender, kRequestPort, [&](const net::Packet&) {
+      // ~2 ms remote render, then ship the frame.
+      sim.After(net::Millis(2), [&] {
+        for (int i = 0; i < kPrerenderedPackets; ++i) {
+          network.SendUdp(sender, kFramePort, viewer, kFramePort,
+                          std::vector<std::uint8_t>(1200, 0));
+        }
+      });
+    });
+  }
+
+  // The probe: an abrupt viewport change at t0 (after steady state).
+  const net::SimTime t0 = net::Seconds(2);
+  DisplayLatencyResult result;
+  const auto next_tick_after = [&](net::SimTime t) {
+    return ((t / frame_interval) + 1) * frame_interval;
+  };
+
+  sim.At(t0, [&] {
+    if (config.mode == DeliveryMode::kRemotePrerendered) {
+      network.SendUdp(viewer, kRequestPort, sender, kRequestPort,
+                      std::vector<std::uint8_t>(64, 0));
+    }
+  });
+
+  sim.RunUntil(t0 + net::Seconds(4));
+
+  // Real-world passthrough: purely local, updated at the next frame tick.
+  const net::SimTime real_world_at = next_tick_after(t0);
+  result.real_world_ms = net::ToMillis(real_world_at - t0);
+
+  net::SimTime persona_at;
+  if (config.mode == DeliveryMode::kLocalReconstruction) {
+    // The persona mesh is already local (semantics keep flowing); the new
+    // viewport is rendered from it at the next frame tick — network delay
+    // does not appear in the path at all.
+    persona_at = next_tick_after(t0);
+  } else {
+    // The pre-rendered frame for the new viewport must cross the network.
+    persona_at = prerendered_frame_arrival
+                     ? next_tick_after(*prerendered_frame_arrival)
+                     : t0 + net::Seconds(4);  // never arrived
+  }
+  result.persona_ms = net::ToMillis(persona_at - t0);
+  result.difference_ms = result.persona_ms - result.real_world_ms;
+  return result;
+}
+
+}  // namespace vtp::core

@@ -1,0 +1,50 @@
+// §4.3's display-latency experiment, as a reusable probe.
+//
+// The paper distinguishes "what is being delivered" by injecting up to
+// 1,000 ms of extra network delay and measuring the difference in display
+// latency between local real-world objects and the remote persona after an
+// abrupt viewport change:
+//   * if the persona is reconstructed locally from streamed semantics (or a
+//     3D model), the difference stays under one frame (<16 ms) no matter
+//     the delay;
+//   * if the persona were pre-rendered remotely for the viewer's viewport,
+//     the new-viewport frame must cross the network, so the difference
+//     tracks RTT + injected delay.
+// We implement BOTH pipelines and probe them with real packets, so the
+// bench regenerates the paper's discriminating evidence.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netsim/time.h"
+
+namespace vtp::core {
+
+/// The delivery hypothesis under test.
+enum class DeliveryMode {
+  kLocalReconstruction,  ///< semantics stream in; persona rendered locally
+  kRemotePrerendered,    ///< sender renders for the viewer's viewport
+};
+
+/// Probe configuration.
+struct DisplayLatencyConfig {
+  DeliveryMode mode = DeliveryMode::kLocalReconstruction;
+  net::SimTime injected_delay = 0;  ///< tc-netem extra one-way delay
+  std::string viewer_metro = "SanFrancisco";
+  std::string sender_metro = "NewYork";
+  double fps = 90.0;
+  std::uint64_t seed = 1;
+};
+
+/// Outcome of one viewport-change probe.
+struct DisplayLatencyResult {
+  double real_world_ms = 0;  ///< viewport change -> passthrough updated
+  double persona_ms = 0;     ///< viewport change -> persona updated
+  double difference_ms = 0;  ///< persona_ms - real_world_ms
+};
+
+/// Runs one probe on a fresh two-host network.
+DisplayLatencyResult MeasureDisplayLatency(const DisplayLatencyConfig& config);
+
+}  // namespace vtp::core

@@ -1,0 +1,79 @@
+#include "core/flags.h"
+
+#include <stdexcept>
+
+namespace vtp::core {
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else {
+      values_[body] = "";  // bare switch
+    }
+  }
+}
+
+std::string Flags::Get(const std::string& name, const std::string& fallback) const {
+  read_[name] = true;
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double Flags::GetDouble(const std::string& name, double fallback) const {
+  const std::string v = Get(name);
+  if (v.empty()) return fallback;
+  std::size_t used = 0;
+  const double parsed = std::stod(v, &used);
+  if (used != v.size()) throw std::invalid_argument("--" + name + " expects a number");
+  return parsed;
+}
+
+std::int64_t Flags::GetInt(const std::string& name, std::int64_t fallback) const {
+  const std::string v = Get(name);
+  if (v.empty()) return fallback;
+  std::size_t used = 0;
+  const std::int64_t parsed = std::stoll(v, &used);
+  if (used != v.size()) throw std::invalid_argument("--" + name + " expects an integer");
+  return parsed;
+}
+
+bool Flags::GetBool(const std::string& name, bool fallback) const {
+  read_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v.empty() || v == "true" || v == "1") return true;
+  if (v == "false" || v == "0") return false;
+  throw std::invalid_argument("--" + name + " expects true/false");
+}
+
+std::vector<std::string> Flags::GetList(const std::string& name) const {
+  std::vector<std::string> out;
+  std::string v = Get(name);
+  std::size_t start = 0;
+  while (start <= v.size() && !v.empty()) {
+    const std::size_t comma = v.find(',', start);
+    out.push_back(v.substr(start, comma == std::string::npos ? comma : comma - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+std::vector<std::string> Flags::UnreadFlags() const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : values_) {
+    if (!read_.count(name)) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace vtp::core

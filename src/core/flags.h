@@ -1,0 +1,46 @@
+// Minimal command-line flag parsing for the tools (no external deps).
+//
+// Accepts --key=value, bare --switch (true), and positional arguments.
+// Unknown flags are kept and can be enumerated for error reporting.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vtp::core {
+
+/// Parsed command line.
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv);
+
+  /// String flag with a default.
+  std::string Get(const std::string& name, const std::string& fallback = "") const;
+
+  /// Numeric flags (throws std::invalid_argument on malformed values).
+  double GetDouble(const std::string& name, double fallback) const;
+  std::int64_t GetInt(const std::string& name, std::int64_t fallback) const;
+
+  /// Switch: present without value, or =true/=1 / =false/=0.
+  bool GetBool(const std::string& name, bool fallback = false) const;
+
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+
+  /// Splits a flag's value on commas ("a,b,c").
+  std::vector<std::string> GetList(const std::string& name) const;
+
+  /// Arguments that are not flags, in order (e.g. the subcommand).
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Flags that were parsed but never read (typo detection for tools).
+  std::vector<std::string> UnreadFlags() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> read_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace vtp::core

@@ -1,0 +1,98 @@
+#include "core/json.h"
+
+#include <cmath>
+#include <iomanip>
+
+namespace vtp::core {
+
+void JsonWriter::Prefix() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value follows its key; no comma
+  }
+  if (!has_element_.empty()) {
+    if (has_element_.back()) out_ << ',';
+    has_element_.back() = true;
+  }
+}
+
+void JsonWriter::Escape(std::string_view s) {
+  out_ << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out_ << "\\\""; break;
+      case '\\': out_ << "\\\\"; break;
+      case '\n': out_ << "\\n"; break;
+      case '\r': out_ << "\\r"; break;
+      case '\t': out_ << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out_ << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+               << static_cast<int>(c) << std::dec;
+        } else {
+          out_ << c;
+        }
+    }
+  }
+  out_ << '"';
+}
+
+void JsonWriter::BeginObject() {
+  Prefix();
+  out_ << '{';
+  has_element_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  out_ << '}';
+  has_element_.pop_back();
+}
+
+void JsonWriter::BeginArray() {
+  Prefix();
+  out_ << '[';
+  has_element_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  out_ << ']';
+  has_element_.pop_back();
+}
+
+void JsonWriter::Key(std::string_view name) {
+  Prefix();
+  Escape(name);
+  out_ << ':';
+  pending_key_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  Prefix();
+  Escape(value);
+}
+
+void JsonWriter::Number(double value) {
+  Prefix();
+  if (std::isfinite(value)) {
+    out_ << std::setprecision(10) << value;
+  } else {
+    out_ << "null";
+  }
+}
+
+void JsonWriter::Int(std::int64_t value) {
+  Prefix();
+  out_ << value;
+}
+
+void JsonWriter::Bool(bool value) {
+  Prefix();
+  out_ << (value ? "true" : "false");
+}
+
+void JsonWriter::Null() {
+  Prefix();
+  out_ << "null";
+}
+
+}  // namespace vtp::core

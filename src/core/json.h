@@ -1,0 +1,51 @@
+// Minimal JSON writer (no external deps) for machine-readable tool output.
+//
+// Build documents imperatively:
+//   JsonWriter w;
+//   w.BeginObject();
+//   w.Key("app"); w.String("FaceTime");
+//   w.Key("uplink_mbps"); w.Number(0.72);
+//   w.Key("users"); w.BeginArray(); w.Number(2); w.EndArray();
+//   w.EndObject();
+//   std::cout << w.str();
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vtp::core {
+
+/// Streaming JSON serializer. Performs escaping and comma placement; the
+/// caller is responsible for well-formed nesting (asserted in debug).
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Emits an object key (must be inside an object, before its value).
+  void Key(std::string_view name);
+
+  void String(std::string_view value);
+  void Number(double value);
+  void Int(std::int64_t value);
+  void Bool(bool value);
+  void Null();
+
+  /// The serialized document so far.
+  std::string str() const { return out_.str(); }
+
+ private:
+  void Prefix();
+  void Escape(std::string_view s);
+
+  std::ostringstream out_;
+  // Per-nesting-level: has this container already emitted an element?
+  std::vector<bool> has_element_;
+  bool pending_key_ = false;
+};
+
+}  // namespace vtp::core

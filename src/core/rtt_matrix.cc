@@ -1,0 +1,62 @@
+#include "core/rtt_matrix.h"
+
+#include <memory>
+
+#include "netsim/event_queue.h"
+#include "netsim/geoip.h"
+#include "netsim/network.h"
+#include "transport/tcp_ping.h"
+
+namespace vtp::core {
+
+RttMatrix MeasureRttMatrix(const RttProbeSpec& spec) {
+  net::Simulator sim(spec.seed);
+  net::Network network(&sim);
+  network.BuildBackbone();
+
+  std::vector<net::NodeId> clients, servers;
+  for (const auto& c : spec.clients) {
+    clients.push_back(network.AddHost("client." + c.label, c.metro));
+  }
+  for (const auto& s : spec.servers) {
+    servers.push_back(network.AddHost("server." + s.label, s.metro, /*access_rate_bps=*/10e9,
+                                      /*access_delay=*/net::Micros(200)));
+  }
+  network.ComputeRoutes();
+
+  std::vector<std::unique_ptr<transport::TcpResponder>> responders;
+  for (const net::NodeId s : servers) {
+    responders.push_back(std::make_unique<transport::TcpResponder>(&network, s, 443));
+  }
+
+  RttMatrix result;
+  result.rtt_ms.assign(clients.size(), std::vector<Summary>(servers.size()));
+
+  // One pinger per (client, server) pair, each on its own source port, all
+  // running concurrently (they are independent flows).
+  std::vector<std::unique_ptr<transport::TcpPinger>> pingers;
+  for (std::size_t ci = 0; ci < clients.size(); ++ci) {
+    for (std::size_t si = 0; si < servers.size(); ++si) {
+      auto pinger = std::make_unique<transport::TcpPinger>(
+          &network, clients[ci], static_cast<std::uint16_t>(20000 + ci * 64 + si));
+      pinger->Run(servers[si], 443, spec.pings_per_pair, spec.ping_interval,
+                  [&result, ci, si](std::vector<double> rtts) {
+                    result.rtt_ms[ci][si] = Summarize(rtts);
+                  });
+      pingers.push_back(std::move(pinger));
+    }
+  }
+  sim.Run();
+
+  // Geolocate, as the paper does with MaxMind/ipinfo (§4.1).
+  const net::GeoIpDb geo(network);
+  for (const net::NodeId s : servers) {
+    result.server_regions.push_back(geo.LookupNode(s)->region);
+  }
+  for (const net::NodeId c : clients) {
+    result.client_regions.push_back(geo.LookupNode(c)->region);
+  }
+  return result;
+}
+
+}  // namespace vtp::core

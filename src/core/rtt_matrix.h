@@ -1,0 +1,42 @@
+// Table 1 harness: RTT between VCA servers and test clients, measured the
+// way the paper does (§3.2) — TCP pings, because the servers drop ICMP —
+// plus MaxMind-style geolocation of the server addresses (§4.1).
+//
+// App-agnostic: callers (the bench layer) supply server placements from the
+// VCA profiles; this module builds the topology, runs the probes, and
+// reports summaries. Keeping it below the vca module avoids a cycle.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/stats.h"
+#include "netsim/geo.h"
+#include "netsim/time.h"
+
+namespace vtp::core {
+
+/// One probe campaign: every client pings every server.
+struct RttProbeSpec {
+  struct Endpoint {
+    std::string label;
+    std::string metro;  ///< net::MetroDb name
+  };
+  std::vector<Endpoint> servers;
+  std::vector<Endpoint> clients;
+  int pings_per_pair = 10;
+  net::SimTime ping_interval = net::Millis(200);
+  std::uint64_t seed = 1;
+};
+
+/// Results indexed [client][server].
+struct RttMatrix {
+  std::vector<std::vector<Summary>> rtt_ms;
+  std::vector<net::Region> server_regions;  ///< geolocated via the toy GeoIP DB
+  std::vector<net::Region> client_regions;
+};
+
+/// Runs the campaign on a fresh simulated backbone.
+RttMatrix MeasureRttMatrix(const RttProbeSpec& spec);
+
+}  // namespace vtp::core

@@ -1,0 +1,51 @@
+#include "core/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace vtp::core {
+
+double PercentileSorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) return 0;
+  if (sorted.size() == 1) return sorted[0];
+  const double rank = std::clamp(q, 0.0, 100.0) / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1 - frac) + sorted[lo + 1] * frac;
+}
+
+Summary Summarize(std::span<const double> values) {
+  Summary s;
+  s.n = values.size();
+  if (values.empty()) return s;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  double sum = 0;
+  for (const double v : sorted) sum += v;
+  s.mean = sum / static_cast<double>(sorted.size());
+  double var = 0;
+  for (const double v : sorted) var += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(var / static_cast<double>(sorted.size()));
+
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.p5 = PercentileSorted(sorted, 5);
+  s.p25 = PercentileSorted(sorted, 25);
+  s.p50 = PercentileSorted(sorted, 50);
+  s.p75 = PercentileSorted(sorted, 75);
+  s.p95 = PercentileSorted(sorted, 95);
+  return s;
+}
+
+std::string MeanPlusMinus(const Summary& s, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << s.mean << "±" << s.stddev;
+  return os.str();
+}
+
+}  // namespace vtp::core

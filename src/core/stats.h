@@ -1,0 +1,36 @@
+// Descriptive statistics used throughout the measurement framework: the
+// paper reports means, standard deviations, and 5/25/50/75/95th percentile
+// boxes (Figures 4-6).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace vtp::core {
+
+/// Summary of a sample.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0;
+  double stddev = 0;
+  double min = 0;
+  double max = 0;
+  double p5 = 0;
+  double p25 = 0;
+  double p50 = 0;
+  double p75 = 0;
+  double p95 = 0;
+};
+
+/// Linear-interpolation percentile of a *sorted* sample, q in [0, 100].
+double PercentileSorted(std::span<const double> sorted, double q);
+
+/// Full summary (copies and sorts internally).
+Summary Summarize(std::span<const double> values);
+
+/// "mean±stddev" with the given precision (as the paper prints results).
+std::string MeanPlusMinus(const Summary& s, int precision = 2);
+
+}  // namespace vtp::core

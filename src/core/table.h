@@ -1,0 +1,31 @@
+// Fixed-width text tables: every bench prints its figure/table rows through
+// this so outputs are uniform and diffable against EXPERIMENTS.md.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vtp::core {
+
+/// A simple left-padded text table.
+class TextTable {
+ public:
+  /// Sets the header row.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row (ragged rows are allowed).
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders with column auto-sizing and a separator under the header.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision.
+std::string Fmt(double value, int precision = 2);
+
+}  // namespace vtp::core

@@ -1,0 +1,167 @@
+#include "mesh/generator.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "netsim/random.h"
+
+namespace vtp::mesh {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+/// Smooth organic pseudo-noise over the sphere: a small sum of seeded
+/// sinusoids. Cheap, deterministic, and C1-smooth like scanned surfaces.
+class SphereNoise {
+ public:
+  SphereNoise(std::uint64_t seed, double amplitude) : amplitude_(amplitude) {
+    net::Rng rng(seed);
+    for (auto& h : harmonics_) {
+      h = {rng.Uniform(1.5, 6.0), rng.Uniform(1.5, 6.0), rng.Uniform(0, 2 * kPi),
+           rng.Uniform(0, 2 * kPi), rng.Uniform(0.4, 1.0)};
+    }
+  }
+
+  double At(double theta, double phi) const {
+    double n = 0;
+    for (const auto& h : harmonics_) {
+      n += h.weight * std::sin(h.f_theta * theta + h.p_theta) *
+           std::sin(h.f_phi * phi + h.p_phi);
+    }
+    return amplitude_ * n / static_cast<double>(harmonics_.size());
+  }
+
+ private:
+  struct Harmonic {
+    double f_theta, f_phi, p_theta, p_phi, weight;
+  };
+  std::array<Harmonic, 6> harmonics_{};
+  double amplitude_;
+};
+
+/// UV-sphere with a caller-supplied radius field. `segments` is the
+/// longitude count; `rings` the latitude count. Produces exactly
+/// 2 * segments * (rings - 1) triangles.
+template <typename RadiusFn>
+TriangleMesh UvSphere(std::size_t segments, std::size_t rings, RadiusFn&& radius) {
+  TriangleMesh m;
+  m.positions.reserve(2 + segments * (rings - 1));
+
+  // Poles + interior rings.
+  m.positions.push_back(Vec3{0, static_cast<float>(radius(0.0, 0.0).y), 0});
+  for (std::size_t r = 1; r < rings; ++r) {
+    const double theta = kPi * static_cast<double>(r) / static_cast<double>(rings);
+    for (std::size_t s = 0; s < segments; ++s) {
+      const double phi = 2 * kPi * static_cast<double>(s) / static_cast<double>(segments);
+      const Vec3 scale = radius(theta, phi);
+      m.positions.push_back(Vec3{
+          static_cast<float>(std::sin(theta) * std::cos(phi)) * scale.x,
+          static_cast<float>(std::cos(theta)) * scale.y,
+          static_cast<float>(std::sin(theta) * std::sin(phi)) * scale.z});
+    }
+  }
+  m.positions.push_back(Vec3{0, -static_cast<float>(radius(kPi, 0.0).y), 0});
+
+  const auto ring_vertex = [&](std::size_t r, std::size_t s) -> std::uint32_t {
+    return static_cast<std::uint32_t>(1 + (r - 1) * segments + (s % segments));
+  };
+  const std::uint32_t south = static_cast<std::uint32_t>(m.positions.size() - 1);
+
+  // Top cap.
+  for (std::size_t s = 0; s < segments; ++s) {
+    m.triangles.push_back({0, ring_vertex(1, s + 1), ring_vertex(1, s)});
+  }
+  // Body quads.
+  for (std::size_t r = 1; r + 1 < rings; ++r) {
+    for (std::size_t s = 0; s < segments; ++s) {
+      const std::uint32_t a = ring_vertex(r, s), b = ring_vertex(r, s + 1);
+      const std::uint32_t c = ring_vertex(r + 1, s), d = ring_vertex(r + 1, s + 1);
+      m.triangles.push_back({a, b, c});
+      m.triangles.push_back({b, d, c});
+    }
+  }
+  // Bottom cap.
+  for (std::size_t s = 0; s < segments; ++s) {
+    m.triangles.push_back({south, ring_vertex(rings - 1, s), ring_vertex(rings - 1, s + 1)});
+  }
+  return m;
+}
+
+/// Picks (segments, rings) so 2*segments*(rings-1) lands as close to
+/// `target` as possible (searching segment counts near sqrt(target)).
+std::pair<std::size_t, std::size_t> SphereDims(std::size_t target) {
+  const auto u0 = static_cast<std::size_t>(std::lround(std::sqrt(static_cast<double>(target))));
+  std::size_t best_segments = std::max<std::size_t>(8, u0);
+  std::size_t best_rings = 3;
+  std::size_t best_err = static_cast<std::size_t>(-1);
+  const std::size_t lo = u0 > 48 ? u0 - 40 : 8;
+  for (std::size_t segments = lo; segments <= u0 + 40; ++segments) {
+    const std::size_t rings = std::max<std::size_t>(
+        3, static_cast<std::size_t>(std::lround(static_cast<double>(target) /
+                                                (2.0 * static_cast<double>(segments)))) + 1);
+    const std::size_t count = 2 * segments * (rings - 1);
+    const std::size_t err = count > target ? count - target : target - count;
+    if (err < best_err) {
+      best_err = err;
+      best_segments = segments;
+      best_rings = rings;
+      if (err == 0) break;
+    }
+  }
+  return {best_segments, best_rings};
+}
+
+}  // namespace
+
+TriangleMesh GenerateHead(std::size_t target_triangles, std::uint64_t seed) {
+  const auto [segments, rings] = SphereDims(target_triangles);
+  const SphereNoise noise(seed, 0.004);  // ~4 mm of organic relief
+  return UvSphere(segments, rings, [&](double theta, double phi) {
+    // Head half-extents ~8 x 11 x 9.5 cm, noised.
+    double bump = noise.At(theta, phi);
+    // Nose: a localized bump facing +z at eye-ish height.
+    const double face = std::exp(-std::pow((theta - kPi * 0.52) / 0.14, 2.0) -
+                                 std::pow((phi - kPi / 2) / 0.18, 2.0));
+    bump += 0.02 * face;
+    // Chin taper.
+    const double taper = 1.0 - 0.18 * std::pow(std::max(0.0, theta / kPi - 0.55), 1.5);
+    const float s = static_cast<float>(1.0 + bump / 0.09);
+    return Vec3{0.080f * s * static_cast<float>(taper), 0.110f * s,
+                0.095f * s * static_cast<float>(taper)};
+  });
+}
+
+TriangleMesh GenerateHand(std::size_t target_triangles, std::uint64_t seed) {
+  const auto [segments, rings] = SphereDims(target_triangles);
+  const SphereNoise noise(seed ^ 0x9E3779B97F4A7C15ull, 0.002);
+  return UvSphere(segments, rings, [&](double theta, double phi) {
+    // Flattened palm, with finger-like ridges along one edge (small theta).
+    double bump = noise.At(theta, phi);
+    const double finger_zone = std::exp(-std::pow(theta / 0.55, 2.0));
+    bump += 0.012 * finger_zone * std::pow(std::sin(5.0 * phi), 8.0);
+    const float s = static_cast<float>(1.0 + bump / 0.05);
+    return Vec3{0.045f * s, 0.085f * s, 0.015f * s};
+  });
+}
+
+TriangleMesh GeneratePersona(std::uint64_t seed, std::size_t target) {
+  // Budget split: the persona is mostly head (§2 Figure 1 shows head+hands).
+  const std::size_t head_budget = target * 8 / 10;
+  const std::size_t hand_budget = target / 10;
+
+  TriangleMesh persona = GenerateHead(head_budget, seed);
+
+  const auto append = [&persona](TriangleMesh part, Vec3 offset) {
+    const auto base = static_cast<std::uint32_t>(persona.positions.size());
+    for (Vec3& p : part.positions) persona.positions.push_back(p + offset);
+    for (const auto& t : part.triangles) {
+      persona.triangles.push_back({t[0] + base, t[1] + base, t[2] + base});
+    }
+  };
+  append(GenerateHand(hand_budget, seed + 1), Vec3{-0.28f, -0.35f, 0.18f});
+  append(GenerateHand(hand_budget, seed + 2), Vec3{0.28f, -0.35f, 0.18f});
+  return persona;
+}
+
+}  // namespace vtp::mesh

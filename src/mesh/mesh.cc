@@ -1,0 +1,49 @@
+#include "mesh/mesh.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vtp::mesh {
+
+float Vec3::Length() const { return std::sqrt(x * x + y * y + z * z); }
+
+Vec3 Vec3::Normalized() const {
+  const float len = Length();
+  return len > 0 ? Vec3{x / len, y / len, z / len} : Vec3{};
+}
+
+void Aabb::Extend(Vec3 p) {
+  min.x = std::min(min.x, p.x);
+  min.y = std::min(min.y, p.y);
+  min.z = std::min(min.z, p.z);
+  max.x = std::max(max.x, p.x);
+  max.y = std::max(max.y, p.y);
+  max.z = std::max(max.z, p.z);
+}
+
+Aabb TriangleMesh::Bounds() const {
+  Aabb box;
+  for (const Vec3& p : positions) box.Extend(p);
+  return box;
+}
+
+double TriangleMesh::SurfaceArea() const {
+  double area = 0;
+  for (const auto& t : triangles) {
+    const Vec3 a = positions[t[0]], b = positions[t[1]], c = positions[t[2]];
+    area += 0.5 * static_cast<double>((b - a).Cross(c - a).Length());
+  }
+  return area;
+}
+
+bool TriangleMesh::IsValid() const {
+  for (const auto& t : triangles) {
+    if (t[0] >= positions.size() || t[1] >= positions.size() || t[2] >= positions.size()) {
+      return false;
+    }
+    if (t[0] == t[1] || t[1] == t[2] || t[0] == t[2]) return false;
+  }
+  return true;
+}
+
+}  // namespace vtp::mesh

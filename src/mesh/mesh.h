@@ -1,0 +1,56 @@
+// Triangle meshes — the representation of spatial personas on Vision Pro
+// (§3.2: "the 3D model of spatial persona is represented as mesh", 78,030
+// triangles per persona as reported by RealityKit).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace vtp::mesh {
+
+/// Minimal 3-vector (float, metres).
+struct Vec3 {
+  float x = 0, y = 0, z = 0;
+
+  Vec3 operator+(Vec3 o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vec3 operator-(Vec3 o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Vec3 operator*(float s) const { return {x * s, y * s, z * s}; }
+  float Dot(Vec3 o) const { return x * o.x + y * o.y + z * o.z; }
+  Vec3 Cross(Vec3 o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  float Length() const;
+  Vec3 Normalized() const;
+};
+
+/// Axis-aligned bounding box.
+struct Aabb {
+  Vec3 min{1e30f, 1e30f, 1e30f};
+  Vec3 max{-1e30f, -1e30f, -1e30f};
+
+  void Extend(Vec3 p);
+  Vec3 Size() const { return max - min; }
+  Vec3 Center() const { return (min + max) * 0.5f; }
+};
+
+/// Indexed triangle mesh.
+struct TriangleMesh {
+  std::vector<Vec3> positions;
+  std::vector<std::array<std::uint32_t, 3>> triangles;
+
+  std::size_t triangle_count() const { return triangles.size(); }
+  std::size_t vertex_count() const { return positions.size(); }
+
+  /// Bounding box over all vertices (empty box if no vertices).
+  Aabb Bounds() const;
+
+  /// Sum of triangle areas (for sanity checks in tests).
+  double SurfaceArea() const;
+
+  /// True if every index is within range and no triangle is degenerate
+  /// (repeated indices).
+  bool IsValid() const;
+};
+
+}  // namespace vtp::mesh

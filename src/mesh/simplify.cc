@@ -1,0 +1,111 @@
+#include "mesh/simplify.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace vtp::mesh {
+
+namespace {
+
+std::uint64_t CellKey(std::uint32_t x, std::uint32_t y, std::uint32_t z) {
+  return (static_cast<std::uint64_t>(x) << 42) | (static_cast<std::uint64_t>(y) << 21) | z;
+}
+
+}  // namespace
+
+TriangleMesh SimplifyGrid(const TriangleMesh& input, std::size_t cells_per_axis) {
+  if (cells_per_axis < 1) cells_per_axis = 1;
+  const Aabb box = input.Bounds();
+  const Vec3 size = box.Size();
+  const float n = static_cast<float>(cells_per_axis);
+
+  const auto cell_of = [&](Vec3 p) -> std::uint64_t {
+    const auto axis = [&](float v, float lo, float extent) -> std::uint32_t {
+      if (extent <= 0) return 0;
+      const float t = (v - lo) / extent * n;
+      return static_cast<std::uint32_t>(
+          std::clamp(t, 0.0f, n - 1.0f));
+    };
+    return CellKey(axis(p.x, box.min.x, size.x), axis(p.y, box.min.y, size.y),
+                   axis(p.z, box.min.z, size.z));
+  };
+
+  // First pass: centroid per occupied cell.
+  struct Accum {
+    Vec3 sum;
+    std::uint32_t count = 0;
+    std::uint32_t index = 0;
+  };
+  std::unordered_map<std::uint64_t, Accum> cells;
+  cells.reserve(input.vertex_count());
+  for (const Vec3& p : input.positions) {
+    Accum& a = cells[cell_of(p)];
+    a.sum = a.sum + p;
+    ++a.count;
+  }
+
+  TriangleMesh out;
+  out.positions.reserve(cells.size());
+  for (auto& [key, a] : cells) {
+    a.index = static_cast<std::uint32_t>(out.positions.size());
+    out.positions.push_back(a.sum * (1.0f / static_cast<float>(a.count)));
+  }
+
+  // Second pass: remap triangles, dropping collapsed ones.
+  out.triangles.reserve(input.triangle_count());
+  for (const auto& t : input.triangles) {
+    const std::uint32_t a = cells[cell_of(input.positions[t[0]])].index;
+    const std::uint32_t b = cells[cell_of(input.positions[t[1]])].index;
+    const std::uint32_t c = cells[cell_of(input.positions[t[2]])].index;
+    if (a == b || b == c || a == c) continue;
+    out.triangles.push_back({a, b, c});
+  }
+  return out;
+}
+
+TriangleMesh SimplifyToFraction(const TriangleMesh& input, double fraction) {
+  fraction = std::clamp(fraction, 1e-6, 1.0);
+  const auto target = static_cast<std::size_t>(
+      static_cast<double>(input.triangle_count()) * fraction);
+  if (fraction >= 0.999) return input;
+
+  // Triangle yield grows with grid resolution; bisect on cells_per_axis.
+  std::size_t lo = 2, hi = 4096;
+  TriangleMesh best = SimplifyGrid(input, lo);
+  while (lo + 1 < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    TriangleMesh candidate = SimplifyGrid(input, mid);
+    if (candidate.triangle_count() < target) {
+      lo = mid;
+      best = std::move(candidate);
+    } else {
+      hi = mid;
+      // Keep the closer of the two bounds.
+      const auto err_hi = candidate.triangle_count() - target;
+      const auto err_lo = target > best.triangle_count() ? target - best.triangle_count() : 0;
+      if (err_hi < err_lo) best = std::move(candidate);
+    }
+  }
+  return best;
+}
+
+TriangleMesh BoundingBoxProxy(const TriangleMesh& input) {
+  const Aabb box = input.Bounds();
+  TriangleMesh out;
+  const Vec3 mn = box.min, mx = box.max;
+  out.positions = {
+      {mn.x, mn.y, mn.z}, {mx.x, mn.y, mn.z}, {mx.x, mx.y, mn.z}, {mn.x, mx.y, mn.z},
+      {mn.x, mn.y, mx.z}, {mx.x, mn.y, mx.z}, {mx.x, mx.y, mx.z}, {mn.x, mx.y, mx.z}};
+  out.triangles = {
+      {0, 2, 1}, {0, 3, 2},  // -z
+      {4, 5, 6}, {4, 6, 7},  // +z
+      {0, 1, 5}, {0, 5, 4},  // -y
+      {3, 7, 6}, {3, 6, 2},  // +y
+      {0, 4, 7}, {0, 7, 3},  // -x
+      {1, 2, 6}, {1, 6, 5},  // +x
+  };
+  return out;
+}
+
+}  // namespace vtp::mesh

@@ -1,0 +1,66 @@
+#include "netsim/capture.h"
+
+#include <algorithm>
+
+namespace vtp::net {
+
+void Capture::AttachToLink(Network& net, NodeId a, NodeId b) {
+  const auto tap = [this](const Packet& p, SimTime when) { Record(p, when); };
+  net.link(a, b).set_tap(tap);
+  net.link(b, a).set_tap(tap);
+}
+
+void Capture::Record(const Packet& p, SimTime when) {
+  CaptureRecord r;
+  r.time = when;
+  r.src = p.src;
+  r.dst = p.dst;
+  r.src_port = p.src_port;
+  r.dst_port = p.dst_port;
+  r.wire_bytes = p.wire_bytes();
+  r.prefix_len = static_cast<std::uint8_t>(std::min<std::size_t>(p.payload.size(), r.prefix.size()));
+  std::copy_n(p.payload.begin(), r.prefix_len, r.prefix.begin());
+  records_.push_back(r);
+}
+
+double Capture::MeanThroughputBps(const Filter& filter, SimTime from, SimTime to) const {
+  if (to <= from) return 0.0;
+  std::uint64_t bytes = 0;
+  for (const CaptureRecord& r : records_) {
+    if (r.time >= from && r.time < to && (!filter || filter(r))) bytes += r.wire_bytes;
+  }
+  return static_cast<double>(bytes) * 8.0 / ToSeconds(to - from);
+}
+
+std::vector<double> Capture::ThroughputSeriesBps(const Filter& filter, SimTime bin) const {
+  std::vector<double> series;
+  if (records_.empty() || bin <= 0) return series;
+  const SimTime start = records_.front().time;
+  const SimTime end = records_.back().time;
+  const std::size_t bins = static_cast<std::size_t>((end - start) / bin) + 1;
+  std::vector<std::uint64_t> bytes(bins, 0);
+  for (const CaptureRecord& r : records_) {
+    if (filter && !filter(r)) continue;
+    bytes[static_cast<std::size_t>((r.time - start) / bin)] += r.wire_bytes;
+  }
+  series.reserve(bins);
+  for (const std::uint64_t b : bytes) {
+    series.push_back(static_cast<double>(b) * 8.0 / ToSeconds(bin));
+  }
+  return series;
+}
+
+std::map<FlowKey, FlowStats> Capture::Flows(const Filter& filter) const {
+  std::map<FlowKey, FlowStats> flows;
+  for (const CaptureRecord& r : records_) {
+    if (filter && !filter(r)) continue;
+    FlowStats& s = flows[FlowKey{r.src, r.dst, r.src_port, r.dst_port}];
+    if (s.packets == 0) s.first_time = r.time;
+    ++s.packets;
+    s.bytes += r.wire_bytes;
+    s.last_time = r.time;
+  }
+  return flows;
+}
+
+}  // namespace vtp::net

@@ -1,0 +1,84 @@
+// Wireshark-like packet capture and traffic analysis.
+//
+// The paper's methodology captures traffic at each user's WiFi AP and
+// analyses it offline (§3.2). Capture attaches taps to the two directions of
+// an access link and records per-packet metadata plus a payload prefix large
+// enough for protocol classification; the analysis helpers compute the
+// throughput figures used throughout §4.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "netsim/network.h"
+
+namespace vtp::net {
+
+/// One captured packet (metadata + payload prefix, like a snaplen pcap).
+struct CaptureRecord {
+  SimTime time = 0;
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t wire_bytes = 0;
+  std::uint8_t prefix_len = 0;
+  std::array<std::uint8_t, 16> prefix{};
+};
+
+/// A unidirectional flow key (5-tuple minus protocol; everything is UDP).
+struct FlowKey {
+  NodeId src, dst;
+  std::uint16_t src_port, dst_port;
+  auto operator<=>(const FlowKey&) const = default;
+};
+
+/// Aggregate statistics for one flow.
+struct FlowStats {
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  SimTime first_time = 0;
+  SimTime last_time = 0;
+};
+
+/// Records packets crossing one or more links.
+class Capture {
+ public:
+  using Filter = std::function<bool(const CaptureRecord&)>;
+
+  /// Taps both directions of the (a, b) link. May be called for several
+  /// links; all records land in one trace ordered by capture time.
+  void AttachToLink(Network& net, NodeId a, NodeId b);
+
+  const std::vector<CaptureRecord>& records() const { return records_; }
+  void Clear() { records_.clear(); }
+
+  /// Mean throughput in bits/second of packets matching `filter` within
+  /// [from, to). Returns 0 if the window is empty.
+  double MeanThroughputBps(const Filter& filter, SimTime from, SimTime to) const;
+
+  /// Throughput in bits/second per `bin`-sized window over the whole trace,
+  /// for packets matching `filter`. Useful for percentile boxes.
+  std::vector<double> ThroughputSeriesBps(const Filter& filter, SimTime bin) const;
+
+  /// Per-flow aggregates for packets matching `filter` (nullptr = all).
+  std::map<FlowKey, FlowStats> Flows(const Filter& filter = nullptr) const;
+
+  /// Convenience filters.
+  static Filter FromNode(NodeId n) {
+    return [n](const CaptureRecord& r) { return r.src == n; };
+  }
+  static Filter ToNode(NodeId n) {
+    return [n](const CaptureRecord& r) { return r.dst == n; };
+  }
+
+ private:
+  void Record(const Packet& p, SimTime when);
+
+  std::vector<CaptureRecord> records_;
+};
+
+}  // namespace vtp::net

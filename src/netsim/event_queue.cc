@@ -1,0 +1,35 @@
+#include "netsim/event_queue.h"
+
+#include <stdexcept>
+
+namespace vtp::net {
+
+void Simulator::At(SimTime t, std::function<void()> fn) {
+  if (t < now_) t = now_;  // "in the past" means "immediately"
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Simulator::Run() {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    Event e = queue_.top();
+    queue_.pop();
+    now_ = e.time;
+    ++executed_;
+    e.fn();
+  }
+}
+
+void Simulator::RunUntil(SimTime t) {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_ && queue_.top().time <= t) {
+    Event e = queue_.top();
+    queue_.pop();
+    now_ = e.time;
+    ++executed_;
+    e.fn();
+  }
+  if (!stopped_ && now_ < t) now_ = t;
+}
+
+}  // namespace vtp::net

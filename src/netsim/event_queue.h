@@ -1,0 +1,71 @@
+// Discrete-event simulation core: a clock plus a time-ordered event queue.
+//
+// Events scheduled for the same instant run in scheduling order (FIFO), which
+// keeps runs deterministic. The Simulator also owns the experiment Rng so a
+// single seed reproduces a whole run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "netsim/random.h"
+#include "netsim/time.h"
+
+namespace vtp::net {
+
+/// The discrete-event engine. Single-threaded; all model code runs inside
+/// event callbacks.
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1) : rng_(seed) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `t` (clamped to `now()`).
+  void At(SimTime t, std::function<void()> fn);
+
+  /// Schedules `fn` to run `delay` after now.
+  void After(SimTime delay, std::function<void()> fn) { At(now_ + delay, std::move(fn)); }
+
+  /// Runs until the queue is empty or Stop() is called.
+  void Run();
+
+  /// Runs all events with timestamp <= `t`, then sets the clock to `t`.
+  void RunUntil(SimTime t);
+
+  /// Requests Run()/RunUntil() to return after the current event.
+  void Stop() { stopped_ = true; }
+
+  /// Number of events executed so far (useful in tests).
+  std::uint64_t events_executed() const { return executed_; }
+
+  /// The experiment-wide random source.
+  Rng& rng() { return rng_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+  Rng rng_;
+};
+
+}  // namespace vtp::net

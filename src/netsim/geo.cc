@@ -1,0 +1,107 @@
+#include "netsim/geo.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace vtp::net {
+
+namespace {
+
+constexpr double kEarthRadiusKm = 6371.0;
+constexpr double kFiberKmPerMs = 200.0;   // ~0.67 c
+constexpr double kRouteInflation = 1.5;   // per-link deployed-route factor
+
+double Deg2Rad(double d) { return d * std::numbers::pi / 180.0; }
+
+}  // namespace
+
+std::string_view RegionCode(Region r) {
+  switch (r) {
+    case Region::kWestUs: return "W";
+    case Region::kMiddleUs: return "M";
+    case Region::kEastUs: return "E";
+    case Region::kEurope: return "EU";
+    case Region::kAsia: return "AS";
+  }
+  return "?";
+}
+
+double HaversineKm(GeoPoint a, GeoPoint b) {
+  const double lat1 = Deg2Rad(a.lat_deg), lat2 = Deg2Rad(b.lat_deg);
+  const double dlat = lat2 - lat1;
+  const double dlon = Deg2Rad(b.lon_deg - a.lon_deg);
+  const double h = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) * std::sin(dlon / 2);
+  return 2 * kEarthRadiusKm * std::asin(std::sqrt(h));
+}
+
+SimTime FiberDelay(GeoPoint a, GeoPoint b) {
+  const double ms = HaversineKm(a, b) * kRouteInflation / kFiberKmPerMs;
+  return Millis(ms);
+}
+
+const std::vector<Metro>& MetroDb() {
+  static const std::vector<Metro> db = {
+      // Western US
+      {"Seattle", {47.61, -122.33}, Region::kWestUs},
+      {"SanFrancisco", {37.77, -122.42}, Region::kWestUs},
+      {"SanJose", {37.34, -121.89}, Region::kWestUs},
+      {"LosAngeles", {34.05, -118.24}, Region::kWestUs},
+      {"SaltLakeCity", {40.76, -111.89}, Region::kWestUs},
+      // Middle US
+      {"Denver", {39.74, -104.99}, Region::kMiddleUs},
+      {"Dallas", {32.78, -96.80}, Region::kMiddleUs},
+      {"KansasCity", {39.10, -94.58}, Region::kMiddleUs},
+      {"Chicago", {41.88, -87.63}, Region::kMiddleUs},
+      {"Minneapolis", {44.98, -93.27}, Region::kMiddleUs},
+      {"Columbus", {39.96, -83.00}, Region::kMiddleUs},  // Midwest (Table 1's "M2")
+      // Eastern US
+      {"Atlanta", {33.75, -84.39}, Region::kEastUs},
+      {"Ashburn", {39.04, -77.49}, Region::kEastUs},
+      {"NewYork", {40.71, -74.01}, Region::kEastUs},
+      {"Miami", {25.76, -80.19}, Region::kEastUs},
+      // Intercontinental (for the §5 geo-distributed-server experiment)
+      {"London", {51.51, -0.13}, Region::kEurope},
+      {"Frankfurt", {50.11, 8.68}, Region::kEurope},
+      {"Tokyo", {35.68, 139.69}, Region::kAsia},
+      {"Singapore", {1.35, 103.82}, Region::kAsia},
+  };
+  return db;
+}
+
+std::size_t MetroIndex(std::string_view name) {
+  const auto& db = MetroDb();
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    if (db[i].name == name) return i;
+  }
+  throw std::out_of_range("unknown metro: " + std::string(name));
+}
+
+const std::vector<std::pair<std::size_t, std::size_t>>& BackboneEdges() {
+  auto e = [](std::string_view a, std::string_view b) {
+    return std::make_pair(MetroIndex(a), MetroIndex(b));
+  };
+  static const std::vector<std::pair<std::size_t, std::size_t>> edges = {
+      // West coast
+      e("Seattle", "SanFrancisco"), e("SanFrancisco", "SanJose"), e("SanJose", "LosAngeles"),
+      e("Seattle", "SaltLakeCity"), e("SanFrancisco", "SaltLakeCity"), e("LosAngeles", "SaltLakeCity"),
+      // West <-> Middle
+      e("SaltLakeCity", "Denver"), e("LosAngeles", "Dallas"),
+      // Middle
+      e("Denver", "KansasCity"), e("KansasCity", "Chicago"), e("KansasCity", "Dallas"),
+      e("Chicago", "Minneapolis"), e("Dallas", "Atlanta"),
+      // Middle <-> East
+      e("Chicago", "Columbus"), e("Chicago", "NewYork"),
+      // East
+      e("Columbus", "Ashburn"), e("Atlanta", "Ashburn"), e("Atlanta", "Miami"),
+      e("Ashburn", "NewYork"), e("Ashburn", "Miami"),
+      // Transatlantic / Europe / Asia
+      e("NewYork", "London"), e("Ashburn", "London"), e("London", "Frankfurt"),
+      e("Frankfurt", "Singapore"), e("Singapore", "Tokyo"), e("Tokyo", "Seattle"),
+      e("Tokyo", "LosAngeles"),
+  };
+  return edges;
+}
+
+}  // namespace vtp::net

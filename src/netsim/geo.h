@@ -1,0 +1,57 @@
+// Geography model: metro locations, great-circle distances, and the fiber
+// propagation-delay model that drives all WAN latencies in the simulator.
+//
+// Calibration (documented in DESIGN.md §4): light in fiber travels at
+// ~0.67 c ≈ 200 km/ms, and deployed routes are longer than great circles.
+// We apply a per-link route-inflation factor of 1.4; multi-hop backbone
+// paths accumulate additional inflation naturally, which lands simulated
+// US coast-to-coast RTTs near the paper's ~77-79 ms (Table 1).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netsim/time.h"
+
+namespace vtp::net {
+
+/// A point on the globe in decimal degrees.
+struct GeoPoint {
+  double lat_deg = 0;
+  double lon_deg = 0;
+};
+
+/// Coarse regions used by the paper's Table 1 (Western / Middle / Eastern US)
+/// plus the intercontinental regions used by the §5 discussion experiment.
+enum class Region { kWestUs, kMiddleUs, kEastUs, kEurope, kAsia };
+
+/// Short display name for a region ("W", "M", "E", "EU", "AS").
+std::string_view RegionCode(Region r);
+
+/// A named metro area that can host clients, routers, and VCA servers.
+struct Metro {
+  std::string name;
+  GeoPoint location;
+  Region region;
+};
+
+/// Great-circle distance between two points, in kilometres.
+double HaversineKm(GeoPoint a, GeoPoint b);
+
+/// One-way propagation delay over a single fiber link between two points:
+/// distance * route inflation / speed of light in fiber.
+SimTime FiberDelay(GeoPoint a, GeoPoint b);
+
+/// The built-in metro database: 15 US metros spanning W/M/E plus London,
+/// Frankfurt, Tokyo, and Singapore for intercontinental experiments.
+const std::vector<Metro>& MetroDb();
+
+/// Index into MetroDb() by name. Throws std::out_of_range if unknown.
+std::size_t MetroIndex(std::string_view name);
+
+/// Pairs of MetroDb() indices describing the backbone fiber topology
+/// (roughly real long-haul routes).
+const std::vector<std::pair<std::size_t, std::size_t>>& BackboneEdges();
+
+}  // namespace vtp::net

@@ -1,0 +1,35 @@
+#include "netsim/geoip.h"
+
+#include <sstream>
+
+namespace vtp::net {
+
+std::string Ipv4ToString(std::uint32_t ip) {
+  std::ostringstream os;
+  os << ((ip >> 24) & 0xFF) << '.' << ((ip >> 16) & 0xFF) << '.' << ((ip >> 8) & 0xFF)
+     << '.' << (ip & 0xFF);
+  return os.str();
+}
+
+GeoIpDb::GeoIpDb(const Network& net) {
+  for (NodeId id = 0; id < net.node_count(); ++id) {
+    const Node& n = net.node(id);
+    const Entry e{n.name, n.region, n.location, n.id};
+    by_ip_[n.ipv4] = e;
+    by_node_[n.id] = e;
+  }
+}
+
+std::optional<GeoIpDb::Entry> GeoIpDb::Lookup(std::uint32_t ip) const {
+  const auto it = by_ip_.find(ip);
+  if (it == by_ip_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<GeoIpDb::Entry> GeoIpDb::LookupNode(NodeId id) const {
+  const auto it = by_node_.find(id);
+  if (it == by_node_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace vtp::net

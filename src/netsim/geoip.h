@@ -1,0 +1,43 @@
+// A toy MaxMind/ipinfo-style geolocation database over the synthetic IPv4
+// addresses the Network assigns to its nodes. The paper geolocates VCA
+// servers by looking captured addresses up in such databases (§4.1); the
+// core analyzers do the same against this DB.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "netsim/network.h"
+
+namespace vtp::net {
+
+/// Renders an IPv4 address in dotted-quad form.
+std::string Ipv4ToString(std::uint32_t ip);
+
+/// Snapshot geolocation database built from a Network's node table.
+class GeoIpDb {
+ public:
+  struct Entry {
+    std::string node_name;
+    Region region;
+    GeoPoint location;
+    NodeId node;
+  };
+
+  /// Indexes every node of `net` by its synthetic IPv4.
+  explicit GeoIpDb(const Network& net);
+
+  /// Looks an address up; nullopt for unknown addresses.
+  std::optional<Entry> Lookup(std::uint32_t ip) const;
+
+  /// Looks up by node id (convenience for analyzers holding NodeIds).
+  std::optional<Entry> LookupNode(NodeId id) const;
+
+ private:
+  std::map<std::uint32_t, Entry> by_ip_;
+  std::map<NodeId, Entry> by_node_;
+};
+
+}  // namespace vtp::net

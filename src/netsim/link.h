@@ -1,0 +1,79 @@
+// A directed point-to-point link with finite rate, propagation delay, a
+// drop-tail byte queue, optional random loss — and netem-style impairment
+// knobs (extra delay, rate cap, extra loss) that model the paper's use of
+// Linux `tc` at the WiFi access points (§4.3).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <optional>
+
+#include "netsim/event_queue.h"
+#include "netsim/packet.h"
+#include "netsim/time.h"
+
+namespace vtp::net {
+
+/// Static configuration of a directed link.
+struct LinkConfig {
+  double rate_bps = 1e9;                      ///< transmission rate
+  SimTime prop_delay = Millis(1);             ///< propagation delay
+  std::size_t queue_limit_bytes = 512 * 1024; ///< drop-tail queue capacity
+  double loss_rate = 0.0;                     ///< iid random loss probability
+  SimTime jitter_mean = 0;                    ///< mean of exponential per-packet
+                                              ///< delay jitter (cross traffic)
+};
+
+/// Counters a link maintains for analysis.
+struct LinkStats {
+  std::uint64_t packets_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t packets_dropped_queue = 0;
+  std::uint64_t packets_dropped_loss = 0;
+};
+
+/// One direction of a link. Owned by the Network.
+class DirectedLink {
+ public:
+  /// Called with each packet when it begins transmission (Wireshark-style
+  /// tap: the packet made it onto the wire).
+  using Tap = std::function<void(const Packet&, SimTime)>;
+
+  /// Called when a packet finishes propagating to the far end.
+  using Deliver = std::function<void(Packet)>;
+
+  DirectedLink(Simulator* sim, LinkConfig config) : sim_(sim), config_(config) {}
+
+  /// Enqueues `p`; on success schedules delivery, otherwise drops it.
+  void Transmit(Packet p, Deliver deliver);
+
+  /// netem-style impairments (applied on top of the base config).
+  void set_extra_delay(SimTime d) { extra_delay_ = d; }
+  void set_rate_cap_bps(std::optional<double> cap) { rate_cap_bps_ = cap; }
+  void set_extra_loss(double p) { extra_loss_ = p; }
+
+  /// Installs (or clears) the capture tap.
+  void set_tap(Tap tap) { tap_ = std::move(tap); }
+
+  const LinkConfig& config() const { return config_; }
+  const LinkStats& stats() const { return stats_; }
+
+  /// Bytes currently queued awaiting transmission.
+  std::size_t backlog_bytes(SimTime now) const;
+
+ private:
+  double effective_rate_bps() const;
+
+  Simulator* sim_;
+  LinkConfig config_;
+  SimTime busy_until_ = 0;
+  SimTime last_arrival_ = 0;
+  SimTime extra_delay_ = 0;
+  std::optional<double> rate_cap_bps_;
+  double extra_loss_ = 0.0;
+  Tap tap_;
+  LinkStats stats_;
+};
+
+}  // namespace vtp::net

@@ -1,0 +1,40 @@
+// Linux-tc/netem facade: impairment injection on a directed link.
+//
+// The paper uses `tc` at the WiFi APs to add delay (display-latency
+// experiment, §4.3) and cap bandwidth (rate-adaptation experiment, §4.3).
+// Netem wraps the corresponding knobs of the underlying DirectedLink.
+#pragma once
+
+#include <optional>
+
+#include "netsim/network.h"
+
+namespace vtp::net {
+
+/// Controls impairments on the directed link a->b. Lifetime-bound to the
+/// Network; keep it only while the Network is alive.
+class Netem {
+ public:
+  Netem(Network* net, NodeId a, NodeId b) : link_(&net->link(a, b)) {}
+
+  /// Adds fixed extra one-way delay (like `tc netem delay`).
+  void SetDelay(SimTime extra) { link_->set_extra_delay(extra); }
+
+  /// Caps throughput (like `tc tbf rate`); nullopt removes the cap.
+  void SetRateBps(std::optional<double> bps) { link_->set_rate_cap_bps(bps); }
+
+  /// Adds iid random loss (like `tc netem loss`).
+  void SetLoss(double probability) { link_->set_extra_loss(probability); }
+
+  /// Clears all impairments.
+  void Clear() {
+    SetDelay(0);
+    SetRateBps(std::nullopt);
+    SetLoss(0.0);
+  }
+
+ private:
+  DirectedLink* link_;
+};
+
+}  // namespace vtp::net

@@ -1,0 +1,182 @@
+#include "netsim/network.h"
+
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace vtp::net {
+
+namespace {
+
+/// Synthetic public-looking IPv4 per region, mimicking provider blocks.
+std::uint32_t MakeIp(Region region, NodeId id) {
+  std::uint32_t prefix = 0;
+  switch (region) {
+    case Region::kWestUs: prefix = 0x11000000u; break;   // 17.x (west block)
+    case Region::kMiddleUs: prefix = 0x12000000u; break; // 18.x
+    case Region::kEastUs: prefix = 0x13000000u; break;   // 19.x
+    case Region::kEurope: prefix = 0x33000000u; break;   // 51.x
+    case Region::kAsia: prefix = 0x34000000u; break;     // 52.x
+  }
+  return prefix | (id & 0x00FFFFFFu);
+}
+
+}  // namespace
+
+NodeId Network::AddNode(std::string name, GeoPoint location, Region region, bool is_router) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  Node n;
+  n.id = id;
+  n.name = std::move(name);
+  n.location = location;
+  n.region = region;
+  n.is_router = is_router;
+  n.ipv4 = MakeIp(region, id);
+  nodes_.push_back(std::move(n));
+  return id;
+}
+
+void Network::Connect(NodeId a, NodeId b, LinkConfig config) {
+  if (a >= nodes_.size() || b >= nodes_.size() || a == b) {
+    throw std::invalid_argument("Connect: bad node ids");
+  }
+  if (config.prop_delay == 0) {
+    config.prop_delay = FiberDelay(nodes_[a].location, nodes_[b].location);
+  }
+  links_[{a, b}] = std::make_unique<DirectedLink>(sim_, config);
+  links_[{b, a}] = std::make_unique<DirectedLink>(sim_, config);
+}
+
+std::vector<NodeId> Network::BuildBackbone(double backbone_rate_bps) {
+  backbone_routers_.clear();
+  for (const Metro& m : MetroDb()) {
+    backbone_routers_.push_back(AddNode("router." + m.name, m.location, m.region, true));
+  }
+  for (const auto& [i, j] : BackboneEdges()) {
+    LinkConfig cfg;
+    cfg.rate_bps = backbone_rate_bps;
+    cfg.prop_delay = 0;  // derived from geography
+    cfg.queue_limit_bytes = 16 * 1024 * 1024;
+    cfg.jitter_mean = Micros(60);  // cross-traffic queueing on long-haul links
+    Connect(backbone_routers_[i], backbone_routers_[j], cfg);
+  }
+  return backbone_routers_;
+}
+
+NodeId Network::AddHost(std::string name, std::string_view metro,
+                        double access_rate_bps, SimTime access_delay) {
+  if (backbone_routers_.empty()) throw std::logic_error("AddHost: build backbone first");
+  const std::size_t mi = MetroIndex(metro);
+  const Metro& m = MetroDb()[mi];
+  // Hosts sit a little off the metro centre; the access link models the
+  // last mile + WiFi AP.
+  GeoPoint loc = m.location;
+  loc.lat_deg += 0.05;
+  const NodeId id = AddNode(std::move(name), loc, m.region, false);
+  LinkConfig cfg;
+  cfg.rate_bps = access_rate_bps;
+  cfg.prop_delay = access_delay;
+  cfg.queue_limit_bytes = 1024 * 1024;
+  // WiFi contention + last-mile aggregation make access latency noisy.
+  cfg.jitter_mean = access_delay >= Millis(1) ? Micros(500) : Micros(50);
+  Connect(id, backbone_routers_[mi], cfg);
+  access_router_[id] = backbone_routers_[mi];
+  return id;
+}
+
+NodeId Network::MetroRouter(std::string_view metro) const {
+  if (backbone_routers_.empty()) throw std::logic_error("MetroRouter: build backbone first");
+  return backbone_routers_[MetroIndex(metro)];
+}
+
+NodeId Network::AccessRouter(NodeId host) const {
+  const auto it = access_router_.find(host);
+  if (it == access_router_.end()) throw std::out_of_range("AccessRouter: not a host");
+  return it->second;
+}
+
+void Network::ComputeRoutes() {
+  const std::size_t n = nodes_.size();
+  constexpr SimTime kInf = std::numeric_limits<SimTime>::max() / 4;
+  next_hop_.assign(n, std::vector<NodeId>(n, 0));
+  path_cost_.assign(n, std::vector<SimTime>(n, kInf));
+
+  // Adjacency list from the directed links.
+  std::vector<std::vector<std::pair<NodeId, SimTime>>> adj(n);
+  for (const auto& [key, link] : links_) {
+    adj[key.first].push_back({key.second, link->config().prop_delay + kHopProcessingDelay});
+  }
+
+  for (NodeId src = 0; src < n; ++src) {
+    std::vector<SimTime> dist(n, kInf);
+    std::vector<NodeId> first_hop(n, src);
+    using Entry = std::pair<SimTime, NodeId>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+    dist[src] = 0;
+    pq.push({0, src});
+    while (!pq.empty()) {
+      auto [d, u] = pq.top();
+      pq.pop();
+      if (d > dist[u]) continue;
+      for (const auto& [v, w] : adj[u]) {
+        if (dist[u] + w < dist[v]) {
+          dist[v] = dist[u] + w;
+          first_hop[v] = (u == src) ? v : first_hop[u];
+          pq.push({dist[v], v});
+        }
+      }
+    }
+    for (NodeId dst = 0; dst < n; ++dst) {
+      next_hop_[src][dst] = first_hop[dst];
+      path_cost_[src][dst] = dist[dst];
+    }
+  }
+}
+
+void Network::BindUdp(NodeId node, std::uint16_t port, DatagramHandler handler) {
+  udp_bindings_[{node, port}] = std::move(handler);
+}
+
+void Network::UnbindUdp(NodeId node, std::uint16_t port) {
+  udp_bindings_.erase({node, port});
+}
+
+void Network::SendUdp(NodeId src, std::uint16_t src_port, NodeId dst, std::uint16_t dst_port,
+                      std::vector<std::uint8_t> payload) {
+  if (next_hop_.empty()) throw std::logic_error("SendUdp: routes not computed");
+  Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.src_port = src_port;
+  p.dst_port = dst_port;
+  p.payload = std::move(payload);
+  p.id = next_packet_id_++;
+  Forward(std::move(p), src);
+}
+
+void Network::Forward(Packet p, NodeId at) {
+  if (at == p.dst) {
+    const auto it = udp_bindings_.find({p.dst, p.dst_port});
+    if (it == udp_bindings_.end()) return;  // no listener: drop
+    // Small host-stack delay between wire arrival and application delivery.
+    sim_->After(Micros(20), [handler = it->second, p = std::move(p)] { handler(p); });
+    return;
+  }
+  const NodeId next = next_hop_[at][p.dst];
+  if (next == at) return;  // unreachable: drop
+  DirectedLink& l = link(at, next);
+  l.Transmit(std::move(p), [this, next](Packet q) { Forward(std::move(q), next); });
+}
+
+DirectedLink& Network::link(NodeId a, NodeId b) {
+  const auto it = links_.find({a, b});
+  if (it == links_.end()) throw std::out_of_range("no such link");
+  return *it->second;
+}
+
+SimTime Network::PathDelay(NodeId a, NodeId b) const {
+  if (path_cost_.empty()) throw std::logic_error("PathDelay: routes not computed");
+  return path_cost_[a][b];
+}
+
+}  // namespace vtp::net

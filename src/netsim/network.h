@@ -1,0 +1,115 @@
+// The simulated internetwork: nodes (hosts and routers), directed links,
+// shortest-path routing, and a UDP datagram service.
+//
+// Topology building helpers construct the US/global backbone from the geo
+// module; hosts attach to their metro router over access links that model
+// the paper's WiFi APs (>300 Mbps, a few ms).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "netsim/event_queue.h"
+#include "netsim/geo.h"
+#include "netsim/link.h"
+#include "netsim/packet.h"
+
+namespace vtp::net {
+
+/// Invoked on datagram arrival at a bound (node, port).
+using DatagramHandler = std::function<void(const Packet&)>;
+
+/// A host or router.
+struct Node {
+  NodeId id = 0;
+  std::string name;
+  GeoPoint location;
+  Region region = Region::kWestUs;
+  bool is_router = false;
+  std::uint32_t ipv4 = 0;  ///< synthetic address assigned by the Network
+};
+
+/// The network graph plus the routing and delivery machinery.
+class Network {
+ public:
+  explicit Network(Simulator* sim) : sim_(sim) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // --- topology construction -------------------------------------------
+
+  /// Adds a node; returns its id. Routing must be (re)computed afterwards.
+  NodeId AddNode(std::string name, GeoPoint location, Region region, bool is_router);
+
+  /// Connects `a` and `b` with a duplex link (two directed links sharing
+  /// `config`). Propagation delay, if left 0 in `config`, is derived from
+  /// the nodes' geography via FiberDelay.
+  void Connect(NodeId a, NodeId b, LinkConfig config);
+
+  /// Builds the built-in global backbone: one router per MetroDb() entry,
+  /// connected per BackboneEdges(). Returns router ids indexed like MetroDb().
+  std::vector<NodeId> BuildBackbone(double backbone_rate_bps = 100e9);
+
+  /// Adds a host in `metro` attached to that metro's backbone router over an
+  /// access link (WiFi-AP-like: default 400 Mbps, 1.5 ms each way).
+  NodeId AddHost(std::string name, std::string_view metro,
+                 double access_rate_bps = 400e6, SimTime access_delay = Millis(3));
+
+  /// Recomputes shortest-path routes (Dijkstra on propagation delay).
+  /// Must be called after topology changes and before sending.
+  void ComputeRoutes();
+
+  // --- UDP service ------------------------------------------------------
+
+  /// Binds `handler` to (node, port); overwrites any existing binding.
+  void BindUdp(NodeId node, std::uint16_t port, DatagramHandler handler);
+
+  /// Removes a binding (arriving datagrams are then dropped silently).
+  void UnbindUdp(NodeId node, std::uint16_t port);
+
+  /// Sends a datagram. The payload is consumed.
+  void SendUdp(NodeId src, std::uint16_t src_port, NodeId dst, std::uint16_t dst_port,
+               std::vector<std::uint8_t> payload);
+
+  // --- access -----------------------------------------------------------
+
+  const Node& node(NodeId id) const { return nodes_.at(id); }
+  std::size_t node_count() const { return nodes_.size(); }
+  Simulator& sim() { return *sim_; }
+
+  /// The directed link a->b. Throws std::out_of_range if absent.
+  DirectedLink& link(NodeId a, NodeId b);
+
+  /// The backbone router serving `metro` (requires BuildBackbone).
+  NodeId MetroRouter(std::string_view metro) const;
+
+  /// The backbone router a host attaches through (its access-link peer).
+  /// Only valid for nodes created via AddHost.
+  NodeId AccessRouter(NodeId host) const;
+
+  /// One-way shortest-path propagation delay between two nodes (as routed).
+  SimTime PathDelay(NodeId a, NodeId b) const;
+
+  /// Per-hop router forwarding delay (fixed).
+  static constexpr SimTime kHopProcessingDelay = Micros(50);
+
+ private:
+  void Forward(Packet p, NodeId at);
+
+  Simulator* sim_;
+  std::vector<Node> nodes_;
+  std::map<std::pair<NodeId, NodeId>, std::unique_ptr<DirectedLink>> links_;
+  std::vector<std::vector<NodeId>> next_hop_;   // [src][dst]
+  std::vector<std::vector<SimTime>> path_cost_; // [src][dst]
+  std::map<std::pair<NodeId, std::uint16_t>, DatagramHandler> udp_bindings_;
+  std::uint64_t next_packet_id_ = 1;
+  std::vector<NodeId> backbone_routers_;  // indexed like MetroDb()
+  std::map<NodeId, NodeId> access_router_;
+};
+
+}  // namespace vtp::net

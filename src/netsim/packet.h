@@ -1,0 +1,36 @@
+// The datagram carried through the simulated network.
+//
+// The simulator models UDP/IP: each datagram has node/port addressing, an
+// opaque payload produced by a transport (RTP, QUIC-lite, TCP-SYN probe),
+// and a wire size that includes IP+UDP header overhead.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace vtp::net {
+
+/// Identifies a node (host or router) in a Network.
+using NodeId = std::uint32_t;
+
+/// IPv4 + UDP header bytes added to every payload on the wire.
+inline constexpr std::uint32_t kIpUdpOverheadBytes = 28;
+
+/// A UDP datagram in flight.
+struct Packet {
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::vector<std::uint8_t> payload;
+
+  /// Monotone per-network packet id, assigned at send time (for tracing).
+  std::uint64_t id = 0;
+
+  /// Total bytes occupying the wire (payload + kIpUdpOverheadBytes).
+  std::uint32_t wire_bytes() const {
+    return static_cast<std::uint32_t>(payload.size()) + kIpUdpOverheadBytes;
+  }
+};
+
+}  // namespace vtp::net

@@ -1,0 +1,53 @@
+// Seeded random number generation for deterministic experiments.
+//
+// Every stochastic component in the simulator draws from an Rng owned by the
+// Simulator, so a (scenario, seed) pair fully determines an experiment run —
+// the property the paper's "repeat each experiment at least five times"
+// methodology needs for reproducibility.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace vtp::net {
+
+/// Thin wrapper around a Mersenne Twister with the distributions the
+/// simulator needs. Cheap to pass by reference; not thread-safe by design
+/// (the simulator is single-threaded).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double Uniform() { return unit_(engine_); }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Gaussian with the given mean and standard deviation.
+  double Normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Exponential with the given rate (mean 1/rate).
+  double Exponential(double rate) {
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  /// Bernoulli trial with probability `p` of true.
+  bool Chance(double p) { return Uniform() < p; }
+
+  /// Raw 64-bit draw (for deriving sub-seeds).
+  std::uint64_t NextU64() { return engine_(); }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+};
+
+}  // namespace vtp::net

@@ -1,0 +1,28 @@
+// Simulation time. All netsim timestamps are nanoseconds since simulation
+// start, carried in a signed 64-bit integer (292 years of range — plenty for
+// 120-second telepresence sessions).
+#pragma once
+
+#include <cstdint>
+
+namespace vtp::net {
+
+/// A point in (or span of) simulated time, in nanoseconds.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1000;
+inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+
+/// Builders from double-valued units (rounded toward zero).
+constexpr SimTime Micros(double us) { return static_cast<SimTime>(us * kMicrosecond); }
+constexpr SimTime Millis(double ms) { return static_cast<SimTime>(ms * kMillisecond); }
+constexpr SimTime Seconds(double s) { return static_cast<SimTime>(s * kSecond); }
+
+/// Readers to double-valued units.
+constexpr double ToMicros(SimTime t) { return static_cast<double>(t) / kMicrosecond; }
+constexpr double ToMillis(SimTime t) { return static_cast<double>(t) / kMillisecond; }
+constexpr double ToSeconds(SimTime t) { return static_cast<double>(t) / kSecond; }
+
+}  // namespace vtp::net

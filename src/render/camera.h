@@ -1,0 +1,50 @@
+// Viewer camera: head pose plus eye-tracked gaze, as on Vision Pro.
+#pragma once
+
+#include <cmath>
+
+#include "mesh/mesh.h"
+
+namespace vtp::render {
+
+using Vec3 = mesh::Vec3;
+
+/// Angle helpers.
+constexpr double kRadPerDeg = 3.14159265358979323846 / 180.0;
+
+/// The viewer's head camera and gaze.
+struct Camera {
+  Vec3 position{};          ///< head position, metres
+  Vec3 forward{0, 0, 1};    ///< head facing direction (unit)
+  Vec3 gaze{0, 0, 1};       ///< eye gaze direction (unit), tracked by the
+                            ///< internal cameras (§2)
+  double horizontal_fov_deg = 100.0;  ///< Vision Pro-class field of view
+  double vertical_fov_deg = 78.0;
+
+  /// Angle in degrees between `forward` and the direction to `target`.
+  double AngleFromForwardDeg(Vec3 target) const {
+    return AngleBetweenDeg(forward, target - position);
+  }
+
+  /// Angle in degrees between the gaze ray and the direction to `target`
+  /// (the retinal eccentricity driving foveated rendering).
+  double EccentricityDeg(Vec3 target) const {
+    return AngleBetweenDeg(gaze, target - position);
+  }
+
+  /// Distance to a point.
+  double DistanceTo(Vec3 target) const {
+    return static_cast<double>((target - position).Length());
+  }
+
+  static double AngleBetweenDeg(Vec3 a, Vec3 b) {
+    const float la = a.Length(), lb = b.Length();
+    if (la <= 0 || lb <= 0) return 0;
+    double c = static_cast<double>(a.Dot(b)) / (static_cast<double>(la) * lb);
+    if (c > 1) c = 1;
+    if (c < -1) c = -1;
+    return std::acos(c) / kRadPerDeg;
+  }
+};
+
+}  // namespace vtp::render

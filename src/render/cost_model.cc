@@ -1,0 +1,30 @@
+#include "render/cost_model.h"
+
+#include <cmath>
+
+namespace vtp::render {
+
+namespace {
+
+double Jitter(net::Rng& rng, double cv) { return std::exp(rng.Normal(0.0, cv)); }
+
+}  // namespace
+
+double GpuFrameTimeMs(std::span<const RenderItem> items, const CostModelConfig& config,
+                      net::Rng& rng) {
+  double ms = config.gpu_base_ms;
+  for (const RenderItem& item : items) {
+    ms += config.gpu_per_triangle_ms * static_cast<double>(item.triangles);
+    const double shading = item.peripheral_shading ? config.peripheral_shading_factor : 1.0;
+    ms += config.gpu_full_coverage_ms * item.coverage * shading;
+  }
+  return ms * Jitter(rng, config.gpu_noise_cv);
+}
+
+double CpuFrameTimeMs(std::size_t active_personas, const CostModelConfig& config, net::Rng& rng) {
+  const double ms =
+      config.cpu_base_ms + config.cpu_per_persona_ms * static_cast<double>(active_personas);
+  return ms * Jitter(rng, config.cpu_noise_cv);
+}
+
+}  // namespace vtp::render

@@ -1,0 +1,33 @@
+#include "render/frame_loop.h"
+
+namespace vtp::render {
+
+void RenderLoop::Start(net::SimTime until, SubmitCallback on_frame) {
+  on_frame_ = std::move(on_frame);
+  Tick(until);
+}
+
+void RenderLoop::Tick(net::SimTime until) {
+  const net::SimTime now = sim_->now();
+  if (now >= until) return;
+
+  const FrameSubmission submission = on_frame_(now);
+  FrameStats stats;
+  stats.time = now;
+  stats.gpu_ms = GpuFrameTimeMs(submission.items, config_, sim_->rng());
+  stats.cpu_ms = CpuFrameTimeMs(submission.active_personas, config_, sim_->rng());
+  for (const RenderItem& item : submission.items) stats.triangles += item.triangles;
+  stats.missed_deadline = stats.gpu_ms > config_.frame_deadline_ms;
+  frames_.push_back(stats);
+
+  sim_->After(static_cast<net::SimTime>(net::kSecond / fps_), [this, until] { Tick(until); });
+}
+
+double RenderLoop::MissRate() const {
+  if (frames_.empty()) return 0;
+  std::size_t missed = 0;
+  for (const FrameStats& f : frames_) missed += f.missed_deadline ? 1 : 0;
+  return static_cast<double>(missed) / static_cast<double>(frames_.size());
+}
+
+}  // namespace vtp::render

@@ -1,0 +1,59 @@
+// The 90 FPS compositor loop with deadline accounting.
+//
+// Vision Pro targets 90 FPS, an 11.1 ms render deadline per frame (§3.2).
+// The loop ticks in simulated time, asks the session for this frame's
+// render submission, prices it with the cost model, and records the
+// per-frame statistics behind Figures 5 and 6.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "netsim/event_queue.h"
+#include "render/cost_model.h"
+
+namespace vtp::render {
+
+/// Everything the renderer is asked to draw this frame.
+struct FrameSubmission {
+  std::vector<RenderItem> items;
+  std::size_t active_personas = 0;  ///< streams being decoded this frame
+};
+
+/// Statistics for one rendered frame.
+struct FrameStats {
+  net::SimTime time = 0;
+  double cpu_ms = 0;
+  double gpu_ms = 0;
+  std::size_t triangles = 0;
+  bool missed_deadline = false;
+};
+
+/// Fixed-rate render loop over the simulator clock.
+class RenderLoop {
+ public:
+  /// Called at each tick; returns the frame's submission.
+  using SubmitCallback = std::function<FrameSubmission(net::SimTime)>;
+
+  RenderLoop(net::Simulator* sim, CostModelConfig config, double fps = 90.0)
+      : sim_(sim), config_(config), fps_(fps) {}
+
+  /// Schedules ticks from now until `until` (exclusive).
+  void Start(net::SimTime until, SubmitCallback on_frame);
+
+  const std::vector<FrameStats>& frames() const { return frames_; }
+
+  /// Fraction of frames whose GPU time exceeded the deadline.
+  double MissRate() const;
+
+ private:
+  void Tick(net::SimTime until);
+
+  net::Simulator* sim_;
+  CostModelConfig config_;
+  double fps_;
+  SubmitCallback on_frame_;
+  std::vector<FrameStats> frames_;
+};
+
+}  // namespace vtp::render

@@ -1,0 +1,71 @@
+#include "render/lod.h"
+
+namespace vtp::render {
+
+LodClass SelectLod(const Visibility& v, const LodPolicy& policy) {
+  if (policy.occlusion_aware && v.occluded) return LodClass::kCulledOccluded;
+  if (policy.viewport_adaptation && !v.in_viewport) return LodClass::kProxy;
+  if (policy.foveated_rendering && v.eccentricity_deg > policy.foveal_radius_deg) {
+    return LodClass::kPeripheral;
+  }
+  if (policy.distance_aware && v.distance_m > policy.distance_threshold_m) {
+    return LodClass::kDistance;
+  }
+  return LodClass::kFull;
+}
+
+namespace {
+
+/// The out-of-viewport proxy: one bounding box per persona component
+/// (head + two hands) = 3 x 12 = 36 triangles. We approximate component
+/// separation by splitting the persona at the hand offsets' x extent.
+mesh::TriangleMesh BuildProxy(const mesh::TriangleMesh& persona) {
+  // Partition vertices into head (|x| small) and hands (x strongly +/-).
+  mesh::TriangleMesh head, left, right;
+  for (const mesh::Vec3& p : persona.positions) {
+    if (p.x < -0.15f) {
+      left.positions.push_back(p);
+    } else if (p.x > 0.15f) {
+      right.positions.push_back(p);
+    } else {
+      head.positions.push_back(p);
+    }
+  }
+  mesh::TriangleMesh proxy;
+  for (const mesh::TriangleMesh* part : {&head, &left, &right}) {
+    if (part->positions.empty()) continue;
+    mesh::TriangleMesh box = mesh::BoundingBoxProxy(*part);
+    const auto base = static_cast<std::uint32_t>(proxy.positions.size());
+    proxy.positions.insert(proxy.positions.end(), box.positions.begin(), box.positions.end());
+    for (const auto& t : box.triangles) {
+      proxy.triangles.push_back({t[0] + base, t[1] + base, t[2] + base});
+    }
+  }
+  return proxy;
+}
+
+}  // namespace
+
+PersonaLodLadder::PersonaLodLadder(std::uint64_t seed, const LodPolicy& policy,
+                                   std::size_t base_triangles)
+    : full_(mesh::GeneratePersona(seed, base_triangles)),
+      distance_(mesh::SimplifyToFraction(full_, policy.distance_fraction)),
+      peripheral_(mesh::SimplifyToFraction(full_, policy.peripheral_fraction)),
+      proxy_(BuildProxy(full_)) {}
+
+std::size_t PersonaLodLadder::TriangleCount(LodClass lod) const {
+  return MeshFor(lod).triangle_count();
+}
+
+const mesh::TriangleMesh& PersonaLodLadder::MeshFor(LodClass lod) const {
+  switch (lod) {
+    case LodClass::kFull: return full_;
+    case LodClass::kDistance: return distance_;
+    case LodClass::kPeripheral: return peripheral_;
+    case LodClass::kProxy: return proxy_;
+    case LodClass::kCulledOccluded: return empty_;
+  }
+  return empty_;
+}
+
+}  // namespace vtp::render

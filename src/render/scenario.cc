@@ -1,0 +1,78 @@
+#include "render/scenario.h"
+
+#include <cmath>
+
+namespace vtp::render {
+
+SeatedConversation::SeatedConversation(ScenarioConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  const std::size_t n = config_.remote_personas;
+  const double span = config_.arc_spacing_deg * static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double angle =
+        n == 1 ? 0.0
+               : -span / 2.0 + config_.arc_spacing_deg * static_cast<double>(i);
+    base_angle_deg_.push_back(angle + rng_.Normal(0, 1.5));
+    base_distance_m_.push_back(config_.base_distance_m +
+                               config_.distance_per_persona_m * static_cast<double>(n - 1) +
+                               rng_.Normal(0, 0.08));
+  }
+  sway_state_.resize(n);
+  attended_ = static_cast<std::size_t>(rng_.UniformInt(0, static_cast<std::int64_t>(n) - 1));
+  next_switch_s_ = rng_.Exponential(1.0 / config_.attention_dwell_s);
+}
+
+FrameView SeatedConversation::Next() {
+  const double dt = 1.0 / config_.fps;
+  const double t = static_cast<double>(frame_) * dt;
+  ++frame_;
+
+  const std::size_t n = config_.remote_personas;
+
+  // Attention switches between personas.
+  if (t >= next_switch_s_ && n > 1) {
+    std::size_t next = attended_;
+    while (next == attended_) {
+      next = static_cast<std::size_t>(rng_.UniformInt(0, static_cast<std::int64_t>(n) - 1));
+    }
+    attended_ = next;
+    next_switch_s_ = t + rng_.Exponential(1.0 / config_.attention_dwell_s);
+  }
+
+  FrameView view;
+  view.placements.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Smooth positional sway of each persona.
+    auto& s = sway_state_[i];
+    for (int axis = 0; axis < 3; ++axis) {
+      double& x = s[static_cast<std::size_t>(axis)];
+      double& v = s[static_cast<std::size_t>(axis) + 3];
+      v += (-3.0 * x - 1.5 * v + rng_.Normal(0, 4.0)) * dt;
+      x += v * dt;
+    }
+    const double ang = base_angle_deg_[i] * kRadPerDeg;
+    const double d = base_distance_m_[i];
+    Placement p;
+    p.position = Vec3{static_cast<float>(std::sin(ang) * d + s[0] * config_.persona_sway_m),
+                      static_cast<float>(s[1] * config_.persona_sway_m * 0.5),
+                      static_cast<float>(std::cos(ang) * d + s[2] * config_.persona_sway_m)};
+    view.placements.push_back(p);
+  }
+
+  // Gaze points at the attended persona with saccade jitter; the head yaw
+  // lags toward the gaze azimuth.
+  const double target_yaw =
+      base_angle_deg_[attended_] + rng_.Normal(0, config_.gaze_jitter_deg);
+  head_yaw_deg_ += (base_angle_deg_[attended_] - head_yaw_deg_) * config_.head_lag;
+
+  view.camera.position = Vec3{0, 0, 0};
+  const double head_rad = head_yaw_deg_ * kRadPerDeg;
+  view.camera.forward = Vec3{static_cast<float>(std::sin(head_rad)), 0,
+                             static_cast<float>(std::cos(head_rad))};
+  const double gaze_rad = target_yaw * kRadPerDeg;
+  view.camera.gaze = Vec3{static_cast<float>(std::sin(gaze_rad)), 0,
+                          static_cast<float>(std::cos(gaze_rad))};
+  return view;
+}
+
+}  // namespace vtp::render

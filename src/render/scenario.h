@@ -1,0 +1,61 @@
+// Behavioural viewing scenario: how a telepresence participant actually
+// looks around during a call.
+//
+// The paper's Figure 5/6 distributions come from humans wearing the device:
+// attention shifts between participants, the gaze saccades, the head lags
+// the eyes, personas sway. This model generates that behaviour per frame —
+// the LOD policy and cost model then turn it into triangle counts and
+// frame times.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netsim/random.h"
+#include "render/visibility.h"
+
+namespace vtp::render {
+
+/// Scenario knobs. Defaults model a seated FaceTime group call: personas on
+/// an arc in front of the viewer, spacing and distance growing with count.
+struct ScenarioConfig {
+  std::size_t remote_personas = 1;
+  double fps = 90.0;
+  double base_distance_m = 1.35;       ///< distance of a 1-on-1 persona
+  double distance_per_persona_m = 0.12;///< extra distance as the circle grows
+  double arc_spacing_deg = 24.0;       ///< angular gap between personas
+  double attention_dwell_s = 4.0;      ///< mean time looking at one persona
+  double gaze_jitter_deg = 3.0;        ///< saccade noise around the target
+  double head_lag = 0.04;              ///< per-frame head->gaze catch-up
+  double persona_sway_m = 0.05;        ///< persona positional sway
+};
+
+/// Per-frame snapshot of the viewer and everyone else.
+struct FrameView {
+  Camera camera;
+  std::vector<Placement> placements;  ///< one per remote persona
+};
+
+/// Seeded generator of natural call behaviour.
+class SeatedConversation {
+ public:
+  SeatedConversation(ScenarioConfig config, std::uint64_t seed);
+
+  /// Advances one frame.
+  FrameView Next();
+
+  std::size_t attended_persona() const { return attended_; }
+
+ private:
+  ScenarioConfig config_;
+  net::Rng rng_;
+  std::vector<double> base_angle_deg_;
+  std::vector<double> base_distance_m_;
+  std::vector<std::array<double, 6>> sway_state_;
+  double head_yaw_deg_ = 0;
+  std::size_t attended_ = 0;
+  double next_switch_s_ = 0;
+  std::uint64_t frame_ = 0;
+};
+
+}  // namespace vtp::render

@@ -1,0 +1,57 @@
+#include "render/viewport_predict.h"
+
+#include <cmath>
+
+namespace vtp::render {
+
+ViewportPredictor::ViewportPredictor(PredictorKind kind, double ema_alpha)
+    : kind_(kind), ema_alpha_(ema_alpha) {}
+
+void ViewportPredictor::Observe(const PoseSample& sample) {
+  if (has_last_ && sample.t_s > last_.t_s) {
+    const double dt = sample.t_s - last_.t_s;
+    const double vy = (sample.yaw_deg - last_.yaw_deg) / dt;
+    const double vp = (sample.pitch_deg - last_.pitch_deg) / dt;
+    if (kind_ == PredictorKind::kEma) {
+      vel_yaw_ += ema_alpha_ * (vy - vel_yaw_);
+      vel_pitch_ += ema_alpha_ * (vp - vel_pitch_);
+    } else {
+      vel_yaw_ = vy;
+      vel_pitch_ = vp;
+    }
+  }
+  last_ = sample;
+  has_last_ = true;
+}
+
+PoseSample ViewportPredictor::Predict(double horizon_s) const {
+  if (!has_last_) return {};
+  PoseSample out = last_;
+  out.t_s += horizon_s;
+  if (kind_ != PredictorKind::kHold) {
+    out.yaw_deg += vel_yaw_ * horizon_s;
+    out.pitch_deg += vel_pitch_ * horizon_s;
+  }
+  return out;
+}
+
+double EvaluatePredictor(PredictorKind kind, const std::vector<PoseSample>& trace,
+                         double horizon_s) {
+  if (trace.size() < 3) return 0;
+  ViewportPredictor predictor(kind);
+  double total_error = 0;
+  std::size_t scored = 0;
+  std::size_t target = 0;
+  for (std::size_t i = 0; i + 1 < trace.size(); ++i) {
+    predictor.Observe(trace[i]);
+    const double target_time = trace[i].t_s + horizon_s;
+    while (target + 1 < trace.size() && trace[target].t_s < target_time) ++target;
+    if (trace[target].t_s < target_time) break;  // ran past the trace end
+    const PoseSample predicted = predictor.Predict(horizon_s);
+    total_error += std::abs(predicted.yaw_deg - trace[target].yaw_deg);
+    ++scored;
+  }
+  return scored == 0 ? 0 : total_error / static_cast<double>(scored);
+}
+
+}  // namespace vtp::render

@@ -1,0 +1,62 @@
+// Viewport prediction.
+//
+// The §4.3 "pre-rendered 2D video" hypothesis only works if the sender can
+// render for the receiver's *future* viewport — the remote-rendering
+// literature the paper cites (Vues et al.) predicts head pose one network
+// RTT ahead. This module implements the two standard lightweight
+// predictors over yaw/pitch traces and an evaluator that measures
+// prediction error as a function of horizon, quantifying *why* local
+// reconstruction wins at high RTT: head motion is only predictable for a
+// few tens of milliseconds.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+namespace vtp::render {
+
+/// One head-pose sample (angles in degrees, time in seconds).
+struct PoseSample {
+  double t_s = 0;
+  double yaw_deg = 0;
+  double pitch_deg = 0;
+};
+
+/// Prediction strategies.
+enum class PredictorKind {
+  kHold,    ///< last value (what a non-predictive system effectively does)
+  kLinear,  ///< constant-velocity extrapolation from the last two samples
+  kEma,     ///< exponentially smoothed velocity extrapolation
+};
+
+/// Online head-pose predictor.
+class ViewportPredictor {
+ public:
+  explicit ViewportPredictor(PredictorKind kind, double ema_alpha = 0.3);
+
+  /// Feeds the next observed sample (monotonically increasing t_s).
+  void Observe(const PoseSample& sample);
+
+  /// Predicts the pose `horizon_s` seconds after the last observation.
+  /// Before any observation, returns a zero pose.
+  PoseSample Predict(double horizon_s) const;
+
+  PredictorKind kind() const { return kind_; }
+
+ private:
+  PredictorKind kind_;
+  double ema_alpha_;
+  bool has_last_ = false;
+  PoseSample last_{};
+  double vel_yaw_ = 0;    // deg/s
+  double vel_pitch_ = 0;
+};
+
+/// Mean absolute yaw prediction error (degrees) of `kind` over `trace` at
+/// the given horizon: each sample is predicted from the samples before it
+/// and scored against the actual sample nearest to t + horizon.
+double EvaluatePredictor(PredictorKind kind, const std::vector<PoseSample>& trace,
+                         double horizon_s);
+
+}  // namespace vtp::render

@@ -1,0 +1,51 @@
+#include "render/visibility.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vtp::render {
+
+Visibility EvaluateVisibility(const Camera& camera, const Placement& target,
+                              std::span<const Placement> others) {
+  Visibility v;
+  v.distance_m = camera.DistanceTo(target.position);
+  v.eccentricity_deg = camera.EccentricityDeg(target.position);
+
+  // Frustum test: the sphere is visible if its centre's angle from the head
+  // forward direction is within the half-FOV plus the sphere's angular
+  // radius. (A cone approximation of the frustum — adequate for spheres.)
+  const double angular_radius_deg =
+      v.distance_m > 0
+          ? std::asin(std::min(1.0, target.radius / std::max(v.distance_m, 0.05))) / kRadPerDeg
+          : 90.0;
+  const double half_fov = camera.horizontal_fov_deg / 2.0;
+  v.in_viewport = camera.AngleFromForwardDeg(target.position) <= half_fov + angular_radius_deg;
+
+  // Occlusion: does any other sphere intersect the camera->target segment
+  // closer than the target?
+  const Vec3 dir = target.position - camera.position;
+  const float seg_len = dir.Length();
+  if (seg_len > 0) {
+    const Vec3 unit = dir * (1.0f / seg_len);
+    for (const Placement& o : others) {
+      const Vec3 to_o = o.position - camera.position;
+      const float t = to_o.Dot(unit);
+      if (t <= 0 || t >= seg_len - target.radius) continue;  // behind or past
+      const Vec3 closest = camera.position + unit * t;
+      const float d = (o.position - closest).Length();
+      if (d < o.radius * 0.8f) {  // requires substantial overlap
+        v.occluded = true;
+        break;
+      }
+    }
+  }
+  return v;
+}
+
+double NormalizedScreenCoverage(const Camera& camera, const Placement& target) {
+  const double d = std::max(camera.DistanceTo(target.position), 0.2);
+  // Solid angle of the sphere scales ~ (r/d)^2; normalize to d = 1 m.
+  return std::min(1.0, 1.0 / (d * d));
+}
+
+}  // namespace vtp::render

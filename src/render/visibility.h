@@ -1,0 +1,38 @@
+// Visibility evaluation for rendered personas.
+//
+// Computes, per persona and per frame, exactly the quantities §4.4's four
+// optimizations key on: frustum membership (viewport adaptation), gaze
+// eccentricity (foveated rendering), viewing distance (distance-aware LOD),
+// and line-of-sight blocking (occlusion).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "render/camera.h"
+
+namespace vtp::render {
+
+/// A persona's placement as a bounding sphere (its head/hands envelope).
+struct Placement {
+  Vec3 position{};
+  float radius = 0.35f;  ///< bounding-sphere radius of a seated persona
+};
+
+/// Per-frame visibility facts about one persona.
+struct Visibility {
+  bool in_viewport = true;      ///< sphere intersects the view frustum
+  double eccentricity_deg = 0;  ///< gaze angle to the sphere centre
+  double distance_m = 0;        ///< camera distance to the sphere centre
+  bool occluded = false;        ///< another persona blocks the sight line
+};
+
+/// Evaluates visibility of `target` given `others` as potential occluders.
+Visibility EvaluateVisibility(const Camera& camera, const Placement& target,
+                              std::span<const Placement> others);
+
+/// Fraction of the display covered by the persona's sphere, normalized so a
+/// persona at 1 m has coverage 1.0 (the Fig. 5 baseline). Saturates at 1.
+double NormalizedScreenCoverage(const Camera& camera, const Placement& target);
+
+}  // namespace vtp::render

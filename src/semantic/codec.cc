@@ -1,0 +1,182 @@
+#include "semantic/codec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "compress/bitstream.h"
+#include "compress/lzr.h"
+#include "compress/varint.h"
+
+namespace vtp::semantic {
+
+namespace {
+
+constexpr std::uint8_t kFlagQuantized = 0x01;
+constexpr std::uint8_t kFlagTemporal = 0x02;
+constexpr std::uint8_t kFlagLz = 0x04;
+
+/// Persona-local coordinates fit comfortably in this cube (metres).
+constexpr float kVolumeHalfExtent = 0.5f;
+
+void PutFloatLe(std::vector<std::uint8_t>& out, float f) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &f, sizeof(bits));
+  out.push_back(static_cast<std::uint8_t>(bits));
+  out.push_back(static_cast<std::uint8_t>(bits >> 8));
+  out.push_back(static_cast<std::uint8_t>(bits >> 16));
+  out.push_back(static_cast<std::uint8_t>(bits >> 24));
+}
+
+float GetFloatLe(std::span<const std::uint8_t> d, std::size_t* pos) {
+  if (*pos + 4 > d.size()) throw compress::CorruptStream("semantic: truncated float");
+  std::uint32_t bits = static_cast<std::uint32_t>(d[*pos]) |
+                       (static_cast<std::uint32_t>(d[*pos + 1]) << 8) |
+                       (static_cast<std::uint32_t>(d[*pos + 2]) << 16) |
+                       (static_cast<std::uint32_t>(d[*pos + 3]) << 24);
+  *pos += 4;
+  float f;
+  std::memcpy(&f, &bits, sizeof(f));
+  return f;
+}
+
+std::int32_t Quantize(float v, int bits) {
+  const float grid = static_cast<float>((1 << bits) - 1);
+  const float t = std::clamp((v + kVolumeHalfExtent) / (2 * kVolumeHalfExtent), 0.0f, 1.0f);
+  return static_cast<std::int32_t>(std::lround(t * grid));
+}
+
+float Dequantize(std::int32_t q, int bits) {
+  const float grid = static_cast<float>((1 << bits) - 1);
+  return static_cast<float>(q) / grid * (2 * kVolumeHalfExtent) - kVolumeHalfExtent;
+}
+
+}  // namespace
+
+SemanticEncoder::SemanticEncoder(SemanticCodecConfig config) : config_(config) {
+  if (config_.temporal_delta && config_.quantize_bits == 0) {
+    throw std::invalid_argument("temporal delta requires quantization");
+  }
+  if (config_.quantize_bits < 0 || config_.quantize_bits > 21) {
+    throw std::invalid_argument("quantize_bits out of range");
+  }
+}
+
+void SemanticEncoder::Reset() {
+  prev_quantized_.clear();
+}
+
+std::vector<std::uint8_t> SemanticEncoder::EncodeFrame(std::span<const Vec3> points) {
+  if (points.size() != kSemanticPoints) {
+    throw std::invalid_argument("semantic frame must contain 74 points");
+  }
+  std::uint8_t tag = 0;
+  if (config_.quantize_bits > 0) tag |= kFlagQuantized;
+  const bool temporal = config_.temporal_delta && !prev_quantized_.empty();
+  if (temporal) tag |= kFlagTemporal;
+  if (config_.lz_compress) tag |= kFlagLz;
+
+  std::vector<std::uint8_t> header;
+  header.push_back(tag);
+  compress::PutUleb128(header, frame_++);
+
+  std::vector<std::uint8_t> body;
+  if (config_.quantize_bits == 0) {
+    body.reserve(points.size() * 12);
+    for (const Vec3& p : points) {
+      PutFloatLe(body, p.x);
+      PutFloatLe(body, p.y);
+      PutFloatLe(body, p.z);
+    }
+  } else {
+    header.push_back(static_cast<std::uint8_t>(config_.quantize_bits));
+    std::vector<std::int32_t> q;
+    q.reserve(points.size() * 3);
+    for (const Vec3& p : points) {
+      q.push_back(Quantize(p.x, config_.quantize_bits));
+      q.push_back(Quantize(p.y, config_.quantize_bits));
+      q.push_back(Quantize(p.z, config_.quantize_bits));
+    }
+    std::int64_t prev_in_frame = 0;
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      std::int64_t reference = temporal ? prev_quantized_[i] : prev_in_frame;
+      compress::PutUleb128(body, compress::ZigZagEncode(q[i] - reference));
+      prev_in_frame = q[i];
+    }
+    prev_quantized_ = std::move(q);
+  }
+
+  if (config_.lz_compress) body = compress::LzrCompress(body);
+  header.insert(header.end(), body.begin(), body.end());
+  return header;
+}
+
+SemanticDecoder::SemanticDecoder() = default;
+
+std::optional<SemanticFrame> SemanticDecoder::DecodeFrame(std::span<const std::uint8_t> payload) {
+  std::size_t pos = 0;
+  if (payload.empty()) throw compress::CorruptStream("semantic: empty payload");
+  const std::uint8_t tag = payload[pos++];
+  const std::uint64_t frame_index = compress::GetUleb128(payload, &pos);
+  int qbits = 0;
+  if (tag & kFlagQuantized) {
+    if (pos >= payload.size()) throw compress::CorruptStream("semantic: missing qbits");
+    qbits = payload[pos++];
+    if (qbits < 1 || qbits > 21) throw compress::CorruptStream("semantic: bad qbits");
+  }
+
+  std::vector<std::uint8_t> body;
+  std::span<const std::uint8_t> body_view = payload.subspan(pos);
+  if (tag & kFlagLz) {
+    body = compress::LzrDecompress(body_view);
+    body_view = body;
+  }
+
+  SemanticFrame out;
+  out.frame_index = frame_index;
+  out.points.reserve(kSemanticPoints);
+
+  if (!(tag & kFlagQuantized)) {
+    std::size_t bpos = 0;
+    for (std::size_t i = 0; i < kSemanticPoints; ++i) {
+      Vec3 p;
+      p.x = GetFloatLe(body_view, &bpos);
+      p.y = GetFloatLe(body_view, &bpos);
+      p.z = GetFloatLe(body_view, &bpos);
+      out.points.push_back(p);
+    }
+    last_frame_ = frame_index;
+    prev_quantized_.clear();
+    return out;
+  }
+
+  const bool temporal = (tag & kFlagTemporal) != 0;
+  if (temporal) {
+    // A delta frame is only decodable against its immediate predecessor.
+    if (!last_frame_ || frame_index != *last_frame_ + 1 ||
+        prev_quantized_.size() != kSemanticPoints * 3) {
+      return std::nullopt;
+    }
+  }
+
+  std::vector<std::int32_t> q;
+  q.reserve(kSemanticPoints * 3);
+  std::size_t bpos = 0;
+  std::int64_t prev_in_frame = 0;
+  for (std::size_t i = 0; i < kSemanticPoints * 3; ++i) {
+    const std::int64_t delta = compress::ZigZagDecode(compress::GetUleb128(body_view, &bpos));
+    const std::int64_t reference = temporal ? prev_quantized_[i] : prev_in_frame;
+    const std::int64_t value = reference + delta;
+    q.push_back(static_cast<std::int32_t>(value));
+    prev_in_frame = value;
+  }
+  for (std::size_t i = 0; i < kSemanticPoints; ++i) {
+    out.points.push_back(Vec3{Dequantize(q[i * 3], qbits), Dequantize(q[i * 3 + 1], qbits),
+                              Dequantize(q[i * 3 + 2], qbits)});
+  }
+  prev_quantized_ = std::move(q);
+  last_frame_ = frame_index;
+  return out;
+}
+
+}  // namespace vtp::semantic

@@ -1,0 +1,72 @@
+// The semantic persona codec.
+//
+// Encodes the 74-point semantic subset per frame. The default configuration
+// matches the scheme the paper measures in §4.3: raw float32 coordinates
+// compressed with a general-purpose LZ compressor (their LZMA, our lzr) —
+// which is why the spatial persona's ~0.67 Mbps is NOT rate-adaptable: the
+// stream has no quality ladder, only "all semantics" or "reconstruction
+// fails". A quantized/delta mode is provided as the ablation the paper's
+// discussion suggests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "semantic/keypoints.h"
+
+namespace vtp::semantic {
+
+/// Encoder configuration.
+struct SemanticCodecConfig {
+  /// 0 = raw float32 (the paper's measured scheme); otherwise quantization
+  /// bits per axis over the persona's local bounding volume.
+  int quantize_bits = 0;
+  /// Delta-code against the previous frame (only with quantization).
+  bool temporal_delta = false;
+  /// Run the serialized payload through lzr (LZMA stand-in).
+  bool lz_compress = true;
+};
+
+/// Stateful encoder (keeps the previous frame for temporal delta).
+class SemanticEncoder {
+ public:
+  explicit SemanticEncoder(SemanticCodecConfig config = {});
+
+  /// Encodes one frame of exactly kSemanticPoints points.
+  /// The payload starts with a 1-byte mode tag and a uleb128 frame index.
+  std::vector<std::uint8_t> EncodeFrame(std::span<const Vec3> points);
+
+  /// Resets temporal state (e.g. after a receiver resync).
+  void Reset();
+
+ private:
+  SemanticCodecConfig config_;
+  std::uint64_t frame_ = 0;
+  std::vector<std::int32_t> prev_quantized_;
+};
+
+/// Decoded frame.
+struct SemanticFrame {
+  std::uint64_t frame_index = 0;
+  std::vector<Vec3> points;  // kSemanticPoints entries
+};
+
+/// Stateful decoder. Throws compress::CorruptStream on malformed payloads;
+/// temporal-delta streams additionally fail when frames are missing — the
+/// mechanism behind the paper's "poor connection" observation.
+class SemanticDecoder {
+ public:
+  SemanticDecoder();
+
+  /// Decodes one payload. Returns nullopt if a temporal-delta frame arrives
+  /// without its predecessor (reconstruction impossible until a keyframe).
+  std::optional<SemanticFrame> DecodeFrame(std::span<const std::uint8_t> payload);
+
+ private:
+  std::optional<std::uint64_t> last_frame_;
+  std::vector<std::int32_t> prev_quantized_;
+};
+
+}  // namespace vtp::semantic

@@ -1,0 +1,100 @@
+#include "semantic/generator.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace vtp::semantic {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+}
+
+KeypointTrackGenerator::KeypointTrackGenerator(TrackConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed), neutral_(NeutralLayout()) {
+  next_blink_at_ = rng_.Exponential(1.0 / config_.blink_interval_s);
+}
+
+double KeypointTrackGenerator::BlinkAmount(double t) {
+  if (blink_started_at_ >= 0) {
+    const double phase = (t - blink_started_at_) / config_.blink_duration_s;
+    if (phase >= 1.0) {
+      blink_started_at_ = -1;
+    } else {
+      return std::sin(kPi * phase);  // close then open
+    }
+  }
+  if (t >= next_blink_at_) {
+    blink_started_at_ = t;
+    next_blink_at_ = t + config_.blink_duration_s +
+                     rng_.Exponential(1.0 / config_.blink_interval_s);
+    return 0.0;
+  }
+  return 0.0;
+}
+
+Vec3 KeypointTrackGenerator::SmoothWander(std::array<double, 6>& s, double dt, double scale) {
+  // Damped spring toward the origin driven by white noise: smooth, bounded.
+  for (int axis = 0; axis < 3; ++axis) {
+    double& x = s[static_cast<std::size_t>(axis)];
+    double& v = s[static_cast<std::size_t>(axis) + 3];
+    const double force = -3.0 * x - 1.5 * v + rng_.Normal(0.0, 6.0);
+    v += force * dt;
+    x += v * dt;
+  }
+  return Vec3{static_cast<float>(s[0] * scale), static_cast<float>(s[1] * scale),
+              static_cast<float>(s[2] * scale)};
+}
+
+KeypointFrame KeypointTrackGenerator::Next() {
+  const double dt = 1.0 / config_.fps;
+  const double t = static_cast<double>(frame_) * dt;
+  ++frame_;
+
+  KeypointFrame f = neutral_;
+
+  // Rigid head sway translates all facial points.
+  const Vec3 sway = SmoothWander(head_state_, dt, config_.head_sway_m);
+  for (Vec3& p : f.face) p = p + sway;
+
+  // Blink: eyelid points move toward the eye's horizontal midline.
+  const double blink = BlinkAmount(t);
+  if (blink > 0) {
+    for (const std::size_t i : EyeIndices()) {
+      const float cy = 0.025f + sway.y;
+      f.face[i].y = static_cast<float>(f.face[i].y + blink * (cy - f.face[i].y) * 0.95);
+    }
+  }
+
+  // Speech: mouth opens/closes with a syllable fundamental plus harmonics.
+  if (config_.talking) {
+    const double open = std::max(
+        0.0, std::sin(2 * kPi * config_.speech_syllable_hz * t) +
+                 0.4 * std::sin(2 * kPi * config_.speech_syllable_hz * 2.3 * t) +
+                 rng_.Normal(0.0, 0.08));
+    const double lip = open * config_.mouth_open_m;
+    for (const std::size_t i : MouthIndices()) {
+      // Lower-lip points (sin < 0 in the loops) drop; upper-lip points rise.
+      const float rel = f.face[i].y - (-0.042f + sway.y);
+      f.face[i].y += static_cast<float>((rel < 0 ? -0.8 : 0.2) * lip);
+    }
+  }
+
+  // Hands: smooth wandering gestures.
+  const Vec3 lw = SmoothWander(left_hand_state_, dt, config_.gesture_scale_m);
+  const Vec3 rw = SmoothWander(right_hand_state_, dt, config_.gesture_scale_m);
+  for (Vec3& p : f.left_hand) p = p + lw;
+  for (Vec3& p : f.right_hand) p = p + rw;
+
+  // Sensor noise on every tracked point.
+  const auto noisy = [&](Vec3 p) {
+    return Vec3{p.x + static_cast<float>(rng_.Normal(0, config_.sensor_noise_m)),
+                p.y + static_cast<float>(rng_.Normal(0, config_.sensor_noise_m)),
+                p.z + static_cast<float>(rng_.Normal(0, config_.sensor_noise_m))};
+  };
+  for (Vec3& p : f.face) p = noisy(p);
+  for (Vec3& p : f.left_hand) p = noisy(p);
+  for (Vec3& p : f.right_hand) p = noisy(p);
+  return f;
+}
+
+}  // namespace vtp::semantic

@@ -1,0 +1,85 @@
+#include "semantic/keypoints.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace vtp::semantic {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+}
+
+std::vector<Vec3> ExtractSemanticSubset(const KeypointFrame& frame) {
+  std::vector<Vec3> out;
+  out.reserve(kSemanticPoints);
+  for (const std::size_t i : MouthIndices()) out.push_back(frame.face[i]);
+  for (const std::size_t i : EyeIndices()) out.push_back(frame.face[i]);
+  out.insert(out.end(), frame.left_hand.begin(), frame.left_hand.end());
+  out.insert(out.end(), frame.right_hand.begin(), frame.right_hand.end());
+  return out;
+}
+
+KeypointFrame NeutralLayout() {
+  KeypointFrame f;
+
+  // Jaw line (0-16): arc across the lower face.
+  for (std::size_t i = 0; i < 17; ++i) {
+    const double ang = kPi * (0.15 + 0.7 * static_cast<double>(i) / 16.0);
+    f.face[i] = Vec3{static_cast<float>(-0.075 * std::cos(ang)),
+                     static_cast<float>(-0.035 - 0.027 * std::sin(ang)), 0.080f};
+  }
+  // Eyebrows (17-26): five points over each eye.
+  for (std::size_t i = 0; i < 5; ++i) {
+    f.face[17 + i] = Vec3{-0.045f + 0.012f * static_cast<float>(i), 0.045f, 0.088f};
+    f.face[22 + i] = Vec3{-0.003f + 0.012f * static_cast<float>(i), 0.045f, 0.088f};
+  }
+  // Nose bridge + nostrils (27-35).
+  for (std::size_t i = 0; i < 4; ++i) {
+    f.face[27 + i] = Vec3{0, 0.030f - 0.015f * static_cast<float>(i), 0.094f};
+  }
+  for (std::size_t i = 0; i < 5; ++i) {
+    f.face[31 + i] = Vec3{-0.016f + 0.008f * static_cast<float>(i), -0.012f, 0.092f};
+  }
+  // Eyes (36-47): two 6-point loops.
+  const auto eye_loop = [&](std::size_t base, float cx) {
+    const float cy = 0.025f, r = 0.012f;
+    for (std::size_t i = 0; i < 6; ++i) {
+      const double ang = 2 * kPi * static_cast<double>(i) / 6.0;
+      f.face[base + i] = Vec3{cx + static_cast<float>(r * std::cos(ang)),
+                              cy + static_cast<float>(0.5 * r * std::sin(ang)), 0.090f};
+    }
+  };
+  eye_loop(36, -0.032f);  // right eye (subject's right)
+  eye_loop(42, 0.032f);   // left eye
+  // Mouth (48-67): outer 12-point loop + inner 8-point loop.
+  for (std::size_t i = 0; i < 12; ++i) {
+    const double ang = 2 * kPi * static_cast<double>(i) / 12.0;
+    f.face[48 + i] = Vec3{static_cast<float>(0.026 * std::cos(ang)),
+                          -0.042f + static_cast<float>(0.012 * std::sin(ang)), 0.089f};
+  }
+  for (std::size_t i = 0; i < 8; ++i) {
+    const double ang = 2 * kPi * static_cast<double>(i) / 8.0;
+    f.face[60 + i] = Vec3{static_cast<float>(0.016 * std::cos(ang)),
+                          -0.042f + static_cast<float>(0.006 * std::sin(ang)), 0.090f};
+  }
+
+  // Hands: wrist + 5 fingers x 4 joints over the palm ellipsoids, at the
+  // same offsets GeneratePersona places its hand components.
+  const auto hand_layout = [](Vec3 offset, float mirror) {
+    std::array<Vec3, kHandPoints> h{};
+    h[0] = offset + Vec3{0, -0.085f, 0};  // wrist
+    for (std::size_t finger = 0; finger < 5; ++finger) {
+      const float fx = mirror * (-0.030f + 0.015f * static_cast<float>(finger));
+      for (std::size_t joint = 0; joint < 4; ++joint) {
+        const float fy = 0.01f + 0.022f * static_cast<float>(joint + 1);
+        h[1 + finger * 4 + joint] = offset + Vec3{fx, fy, 0.012f};
+      }
+    }
+    return h;
+  };
+  f.left_hand = hand_layout(Vec3{-0.28f, -0.35f, 0.18f}, 1.0f);
+  f.right_hand = hand_layout(Vec3{0.28f, -0.35f, 0.18f}, -1.0f);
+  return f;
+}
+
+}  // namespace vtp::semantic

@@ -1,0 +1,55 @@
+// Keypoint schemas for semantic persona delivery.
+//
+// §4.3 of the paper hypothesizes (and we reproduce) that FaceTime delivers
+// spatial personas as semantic information: the 68 dlib facial landmarks —
+// of which Vision Pro tracks mainly the 32 mouth+eye points — plus 21
+// OpenPose keypoints per hand, 74 points in total.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "mesh/mesh.h"
+
+namespace vtp::semantic {
+
+using Vec3 = mesh::Vec3;
+
+inline constexpr std::size_t kFacePoints = 68;     ///< dlib landmark count
+inline constexpr std::size_t kHandPoints = 21;     ///< OpenPose per-hand count
+inline constexpr std::size_t kEyePoints = 12;      ///< dlib 36..47
+inline constexpr std::size_t kMouthPoints = 20;    ///< dlib 48..67
+/// Points actually delivered: mouth + eyes + both hands = 32 + 42 = 74.
+inline constexpr std::size_t kSemanticPoints = kEyePoints + kMouthPoints + 2 * kHandPoints;
+
+/// dlib indices of the eye landmarks (36-41 right eye, 42-47 left eye).
+constexpr std::array<std::size_t, kEyePoints> EyeIndices() {
+  std::array<std::size_t, kEyePoints> a{};
+  for (std::size_t i = 0; i < kEyePoints; ++i) a[i] = 36 + i;
+  return a;
+}
+
+/// dlib indices of the mouth landmarks (48-67).
+constexpr std::array<std::size_t, kMouthPoints> MouthIndices() {
+  std::array<std::size_t, kMouthPoints> a{};
+  for (std::size_t i = 0; i < kMouthPoints; ++i) a[i] = 48 + i;
+  return a;
+}
+
+/// One tracked frame: full landmark set in persona-local metres.
+struct KeypointFrame {
+  std::array<Vec3, kFacePoints> face{};
+  std::array<Vec3, kHandPoints> left_hand{};
+  std::array<Vec3, kHandPoints> right_hand{};
+};
+
+/// The delivered subset (74 points): mouth, eyes, both hands — in that order.
+std::vector<Vec3> ExtractSemanticSubset(const KeypointFrame& frame);
+
+/// Neutral (rest-pose) landmark layout matching mesh::GeneratePersona's
+/// geometry: eyes and mouth on the +z face of the head, hand keypoints over
+/// the palm/finger regions at the persona's hand offsets.
+KeypointFrame NeutralLayout();
+
+}  // namespace vtp::semantic

@@ -1,0 +1,83 @@
+#include "transport/classifier.h"
+
+#include <array>
+
+namespace vtp::transport {
+
+std::string_view WireProtocolName(WireProtocol p) {
+  switch (p) {
+    case WireProtocol::kRtp: return "RTP";
+    case WireProtocol::kQuicLong: return "QUIC(long)";
+    case WireProtocol::kQuicShort: return "QUIC(short)";
+    case WireProtocol::kTcpProbe: return "TCP-probe";
+    case WireProtocol::kUnknown: return "unknown";
+  }
+  return "unknown";
+}
+
+WireProtocol ClassifyRecord(const net::CaptureRecord& r) {
+  if (r.prefix_len == 0) return WireProtocol::kUnknown;
+  if (r.prefix_len >= 4 && r.prefix[0] == 'T' && r.prefix[1] == 'C' && r.prefix[2] == 'P' &&
+      r.prefix[3] == 'P') {
+    return WireProtocol::kTcpProbe;
+  }
+  switch (r.prefix[0] & 0xC0) {
+    case 0xC0: return WireProtocol::kQuicLong;
+    case 0x40: return WireProtocol::kQuicShort;
+    case 0x80: return WireProtocol::kRtp;
+    default: return WireProtocol::kUnknown;
+  }
+}
+
+std::map<net::FlowKey, FlowProtocol> ClassifyFlows(const net::Capture& capture) {
+  struct Counts {
+    std::uint64_t rtp = 0, quic = 0, tcp = 0, other = 0;
+  };
+  std::map<net::FlowKey, Counts> counts;
+  for (const net::CaptureRecord& r : capture.records()) {
+    Counts& c = counts[net::FlowKey{r.src, r.dst, r.src_port, r.dst_port}];
+    switch (ClassifyRecord(r)) {
+      case WireProtocol::kRtp: ++c.rtp; break;
+      case WireProtocol::kQuicLong:
+      case WireProtocol::kQuicShort: ++c.quic; break;
+      case WireProtocol::kTcpProbe: ++c.tcp; break;
+      case WireProtocol::kUnknown: ++c.other; break;
+    }
+  }
+  std::map<net::FlowKey, FlowProtocol> out;
+  for (const auto& [key, c] : counts) {
+    const std::uint64_t total = c.rtp + c.quic + c.tcp + c.other;
+    if (c.rtp * 10 >= total * 9) {
+      out[key] = FlowProtocol::kRtp;
+    } else if (c.quic * 10 >= total * 9) {
+      out[key] = FlowProtocol::kQuic;
+    } else if (c.tcp * 10 >= total * 9) {
+      out[key] = FlowProtocol::kTcpProbe;
+    } else if (c.other == total) {
+      out[key] = FlowProtocol::kUnknown;
+    } else {
+      out[key] = FlowProtocol::kMixed;
+    }
+  }
+  return out;
+}
+
+int DominantRtpPayloadType(const net::Capture& capture, const net::FlowKey& key) {
+  std::array<std::uint64_t, 128> histogram{};
+  for (const net::CaptureRecord& r : capture.records()) {
+    if (net::FlowKey{r.src, r.dst, r.src_port, r.dst_port} != key) continue;
+    if (ClassifyRecord(r) != WireProtocol::kRtp || r.prefix_len < 2) continue;
+    ++histogram[r.prefix[1] & 0x7F];
+  }
+  int best = -1;
+  std::uint64_t best_count = 0;
+  for (int pt = 0; pt < 128; ++pt) {
+    if (histogram[pt] > best_count) {
+      best_count = histogram[pt];
+      best = pt;
+    }
+  }
+  return best;
+}
+
+}  // namespace vtp::transport

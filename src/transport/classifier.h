@@ -1,0 +1,35 @@
+// Capture-based protocol classification, the way the paper (and Wireshark)
+// identifies traffic (§4.1): by inspecting the first payload bytes.
+//
+//   * QUIC long header  — top two bits 11 (header form + fixed bit)
+//   * QUIC short header — top two bits 01 (fixed bit, not long form)
+//   * RTP               — top two bits 10 (version 2)
+//   * TCP probe         — "TCPP" magic
+#pragma once
+
+#include <map>
+#include <string_view>
+
+#include "netsim/capture.h"
+
+namespace vtp::transport {
+
+enum class WireProtocol { kUnknown, kRtp, kQuicLong, kQuicShort, kTcpProbe };
+
+/// Human-readable protocol name.
+std::string_view WireProtocolName(WireProtocol p);
+
+/// Classifies one captured packet from its payload prefix.
+WireProtocol ClassifyRecord(const net::CaptureRecord& record);
+
+/// Collapses long/short QUIC into one bucket for flow-level summaries.
+enum class FlowProtocol { kUnknown, kRtp, kQuic, kTcpProbe, kMixed };
+
+/// Majority-classifies every flow in a capture.
+std::map<net::FlowKey, FlowProtocol> ClassifyFlows(const net::Capture& capture);
+
+/// For a flow key, the dominant RTP payload type observed (or -1 if the flow
+/// is not RTP). Lets analyses reproduce the paper's §4.1 payload-type check.
+int DominantRtpPayloadType(const net::Capture& capture, const net::FlowKey& key);
+
+}  // namespace vtp::transport

@@ -1,0 +1,143 @@
+#include "transport/fec.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "compress/bitstream.h"
+#include "compress/varint.h"
+
+namespace vtp::transport {
+
+namespace {
+
+constexpr std::uint8_t kSourceTag = 0x00;
+constexpr std::uint8_t kParityTag = 0x01;
+constexpr std::size_t kMaxTrackedGroups = 16;
+
+void XorInto(std::vector<std::uint8_t>& accum, std::span<const std::uint8_t> data) {
+  if (accum.size() < data.size()) accum.resize(data.size(), 0);
+  for (std::size_t i = 0; i < data.size(); ++i) accum[i] ^= data[i];
+}
+
+}  // namespace
+
+FecEncoder::FecEncoder(int k) : k_(k) {
+  if (k < 1 || k > 255) throw std::invalid_argument("fec: k out of range");
+}
+
+std::vector<std::vector<std::uint8_t>> FecEncoder::Protect(
+    std::span<const std::uint8_t> payload) {
+  std::vector<std::vector<std::uint8_t>> out;
+
+  std::vector<std::uint8_t> source;
+  source.push_back(kSourceTag);
+  compress::PutUleb128(source, group_);
+  source.push_back(static_cast<std::uint8_t>(index_));
+  source.push_back(static_cast<std::uint8_t>(k_));
+  source.insert(source.end(), payload.begin(), payload.end());
+  out.push_back(std::move(source));
+
+  XorInto(parity_, payload);
+  source_lengths_.push_back(static_cast<std::uint32_t>(payload.size()));
+  ++index_;
+
+  if (index_ == k_) {
+    std::vector<std::uint8_t> parity;
+    parity.push_back(kParityTag);
+    compress::PutUleb128(parity, group_);
+    parity.push_back(static_cast<std::uint8_t>(k_));  // index slot = k for parity
+    parity.push_back(static_cast<std::uint8_t>(k_));
+    for (const std::uint32_t len : source_lengths_) compress::PutUleb128(parity, len);
+    parity.insert(parity.end(), parity_.begin(), parity_.end());
+    out.push_back(std::move(parity));
+
+    ++group_;
+    index_ = 0;
+    parity_.clear();
+    source_lengths_.clear();
+  }
+  return out;
+}
+
+FecDecoder::FecDecoder(Deliver deliver) : deliver_(std::move(deliver)) {}
+
+void FecDecoder::OnDatagram(std::span<const std::uint8_t> framed) {
+  try {
+    if (framed.size() < 3) throw compress::CorruptStream("fec: short frame");
+    std::size_t pos = 0;
+    const std::uint8_t tag = framed[pos++];
+    const std::uint64_t group_id = compress::GetUleb128(framed, &pos);
+    if (pos + 2 > framed.size()) throw compress::CorruptStream("fec: truncated header");
+    const int index = framed[pos++];
+    const int k = framed[pos++];
+    if (k < 1 || k > 255) throw compress::CorruptStream("fec: bad k");
+
+    Group& group = groups_[group_id];
+    if (group.k == 0) {
+      group.k = k;
+      group.seen.assign(static_cast<std::size_t>(k), false);
+    }
+    if (group.k != k) throw compress::CorruptStream("fec: inconsistent k");
+
+    if (tag == kSourceTag) {
+      if (index >= k || group.seen[static_cast<std::size_t>(index)]) return;  // dup
+      ++stats_.sources_received;
+      group.seen[static_cast<std::size_t>(index)] = true;
+      ++group.sources_seen;
+      const auto payload = framed.subspan(pos);
+      XorInto(group.xor_accum, payload);
+      if (deliver_) deliver_(payload);
+    } else if (tag == kParityTag) {
+      ++stats_.parities_received;
+      group.parity_seen = true;
+      group.lengths.resize(static_cast<std::size_t>(k));
+      for (int i = 0; i < k; ++i) {
+        group.lengths[static_cast<std::size_t>(i)] =
+            static_cast<std::uint32_t>(compress::GetUleb128(framed, &pos));
+      }
+      XorInto(group.xor_accum, framed.subspan(pos));
+    } else {
+      throw compress::CorruptStream("fec: bad tag");
+    }
+    TryRecover(group_id, group);
+
+    // Bound memory: retire the oldest groups (counting any not-yet-complete
+    // ones as unrecoverable if they were missing >1 source).
+    while (groups_.size() > kMaxTrackedGroups) {
+      const auto oldest = groups_.begin();
+      if (oldest->second.k > 0 && oldest->second.sources_seen < oldest->second.k) {
+        ++stats_.unrecoverable;
+      }
+      groups_.erase(oldest);
+    }
+  } catch (const compress::CorruptStream&) {
+    ++stats_.unrecoverable;
+  }
+}
+
+void FecDecoder::TryRecover(std::uint64_t group_id, Group& group) {
+  if (!group.parity_seen || group.sources_seen != group.k - 1) return;
+  // Exactly one source missing: the XOR accumulator now equals its padded
+  // payload. Find which index and trim to its original length.
+  int missing = -1;
+  for (int i = 0; i < group.k; ++i) {
+    if (!group.seen[static_cast<std::size_t>(i)]) {
+      missing = i;
+      break;
+    }
+  }
+  if (missing < 0) return;
+  const std::uint32_t length = group.lengths[static_cast<std::size_t>(missing)];
+  if (length > group.xor_accum.size()) {
+    ++stats_.unrecoverable;
+    groups_.erase(group_id);
+    return;
+  }
+  ++stats_.recovered;
+  if (deliver_) {
+    deliver_(std::span<const std::uint8_t>(group.xor_accum.data(), length));
+  }
+  groups_.erase(group_id);
+}
+
+}  // namespace vtp::transport

@@ -1,0 +1,54 @@
+#include "transport/playout.h"
+
+#include <algorithm>
+
+namespace vtp::transport {
+
+PlayoutBuffer::PlayoutBuffer(net::Simulator* sim, PlayoutConfig config, PlayCallback on_play)
+    : sim_(sim), config_(config), on_play_(std::move(on_play)), delay_(config.initial_delay) {
+  stats_.current_delay = delay_;
+}
+
+net::SimTime PlayoutBuffer::PresentationTime(std::uint32_t timestamp) const {
+  // Media time elapsed since the anchor frame, in simulation time units.
+  const auto elapsed_ticks = static_cast<std::int64_t>(
+      static_cast<std::int32_t>(timestamp - anchor_timestamp_));  // wrap-safe
+  const double elapsed_s = static_cast<double>(elapsed_ticks) / config_.media_clock_hz;
+  return anchor_arrival_ + delay_ + net::Seconds(elapsed_s);
+}
+
+void PlayoutBuffer::Push(std::uint32_t timestamp, std::vector<std::uint8_t> frame) {
+  const net::SimTime now = sim_->now();
+  if (!anchored_) {
+    anchored_ = true;
+    anchor_arrival_ = now;
+    anchor_timestamp_ = timestamp;
+  }
+
+  const net::SimTime when = PresentationTime(timestamp);
+  if (when < now) {
+    // Too late to present: drop and widen the safety margin.
+    ++stats_.frames_late_dropped;
+    delay_ = std::min(delay_ + config_.late_increase, config_.max_delay);
+    stats_.current_delay = delay_;
+    return;
+  }
+
+  // Track how much slack this frame had, for the shrink review.
+  min_headroom_in_window_ = std::min(min_headroom_in_window_, when - now);
+  if (++frames_in_window_ >= config_.review_window_frames) {
+    if (min_headroom_in_window_ > config_.shrink_headroom) {
+      delay_ = std::max(delay_ - config_.early_decrease, config_.min_delay);
+      stats_.current_delay = delay_;
+    }
+    frames_in_window_ = 0;
+    min_headroom_in_window_ = net::Seconds(3600);
+  }
+
+  sim_->At(when, [this, timestamp, frame = std::move(frame)]() mutable {
+    ++stats_.frames_played;
+    if (on_play_) on_play_(timestamp, std::move(frame));
+  });
+}
+
+}  // namespace vtp::transport

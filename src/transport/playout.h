@@ -1,0 +1,72 @@
+// Adaptive playout (jitter) buffer for frame-based media.
+//
+// Receivers cannot render frames the instant they arrive: network jitter
+// would turn into motion judder. A playout buffer delays the first frame by
+// a safety margin and plays subsequent frames on the sender's clock,
+// adapting the margin to observed lateness — grow fast on late frames,
+// shrink slowly when the headroom is consistently large. This is the
+// standard WebRTC-class mechanism; sessions can attach it to any stream,
+// and its stall/lateness counters are the QoE metrics a "display latency"
+// study like the paper's ultimately cares about.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "netsim/event_queue.h"
+
+namespace vtp::transport {
+
+/// Buffer tunables.
+struct PlayoutConfig {
+  double media_clock_hz = 90000.0;       ///< units of the frame timestamps
+  net::SimTime initial_delay = net::Millis(60);
+  net::SimTime min_delay = net::Millis(10);
+  net::SimTime max_delay = net::Millis(400);
+  net::SimTime late_increase = net::Millis(20);   ///< growth per late frame
+  net::SimTime early_decrease = net::Millis(5);   ///< shrink per review window
+  int review_window_frames = 100;                 ///< frames per shrink review
+  net::SimTime shrink_headroom = net::Millis(80); ///< required min headroom
+};
+
+/// Counters.
+struct PlayoutStats {
+  std::uint64_t frames_played = 0;
+  std::uint64_t frames_late_dropped = 0;
+  net::SimTime current_delay = 0;
+};
+
+/// Schedules frames for presentation on the simulator clock.
+class PlayoutBuffer {
+ public:
+  /// Called at each frame's presentation time, in timestamp order.
+  using PlayCallback = std::function<void(std::uint32_t timestamp, std::vector<std::uint8_t>)>;
+
+  PlayoutBuffer(net::Simulator* sim, PlayoutConfig config, PlayCallback on_play);
+
+  /// Feeds a received frame (media timestamp + payload).
+  void Push(std::uint32_t timestamp, std::vector<std::uint8_t> frame);
+
+  const PlayoutStats& stats() const { return stats_; }
+
+ private:
+  net::SimTime PresentationTime(std::uint32_t timestamp) const;
+
+  net::Simulator* sim_;
+  PlayoutConfig config_;
+  PlayCallback on_play_;
+  PlayoutStats stats_;
+
+  bool anchored_ = false;
+  net::SimTime anchor_arrival_ = 0;
+  std::uint32_t anchor_timestamp_ = 0;
+  net::SimTime delay_ = 0;
+
+  // Shrink review bookkeeping.
+  net::SimTime min_headroom_in_window_ = net::Seconds(3600);
+  int frames_in_window_ = 0;
+};
+
+}  // namespace vtp::transport

@@ -1,0 +1,658 @@
+#include "transport/quic.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "compress/bitstream.h"
+
+namespace vtp::transport {
+
+namespace {
+
+constexpr std::uint32_t kQuicVersion = 0x00000001;
+constexpr std::size_t kCidBytes = 8;
+constexpr std::uint8_t kLongTypeInitial = 0;
+constexpr std::uint8_t kLongTypeHandshake = 2;
+
+// Frame types (RFC 9000 / RFC 9221).
+constexpr std::uint8_t kFramePadding = 0x00;
+constexpr std::uint8_t kFramePing = 0x01;
+constexpr std::uint8_t kFrameAck = 0x02;
+constexpr std::uint8_t kFrameStreamBase = 0x0E;  // OFF|LEN set
+constexpr std::uint8_t kFrameStreamFin = 0x0F;
+constexpr std::uint8_t kFrameConnectionClose = 0x1C;
+constexpr std::uint8_t kFrameHandshakeDone = 0x1E;
+constexpr std::uint8_t kFrameDatagram = 0x31;  // with length
+
+constexpr int kPacketLossThreshold = 3;
+constexpr net::SimTime kMaxAckDelay = net::Millis(25);
+constexpr int kAckElicitingThreshold = 2;  // RFC 9000 default: ack every 2nd
+
+void PutU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void PutU64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  PutU32(out, static_cast<std::uint32_t>(v >> 32));
+  PutU32(out, static_cast<std::uint32_t>(v));
+}
+
+std::uint64_t GetU64(std::span<const std::uint8_t> d, std::size_t* pos) {
+  if (*pos + 8 > d.size()) throw compress::CorruptStream("quic: truncated u64");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | d[(*pos)++];
+  return v;
+}
+
+}  // namespace
+
+void PutQuicVarint(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  if (value < (1ull << 6)) {
+    out.push_back(static_cast<std::uint8_t>(value));
+  } else if (value < (1ull << 14)) {
+    out.push_back(static_cast<std::uint8_t>(0x40 | (value >> 8)));
+    out.push_back(static_cast<std::uint8_t>(value));
+  } else if (value < (1ull << 30)) {
+    out.push_back(static_cast<std::uint8_t>(0x80 | (value >> 24)));
+    out.push_back(static_cast<std::uint8_t>(value >> 16));
+    out.push_back(static_cast<std::uint8_t>(value >> 8));
+    out.push_back(static_cast<std::uint8_t>(value));
+  } else if (value < (1ull << 62)) {
+    out.push_back(static_cast<std::uint8_t>(0xC0 | (value >> 56)));
+    for (int shift = 48; shift >= 0; shift -= 8) {
+      out.push_back(static_cast<std::uint8_t>(value >> shift));
+    }
+  } else {
+    throw std::invalid_argument("quic varint out of range");
+  }
+}
+
+std::uint64_t GetQuicVarint(std::span<const std::uint8_t> data, std::size_t* pos) {
+  if (*pos >= data.size()) throw compress::CorruptStream("quic: truncated varint");
+  const std::uint8_t first = data[*pos];
+  const int len = 1 << (first >> 6);
+  if (*pos + static_cast<std::size_t>(len) > data.size()) {
+    throw compress::CorruptStream("quic: truncated varint body");
+  }
+  std::uint64_t v = first & 0x3F;
+  ++*pos;
+  for (int i = 1; i < len; ++i) v = (v << 8) | data[(*pos)++];
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// QuicConnection
+// ---------------------------------------------------------------------------
+
+QuicConnection::QuicConnection(QuicEndpoint* endpoint, std::uint64_t local_cid,
+                               std::uint64_t remote_cid, net::NodeId peer_node,
+                               std::uint16_t peer_port, bool is_client)
+    : endpoint_(endpoint),
+      local_cid_(local_cid),
+      remote_cid_(remote_cid),
+      peer_node_(peer_node),
+      peer_port_(peer_port),
+      is_client_(is_client) {}
+
+void QuicConnection::StartHandshake() {
+  std::vector<std::uint8_t> frames;
+  frames.push_back(kFramePing);
+  SendPacket(std::move(frames), /*ack_eliciting=*/true, {}, /*long_header=*/true,
+             kLongTypeInitial);
+}
+
+std::size_t QuicConnection::CongestionBudget() const {
+  return cwnd_ > bytes_in_flight_ ? cwnd_ - bytes_in_flight_ : 0;
+}
+
+void QuicConnection::SendStreamData(std::uint64_t stream_id,
+                                    std::span<const std::uint8_t> data, bool fin) {
+  if (closed_) return;
+  std::uint64_t& offset = stream_offsets_[stream_id];
+  // Chunk so each piece fits a packet even after headers.
+  constexpr std::size_t kChunk = kMaxPacketSize - 64;
+  std::size_t pos = 0;
+  do {
+    const std::size_t n = std::min(kChunk, data.size() - pos);
+    SentStreamChunk chunk;
+    chunk.stream_id = stream_id;
+    chunk.offset = offset;
+    chunk.data.assign(data.begin() + static_cast<std::ptrdiff_t>(pos),
+                      data.begin() + static_cast<std::ptrdiff_t>(pos + n));
+    chunk.fin = fin && (pos + n == data.size());
+    offset += n;
+    pos += n;
+    stream_queue_.push_back(std::move(chunk));
+  } while (pos < data.size());
+  MaybeSendPending();
+}
+
+void QuicConnection::Close(std::uint64_t error_code) {
+  if (closed_) return;
+  std::vector<std::uint8_t> frames;
+  frames.push_back(kFrameConnectionClose);
+  PutQuicVarint(frames, error_code);
+  PutQuicVarint(frames, 0);  // offending frame type (none)
+  PutQuicVarint(frames, 0);  // reason phrase length
+  SendPacket(std::move(frames), /*ack_eliciting=*/false, {}, /*long_header=*/false, 0);
+  closed_ = true;
+}
+
+void QuicConnection::SendDatagram(std::span<const std::uint8_t> data) {
+  if (closed_) return;
+  if (!established_) {
+    datagram_queue_.emplace_back(data.begin(), data.end());
+    return;
+  }
+  std::vector<std::uint8_t> frames;
+  frames.push_back(kFrameDatagram);
+  PutQuicVarint(frames, data.size());
+  frames.insert(frames.end(), data.begin(), data.end());
+  ++stats_.datagrams_sent;
+  SendPacket(std::move(frames), /*ack_eliciting=*/true, {}, /*long_header=*/false, 0);
+}
+
+void QuicConnection::MaybeSendPending() {
+  if (!established_ || closed_) return;
+  while (!datagram_queue_.empty()) {
+    auto d = std::move(datagram_queue_.front());
+    datagram_queue_.pop_front();
+    SendDatagram(d);
+  }
+  while (!stream_queue_.empty()) {
+    // Respect the congestion window for reliable data.
+    std::size_t budget = CongestionBudget();
+    if (budget < stream_queue_.front().data.size() + 64) break;
+
+    std::vector<std::uint8_t> frames;
+    std::vector<SentStreamChunk> chunks;
+    while (!stream_queue_.empty() && frames.size() < kMaxPacketSize - 96) {
+      SentStreamChunk c = std::move(stream_queue_.front());
+      const std::size_t cost = c.data.size() + 16;
+      if (!frames.empty() && (frames.size() + cost > kMaxPacketSize - 64 || cost > budget)) {
+        stream_queue_.push_front(std::move(c));
+        break;
+      }
+      stream_queue_.pop_front();
+      budget = budget > cost ? budget - cost : 0;
+      frames.push_back(c.fin ? kFrameStreamFin : kFrameStreamBase);
+      PutQuicVarint(frames, c.stream_id);
+      PutQuicVarint(frames, c.offset);
+      PutQuicVarint(frames, c.data.size());
+      frames.insert(frames.end(), c.data.begin(), c.data.end());
+      chunks.push_back(std::move(c));
+    }
+    if (frames.empty()) break;
+    SendPacket(std::move(frames), /*ack_eliciting=*/true, std::move(chunks),
+               /*long_header=*/false, 0);
+  }
+}
+
+void QuicConnection::SendPacket(std::vector<std::uint8_t> frames, bool ack_eliciting,
+                                std::vector<SentStreamChunk> chunks, bool long_header,
+                                std::uint8_t long_type) {
+  const std::uint64_t pn = next_pn_++;
+  std::vector<std::uint8_t> packet;
+  if (long_header) {
+    packet.push_back(static_cast<std::uint8_t>(0xC0 | (long_type << 4)));
+    PutU32(packet, kQuicVersion);
+    packet.push_back(kCidBytes);
+    PutU64(packet, remote_cid_);
+    packet.push_back(kCidBytes);
+    PutU64(packet, local_cid_);
+  } else {
+    packet.push_back(0x40);
+    PutU64(packet, remote_cid_);
+  }
+  PutQuicVarint(packet, pn);
+  packet.insert(packet.end(), frames.begin(), frames.end());
+  if (long_header && long_type == kLongTypeInitial) {
+    // RFC 9000 §14.1: Initial packets are padded to 1200 bytes.
+    while (packet.size() < kMaxPacketSize) packet.push_back(kFramePadding);
+  }
+
+  SentPacketInfo info;
+  info.sent_time = endpoint_->network().sim().now();
+  info.bytes = static_cast<std::uint32_t>(packet.size());
+  info.ack_eliciting = ack_eliciting;
+  info.chunks = std::move(chunks);
+  if (ack_eliciting) bytes_in_flight_ += info.bytes;
+  sent_packets_[pn] = std::move(info);
+
+  ++stats_.packets_sent;
+  stats_.bytes_sent += packet.size();
+  endpoint_->SendRaw(peer_node_, peer_port_, std::move(packet));
+  if (ack_eliciting) ArmPto();
+}
+
+void QuicConnection::OnDatagramReceived(std::span<const std::uint8_t> payload) {
+  std::size_t pos = 0;
+  if (closed_ || payload.empty()) return;
+  const std::uint8_t first = payload[0];
+  bool is_long = (first & 0x80) != 0;
+  std::uint8_t long_type = 0;
+  ++pos;
+  try {
+    if (is_long) {
+      long_type = (first >> 4) & 0x03;
+      pos += 4;  // version
+      if (pos >= payload.size()) return;
+      const std::uint8_t dcid_len = payload[pos++];
+      pos += dcid_len;
+      if (pos >= payload.size()) return;
+      const std::uint8_t scid_len = payload[pos];
+      ++pos;
+      if (scid_len == kCidBytes) {
+        std::size_t p2 = pos;
+        const std::uint64_t scid = GetU64(payload, &p2);
+        if (remote_cid_ == 0) remote_cid_ = scid;  // client learns server CID
+      }
+      pos += scid_len;
+    } else {
+      pos += kCidBytes;  // short header: skip the destination CID
+    }
+    const std::uint64_t pn = GetQuicVarint(payload, &pos);
+    RecordReceivedPn(pn);
+    ++stats_.packets_received;
+
+    const bool was_established = established_;
+    ProcessFrames(payload.subspan(pos));
+
+    if (is_long && long_type == kLongTypeInitial && !is_client_ && !established_) {
+      // Server side: answer the Initial with a Handshake packet carrying
+      // HANDSHAKE_DONE, then consider the connection usable.
+      std::vector<std::uint8_t> frames;
+      AppendAckFrame(frames);
+      frames.push_back(kFrameHandshakeDone);
+      SendPacket(std::move(frames), /*ack_eliciting=*/true, {}, /*long_header=*/true,
+                 kLongTypeHandshake);
+      established_ = true;
+    }
+    if (!was_established && established_ && on_established_) on_established_();
+    if (established_) MaybeSendPending();
+    // Delayed-ACK policy: immediate ACK after every kAckElicitingThreshold
+    // ack-eliciting packets, otherwise a timer fires within kMaxAckDelay.
+    if (ack_pending_) {
+      if (pending_ack_eliciting_ >= kAckElicitingThreshold) {
+        SendAckIfNeeded();
+      } else if (!ack_timer_armed_) {
+        ack_timer_armed_ = true;
+        endpoint_->network().sim().After(kMaxAckDelay, [this] {
+          ack_timer_armed_ = false;
+          SendAckIfNeeded();
+        });
+      }
+    }
+  } catch (const compress::CorruptStream&) {
+    // Malformed packet: drop silently, as a real endpoint would.
+  }
+}
+
+void QuicConnection::ProcessFrames(std::span<const std::uint8_t> payload) {
+  std::size_t pos = 0;
+  const auto mark_ack_eliciting = [this] {
+    if (!ack_pending_) {
+      ack_pending_ = true;
+      first_pending_ack_time_ = endpoint_->network().sim().now();
+      pending_ack_eliciting_ = 0;
+    }
+    ++pending_ack_eliciting_;
+  };
+  while (pos < payload.size()) {
+    const std::uint8_t type = payload[pos];
+    if (type == kFramePadding) {
+      ++pos;
+      continue;
+    }
+    ++pos;
+    switch (type) {
+      case kFramePing:
+        mark_ack_eliciting();
+        break;
+      case kFrameAck:
+        HandleAckFrame(payload, &pos);
+        break;
+      case kFrameConnectionClose: {
+        const std::uint64_t error_code = GetQuicVarint(payload, &pos);
+        GetQuicVarint(payload, &pos);  // frame type
+        const std::uint64_t reason_len = GetQuicVarint(payload, &pos);
+        pos += reason_len;
+        closed_ = true;
+        if (on_close_) on_close_(error_code);
+        return;  // discard the rest of the packet
+      }
+      case kFrameHandshakeDone:
+        mark_ack_eliciting();
+        if (is_client_) established_ = true;
+        break;
+      case kFrameStreamBase:
+      case kFrameStreamFin: {
+        mark_ack_eliciting();
+        const std::uint64_t stream_id = GetQuicVarint(payload, &pos);
+        const std::uint64_t offset = GetQuicVarint(payload, &pos);
+        const std::uint64_t length = GetQuicVarint(payload, &pos);
+        if (pos + length > payload.size()) throw compress::CorruptStream("quic: stream overrun");
+        RecvStream& rs = recv_streams_[stream_id];
+        if (offset >= rs.delivered) {
+          rs.segments.emplace(
+              offset, std::vector<std::uint8_t>(payload.begin() + static_cast<std::ptrdiff_t>(pos),
+                                                payload.begin() + static_cast<std::ptrdiff_t>(pos + length)));
+        }
+        if (type == kFrameStreamFin) rs.fin_offset = offset + length;
+        pos += length;
+        // In-order delivery of any contiguous prefix.
+        while (true) {
+          const auto it = rs.segments.find(rs.delivered);
+          if (it == rs.segments.end()) break;
+          std::vector<std::uint8_t> data = std::move(it->second);
+          rs.segments.erase(it);
+          rs.delivered += data.size();
+          stats_.stream_bytes_delivered += data.size();
+          const bool fin = rs.fin_offset && rs.delivered >= *rs.fin_offset;
+          if (on_stream_data_) on_stream_data_(stream_id, data, fin);
+        }
+        break;
+      }
+      case kFrameDatagram: {
+        mark_ack_eliciting();
+        const std::uint64_t length = GetQuicVarint(payload, &pos);
+        if (pos + length > payload.size()) throw compress::CorruptStream("quic: datagram overrun");
+        ++stats_.datagrams_received;
+        if (on_datagram_) on_datagram_(payload.subspan(pos, length));
+        pos += length;
+        break;
+      }
+      default:
+        // Unknown frame: cannot skip safely, drop the rest of the packet.
+        return;
+    }
+  }
+}
+
+void QuicConnection::HandleAckFrame(std::span<const std::uint8_t> payload, std::size_t* pos) {
+  const std::uint64_t largest = GetQuicVarint(payload, pos);
+  const std::uint64_t ack_delay_us = GetQuicVarint(payload, pos);
+  const std::uint64_t range_count = GetQuicVarint(payload, pos);
+  const std::uint64_t first_range = GetQuicVarint(payload, pos);
+
+  // RTT sample from the largest acked, if it is newly acknowledged.
+  const auto it = sent_packets_.find(largest);
+  if (it != sent_packets_.end() && !it->second.acked && !it->second.lost) {
+    const net::SimTime now = endpoint_->network().sim().now();
+    net::SimTime sample = now - it->second.sent_time -
+                          static_cast<net::SimTime>(ack_delay_us) * net::kMicrosecond;
+    if (sample < net::Micros(1)) sample = net::Micros(1);
+    UpdateRtt(sample);
+  }
+
+  std::uint64_t lo = largest >= first_range ? largest - first_range : 0;
+  for (std::uint64_t pn = lo; pn <= largest; ++pn) OnPacketAcked(pn);
+  std::uint64_t cursor = lo;
+  for (std::uint64_t i = 0; i < range_count; ++i) {
+    const std::uint64_t gap = GetQuicVarint(payload, pos);
+    const std::uint64_t len = GetQuicVarint(payload, pos);
+    if (cursor < gap + 2) break;  // malformed
+    const std::uint64_t hi = cursor - gap - 2;
+    const std::uint64_t lo2 = hi >= len ? hi - len : 0;
+    for (std::uint64_t pn = lo2; pn <= hi; ++pn) OnPacketAcked(pn);
+    cursor = lo2;
+  }
+
+  if (!any_acked_ || largest > largest_acked_) largest_acked_ = largest;
+  any_acked_ = true;
+  DetectLosses();
+  MaybeSendPending();
+}
+
+void QuicConnection::OnPacketAcked(std::uint64_t pn) {
+  const auto it = sent_packets_.find(pn);
+  if (it == sent_packets_.end() || it->second.acked) return;
+  SentPacketInfo& info = it->second;
+  info.acked = true;
+  pto_backoff_ = 0;
+  if (info.ack_eliciting && !info.lost) {
+    bytes_in_flight_ = bytes_in_flight_ >= info.bytes ? bytes_in_flight_ - info.bytes : 0;
+    // NewReno growth: slow start doubles, congestion avoidance is linear.
+    if (cwnd_ < ssthresh_) {
+      cwnd_ += info.bytes;
+    } else {
+      cwnd_ += kMaxPacketSize * info.bytes / cwnd_;
+    }
+  }
+  info.chunks.clear();
+}
+
+void QuicConnection::DetectLosses() {
+  if (!any_acked_) return;
+  bool congestion_event = false;
+  for (auto& [pn, info] : sent_packets_) {
+    if (pn + kPacketLossThreshold > largest_acked_) break;
+    if (info.acked || info.lost) continue;
+    if (!info.ack_eliciting) {
+      // ACK-only packets are never acknowledged; retire them silently so
+      // they neither count as losses nor trigger congestion response.
+      info.lost = true;
+      continue;
+    }
+    info.lost = true;
+    ++stats_.packets_declared_lost;
+    if (info.ack_eliciting) {
+      bytes_in_flight_ = bytes_in_flight_ >= info.bytes ? bytes_in_flight_ - info.bytes : 0;
+    }
+    // Retransmit reliable payloads; datagrams stay lost by design.
+    for (SentStreamChunk& c : info.chunks) stream_queue_.push_front(std::move(c));
+    info.chunks.clear();
+    if (pn >= recovery_start_pn_) congestion_event = true;
+  }
+  if (congestion_event) {
+    ssthresh_ = std::max(cwnd_ / 2, 2 * kMaxPacketSize);
+    cwnd_ = ssthresh_;
+    recovery_start_pn_ = next_pn_;
+  }
+  // Prune settled history so the map stays small on long sessions.
+  while (!sent_packets_.empty()) {
+    const auto first = sent_packets_.begin();
+    if (!(first->second.acked || first->second.lost)) break;
+    sent_packets_.erase(first);
+  }
+}
+
+void QuicConnection::RecordReceivedPn(std::uint64_t pn) {
+  // Insert into the merged range list.
+  auto it = std::lower_bound(recv_ranges_.begin(), recv_ranges_.end(),
+                             std::make_pair(pn, pn));
+  // Try to extend the previous or next range.
+  if (it != recv_ranges_.begin()) {
+    auto prev = std::prev(it);
+    if (pn <= prev->second) return;  // duplicate
+    if (pn == prev->second + 1) {
+      prev->second = pn;
+      if (it != recv_ranges_.end() && it->first == pn + 1) {
+        prev->second = it->second;
+        recv_ranges_.erase(it);
+      }
+      return;
+    }
+  }
+  if (it != recv_ranges_.end()) {
+    if (it->first == pn) return;  // duplicate
+    if (it->first == pn + 1) {
+      it->first = pn;
+      return;
+    }
+  }
+  recv_ranges_.insert(it, {pn, pn});
+}
+
+void QuicConnection::AppendAckFrame(std::vector<std::uint8_t>& out) {
+  if (recv_ranges_.empty()) return;
+  out.push_back(kFrameAck);
+  const auto& top = recv_ranges_.back();
+  PutQuicVarint(out, top.second);                 // largest acknowledged
+  const net::SimTime held = endpoint_->network().sim().now() - first_pending_ack_time_;
+  PutQuicVarint(out, static_cast<std::uint64_t>(std::max<net::SimTime>(held, 0) /
+                                                net::kMicrosecond));  // ack delay, µs
+  PutQuicVarint(out, recv_ranges_.size() - 1);    // additional ranges
+  PutQuicVarint(out, top.second - top.first);     // first range length
+  std::uint64_t cursor = top.first;
+  for (auto it = recv_ranges_.rbegin() + 1; it != recv_ranges_.rend(); ++it) {
+    PutQuicVarint(out, cursor - it->second - 2);  // gap
+    PutQuicVarint(out, it->second - it->first);   // range length
+    cursor = it->first;
+  }
+}
+
+void QuicConnection::SendAckIfNeeded() {
+  if (!ack_pending_) return;
+  ack_pending_ = false;
+  pending_ack_eliciting_ = 0;
+  std::vector<std::uint8_t> frames;
+  AppendAckFrame(frames);
+  if (frames.empty()) return;
+  SendPacket(std::move(frames), /*ack_eliciting=*/false, {}, /*long_header=*/false, 0);
+}
+
+net::SimTime QuicConnection::PtoInterval() const {
+  if (!srtt_) return net::Millis(100);
+  return *srtt_ + std::max<net::SimTime>(4 * rttvar_, net::Millis(1)) + kMaxAckDelay;
+}
+
+void QuicConnection::ArmPto() {
+  const std::uint64_t epoch = ++pto_epoch_;
+  const net::SimTime when = PtoInterval() << std::min(pto_backoff_, 6);
+  endpoint_->network().sim().After(when, [this, epoch] {
+    if (epoch == pto_epoch_) OnPto();
+  });
+}
+
+void QuicConnection::OnPto() {
+  if (closed_) return;
+  // Anything ack-eliciting still outstanding?
+  bool outstanding = false;
+  for (auto& [pn, info] : sent_packets_) {
+    if (!info.acked && !info.lost && info.ack_eliciting) {
+      outstanding = true;
+      // Requeue reliable payloads for retransmission.
+      for (SentStreamChunk& c : info.chunks) stream_queue_.push_front(std::move(c));
+      info.chunks.clear();
+      info.lost = true;
+      ++stats_.packets_declared_lost;
+      bytes_in_flight_ = bytes_in_flight_ >= info.bytes ? bytes_in_flight_ - info.bytes : 0;
+    }
+  }
+  if (!outstanding && stream_queue_.empty()) return;
+  ++pto_backoff_;
+  if (!established_ && is_client_) {
+    StartHandshake();  // retransmit the Initial
+    return;
+  }
+  if (!stream_queue_.empty()) {
+    MaybeSendPending();
+  } else {
+    std::vector<std::uint8_t> frames;
+    frames.push_back(kFramePing);
+    SendPacket(std::move(frames), /*ack_eliciting=*/true, {}, /*long_header=*/false, 0);
+  }
+}
+
+void QuicConnection::UpdateRtt(net::SimTime sample) {
+  if (!srtt_) {
+    srtt_ = sample;
+    rttvar_ = sample / 2;
+    min_rtt_ = sample;
+  } else {
+    min_rtt_ = std::min(min_rtt_, sample);
+    const net::SimTime err = *srtt_ > sample ? *srtt_ - sample : sample - *srtt_;
+    rttvar_ = (3 * rttvar_ + err) / 4;
+    srtt_ = (7 * *srtt_ + sample) / 8;
+  }
+  stats_.smoothed_rtt_ms = net::ToMillis(*srtt_);
+}
+
+// ---------------------------------------------------------------------------
+// QuicEndpoint
+// ---------------------------------------------------------------------------
+
+QuicEndpoint::QuicEndpoint(net::Network* network, net::NodeId node, std::uint16_t port)
+    : network_(network), node_(node), port_(port) {
+  next_cid_ = (static_cast<std::uint64_t>(node) << 32) | (static_cast<std::uint64_t>(port) << 8) | 1;
+  network_->BindUdp(node_, port_, [this](const net::Packet& p) { OnPacket(p); });
+}
+
+QuicEndpoint::~QuicEndpoint() { network_->UnbindUdp(node_, port_); }
+
+std::uint64_t QuicEndpoint::NewCid() { return next_cid_++; }
+
+QuicConnection* QuicEndpoint::Connect(net::NodeId peer, std::uint16_t peer_port) {
+  const std::uint64_t cid = NewCid();
+  auto conn = std::unique_ptr<QuicConnection>(
+      new QuicConnection(this, cid, /*remote_cid=*/0, peer, peer_port, /*is_client=*/true));
+  QuicConnection* raw = conn.get();
+  connections_[cid] = std::move(conn);
+  raw->StartHandshake();
+  return raw;
+}
+
+void QuicEndpoint::SendRaw(net::NodeId dst, std::uint16_t dst_port,
+                           std::vector<std::uint8_t> payload) {
+  network_->SendUdp(node_, port_, dst, dst_port, std::move(payload));
+}
+
+void QuicEndpoint::OnPacket(const net::Packet& p) {
+  if (p.payload.empty()) return;
+  const std::uint8_t first = p.payload[0];
+  const bool is_long = (first & 0x80) != 0;
+  try {
+    std::uint64_t dcid = 0;
+    std::uint64_t scid = 0;
+    if (is_long) {
+      std::size_t pos = 5;  // skip first byte + version
+      if (pos >= p.payload.size()) return;
+      const std::uint8_t dcid_len = p.payload[pos++];
+      if (dcid_len == kCidBytes) {
+        dcid = GetU64(p.payload, &pos);
+      } else {
+        pos += dcid_len;
+      }
+      if (pos >= p.payload.size()) return;
+      const std::uint8_t scid_len = p.payload[pos++];
+      if (scid_len == kCidBytes) scid = GetU64(p.payload, &pos);
+    } else {
+      std::size_t pos = 1;
+      dcid = GetU64(p.payload, &pos);
+    }
+
+    const auto it = connections_.find(dcid);
+    if (it != connections_.end()) {
+      it->second->OnDatagramReceived(p.payload);
+      return;
+    }
+
+    // Unknown destination CID: a client Initial creates a server connection.
+    const std::uint8_t long_type = (first >> 4) & 0x03;
+    if (is_long && long_type == kLongTypeInitial && scid != 0) {
+      // Deduplicate retransmitted Initials from the same client.
+      for (const auto& [cid, conn] : connections_) {
+        if (!conn->is_client_ && conn->remote_cid_ == scid && conn->peer_node_ == p.src &&
+            conn->peer_port_ == p.src_port) {
+          conn->OnDatagramReceived(p.payload);
+          return;
+        }
+      }
+      const std::uint64_t cid = NewCid();
+      auto conn = std::unique_ptr<QuicConnection>(new QuicConnection(
+          this, cid, /*remote_cid=*/scid, p.src, p.src_port, /*is_client=*/false));
+      QuicConnection* raw = conn.get();
+      connections_[cid] = std::move(conn);
+      if (on_accept_) on_accept_(raw);  // app installs handlers first
+      raw->OnDatagramReceived(p.payload);
+    }
+  } catch (const compress::CorruptStream&) {
+    // Not parseable as QUIC: ignore.
+  }
+}
+
+}  // namespace vtp::transport

@@ -1,0 +1,218 @@
+// QUIC-lite: a structurally faithful subset of RFC 9000 over the simulator.
+//
+// FaceTime delivers spatial personas over QUIC when every participant uses a
+// Vision Pro (§4.1). This implementation reproduces the parts of QUIC that
+// matter for the paper's observations:
+//   * real wire format: 62-bit varints, long headers (Initial/Handshake)
+//     with version + CIDs, short headers with the fixed bit — so the
+//     capture classifier recognises QUIC by its first byte, like Wireshark;
+//   * a 1-RTT connection handshake;
+//   * reliable STREAM frames with ACK ranges, RTT estimation, packet-number
+//     based loss detection, PTO retransmission, and NewReno-style
+//     congestion control;
+//   * unreliable DATAGRAM frames (RFC 9221) used for per-frame persona
+//     semantics — deliberately *not* rate-adaptive, mirroring the paper's
+//     finding that semantic delivery does not adapt (§4.3).
+//
+// There is no TLS: payloads are opaque to the network anyway (the paper
+// could not decrypt them either, §5) and the simulator never inspects them.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "netsim/network.h"
+
+namespace vtp::transport {
+
+/// RFC 9000 variable-length integer (62-bit) codec.
+void PutQuicVarint(std::vector<std::uint8_t>& out, std::uint64_t value);
+std::uint64_t GetQuicVarint(std::span<const std::uint8_t> data, std::size_t* pos);
+
+/// Connection-level counters.
+struct QuicStats {
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_received = 0;
+  std::uint64_t packets_declared_lost = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t stream_bytes_delivered = 0;
+  std::uint64_t datagrams_sent = 0;
+  std::uint64_t datagrams_received = 0;
+  double smoothed_rtt_ms = 0.0;
+};
+
+class QuicEndpoint;
+
+/// One QUIC connection (client or server side).
+class QuicConnection {
+ public:
+  using StreamDataHandler =
+      std::function<void(std::uint64_t stream_id, std::span<const std::uint8_t> data, bool fin)>;
+  using DatagramHandler = std::function<void(std::span<const std::uint8_t> data)>;
+  using EstablishedHandler = std::function<void()>;
+  using CloseHandler = std::function<void(std::uint64_t error_code)>;
+
+  /// Queues reliable, ordered data on `stream_id`.
+  void SendStreamData(std::uint64_t stream_id, std::span<const std::uint8_t> data, bool fin = false);
+
+  /// Sends an unreliable DATAGRAM frame (dropped, never retransmitted, and
+  /// not blocked by the congestion window — see header comment).
+  void SendDatagram(std::span<const std::uint8_t> data);
+
+  /// Sends CONNECTION_CLOSE and stops all further transmission. Incoming
+  /// packets are ignored afterwards.
+  void Close(std::uint64_t error_code = 0);
+
+  /// True once Close() was called or the peer's CONNECTION_CLOSE arrived.
+  bool closed() const { return closed_; }
+
+  void set_on_stream_data(StreamDataHandler h) { on_stream_data_ = std::move(h); }
+  void set_on_datagram(DatagramHandler h) { on_datagram_ = std::move(h); }
+  void set_on_established(EstablishedHandler h) { on_established_ = std::move(h); }
+  void set_on_close(CloseHandler h) { on_close_ = std::move(h); }
+
+  bool established() const { return established_; }
+  const QuicStats& stats() const { return stats_; }
+  net::NodeId peer_node() const { return peer_node_; }
+
+  /// Max UDP payload we produce (QUIC requires >= 1200 for Initials).
+  static constexpr std::size_t kMaxPacketSize = 1200;
+
+ private:
+  friend class QuicEndpoint;
+
+  struct SentStreamChunk {
+    std::uint64_t stream_id;
+    std::uint64_t offset;
+    std::vector<std::uint8_t> data;
+    bool fin;
+  };
+  struct SentPacketInfo {
+    net::SimTime sent_time = 0;
+    std::uint32_t bytes = 0;
+    bool ack_eliciting = false;
+    bool acked = false;
+    bool lost = false;
+    std::vector<SentStreamChunk> chunks;  // for retransmission
+  };
+  struct RecvStream {
+    std::map<std::uint64_t, std::vector<std::uint8_t>> segments;  // offset -> data
+    std::uint64_t delivered = 0;
+    std::optional<std::uint64_t> fin_offset;
+  };
+
+  QuicConnection(QuicEndpoint* endpoint, std::uint64_t local_cid, std::uint64_t remote_cid,
+                 net::NodeId peer_node, std::uint16_t peer_port, bool is_client);
+
+  void StartHandshake();
+  void OnDatagramReceived(std::span<const std::uint8_t> payload);
+  void ProcessFrames(std::span<const std::uint8_t> payload);
+  void HandleAckFrame(std::span<const std::uint8_t> payload, std::size_t* pos);
+  void OnPacketAcked(std::uint64_t pn);
+  void DetectLosses();
+  void MaybeSendPending();
+  void SendPacket(std::vector<std::uint8_t> frames, bool ack_eliciting,
+                  std::vector<SentStreamChunk> chunks, bool long_header, std::uint8_t long_type);
+  void SendAckIfNeeded();
+  void ArmPto();
+  void OnPto();
+  net::SimTime PtoInterval() const;
+  void UpdateRtt(net::SimTime rtt_sample);
+  void AppendAckFrame(std::vector<std::uint8_t>& out);
+  void RecordReceivedPn(std::uint64_t pn);
+  std::size_t CongestionBudget() const;
+
+  QuicEndpoint* endpoint_;
+  std::uint64_t local_cid_;
+  std::uint64_t remote_cid_;
+  net::NodeId peer_node_;
+  std::uint16_t peer_port_;
+  bool is_client_;
+  bool established_ = false;
+  bool closed_ = false;
+
+  std::uint64_t next_pn_ = 0;
+  std::map<std::uint64_t, SentPacketInfo> sent_packets_;
+  std::uint64_t largest_acked_ = 0;
+  bool any_acked_ = false;
+
+  // Receive-side ACK state: merged [first, last] ranges, ascending.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> recv_ranges_;
+  bool ack_pending_ = false;
+  bool ack_timer_armed_ = false;
+  int pending_ack_eliciting_ = 0;
+  net::SimTime first_pending_ack_time_ = 0;
+
+  // Send queues.
+  std::deque<SentStreamChunk> stream_queue_;
+  std::map<std::uint64_t, std::uint64_t> stream_offsets_;
+  std::size_t bytes_in_flight_ = 0;
+
+  // Congestion control (NewReno on bytes).
+  std::size_t cwnd_ = 16 * kMaxPacketSize;
+  std::size_t ssthresh_ = SIZE_MAX;
+  std::uint64_t recovery_start_pn_ = 0;
+
+  // RTT estimation (RFC 9002).
+  std::optional<net::SimTime> srtt_;
+  net::SimTime rttvar_ = 0;
+  net::SimTime min_rtt_ = 0;
+
+  std::uint64_t pto_epoch_ = 0;  // invalidates stale PTO timers
+  int pto_backoff_ = 0;
+
+  std::map<std::uint64_t, RecvStream> recv_streams_;
+  std::deque<std::vector<std::uint8_t>> datagram_queue_;  // pre-handshake sends
+
+  StreamDataHandler on_stream_data_;
+  DatagramHandler on_datagram_;
+  EstablishedHandler on_established_;
+  CloseHandler on_close_;
+  QuicStats stats_;
+};
+
+/// A UDP (node, port) speaking QUIC: dials outbound connections and accepts
+/// inbound ones.
+class QuicEndpoint {
+ public:
+  using AcceptHandler = std::function<void(QuicConnection*)>;
+
+  QuicEndpoint(net::Network* network, net::NodeId node, std::uint16_t port);
+  ~QuicEndpoint();
+
+  QuicEndpoint(const QuicEndpoint&) = delete;
+  QuicEndpoint& operator=(const QuicEndpoint&) = delete;
+
+  /// Opens a client connection to a listening endpoint.
+  QuicConnection* Connect(net::NodeId peer, std::uint16_t peer_port);
+
+  /// Installs the handler invoked when a new inbound connection completes
+  /// its handshake enough to carry data.
+  void set_on_accept(AcceptHandler h) { on_accept_ = std::move(h); }
+
+  net::Network& network() { return *network_; }
+  net::NodeId node() const { return node_; }
+  std::uint16_t port() const { return port_; }
+
+ private:
+  friend class QuicConnection;
+
+  void OnPacket(const net::Packet& p);
+  void SendRaw(net::NodeId dst, std::uint16_t dst_port, std::vector<std::uint8_t> payload);
+  std::uint64_t NewCid();
+
+  net::Network* network_;
+  net::NodeId node_;
+  std::uint16_t port_;
+  AcceptHandler on_accept_;
+  std::map<std::uint64_t, std::unique_ptr<QuicConnection>> connections_;  // by local cid
+  std::uint64_t next_cid_;
+};
+
+}  // namespace vtp::transport

@@ -1,0 +1,96 @@
+#include "transport/tcp_ping.h"
+
+namespace vtp::transport {
+
+namespace {
+constexpr std::uint8_t kMagic[4] = {'T', 'C', 'P', 'P'};
+}
+
+std::vector<std::uint8_t> TcpProbe::Serialize() const {
+  std::vector<std::uint8_t> out(kMagic, kMagic + 4);
+  out.push_back(flags);
+  out.push_back(static_cast<std::uint8_t>(sequence >> 24));
+  out.push_back(static_cast<std::uint8_t>(sequence >> 16));
+  out.push_back(static_cast<std::uint8_t>(sequence >> 8));
+  out.push_back(static_cast<std::uint8_t>(sequence));
+  // Pad to a typical TCP SYN wire size (options included).
+  out.resize(40, 0);
+  return out;
+}
+
+bool TcpProbe::Parse(std::span<const std::uint8_t> data, TcpProbe* out) {
+  if (data.size() < 9) return false;
+  if (!std::equal(kMagic, kMagic + 4, data.begin())) return false;
+  out->flags = data[4];
+  out->sequence = (static_cast<std::uint32_t>(data[5]) << 24) |
+                  (static_cast<std::uint32_t>(data[6]) << 16) |
+                  (static_cast<std::uint32_t>(data[7]) << 8) | data[8];
+  return true;
+}
+
+TcpResponder::TcpResponder(net::Network* network, net::NodeId node, std::uint16_t port)
+    : network_(network), node_(node), port_(port) {
+  network_->BindUdp(node_, port_, [this](const net::Packet& p) {
+    TcpProbe probe;
+    if (!TcpProbe::Parse(p.payload, &probe) || probe.flags != TcpProbe::kFlagSyn) return;
+    probe.flags = TcpProbe::kFlagSynAck;
+    network_->SendUdp(node_, port_, p.src, p.src_port, probe.Serialize());
+  });
+}
+
+TcpResponder::~TcpResponder() { network_->UnbindUdp(node_, port_); }
+
+TcpPinger::TcpPinger(net::Network* network, net::NodeId node, std::uint16_t local_port)
+    : network_(network), node_(node), local_port_(local_port) {
+  network_->BindUdp(node_, local_port_, [this](const net::Packet& p) { OnPacket(p); });
+}
+
+TcpPinger::~TcpPinger() { network_->UnbindUdp(node_, local_port_); }
+
+void TcpPinger::Run(net::NodeId dst, std::uint16_t dst_port, int count, net::SimTime interval,
+                    DoneHandler on_done) {
+  dst_ = dst;
+  dst_port_ = dst_port;
+  remaining_ = count;
+  outstanding_ = count;
+  interval_ = interval;
+  on_done_ = std::move(on_done);
+  rtts_ms_.clear();
+  sent_times_.clear();
+  SendProbe();
+}
+
+void TcpPinger::SendProbe() {
+  if (remaining_ <= 0) return;
+  --remaining_;
+  TcpProbe probe;
+  probe.flags = TcpProbe::kFlagSyn;
+  probe.sequence = next_seq_++;
+  sent_times_[probe.sequence] = network_->sim().now();
+  network_->SendUdp(node_, local_port_, dst_, dst_port_, probe.Serialize());
+  if (remaining_ > 0) {
+    network_->sim().After(interval_, [this] { SendProbe(); });
+  } else {
+    // Allow 2 s for the final replies, then report.
+    network_->sim().After(net::Seconds(2), [this] { Finish(); });
+  }
+}
+
+void TcpPinger::OnPacket(const net::Packet& p) {
+  TcpProbe probe;
+  if (!TcpProbe::Parse(p.payload, &probe) || probe.flags != TcpProbe::kFlagSynAck) return;
+  const auto it = sent_times_.find(probe.sequence);
+  if (it == sent_times_.end()) return;
+  rtts_ms_.push_back(net::ToMillis(network_->sim().now() - it->second));
+  sent_times_.erase(it);
+  if (--outstanding_ == 0) Finish();
+}
+
+void TcpPinger::Finish() {
+  if (!on_done_) return;
+  DoneHandler handler = std::move(on_done_);
+  on_done_ = nullptr;
+  handler(std::move(rtts_ms_));
+}
+
+}  // namespace vtp::transport

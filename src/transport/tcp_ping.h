@@ -1,0 +1,81 @@
+// TCP-SYN ping. Apple's servers drop ICMP, so the paper measures RTT with
+// TCP pings against port 443 (§3.2). The simulator models the handshake
+// probe: a SYN-like datagram answered by a SYN-ACK from a responder
+// installed on the server node.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "netsim/network.h"
+
+namespace vtp::transport {
+
+/// Wire format of the probe: magic "TCPP" + flags + sequence number.
+/// (Identified by the protocol classifier as kTcpProbe.)
+struct TcpProbe {
+  static constexpr std::uint8_t kFlagSyn = 0x02;
+  static constexpr std::uint8_t kFlagSynAck = 0x12;
+
+  std::uint8_t flags = kFlagSyn;
+  std::uint32_t sequence = 0;
+
+  std::vector<std::uint8_t> Serialize() const;
+  static bool Parse(std::span<const std::uint8_t> data, TcpProbe* out);
+};
+
+/// Makes `node` answer TCP-SYN probes on `port` (like a TLS listener).
+/// Returns an opaque token kept alive for the binding's lifetime.
+class TcpResponder {
+ public:
+  TcpResponder(net::Network* network, net::NodeId node, std::uint16_t port);
+  ~TcpResponder();
+
+  TcpResponder(const TcpResponder&) = delete;
+  TcpResponder& operator=(const TcpResponder&) = delete;
+
+ private:
+  net::Network* network_;
+  net::NodeId node_;
+  std::uint16_t port_;
+};
+
+/// Sends `count` probes spaced `interval` apart and reports the RTTs.
+class TcpPinger {
+ public:
+  /// Called once with all collected RTTs (ms); unanswered probes omitted.
+  using DoneHandler = std::function<void(std::vector<double> rtts_ms)>;
+
+  TcpPinger(net::Network* network, net::NodeId node, std::uint16_t local_port);
+  ~TcpPinger();
+
+  TcpPinger(const TcpPinger&) = delete;
+  TcpPinger& operator=(const TcpPinger&) = delete;
+
+  /// Starts a ping run toward (dst, dst_port).
+  void Run(net::NodeId dst, std::uint16_t dst_port, int count, net::SimTime interval,
+           DoneHandler on_done);
+
+ private:
+  void OnPacket(const net::Packet& p);
+  void SendProbe();
+  void Finish();
+
+  net::Network* network_;
+  net::NodeId node_;
+  std::uint16_t local_port_;
+  net::NodeId dst_ = 0;
+  std::uint16_t dst_port_ = 0;
+  int remaining_ = 0;
+  int outstanding_ = 0;
+  net::SimTime interval_ = 0;
+  std::uint32_t next_seq_ = 1;
+  std::map<std::uint32_t, net::SimTime> sent_times_;
+  std::vector<double> rtts_ms_;
+  DoneHandler on_done_;
+};
+
+}  // namespace vtp::transport

@@ -1,0 +1,315 @@
+#include "vca/pipelines.h"
+
+#include "compress/bitstream.h"
+
+namespace vtp::vca {
+
+// ---------------------------------------------------------------------------
+// SpatialPersonaSender
+// ---------------------------------------------------------------------------
+
+SpatialPersonaSender::SpatialPersonaSender(net::Simulator* sim, transport::QuicConnection* conn,
+                                           std::uint8_t sender_id, std::uint64_t seed,
+                                           semantic::SemanticCodecConfig codec_config, double fps,
+                                           int fec_k)
+    : sim_(sim),
+      conn_(conn),
+      sender_id_(sender_id),
+      fps_(fps),
+      generator_(semantic::TrackConfig{.fps = fps}, seed),
+      encoder_(codec_config) {
+  if (fec_k > 0) fec_.emplace(fec_k);
+}
+
+void SpatialPersonaSender::Start(net::SimTime until) { Tick(until); }
+
+void SpatialPersonaSender::Tick(net::SimTime until) {
+  if (sim_->now() >= until) return;
+  const semantic::KeypointFrame frame = generator_.Next();
+  const std::vector<semantic::Vec3> subset = semantic::ExtractSemanticSubset(frame);
+  const std::vector<std::uint8_t> encoded = encoder_.EncodeFrame(subset);
+  ++frames_sent_;
+
+  const auto ship = [this](std::uint8_t media, std::span<const std::uint8_t> body) {
+    std::vector<std::uint8_t> payload;
+    payload.reserve(body.size() + 3);
+    payload.push_back(kRelayTagLocal);
+    payload.push_back(sender_id_);
+    payload.push_back(media);
+    payload.insert(payload.end(), body.begin(), body.end());
+    payload_bytes_sent_ += payload.size();
+    conn_->SendDatagram(payload);
+  };
+  if (fec_) {
+    for (const auto& framed : fec_->Protect(encoded)) ship(kMediaSemanticFec, framed);
+  } else {
+    ship(kMediaSemantic, encoded);
+  }
+  sim_->After(static_cast<net::SimTime>(net::kSecond / fps_), [this, until] { Tick(until); });
+}
+
+// ---------------------------------------------------------------------------
+// SpatialPersonaReceiver
+// ---------------------------------------------------------------------------
+
+SpatialPersonaReceiver::SpatialPersonaReceiver(
+    net::Simulator* sim, std::map<std::uint8_t, const mesh::TriangleMesh*> bases,
+    std::size_t reconstruct_stride, double nominal_fps)
+    : sim_(sim),
+      bases_(std::move(bases)),
+      reconstruct_stride_(std::max<std::size_t>(1, reconstruct_stride)),
+      nominal_fps_(nominal_fps) {}
+
+void SpatialPersonaReceiver::OnDatagram(std::span<const std::uint8_t> data) {
+  if (data.size() < 4) return;
+  const std::uint8_t tag = data[0];
+  if (tag != kRelayTagLocal && tag != kRelayTagRelayed) return;
+  const std::uint8_t sender = data[1];
+  const std::uint8_t media = data[2];
+
+  Remote& remote = remotes_[sender];
+  if (media == kMediaAudio) {
+    ++remote.stats.audio_frames;
+    return;
+  }
+  if (media == kMediaSemanticFec) {
+    if (!remote.fec) {
+      // Map node references are stable, so capturing &remote is safe.
+      remote.fec = std::make_unique<transport::FecDecoder>(
+          [this, sender, &remote](std::span<const std::uint8_t> payload) {
+            ProcessSemantic(sender, remote, payload);
+          });
+    }
+    remote.fec->OnDatagram(data.subspan(3));
+    return;
+  }
+  if (media != kMediaSemantic) return;
+  ProcessSemantic(sender, remote, data.subspan(3));
+}
+
+void SpatialPersonaReceiver::ProcessSemantic(std::uint8_t sender, Remote& remote,
+                                             std::span<const std::uint8_t> data) {
+  if (remote.base == nullptr) {
+    const auto it = bases_.find(sender);
+    if (it != bases_.end()) remote.base = it->second;
+  }
+  try {
+    const auto frame = remote.decoder.DecodeFrame(data);
+    if (!frame) {
+      ++remote.stats.decode_failures;  // temporal-delta desync
+      return;
+    }
+    ++remote.stats.frames_decoded;
+    const net::SimTime now = sim_->now();
+    remote.stats.last_frame_time = now;
+    remote.stats.last_frame_index = frame->frame_index;
+    if (!remote.saw_first) {
+      remote.saw_first = true;
+      remote.first_decode_time = now;
+      remote.first_frame_index = frame->frame_index;
+    }
+    remote.recent_decodes.push_back(now);
+    while (!remote.recent_decodes.empty() &&
+           remote.recent_decodes.front() < now - net::kSecond) {
+      remote.recent_decodes.pop_front();
+    }
+    if (remote.base != nullptr &&
+        ++remote.decoded_since_reconstruct >= reconstruct_stride_) {
+      remote.decoded_since_reconstruct = 0;
+      if (!remote.reconstructor) {
+        remote.reconstructor = std::make_unique<semantic::PersonaReconstructor>(*remote.base);
+      }
+      remote.reconstructor->Apply(frame->points);
+    }
+  } catch (const compress::CorruptStream&) {
+    ++remote.stats.decode_failures;
+  }
+}
+
+bool SpatialPersonaReceiver::PersonaAvailable(std::uint8_t sender, net::SimTime now) const {
+  const auto it = remotes_.find(sender);
+  if (it == remotes_.end()) return false;
+  const Remote& remote = it->second;
+
+  // 1. Recency.
+  if (now - remote.stats.last_frame_time > kAvailabilityTimeout) return false;
+
+  // 2. Sustained decode rate (skip during the initial ramp-up second).
+  if (now - remote.first_decode_time > net::kSecond) {
+    std::size_t recent = 0;
+    for (auto rit = remote.recent_decodes.rbegin(); rit != remote.recent_decodes.rend();
+         ++rit) {
+      if (*rit < now - net::kSecond) break;
+      ++recent;
+    }
+    if (static_cast<double>(recent) < kMinRateFraction * nominal_fps_) return false;
+  }
+
+  // 3. Content freshness: frame indices must keep pace with the wall clock
+  // (a rate-capped uplink delays frames ever more as its queue grows).
+  const double elapsed_s = net::ToSeconds(now - remote.first_decode_time);
+  const double expected_frames = elapsed_s * nominal_fps_;
+  const double actual_frames =
+      static_cast<double>(remote.stats.last_frame_index - remote.first_frame_index);
+  const double lag_s = (expected_frames - actual_frames) / nominal_fps_;
+  if (lag_s > net::ToSeconds(kMaxContentLag)) return false;
+
+  return true;
+}
+
+const SpatialPersonaReceiver::RemoteStats& SpatialPersonaReceiver::remote(
+    std::uint8_t sender) const {
+  static const RemoteStats kEmpty;
+  const auto it = remotes_.find(sender);
+  return it == remotes_.end() ? kEmpty : it->second.stats;
+}
+
+// ---------------------------------------------------------------------------
+// VideoPersonaSender
+// ---------------------------------------------------------------------------
+
+VideoPersonaSender::VideoPersonaSender(net::Network* network, net::NodeId node,
+                                       std::uint16_t local_port, net::NodeId dst,
+                                       std::uint16_t dst_port, const VcaProfile& profile,
+                                       const video::CalibratedRateModel* model,
+                                       std::uint32_t ssrc, std::uint64_t seed)
+    : network_(network),
+      node_(node),
+      local_port_(local_port),
+      dst_(dst),
+      dst_port_(dst_port),
+      ssrc_(ssrc),
+      sender_(network, node, local_port, dst, dst_port,
+              transport::RtpSenderConfig{.payload_type = profile.rtp_payload_type,
+                                         .ssrc = ssrc,
+                                         .mtu_payload = 1200}),
+      profile_(profile),
+      model_(model),
+      rate_(profile.target_bitrate_bps, profile.video_fps,
+            model->QpForTargetBps(profile.target_bitrate_bps, profile.video_fps,
+                                  profile.gop_length)),
+      rng_(seed) {}
+
+void VideoPersonaSender::Start(net::SimTime until) { Tick(until); }
+
+void VideoPersonaSender::Tick(net::SimTime until) {
+  if (network_->sim().now() >= until) return;
+  const bool keyframe = frames_sent_ % static_cast<std::uint64_t>(profile_.gop_length) == 0;
+  const int qp = rate_.NextQp();
+  const std::size_t bytes = model_->SampleFrameBytes(keyframe, qp, rng_);
+  rate_.OnFrameEncoded(bytes);
+
+  std::vector<std::uint8_t> frame(bytes, 0);
+  sender_.SendFrame(frame, rtp_timestamp_);
+  rtp_timestamp_ += static_cast<std::uint32_t>(90000.0 / profile_.video_fps);
+  ++frames_sent_;
+
+  // An RTCP sender report roughly once a second, so receivers can echo the
+  // clock back (LSR/DLSR) and we learn the media-path RTT.
+  if (frames_sent_ % static_cast<std::uint64_t>(profile_.video_fps) == 1) {
+    transport::RtcpSenderReport sr;
+    sr.sender_ssrc = ssrc_;
+    sr.ntp_ms = static_cast<std::uint32_t>(net::ToMillis(network_->sim().now()));
+    sr.rtp_timestamp = rtp_timestamp_;
+    network_->SendUdp(node_, local_port_, dst_, dst_port_, sr.Serialize());
+  }
+
+  network_->sim().After(static_cast<net::SimTime>(net::kSecond / profile_.video_fps),
+                        [this, until] { Tick(until); });
+}
+
+void VideoPersonaSender::OnLossFeedback(double loss_rate) {
+  rate_.OnTransportFeedback(loss_rate);
+}
+
+// ---------------------------------------------------------------------------
+// AudioSender
+// ---------------------------------------------------------------------------
+
+AudioSender::AudioSender(net::Network* network, net::NodeId node, std::uint16_t local_port,
+                         net::NodeId dst, std::uint16_t dst_port, const VcaProfile& profile,
+                         std::uint32_t ssrc, std::uint64_t seed)
+    : sim_(&network->sim()),
+      rtp_(std::in_place, network, node, local_port, dst, dst_port,
+           transport::RtpSenderConfig{.payload_type = profile.rtp_payload_type_audio,
+                                      .ssrc = ssrc,
+                                      .mtu_payload = 1200}),
+      source_({}, seed),
+      encoder_(audio::AudioCodecConfig{.quality = profile.audio_quality, .dtx = true}) {}
+
+AudioSender::AudioSender(net::Simulator* sim, transport::QuicConnection* conn,
+                         std::uint8_t sender_id, int quality, std::uint64_t seed)
+    : sim_(sim),
+      quic_(conn),
+      sender_id_(sender_id),
+      source_({}, seed),
+      encoder_(audio::AudioCodecConfig{.quality = quality, .dtx = true}) {}
+
+void AudioSender::Start(net::SimTime until) { Tick(until); }
+
+void AudioSender::Tick(net::SimTime until) {
+  if (sim_->now() >= until) return;
+  const std::vector<std::uint8_t> encoded = encoder_.EncodeFrame(source_.Next());
+  if (quic_ != nullptr) {
+    std::vector<std::uint8_t> payload;
+    payload.reserve(encoded.size() + 3);
+    payload.push_back(kRelayTagLocal);
+    payload.push_back(sender_id_);
+    payload.push_back(kMediaAudio);
+    payload.insert(payload.end(), encoded.begin(), encoded.end());
+    quic_->SendDatagram(payload);
+  } else {
+    rtp_->SendFrame(encoded, rtp_timestamp_);
+    rtp_timestamp_ += 48000 / 50;  // 20 ms in 48 kHz units
+  }
+  ++frames_sent_;
+  sim_->After(net::Millis(audio::kFrameMs), [this, until] { Tick(until); });
+}
+
+// ---------------------------------------------------------------------------
+// VideoPersonaReceiver
+// ---------------------------------------------------------------------------
+
+VideoPersonaReceiver::VideoPersonaReceiver(net::Network* network, net::NodeId node,
+                                           std::uint16_t port, net::NodeId feedback_dst,
+                                           std::uint16_t feedback_port, std::uint32_t own_ssrc)
+    : network_(network),
+      node_(node),
+      port_(port),
+      feedback_dst_(feedback_dst),
+      feedback_port_(feedback_port),
+      own_ssrc_(own_ssrc),
+      rtp_(network, node, port,
+           [this](std::uint32_t, std::vector<std::uint8_t>, std::uint32_t, net::SimTime) {
+             ++frames_received_;
+           }) {
+  rtp_.set_rtcp_handler([this](const transport::RtcpReceiverReport& rr) {
+    if (rr.source_ssrc != own_ssrc_) return;
+    if (rr.lsr_ms != 0) {
+      const double now_ms = net::ToMillis(network_->sim().now());
+      own_rtt_ms_ = now_ms - static_cast<double>(rr.lsr_ms) - static_cast<double>(rr.dlsr_ms);
+    }
+    if (on_own_loss_) on_own_loss_(rr.fraction_lost);
+  });
+}
+
+void VideoPersonaReceiver::Start(net::SimTime until, net::SimTime interval) {
+  network_->sim().After(interval, [this, until, interval] { SendReports(until, interval); });
+}
+
+void VideoPersonaReceiver::SendReports(net::SimTime until, net::SimTime interval) {
+  if (network_->sim().now() >= until) return;
+  for (const std::uint32_t ssrc : rtp_.KnownSsrcs()) {
+    transport::RtcpReceiverReport rr;
+    rr.reporter_ssrc = own_ssrc_;
+    rr.source_ssrc = ssrc;
+    rr.fraction_lost = rtp_.TakeIntervalLossRate(ssrc);
+    const auto [lsr, dlsr] = rtp_.SenderReportEcho(ssrc);
+    rr.lsr_ms = lsr;
+    rr.dlsr_ms = dlsr;
+    network_->SendUdp(node_, port_, feedback_dst_, feedback_port_, rr.Serialize());
+  }
+  network_->sim().After(interval, [this, until, interval] { SendReports(until, interval); });
+}
+
+}  // namespace vtp::vca

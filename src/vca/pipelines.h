@@ -1,0 +1,248 @@
+// End-to-end media pipelines wired into sessions.
+//
+//   Spatial persona (FaceTime, all participants on Vision Pro):
+//     keypoint capture (90 FPS) -> semantic encode -> QUIC DATAGRAM ->
+//     SFU forward -> semantic decode -> base-mesh reconstruction.
+//
+//   2D persona (everything else):
+//     talking-head codec rate model + leaky-bucket rate control ->
+//     RTP packetization -> SFU forward (or P2P) -> RTP reassembly,
+//     with RTCP receiver reports closing the adaptation loop.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "audio/codec.h"
+#include "audio/speech_source.h"
+#include "netsim/event_queue.h"
+#include "semantic/codec.h"
+#include "semantic/generator.h"
+#include "semantic/reconstruct.h"
+#include "transport/fec.h"
+#include "transport/quic.h"
+#include "transport/rtp.h"
+#include "vca/profile.h"
+#include "vca/sfu.h"
+#include "video/rate_control.h"
+#include "video/rate_model.h"
+
+namespace vtp::vca {
+
+/// Media-type byte inside the spatial session's datagram wrapper
+/// ([relay_tag][sender_id][media_type][payload]).
+inline constexpr std::uint8_t kMediaSemantic = 0;
+inline constexpr std::uint8_t kMediaAudio = 1;
+inline constexpr std::uint8_t kMediaSemanticFec = 2;  ///< FEC-framed semantics
+/// Control message from a receiver to its SFU: byte 3 is a bitmask of
+/// sender ids whose *semantic* stream this receiver wants delivered
+/// (viewport-aware delivery culling, the §4.4 extension). Audio is always
+/// delivered. Never forwarded to other participants.
+inline constexpr std::uint8_t kMediaSubscription = 3;
+
+/// Captures keypoints and ships semantic frames over a QUIC connection.
+class SpatialPersonaSender {
+ public:
+  /// `fec_k` > 0 protects the semantic stream with XOR parity every k
+  /// frames (the loss-resilience extension the paper's findings motivate);
+  /// 0 reproduces FaceTime's measured unprotected behaviour.
+  SpatialPersonaSender(net::Simulator* sim, transport::QuicConnection* conn,
+                       std::uint8_t sender_id, std::uint64_t seed,
+                       semantic::SemanticCodecConfig codec_config = {}, double fps = 90.0,
+                       int fec_k = 0);
+
+  /// Starts ticking now and stops at `until`.
+  void Start(net::SimTime until);
+
+  std::uint64_t frames_sent() const { return frames_sent_; }
+  std::uint64_t payload_bytes_sent() const { return payload_bytes_sent_; }
+
+ private:
+  void Tick(net::SimTime until);
+
+  net::Simulator* sim_;
+  transport::QuicConnection* conn_;
+  std::uint8_t sender_id_;
+  double fps_;
+  semantic::KeypointTrackGenerator generator_;
+  semantic::SemanticEncoder encoder_;
+  std::optional<transport::FecEncoder> fec_;
+  std::uint64_t frames_sent_ = 0;
+  std::uint64_t payload_bytes_sent_ = 0;
+};
+
+/// Decodes semantic frames from every remote sender; optionally reconstructs
+/// the persona mesh; tracks per-sender availability.
+///
+/// Availability models FaceTime's "poor connection" policy (§4.3): a
+/// persona is shown only while its semantic stream is *healthy* —
+///   1. a decodable frame arrived within kAvailabilityTimeout,
+///   2. the decoded frame rate over the last second is at least
+///      kMinRateFraction of the nominal capture rate (semantic streams
+///      cannot be reconstructed from partial data, so sustained loss kills
+///      the persona), and
+///   3. content is not stale: the newest frame's index keeps pace with
+///      wall-clock time (a rate-capped uplink queues packets, so frames
+///      arrive increasingly late — the paper's <700 Kbps cliff).
+class SpatialPersonaReceiver {
+ public:
+  static constexpr net::SimTime kAvailabilityTimeout = net::Seconds(1);
+  static constexpr double kMinRateFraction = 0.7;
+  static constexpr net::SimTime kMaxContentLag = net::Millis(400);
+
+  struct RemoteStats {
+    std::uint64_t frames_decoded = 0;
+    std::uint64_t decode_failures = 0;
+    net::SimTime last_frame_time = -net::Seconds(3600);
+    std::uint64_t last_frame_index = 0;
+    std::uint64_t audio_frames = 0;
+  };
+
+  /// `bases` maps sender id -> base persona mesh for reconstruction
+  /// (pass nullptr meshes or an empty map to skip reconstruction).
+  /// `reconstruct_stride` applies the deformation on every Nth decoded
+  /// frame (measurement sampling; availability accounting sees every frame).
+  SpatialPersonaReceiver(net::Simulator* sim,
+                         std::map<std::uint8_t, const mesh::TriangleMesh*> bases,
+                         std::size_t reconstruct_stride = 9, double nominal_fps = 90.0);
+
+  /// Feeds one received QUIC datagram (with the relay-tag wrapper).
+  void OnDatagram(std::span<const std::uint8_t> data);
+
+  /// True if `sender`'s persona stream is currently healthy (see above).
+  bool PersonaAvailable(std::uint8_t sender, net::SimTime now) const;
+
+  const RemoteStats& remote(std::uint8_t sender) const;
+  std::size_t known_senders() const { return remotes_.size(); }
+
+ private:
+  struct Remote {
+    semantic::SemanticDecoder decoder;
+    std::unique_ptr<semantic::PersonaReconstructor> reconstructor;
+    std::unique_ptr<transport::FecDecoder> fec;
+    const mesh::TriangleMesh* base = nullptr;
+    RemoteStats stats;
+    std::uint64_t decoded_since_reconstruct = 0;
+    std::deque<net::SimTime> recent_decodes;      // decode times, last second
+    net::SimTime first_decode_time = 0;
+    std::uint64_t first_frame_index = 0;
+    bool saw_first = false;
+  };
+
+  void ProcessSemantic(std::uint8_t sender, Remote& remote,
+                       std::span<const std::uint8_t> payload);
+
+  net::Simulator* sim_;
+  std::map<std::uint8_t, const mesh::TriangleMesh*> bases_;
+  std::size_t reconstruct_stride_;
+  double nominal_fps_;
+  std::map<std::uint8_t, Remote> remotes_;
+};
+
+/// 2D-persona sender: rate-controlled frame sizes from the calibrated codec
+/// model, packetized over RTP toward one destination (SFU or peer).
+class VideoPersonaSender {
+ public:
+  VideoPersonaSender(net::Network* network, net::NodeId node, std::uint16_t local_port,
+                     net::NodeId dst, std::uint16_t dst_port, const VcaProfile& profile,
+                     const video::CalibratedRateModel* model, std::uint32_t ssrc,
+                     std::uint64_t seed);
+
+  void Start(net::SimTime until);
+
+  /// RTCP loss feedback from any receiver of this stream.
+  void OnLossFeedback(double loss_rate);
+
+  double current_target_bps() const { return rate_.target_bps(); }
+  std::uint64_t frames_sent() const { return frames_sent_; }
+
+ private:
+  void Tick(net::SimTime until);
+
+  net::Network* network_;
+  net::NodeId node_;
+  std::uint16_t local_port_;
+  net::NodeId dst_;
+  std::uint16_t dst_port_;
+  std::uint32_t ssrc_;
+  transport::RtpSender sender_;
+  const VcaProfile& profile_;
+  const video::CalibratedRateModel* model_;
+  video::RateController rate_;
+  net::Rng rng_;
+  std::uint64_t frames_sent_ = 0;
+  std::uint32_t rtp_timestamp_ = 0;
+};
+
+/// Voice sender: synthetic conversational speech through the real audio
+/// codec, 50 frames/s. Over RTP toward an SFU/peer (2D sessions) or as
+/// QUIC datagrams on the session connection (spatial sessions).
+class AudioSender {
+ public:
+  /// RTP flavour (2D sessions); shares the media port with the video SSRC.
+  AudioSender(net::Network* network, net::NodeId node, std::uint16_t local_port,
+              net::NodeId dst, std::uint16_t dst_port, const VcaProfile& profile,
+              std::uint32_t ssrc, std::uint64_t seed);
+
+  /// QUIC-datagram flavour (spatial sessions).
+  AudioSender(net::Simulator* sim, transport::QuicConnection* conn, std::uint8_t sender_id,
+              int quality, std::uint64_t seed);
+
+  void Start(net::SimTime until);
+
+  std::uint64_t frames_sent() const { return frames_sent_; }
+
+ private:
+  void Tick(net::SimTime until);
+
+  net::Simulator* sim_;
+  std::optional<transport::RtpSender> rtp_;
+  transport::QuicConnection* quic_ = nullptr;
+  std::uint8_t sender_id_ = 0;
+  audio::SpeechSource source_;
+  audio::AudioEncoder encoder_;
+  std::uint64_t frames_sent_ = 0;
+  std::uint32_t rtp_timestamp_ = 0;
+};
+
+/// 2D-persona receiver: RTP reassembly plus periodic RTCP receiver reports
+/// (loss feedback routed back through the SFU or directly to the peer).
+class VideoPersonaReceiver {
+ public:
+  VideoPersonaReceiver(net::Network* network, net::NodeId node, std::uint16_t port,
+                       net::NodeId feedback_dst, std::uint16_t feedback_port,
+                       std::uint32_t own_ssrc);
+
+  /// Starts the RTCP report timer (every `interval`) until `until`.
+  void Start(net::SimTime until, net::SimTime interval = net::Seconds(1));
+
+  transport::RtpReceiver& rtp() { return rtp_; }
+  const transport::RtpReceiver& rtp() const { return rtp_; }
+  std::uint64_t frames_received() const { return frames_received_; }
+
+  /// Round-trip time of this participant's own media path (sender SR ->
+  /// peer RR echo), in ms; 0 until the first echo arrives.
+  double own_path_rtt_ms() const { return own_rtt_ms_; }
+
+  /// Invoked when an RTCP RR for `own_ssrc` comes back (sender side wiring).
+  void set_on_own_loss_report(std::function<void(double)> fn) { on_own_loss_ = std::move(fn); }
+
+ private:
+  void SendReports(net::SimTime until, net::SimTime interval);
+
+  net::Network* network_;
+  net::NodeId node_;
+  std::uint16_t port_;
+  net::NodeId feedback_dst_;
+  std::uint16_t feedback_port_;
+  std::uint32_t own_ssrc_;
+  transport::RtpReceiver rtp_;
+  std::uint64_t frames_received_ = 0;
+  double own_rtt_ms_ = 0;
+  std::function<void(double)> on_own_loss_;
+};
+
+}  // namespace vtp::vca

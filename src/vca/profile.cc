@@ -1,0 +1,110 @@
+#include "vca/profile.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vtp::vca {
+
+namespace {
+
+const VcaProfile kFaceTimeProfile{
+    .app = VcaApp::kFaceTime,
+    .name = "FaceTime",
+    .server_metros = {"SanJose", "KansasCity", "Columbus", "Ashburn"},
+    .p2p_two_party = true,
+    .p2p_when_all_vision_pro = false,
+    .supports_spatial_persona = true,
+    .max_spatial_personas = 5,
+    .persona_resolution = video::kFaceTime2dResolution,
+    .video_fps = 30.0,
+    .target_bitrate_bps = 2.0e6,
+    .gop_length = 30,
+    .rtp_payload_type = 123,  // matches FaceTime's 2D video calls (§4.1)
+    .rtp_payload_type_audio = 104,
+    .audio_quality = 6,
+};
+
+const VcaProfile kZoomProfile{
+    .app = VcaApp::kZoom,
+    .name = "Zoom",
+    .server_metros = {"SanJose", "Ashburn"},
+    .p2p_two_party = true,
+    .p2p_when_all_vision_pro = true,
+    .supports_spatial_persona = false,
+    .max_spatial_personas = 0,
+    .persona_resolution = video::kZoomResolution,  // 640x360 (§4.2)
+    .video_fps = 25.0,
+    .target_bitrate_bps = 1.5e6,
+    .gop_length = 25,
+    .rtp_payload_type = 98,
+    .rtp_payload_type_audio = 99,
+    .audio_quality = 5,
+};
+
+const VcaProfile kWebexProfile{
+    .app = VcaApp::kWebex,
+    .name = "Webex",
+    .server_metros = {"SanJose", "Dallas", "Ashburn"},
+    .p2p_two_party = false,
+    .p2p_when_all_vision_pro = false,
+    .supports_spatial_persona = false,
+    .max_spatial_personas = 0,
+    .persona_resolution = video::kWebexResolution,  // 1920x1080 (§4.2)
+    .video_fps = 30.0,
+    .target_bitrate_bps = 4.5e6,
+    .gop_length = 30,
+    .rtp_payload_type = 102,
+    .rtp_payload_type_audio = 111,
+    .audio_quality = 5,
+};
+
+const VcaProfile kTeamsProfile{
+    .app = VcaApp::kTeams,
+    .name = "Teams",
+    .server_metros = {"Seattle"},  // single US server (§4.1)
+    .p2p_two_party = false,
+    .p2p_when_all_vision_pro = false,
+    .supports_spatial_persona = false,
+    .max_spatial_personas = 0,
+    .persona_resolution = video::kTeamsResolution,
+    .video_fps = 30.0,
+    .target_bitrate_bps = 2.8e6,
+    .gop_length = 30,
+    .rtp_payload_type = 107,
+    .rtp_payload_type_audio = 115,
+    .audio_quality = 5,
+};
+
+}  // namespace
+
+const VcaProfile& GetProfile(VcaApp app) {
+  switch (app) {
+    case VcaApp::kFaceTime: return kFaceTimeProfile;
+    case VcaApp::kZoom: return kZoomProfile;
+    case VcaApp::kWebex: return kWebexProfile;
+    case VcaApp::kTeams: return kTeamsProfile;
+  }
+  throw std::invalid_argument("unknown app");
+}
+
+std::string_view AppName(VcaApp app) { return GetProfile(app).name; }
+
+PersonaKind SessionPersonaKind(VcaApp app, const std::vector<DeviceType>& devices) {
+  if (!GetProfile(app).supports_spatial_persona) return PersonaKind::k2d;
+  const bool all_vp = std::all_of(devices.begin(), devices.end(), [](DeviceType d) {
+    return d == DeviceType::kVisionPro;
+  });
+  return all_vp ? PersonaKind::kSpatial : PersonaKind::k2d;
+}
+
+bool SessionUsesP2p(VcaApp app, const std::vector<DeviceType>& devices) {
+  const VcaProfile& profile = GetProfile(app);
+  if (!profile.p2p_two_party || devices.size() != 2) return false;
+  const bool all_vp = std::all_of(devices.begin(), devices.end(), [](DeviceType d) {
+    return d == DeviceType::kVisionPro;
+  });
+  if (all_vp && !profile.p2p_when_all_vision_pro) return false;
+  return true;
+}
+
+}  // namespace vtp::vca

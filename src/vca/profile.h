@@ -1,0 +1,66 @@
+// Profiles of the four videoconferencing applications the paper measures
+// (§3.1): FaceTime, Zoom, Webex, Teams — their US server footprints
+// (§4.1/Table 1), P2P rules, persona capabilities, resolutions and target
+// bitrates (§4.2), and RTP payload types.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "video/frame.h"
+
+namespace vtp::vca {
+
+enum class VcaApp { kFaceTime, kZoom, kWebex, kTeams };
+
+/// Client device classes from the paper's testbed (§3.2).
+enum class DeviceType { kVisionPro, kMacBook, kIpad, kIphone };
+
+/// What kind of persona a session delivers (§2).
+enum class PersonaKind { kSpatial, k2d };
+
+/// Static description of one application.
+struct VcaProfile {
+  VcaApp app;
+  std::string_view name;
+
+  /// Metro names (see net::MetroDb) where the app operates US servers.
+  /// Counts per §4.1: FaceTime 4, Zoom 2, Webex 3, Teams 1.
+  std::vector<std::string_view> server_metros;
+
+  /// Uses P2P for two-party calls (§4.1: Zoom and FaceTime do).
+  bool p2p_two_party = false;
+  /// FaceTime exception: two Vision Pros still go through a server (§4.1).
+  bool p2p_when_all_vision_pro = false;
+
+  /// Only FaceTime supports spatial personas (§4.1).
+  bool supports_spatial_persona = false;
+  std::size_t max_spatial_personas = 0;
+
+  /// 2D-persona video parameters (§4.2 reports the resolutions).
+  video::Resolution persona_resolution{640, 360};
+  double video_fps = 30.0;
+  double target_bitrate_bps = 1.5e6;
+  int gop_length = 30;
+  std::uint8_t rtp_payload_type = 96;
+
+  /// Audio stream parameters (every VCA carries voice next to the persona).
+  std::uint8_t rtp_payload_type_audio = 111;
+  int audio_quality = 5;  ///< audio::AudioCodecConfig::quality
+};
+
+/// The built-in profile for `app`.
+const VcaProfile& GetProfile(VcaApp app);
+
+/// Display name ("FaceTime", ...).
+std::string_view AppName(VcaApp app);
+
+/// The persona kind a session will operate: spatial iff the app supports it
+/// and *every* participant wears a Vision Pro (§4.1).
+PersonaKind SessionPersonaKind(VcaApp app, const std::vector<DeviceType>& devices);
+
+/// Whether a session runs peer-to-peer (§4.1's rules).
+bool SessionUsesP2p(VcaApp app, const std::vector<DeviceType>& devices);
+
+}  // namespace vtp::vca

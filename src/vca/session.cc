@@ -1,0 +1,459 @@
+#include "vca/session.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "transport/classifier.h"
+
+namespace vtp::vca {
+
+namespace {
+
+/// Warm-up excluded from throughput accounting (handshakes, ramp-up).
+constexpr net::SimTime kWarmup = net::Seconds(3);
+
+std::vector<DeviceType> Devices(const std::vector<Participant>& participants) {
+  std::vector<DeviceType> devices;
+  devices.reserve(participants.size());
+  for (const Participant& p : participants) devices.push_back(p.device);
+  return devices;
+}
+
+}  // namespace
+
+TelepresenceSession::TelepresenceSession(SessionConfig config)
+    : config_(std::move(config)),
+      profile_(GetProfile(config_.app)),
+      persona_kind_(SessionPersonaKind(config_.app, Devices(config_.participants))),
+      p2p_(SessionUsesP2p(config_.app, Devices(config_.participants))) {
+  if (config_.participants.size() < 2) {
+    throw std::invalid_argument("a session needs at least two participants");
+  }
+  if (persona_kind_ == PersonaKind::kSpatial &&
+      config_.participants.size() > profile_.max_spatial_personas) {
+    throw std::invalid_argument("FaceTime supports at most five spatial personas (§4.5)");
+  }
+
+  sim_ = std::make_unique<net::Simulator>(config_.seed);
+  network_ = std::make_unique<net::Network>(sim_.get());
+  network_->BuildBackbone();
+
+  for (std::size_t i = 0; i < config_.participants.size(); ++i) {
+    hosts_.push_back(network_->AddHost(config_.participants[i].name,
+                                       config_.participants[i].metro));
+  }
+
+  SetupServers();
+  network_->ComputeRoutes();
+
+  // Wireshark at each participant's AP (§3.2): tap the access link.
+  for (const net::NodeId host : hosts_) {
+    auto capture = std::make_unique<net::Capture>();
+    capture->AttachToLink(*network_, host, network_->AccessRouter(host));
+    captures_.push_back(std::move(capture));
+  }
+
+  if (persona_kind_ == PersonaKind::kSpatial) {
+    SetupSpatialPipelines();
+    if (config_.enable_render) SetupRenderLoops();
+  } else {
+    Setup2dPipelines();
+  }
+}
+
+TelepresenceSession::~TelepresenceSession() = default;
+
+void TelepresenceSession::SetupServers() {
+  if (p2p_) return;  // no server in the data path
+
+  const TransportKind kind = persona_kind_ == PersonaKind::kSpatial
+                                 ? TransportKind::kQuicDatagram
+                                 : TransportKind::kRtp;
+
+  const auto add_server = [&](std::string_view metro) -> std::size_t {
+    server_metros_.emplace_back(metro);
+    const net::NodeId node =
+        network_->AddHost("server." + std::string(metro), metro, /*access_rate_bps=*/10e9,
+                          /*access_delay=*/net::Micros(200));
+    server_nodes_.push_back(node);
+    return server_nodes_.size() - 1;
+  };
+
+  std::vector<std::string_view> fleet(profile_.server_metros.begin(),
+                                      profile_.server_metros.end());
+  if (!config_.server_metros_override.empty()) {
+    fleet.assign(config_.server_metros_override.begin(), config_.server_metros_override.end());
+  }
+
+  const auto nearest_metro = [&](const std::string& from_metro) -> std::string_view {
+    const net::GeoPoint from = net::MetroDb()[net::MetroIndex(from_metro)].location;
+    std::string_view best = fleet.front();
+    double best_km = 1e18;
+    for (const std::string_view metro : fleet) {
+      const double km =
+          net::HaversineKm(from, net::MetroDb()[net::MetroIndex(metro)].location);
+      if (km < best_km) {
+        best_km = km;
+        best = metro;
+      }
+    }
+    return best;
+  };
+
+  if (config_.strategy == ServerStrategy::kNearestToInitiator) {
+    // §4.1: every VCA assigns the single session server closest to the
+    // *initiating* user, wherever the others are.
+    add_server(nearest_metro(config_.participants.front().metro));
+    assigned_server_.assign(config_.participants.size(), 0);
+  } else {
+    // Geo-distributed (the paper's proposed fix): each participant uses its
+    // nearest server; servers interconnect over a private backbone.
+    assigned_server_.clear();
+    for (const Participant& p : config_.participants) {
+      const std::string_view metro = nearest_metro(p.metro);
+      auto it = std::find(server_metros_.begin(), server_metros_.end(), metro);
+      if (it == server_metros_.end()) {
+        assigned_server_.push_back(add_server(metro));
+      } else {
+        assigned_server_.push_back(static_cast<std::size_t>(it - server_metros_.begin()));
+      }
+    }
+    // Private backbone: direct high-capacity links between the servers.
+    for (std::size_t i = 0; i < server_nodes_.size(); ++i) {
+      for (std::size_t j = i + 1; j < server_nodes_.size(); ++j) {
+        net::LinkConfig cfg;
+        cfg.rate_bps = 100e9;
+        cfg.prop_delay = 0;  // derive from geography (single direct hop)
+        network_->Connect(server_nodes_[i], server_nodes_[j], cfg);
+      }
+    }
+  }
+
+  for (std::size_t s = 0; s < server_nodes_.size(); ++s) {
+    servers_.push_back(
+        std::make_unique<SfuServer>(network_.get(), server_nodes_[s], kQuicServerPort, kind));
+    responders_.push_back(
+        std::make_unique<transport::TcpResponder>(network_.get(), server_nodes_[s], kProbePort));
+  }
+}
+
+void TelepresenceSession::SetupSpatialPipelines() {
+  const std::size_t n = config_.participants.size();
+
+  // Pre-captured persona (enrollment) and its LOD ladder, per participant.
+  for (std::size_t i = 0; i < n; ++i) {
+    ladders_.push_back(std::make_unique<render::PersonaLodLadder>(
+        config_.seed * 1000 + i, config_.lod_policy, config_.persona_triangles));
+  }
+
+  // Connect everyone to their assigned server; peer-connect servers after
+  // construction (geo-distributed mode).
+  if (config_.strategy == ServerStrategy::kGeoDistributed && servers_.size() > 1) {
+    for (std::size_t i = 0; i < servers_.size(); ++i) {
+      for (std::size_t j = i + 1; j < servers_.size(); ++j) {
+        servers_[i]->ConnectPeerServer(server_nodes_[j], kQuicServerPort);
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    auto endpoint = std::make_unique<transport::QuicEndpoint>(
+        network_.get(), hosts_[i], static_cast<std::uint16_t>(kQuicClientPortBase + i));
+    const std::size_t server = assigned_server_.empty() ? 0 : assigned_server_[i];
+    transport::QuicConnection* conn =
+        endpoint->Connect(server_nodes_.at(server), kQuicServerPort);
+    quic_conns_.push_back(conn);
+    quic_endpoints_.push_back(std::move(endpoint));
+
+    // Receiver: reconstruct every other participant's persona.
+    std::map<std::uint8_t, const mesh::TriangleMesh*> bases;
+    std::vector<std::uint8_t> remote_ids;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      remote_ids.push_back(static_cast<std::uint8_t>(j));
+      if (config_.enable_reconstruction) {
+        bases[static_cast<std::uint8_t>(j)] = &ladders_[j]->base();
+      }
+    }
+    remote_ids_.push_back(std::move(remote_ids));
+    auto receiver = std::make_unique<SpatialPersonaReceiver>(
+        sim_.get(), std::move(bases), config_.reconstruct_stride, config_.spatial_fps);
+    conn->set_on_datagram([rx = receiver.get()](std::span<const std::uint8_t> data) {
+      rx->OnDatagram(data);
+    });
+    spatial_receivers_.push_back(std::move(receiver));
+
+    auto sender = std::make_unique<SpatialPersonaSender>(
+        sim_.get(), conn, static_cast<std::uint8_t>(i), config_.seed * 77 + i,
+        config_.semantic_codec, config_.spatial_fps, config_.spatial_fec_k);
+    spatial_senders_.push_back(std::move(sender));
+
+    if (config_.enable_audio) {
+      audio_senders_.push_back(std::make_unique<AudioSender>(
+          sim_.get(), conn, static_cast<std::uint8_t>(i), profile_.audio_quality,
+          config_.seed * 53 + i));
+    }
+  }
+
+  // Start capture/encode after the handshakes settle.
+  sim_->After(net::Millis(300), [this] {
+    for (auto& sender : spatial_senders_) sender->Start(config_.duration);
+    for (auto& sender : audio_senders_) sender->Start(config_.duration);
+  });
+}
+
+void TelepresenceSession::Setup2dPipelines() {
+  const std::size_t n = config_.participants.size();
+  const video::CalibratedRateModel& model =
+      video::CalibratedRateModel::For(profile_.persona_resolution);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t ssrc = 0x5000 + static_cast<std::uint32_t>(i);
+    net::NodeId dst;
+    std::uint16_t dst_port;
+    if (p2p_) {
+      const std::size_t peer = i == 0 ? 1 : 0;
+      dst = hosts_[peer];
+      dst_port = kMediaPort;
+    } else {
+      const std::size_t server = assigned_server_.empty() ? 0 : assigned_server_[i];
+      dst = server_nodes_.at(server);
+      dst_port = kQuicServerPort;  // the SFU's single media port
+      servers_[server]->AddRtpMember(hosts_[i], kMediaPort);
+    }
+
+    auto receiver = std::make_unique<VideoPersonaReceiver>(network_.get(), hosts_[i],
+                                                           kMediaPort, dst, dst_port, ssrc);
+    auto sender = std::make_unique<VideoPersonaSender>(network_.get(), hosts_[i], kMediaPort,
+                                                       dst, dst_port, profile_, &model, ssrc,
+                                                       config_.seed * 131 + i);
+    receiver->set_on_own_loss_report(
+        [tx = sender.get()](double loss) { tx->OnLossFeedback(loss); });
+    video_receivers_.push_back(std::move(receiver));
+    video_senders_.push_back(std::move(sender));
+
+    if (config_.enable_audio) {
+      audio_senders_.push_back(std::make_unique<AudioSender>(
+          network_.get(), hosts_[i], kMediaPort, dst, dst_port, profile_,
+          /*ssrc=*/0x6000 + static_cast<std::uint32_t>(i), config_.seed * 53 + i));
+    }
+  }
+
+  sim_->After(net::Millis(200), [this] {
+    for (std::size_t i = 0; i < video_senders_.size(); ++i) {
+      video_senders_[i]->Start(config_.duration);
+      video_receivers_[i]->Start(config_.duration);
+    }
+    for (auto& sender : audio_senders_) sender->Start(config_.duration);
+  });
+}
+
+void TelepresenceSession::SetupRenderLoops() {
+  const std::size_t n = config_.participants.size();
+  availability_.resize(n);
+  lod_histograms_.assign(n, {});
+  desired_masks_.assign(n, 0xFF);
+  sent_masks_.assign(n, 0xFF);
+  for (std::size_t i = 0; i < n; ++i) {
+    render::ScenarioConfig scenario;
+    scenario.remote_personas = n - 1;
+    scenario.fps = config_.render_fps;
+    scenarios_.push_back(std::make_unique<render::SeatedConversation>(
+        scenario, config_.seed * 997 + i));
+    render_loops_.push_back(std::make_unique<render::RenderLoop>(
+        sim_.get(), config_.cost_model, config_.render_fps));
+
+    const std::size_t self = i;
+    auto on_frame = [this, self](net::SimTime now) {
+      render::FrameSubmission submission;
+      const render::FrameView view = scenarios_[self]->Next();
+      const auto& remotes = remote_ids_[self];
+      std::uint8_t wanted_mask = 0;
+      for (std::size_t k = 0; k < remotes.size(); ++k) {
+        // The other personas are potential occluders of this one.
+        std::vector<render::Placement> others;
+        for (std::size_t m = 0; m < view.placements.size(); ++m) {
+          if (m != k) others.push_back(view.placements[m]);
+        }
+        const render::Visibility vis =
+            render::EvaluateVisibility(view.camera, view.placements[k], others);
+        const render::LodClass lod = render::SelectLod(vis, config_.lod_policy);
+        ++lod_histograms_[self][static_cast<std::size_t>(lod)];
+
+        if (lod == render::LodClass::kProxy) {
+          // Out of the viewport: a static bounding-box proxy renders from
+          // the last known pose — no fresh semantics needed (the basis of
+          // delivery culling; availability is only judged when visible).
+          render::RenderItem item;
+          item.triangles = ladders_[remotes[k]]->TriangleCount(lod);
+          item.coverage = 0.0;
+          item.peripheral_shading = false;
+          submission.items.push_back(item);
+          continue;
+        }
+        wanted_mask = static_cast<std::uint8_t>(wanted_mask | (1u << remotes[k]));
+
+        ++availability_[self].samples;
+        if (!spatial_receivers_[self]->PersonaAvailable(remotes[k], now)) {
+          ++availability_[self].unavailable;
+          continue;
+        }
+        render::RenderItem item;
+        item.triangles = ladders_[remotes[k]]->TriangleCount(lod);
+        item.coverage = render::NormalizedScreenCoverage(view.camera, view.placements[k]);
+        item.peripheral_shading = lod == render::LodClass::kPeripheral;
+        submission.items.push_back(item);
+        ++submission.active_personas;
+      }
+      desired_masks_[self] = wanted_mask;
+      return submission;
+    };
+
+    if (config_.delivery_culling) {
+      // Push subscription changes to the SFU four times a second.
+      auto updater = std::make_shared<std::function<void()>>();
+      *updater = [this, self, updater] {
+        if (sim_->now() >= config_.duration) return;
+        if (desired_masks_[self] != sent_masks_[self]) {
+          sent_masks_[self] = desired_masks_[self];
+          std::vector<std::uint8_t> msg = {kRelayTagLocal, static_cast<std::uint8_t>(self),
+                                           kMediaSubscription, sent_masks_[self]};
+          quic_conns_[self]->SendDatagram(msg);
+        }
+        sim_->After(net::Millis(250), *updater);
+      };
+      sim_->After(net::Millis(600), *updater);
+    }
+
+    // Rendering starts once media is flowing.
+    sim_->After(net::Millis(500), [this, self, on_frame] {
+      render_loops_[self]->Start(config_.duration, on_frame);
+    });
+  }
+}
+
+net::Netem TelepresenceSession::UplinkNetem(std::size_t participant) {
+  return net::Netem(network_.get(), hosts_.at(participant),
+                    network_->AccessRouter(hosts_.at(participant)));
+}
+
+net::Netem TelepresenceSession::DownlinkNetem(std::size_t participant) {
+  return net::Netem(network_.get(), network_->AccessRouter(hosts_.at(participant)),
+                    hosts_.at(participant));
+}
+
+void TelepresenceSession::Run() { sim_->RunUntil(config_.duration + net::Seconds(2)); }
+
+const net::Capture& TelepresenceSession::capture(std::size_t participant) const {
+  return *captures_.at(participant);
+}
+
+const render::RenderLoop* TelepresenceSession::render_loop(std::size_t participant) const {
+  return participant < render_loops_.size() ? render_loops_[participant].get() : nullptr;
+}
+
+const SpatialPersonaReceiver* TelepresenceSession::spatial_receiver(
+    std::size_t participant) const {
+  return participant < spatial_receivers_.size() ? spatial_receivers_[participant].get()
+                                                 : nullptr;
+}
+
+const SpatialPersonaSender* TelepresenceSession::spatial_sender(std::size_t participant) const {
+  return participant < spatial_senders_.size() ? spatial_senders_[participant].get() : nullptr;
+}
+
+const VideoPersonaReceiver* TelepresenceSession::video_receiver(std::size_t participant) const {
+  return participant < video_receivers_.size() ? video_receivers_[participant].get() : nullptr;
+}
+
+net::NodeId TelepresenceSession::server_node(std::size_t index) const {
+  return server_nodes_.at(index);
+}
+
+SessionReport TelepresenceSession::BuildReport() const {
+  SessionReport report;
+  report.app = std::string(profile_.name);
+  report.persona_kind = persona_kind_;
+  report.p2p = p2p_;
+  report.server_metros = server_metros_;
+
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    ParticipantReport pr;
+    pr.name = config_.participants[i].name;
+    pr.metro = config_.participants[i].metro;
+
+    // Throughput: 1-second bins over the steady state, from the capture.
+    const net::Capture& cap = *captures_[i];
+    const net::NodeId host = hosts_[i];
+    std::vector<double> up, down;
+    for (net::SimTime t = kWarmup; t + net::kSecond <= config_.duration; t += net::kSecond) {
+      up.push_back(cap.MeanThroughputBps(net::Capture::FromNode(host), t, t + net::kSecond) /
+                   1e6);
+      down.push_back(cap.MeanThroughputBps(net::Capture::ToNode(host), t, t + net::kSecond) /
+                     1e6);
+    }
+    pr.uplink_mbps = core::Summarize(up);
+    pr.downlink_mbps = core::Summarize(down);
+
+    // Protocol identification, Wireshark-style.
+    const auto flows = transport::ClassifyFlows(cap);
+    transport::FlowProtocol dominant = transport::FlowProtocol::kUnknown;
+    std::uint64_t best_bytes = 0;
+    const auto flow_bytes = cap.Flows(net::Capture::FromNode(host));
+    for (const auto& [key, stats] : flow_bytes) {
+      const auto it = flows.find(key);
+      if (it == flows.end()) continue;
+      if (stats.bytes > best_bytes) {
+        best_bytes = stats.bytes;
+        dominant = it->second;
+        if (it->second == transport::FlowProtocol::kRtp) {
+          pr.rtp_payload_type = transport::DominantRtpPayloadType(cap, key);
+        } else {
+          pr.rtp_payload_type = -1;
+        }
+      }
+    }
+    switch (dominant) {
+      case transport::FlowProtocol::kRtp: pr.uplink_protocol = "RTP"; break;
+      case transport::FlowProtocol::kQuic: pr.uplink_protocol = "QUIC"; break;
+      case transport::FlowProtocol::kTcpProbe: pr.uplink_protocol = "TCP"; break;
+      case transport::FlowProtocol::kMixed: pr.uplink_protocol = "mixed"; break;
+      case transport::FlowProtocol::kUnknown: pr.uplink_protocol = "unknown"; break;
+    }
+
+    // 2D-session QoE from the RTP machinery.
+    if (i < video_receivers_.size() && video_receivers_[i] != nullptr) {
+      const VideoPersonaReceiver& rx = *video_receivers_[i];
+      pr.media_rtt_ms = rx.own_path_rtt_ms();
+      const transport::RtpReceiverStats& rs = rx.rtp().stats();
+      const std::uint64_t expected = rs.packets_received + rs.packets_lost;
+      pr.rtp_loss_rate = expected == 0 ? 0
+                                       : static_cast<double>(rs.packets_lost) /
+                                             static_cast<double>(expected);
+      pr.rtp_jitter_ms = rs.jitter_rtp_units / 90.0;  // 90 kHz -> ms
+    }
+
+    // Render statistics.
+    if (i < render_loops_.size() && render_loops_[i] != nullptr) {
+      std::vector<double> gpu, cpu, tri;
+      for (const render::FrameStats& f : render_loops_[i]->frames()) {
+        gpu.push_back(f.gpu_ms);
+        cpu.push_back(f.cpu_ms);
+        tri.push_back(static_cast<double>(f.triangles));
+      }
+      pr.gpu_ms = core::Summarize(gpu);
+      pr.cpu_ms = core::Summarize(cpu);
+      pr.triangles = core::Summarize(tri);
+      pr.deadline_miss_rate = render_loops_[i]->MissRate();
+    }
+    if (i < availability_.size() && availability_[i].samples > 0) {
+      pr.persona_available_fraction =
+          1.0 - static_cast<double>(availability_[i].unavailable) /
+                    static_cast<double>(availability_[i].samples);
+    }
+    report.participants.push_back(std::move(pr));
+  }
+  return report;
+}
+
+}  // namespace vtp::vca

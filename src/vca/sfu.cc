@@ -1,0 +1,144 @@
+#include "vca/sfu.h"
+
+#include <algorithm>
+
+namespace vtp::vca {
+
+SfuServer::SfuServer(net::Network* network, net::NodeId node, std::uint16_t port,
+                     TransportKind kind)
+    : network_(network), node_(node), port_(port), kind_(kind) {
+  if (kind_ == TransportKind::kRtp) {
+    network_->BindUdp(node_, port_, [this](const net::Packet& p) { OnRtpPacket(p); });
+  } else {
+    quic_ = std::make_unique<transport::QuicEndpoint>(network_, node_, port_);
+    quic_->set_on_accept([this](transport::QuicConnection* conn) {
+      client_conns_.push_back(conn);
+      conn->set_on_datagram([this, conn](std::span<const std::uint8_t> data) {
+        OnQuicDatagram(conn, data);
+      });
+    });
+  }
+}
+
+SfuServer::~SfuServer() {
+  if (kind_ == TransportKind::kRtp) network_->UnbindUdp(node_, port_);
+}
+
+void SfuServer::AddRtpMember(net::NodeId node, std::uint16_t port) {
+  rtp_members_.push_back(RtpMember{node, port, 0});
+}
+
+void SfuServer::ConnectPeerServer(net::NodeId node, std::uint16_t port) {
+  transport::QuicConnection* conn = quic_->Connect(node, port);
+  conn->set_on_datagram([this, conn](std::span<const std::uint8_t> data) {
+    OnQuicDatagram(conn, data);
+  });
+  peer_conns_.push_back(conn);
+  // Identify ourselves to the acceptor so it reclassifies this connection
+  // as a server-to-server link (sent thrice: datagrams are unreliable, but
+  // the private backbone is effectively loss-free).
+  const std::vector<std::uint8_t> hello{kRelayTagHello};
+  for (int i = 0; i < 3; ++i) conn->SendDatagram(hello);
+}
+
+void SfuServer::OnRtpPacket(const net::Packet& p) {
+  // Identify the member by transport address.
+  RtpMember* from = nullptr;
+  for (RtpMember& m : rtp_members_) {
+    if (m.node == p.src && m.port == p.src_port) {
+      from = &m;
+      break;
+    }
+  }
+  if (from == nullptr) return;  // not part of this session
+
+  if (transport::LooksLikeRtcp(p.payload)) {
+    // Receiver reports route to the member that owns the reported SSRC;
+    // sender reports fan out like media (every receiver needs the clock).
+    if (const auto rr = transport::RtcpReceiverReport::Parse(p.payload)) {
+      for (const RtpMember& m : rtp_members_) {
+        if (&m != from && m.ssrc == rr->source_ssrc) {
+          ++forwarded_;
+          network_->SendUdp(node_, port_, m.node, m.port, p.payload);
+          return;
+        }
+      }
+      return;
+    }
+    if (transport::RtcpSenderReport::Parse(p.payload)) {
+      for (const RtpMember& m : rtp_members_) {
+        if (&m == from) continue;
+        ++forwarded_;
+        network_->SendUdp(node_, port_, m.node, m.port, p.payload);
+      }
+    }
+    return;
+  }
+
+  // Learn the member's SSRC from its media packets.
+  if (const auto header = transport::RtpHeader::Parse(p.payload)) {
+    from->ssrc = header->ssrc;
+  }
+
+  // Fan out to everyone else.
+  for (const RtpMember& m : rtp_members_) {
+    if (&m == from) continue;
+    ++forwarded_;
+    network_->SendUdp(node_, port_, m.node, m.port, p.payload);
+  }
+}
+
+void SfuServer::OnQuicDatagram(transport::QuicConnection* from,
+                               std::span<const std::uint8_t> data) {
+  if (data.empty()) return;
+  const std::uint8_t tag = data[0];
+
+  // Receiver -> server control: viewport-aware delivery subscription
+  // ([tag][receiver_id][kMediaSubscription][bitmask]). Applies to the
+  // origin connection only; never forwarded.
+  if ((tag == kRelayTagLocal || tag == kRelayTagRelayed) && data.size() >= 4 &&
+      data[2] == 3 /* kMediaSubscription */) {
+    semantic_subscriptions_[from] = data[3];
+    return;
+  }
+
+  if (tag == kRelayTagHello) {
+    // A peer server announced itself on an accepted connection: reclassify.
+    const auto it = std::find(client_conns_.begin(), client_conns_.end(), from);
+    if (it != client_conns_.end()) {
+      client_conns_.erase(it);
+      peer_conns_.push_back(from);
+    }
+    return;
+  }
+
+  // Fan out to all local clients except the origin, honouring each
+  // receiver's semantic subscription mask (audio always flows).
+  const bool is_semantic = data.size() >= 3 && (data[2] == 0 || data[2] == 2);
+  const std::uint8_t sender_id = data.size() >= 2 ? data[1] : 0;
+  for (transport::QuicConnection* conn : client_conns_) {
+    if (conn == from) continue;
+    if (is_semantic && sender_id < 8) {
+      const auto it = semantic_subscriptions_.find(conn);
+      if (it != semantic_subscriptions_.end() &&
+          (it->second & (1u << sender_id)) == 0) {
+        continue;  // receiver culled this persona from delivery
+      }
+    }
+    ++forwarded_;
+    conn->SendDatagram(data);
+  }
+  // Locally originated traffic also crosses the private backbone to peer
+  // servers, tagged so they do not relay it onward again.
+  if (tag == kRelayTagLocal) {
+    std::vector<std::uint8_t> relayed(data.begin(), data.end());
+    relayed[0] = kRelayTagRelayed;
+    for (transport::QuicConnection* conn : peer_conns_) {
+      if (conn == from) continue;
+      ++forwarded_;
+      conn->SendDatagram(relayed);
+    }
+  }
+}
+
+}  // namespace vtp::vca

@@ -1,0 +1,83 @@
+// Selective forwarding unit (SFU).
+//
+// §4.2 finds the VCAs' servers "are primarily used for data forwarding":
+// each member's media is relayed verbatim to every other member. This SFU
+// does exactly that, in two modes:
+//
+//   * RTP mode — forwards RTP packets to all other registered members and
+//     routes RTCP receiver reports back to the member that owns the
+//     reported SSRC (so senders get loss feedback through the server);
+//   * QUIC mode — accepts QUIC connections and relays DATAGRAM payloads.
+//     Payloads carry a 1-byte relay tag (see kRelayTag*) so a
+//     geo-distributed deployment (§4.1's proposed fix, our ablation) can
+//     chain servers over a private backbone without relay loops.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "netsim/network.h"
+#include "transport/quic.h"
+#include "transport/rtp.h"
+
+namespace vtp::vca {
+
+/// Which transport the session's media uses (§4.1: QUIC iff spatial).
+enum class TransportKind { kRtp, kQuicDatagram };
+
+/// First byte of every QUIC datagram payload in a session.
+inline constexpr std::uint8_t kRelayTagLocal = 0;    ///< from a client
+inline constexpr std::uint8_t kRelayTagRelayed = 1;  ///< from a peer server
+inline constexpr std::uint8_t kRelayTagHello = 2;    ///< peer-server handshake
+
+/// A forwarding server instance on one node.
+class SfuServer {
+ public:
+  SfuServer(net::Network* network, net::NodeId node, std::uint16_t port, TransportKind kind);
+  ~SfuServer();
+
+  SfuServer(const SfuServer&) = delete;
+  SfuServer& operator=(const SfuServer&) = delete;
+
+  /// RTP mode: registers a member endpoint to forward to/from.
+  void AddRtpMember(net::NodeId node, std::uint16_t port);
+
+  /// QUIC mode (geo-distributed): dials a peer server; locally originated
+  /// datagrams are relayed to it with the tag rewritten.
+  void ConnectPeerServer(net::NodeId node, std::uint16_t port);
+
+  net::NodeId node() const { return node_; }
+  std::uint16_t port() const { return port_; }
+
+  /// Packets forwarded so far (for tests).
+  std::uint64_t forwarded_count() const { return forwarded_; }
+
+ private:
+  struct RtpMember {
+    net::NodeId node;
+    std::uint16_t port;
+    std::uint32_t ssrc = 0;  ///< learned from the member's RTP packets
+  };
+
+  void OnRtpPacket(const net::Packet& p);
+  void OnQuicDatagram(transport::QuicConnection* from, std::span<const std::uint8_t> data);
+
+  net::Network* network_;
+  net::NodeId node_;
+  std::uint16_t port_;
+  TransportKind kind_;
+  std::uint64_t forwarded_ = 0;
+
+  // RTP mode.
+  std::vector<RtpMember> rtp_members_;
+
+  // QUIC mode.
+  std::unique_ptr<transport::QuicEndpoint> quic_;
+  std::vector<transport::QuicConnection*> client_conns_;
+  std::vector<transport::QuicConnection*> peer_conns_;
+  std::map<transport::QuicConnection*, std::uint8_t> semantic_subscriptions_;
+};
+
+}  // namespace vtp::vca

@@ -1,0 +1,352 @@
+#include "video/codec.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numbers>
+
+#include "compress/bitstream.h"
+#include "compress/entropy.h"
+#include "compress/range_coder.h"
+#include "compress/varint.h"
+
+namespace vtp::video {
+
+namespace {
+
+constexpr int kBlock = 8;
+constexpr std::uint8_t kFlagKeyframe = 0x01;
+
+/// Orthonormal 8x8 DCT-II basis, computed once.
+struct DctBasis {
+  std::array<std::array<float, kBlock>, kBlock> c{};
+  DctBasis() {
+    for (int u = 0; u < kBlock; ++u) {
+      const float alpha = u == 0 ? std::sqrt(1.0f / kBlock) : std::sqrt(2.0f / kBlock);
+      for (int x = 0; x < kBlock; ++x) {
+        c[u][x] = alpha * std::cos((2 * x + 1) * u * std::numbers::pi_v<float> / (2 * kBlock));
+      }
+    }
+  }
+};
+const DctBasis& Basis() {
+  static const DctBasis basis;
+  return basis;
+}
+
+using Block = std::array<float, kBlock * kBlock>;
+
+void ForwardDct(const Block& in, Block& out) {
+  const auto& c = Basis().c;
+  Block tmp;
+  // Rows.
+  for (int y = 0; y < kBlock; ++y) {
+    for (int u = 0; u < kBlock; ++u) {
+      float s = 0;
+      for (int x = 0; x < kBlock; ++x) s += in[y * kBlock + x] * c[u][x];
+      tmp[y * kBlock + u] = s;
+    }
+  }
+  // Columns.
+  for (int u = 0; u < kBlock; ++u) {
+    for (int v = 0; v < kBlock; ++v) {
+      float s = 0;
+      for (int y = 0; y < kBlock; ++y) s += tmp[y * kBlock + u] * c[v][y];
+      out[v * kBlock + u] = s;
+    }
+  }
+}
+
+void InverseDct(const Block& in, Block& out) {
+  const auto& c = Basis().c;
+  Block tmp;
+  for (int u = 0; u < kBlock; ++u) {
+    for (int y = 0; y < kBlock; ++y) {
+      float s = 0;
+      for (int v = 0; v < kBlock; ++v) s += in[v * kBlock + u] * c[v][y];
+      tmp[y * kBlock + u] = s;
+    }
+  }
+  for (int y = 0; y < kBlock; ++y) {
+    for (int x = 0; x < kBlock; ++x) {
+      float s = 0;
+      for (int u = 0; u < kBlock; ++u) s += tmp[y * kBlock + u] * c[u][x];
+      out[y * kBlock + x] = s;
+    }
+  }
+}
+
+/// Zigzag scan order for 8x8 blocks.
+constexpr std::array<int, 64> MakeZigzag() {
+  std::array<int, 64> order{};
+  int idx = 0;
+  for (int s = 0; s < 2 * kBlock - 1; ++s) {
+    if (s % 2 == 0) {
+      for (int y = std::min(s, kBlock - 1); y >= 0 && s - y < kBlock; --y) {
+        order[idx++] = y * kBlock + (s - y);
+      }
+    } else {
+      for (int x = std::min(s, kBlock - 1); x >= 0 && s - x < kBlock; --x) {
+        order[idx++] = (s - x) * kBlock + x;
+      }
+    }
+  }
+  return order;
+}
+constexpr auto kZigzag = MakeZigzag();
+
+/// H.264-style step size: doubles every 6 QP; ~1.0 at QP 8.
+float QStep(int qp) { return 0.625f * std::exp2(static_cast<float>(qp) / 6.0f); }
+
+/// Frequency weighting (coarser quantization at high frequencies).
+float FreqWeight(int zigzag_index) {
+  return 1.0f + 0.06f * static_cast<float>(zigzag_index);
+}
+
+/// Per-frame entropy contexts.
+struct CoeffModels {
+  compress::SignedValueCoder dc;
+  compress::SignedValueCoder ac_low;   // zigzag 1..15
+  compress::SignedValueCoder ac_high;  // zigzag 16..63
+  compress::BitTree<7> last_index;     // number of coded coefficients, 0..64
+  compress::SignedValueCoder mv_x;     // motion vectors (P frames)
+  compress::SignedValueCoder mv_y;
+};
+
+constexpr int kMotionRange = 7;  // max |mv| component, pixels
+
+/// Clamped reference fetch for motion compensation.
+float RefPixel(const VideoFrame& ref, int x, int y) {
+  x = std::clamp(x, 0, ref.width - 1);
+  y = std::clamp(y, 0, ref.height - 1);
+  return static_cast<float>(ref.at(x, y));
+}
+
+/// Sum of absolute differences between the source block at (bx,by) and the
+/// reference displaced by (mvx,mvy).
+double BlockSad(const VideoFrame& frame, const VideoFrame& ref, int bx, int by, int mvx,
+                int mvy) {
+  double sad = 0;
+  for (int y = 0; y < kBlock; ++y) {
+    for (int x = 0; x < kBlock; ++x) {
+      const int px = std::min(bx * kBlock + x, frame.width - 1);
+      const int py = std::min(by * kBlock + y, frame.height - 1);
+      sad += std::abs(static_cast<float>(frame.at(px, py)) -
+                      RefPixel(ref, px + mvx, py + mvy));
+    }
+  }
+  return sad;
+}
+
+/// Diamond motion search seeded with (0,0) and the left-neighbour predictor.
+std::pair<int, int> SearchMotion(const VideoFrame& frame, const VideoFrame& ref, int bx,
+                                 int by, std::pair<int, int> predicted) {
+  std::pair<int, int> best{0, 0};
+  double best_cost = BlockSad(frame, ref, bx, by, 0, 0);
+  const auto consider = [&](int mvx, int mvy) {
+    if (std::abs(mvx) > kMotionRange || std::abs(mvy) > kMotionRange) return;
+    const double cost = BlockSad(frame, ref, bx, by, mvx, mvy);
+    if (cost < best_cost - 1e-9) {
+      best_cost = cost;
+      best = {mvx, mvy};
+    }
+  };
+  consider(predicted.first, predicted.second);
+  for (int step = 0; step < 4; ++step) {
+    const auto [cx, cy] = best;
+    consider(cx + 1, cy);
+    consider(cx - 1, cy);
+    consider(cx, cy + 1);
+    consider(cx, cy - 1);
+    if (best.first == cx && best.second == cy) break;  // converged
+  }
+  return best;
+}
+
+compress::SignedValueCoder& AcCoder(CoeffModels& m, int zz) {
+  return zz < 16 ? m.ac_low : m.ac_high;
+}
+
+}  // namespace
+
+VideoEncoder::VideoEncoder(Resolution resolution, VideoCodecConfig config)
+    : resolution_(resolution), config_(config) {}
+
+EncodedFrame VideoEncoder::Encode(const VideoFrame& frame, int qp) {
+  qp = std::clamp(qp, 1, 51);
+  if (frame.width != resolution_.width || frame.height != resolution_.height) {
+    throw std::invalid_argument("VideoEncoder: frame size mismatch");
+  }
+  const bool keyframe = force_keyframe_ || !have_reference_ ||
+                        frame_index_ % static_cast<std::uint64_t>(config_.gop_length) == 0;
+  force_keyframe_ = false;
+  ++frame_index_;
+
+  EncodedFrame out;
+  out.keyframe = keyframe;
+  out.qp = qp;
+  out.bytes.push_back(keyframe ? kFlagKeyframe : 0);
+  out.bytes.push_back(static_cast<std::uint8_t>(qp));
+  compress::PutUleb128(out.bytes, static_cast<std::uint64_t>(frame.width));
+  compress::PutUleb128(out.bytes, static_cast<std::uint64_t>(frame.height));
+
+  if (!have_reference_) {
+    reference_ = VideoFrame(frame.width, frame.height);
+  }
+
+  const int bw = (frame.width + kBlock - 1) / kBlock;
+  const int bh = (frame.height + kBlock - 1) / kBlock;
+  const float qstep = QStep(qp);
+
+  compress::RangeEncoder rc(&out.bytes);
+  CoeffModels models;
+  std::int64_t prev_dc = 0;
+
+  VideoFrame recon(frame.width, frame.height);
+  Block pixels, coeffs, deq, rec;
+
+  for (int by = 0; by < bh; ++by) {
+    std::pair<int, int> mv_predictor{0, 0};
+    for (int bx = 0; bx < bw; ++bx) {
+      // Motion search (P frames): zero-motion fallback plus diamond refine.
+      std::pair<int, int> mv{0, 0};
+      if (!keyframe) {
+        mv = SearchMotion(frame, reference_, bx, by, mv_predictor);
+      }
+      // Gather the (residual) block, clamped at frame edges.
+      for (int y = 0; y < kBlock; ++y) {
+        for (int x = 0; x < kBlock; ++x) {
+          const int px = std::min(bx * kBlock + x, frame.width - 1);
+          const int py = std::min(by * kBlock + y, frame.height - 1);
+          float v = static_cast<float>(frame.at(px, py));
+          if (!keyframe) v -= RefPixel(reference_, px + mv.first, py + mv.second);
+          pixels[y * kBlock + x] = v;
+        }
+      }
+      ForwardDct(pixels, coeffs);
+      if (!keyframe) {
+        models.mv_x.Encode(rc, mv.first - mv_predictor.first);
+        models.mv_y.Encode(rc, mv.second - mv_predictor.second);
+        mv_predictor = mv;
+      }
+
+      // Quantize in zigzag order; find the last nonzero.
+      std::array<std::int32_t, 64> q{};
+      int last = 0;
+      for (int i = 0; i < 64; ++i) {
+        const float step = qstep * FreqWeight(i);
+        const auto level = static_cast<std::int32_t>(
+            std::lround(coeffs[static_cast<std::size_t>(kZigzag[i])] / step));
+        q[static_cast<std::size_t>(i)] = level;
+        if (level != 0) last = i + 1;
+      }
+
+      models.last_index.Encode(rc, static_cast<std::uint32_t>(last));
+      for (int i = 0; i < last; ++i) {
+        if (i == 0) {
+          // DC is delta-coded across blocks (strong spatial correlation).
+          models.dc.Encode(rc, q[0] - prev_dc);
+          prev_dc = q[0];
+        } else {
+          AcCoder(models, i).Encode(rc, q[static_cast<std::size_t>(i)]);
+        }
+      }
+      if (last == 0 && keyframe) {
+        // DC of an all-zero block is 0; keep the DC predictor in sync.
+        prev_dc = 0;
+      }
+
+      // Reconstruct for the reference (mirrors the decoder).
+      deq.fill(0);
+      for (int i = 0; i < last; ++i) {
+        deq[static_cast<std::size_t>(kZigzag[i])] =
+            static_cast<float>(q[static_cast<std::size_t>(i)]) * qstep * FreqWeight(i);
+      }
+      InverseDct(deq, rec);
+      for (int y = 0; y < kBlock; ++y) {
+        for (int x = 0; x < kBlock; ++x) {
+          const int px = bx * kBlock + x, py = by * kBlock + y;
+          if (px >= frame.width || py >= frame.height) continue;
+          float v = rec[y * kBlock + x];
+          if (!keyframe) v += RefPixel(reference_, px + mv.first, py + mv.second);
+          recon.set(px, py, static_cast<std::uint8_t>(std::clamp(v, 0.0f, 255.0f)));
+        }
+      }
+    }
+  }
+  rc.Flush();
+  reference_ = std::move(recon);
+  have_reference_ = true;
+  return out;
+}
+
+VideoDecoder::VideoDecoder(Resolution resolution) : resolution_(resolution) {}
+
+std::optional<VideoFrame> VideoDecoder::Decode(std::span<const std::uint8_t> bytes) {
+  std::size_t pos = 0;
+  if (bytes.size() < 2) throw compress::CorruptStream("video: truncated header");
+  const bool keyframe = (bytes[pos++] & kFlagKeyframe) != 0;
+  const int qp = bytes[pos++];
+  if (qp < 1 || qp > 51) throw compress::CorruptStream("video: bad qp");
+  const auto width = static_cast<int>(compress::GetUleb128(bytes, &pos));
+  const auto height = static_cast<int>(compress::GetUleb128(bytes, &pos));
+  if (width != resolution_.width || height != resolution_.height) {
+    throw compress::CorruptStream("video: resolution mismatch");
+  }
+  if (!keyframe && !have_reference_) return std::nullopt;
+
+  const int bw = (width + kBlock - 1) / kBlock;
+  const int bh = (height + kBlock - 1) / kBlock;
+  const float qstep = QStep(qp);
+
+  compress::RangeDecoder rc(bytes.subspan(pos));
+  CoeffModels models;
+  std::int64_t prev_dc = 0;
+
+  VideoFrame frame(width, height);
+  Block deq, rec;
+  for (int by = 0; by < bh; ++by) {
+    std::pair<int, int> mv_predictor{0, 0};
+    for (int bx = 0; bx < bw; ++bx) {
+      std::pair<int, int> mv{0, 0};
+      if (!keyframe) {
+        mv = {mv_predictor.first + static_cast<int>(models.mv_x.Decode(rc)),
+              mv_predictor.second + static_cast<int>(models.mv_y.Decode(rc))};
+        if (std::abs(mv.first) > kMotionRange || std::abs(mv.second) > kMotionRange) {
+          throw compress::CorruptStream("video: motion vector out of range");
+        }
+        mv_predictor = mv;
+      }
+      const int last = static_cast<int>(models.last_index.Decode(rc));
+      if (last > 64) throw compress::CorruptStream("video: bad coefficient count");
+      deq.fill(0);
+      for (int i = 0; i < last; ++i) {
+        std::int64_t level;
+        if (i == 0) {
+          level = prev_dc + models.dc.Decode(rc);
+          prev_dc = level;
+        } else {
+          level = AcCoder(models, i).Decode(rc);
+        }
+        deq[static_cast<std::size_t>(kZigzag[i])] =
+            static_cast<float>(level) * qstep * FreqWeight(i);
+      }
+      if (last == 0 && keyframe) prev_dc = 0;
+      InverseDct(deq, rec);
+      for (int y = 0; y < kBlock; ++y) {
+        for (int x = 0; x < kBlock; ++x) {
+          const int px = bx * kBlock + x, py = by * kBlock + y;
+          if (px >= width || py >= height) continue;
+          float v = rec[y * kBlock + x];
+          if (!keyframe) v += RefPixel(reference_, px + mv.first, py + mv.second);
+          frame.set(px, py, static_cast<std::uint8_t>(std::clamp(v, 0.0f, 255.0f)));
+        }
+      }
+    }
+  }
+  reference_ = frame;
+  have_reference_ = true;
+  return frame;
+}
+
+}  // namespace vtp::video

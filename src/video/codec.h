@@ -1,0 +1,73 @@
+// Block-transform video codec (the 2D-persona workhorse).
+//
+// An H.26x-class intra/inter codec reduced to its essentials: 8x8 DCT,
+// frequency-weighted quantization with an H.264-style QP scale (step doubles
+// every 6 QP), zigzag scanning, and adaptive range coding of coefficients.
+// P-frames use zero-motion temporal prediction against the reconstructed
+// reference — adequate for videoconferencing content, whose motion is small
+// (a swaying head over a static background, Figure 1b).
+//
+// The encoder is a real codec (decodable, tested for rate/distortion
+// monotonicity); the VCA session layer uses it through CalibratedRateModel
+// so 120-second simulations don't pay per-pixel costs in the event loop.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "video/frame.h"
+
+namespace vtp::video {
+
+/// Codec parameters.
+struct VideoCodecConfig {
+  int gop_length = 30;  ///< distance between keyframes
+};
+
+/// One encoded access unit.
+struct EncodedFrame {
+  std::vector<std::uint8_t> bytes;
+  bool keyframe = false;
+  int qp = 0;
+};
+
+/// Stateful encoder (keeps the reconstructed reference frame).
+class VideoEncoder {
+ public:
+  explicit VideoEncoder(Resolution resolution, VideoCodecConfig config = {});
+
+  /// Encodes the next frame at quantization parameter `qp` (1..51; step
+  /// doubles every +6). Frame must match the configured resolution.
+  EncodedFrame Encode(const VideoFrame& frame, int qp);
+
+  /// Forces the next frame to be a keyframe (e.g. after receiver feedback).
+  void RequestKeyframe() { force_keyframe_ = true; }
+
+ private:
+  Resolution resolution_;
+  VideoCodecConfig config_;
+  std::uint64_t frame_index_ = 0;
+  bool force_keyframe_ = false;
+  VideoFrame reference_;
+  bool have_reference_ = false;
+};
+
+/// Stateful decoder.
+class VideoDecoder {
+ public:
+  explicit VideoDecoder(Resolution resolution);
+
+  /// Decodes one access unit. Returns nullopt for a P-frame without a
+  /// reference (e.g. after joining mid-stream before a keyframe).
+  /// Throws compress::CorruptStream on malformed data.
+  std::optional<VideoFrame> Decode(std::span<const std::uint8_t> bytes);
+
+ private:
+  Resolution resolution_;
+  VideoFrame reference_;
+  bool have_reference_ = false;
+};
+
+}  // namespace vtp::video

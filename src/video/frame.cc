@@ -1,0 +1,22 @@
+#include "video/frame.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vtp::video {
+
+double Psnr(const VideoFrame& a, const VideoFrame& b) {
+  if (a.width != b.width || a.height != b.height) {
+    throw std::invalid_argument("Psnr: frame size mismatch");
+  }
+  double mse = 0;
+  for (std::size_t i = 0; i < a.luma.size(); ++i) {
+    const double d = static_cast<double>(a.luma[i]) - static_cast<double>(b.luma[i]);
+    mse += d * d;
+  }
+  mse /= static_cast<double>(a.luma.size());
+  if (mse <= 0) return 99.0;
+  return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+}  // namespace vtp::video

@@ -1,0 +1,43 @@
+// Video frames for the 2D-persona pipelines.
+//
+// Frames are single-plane luma (8-bit). The VCAs' bitrates are dominated by
+// luma detail and motion; chroma subsampling would only scale the numbers,
+// so we model Y and fold chroma into the codec's calibrated overhead.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace vtp::video {
+
+/// Resolution presets the paper reports per application (§4.2).
+struct Resolution {
+  int width = 0;
+  int height = 0;
+};
+inline constexpr Resolution kWebexResolution{1920, 1080};
+inline constexpr Resolution kTeamsResolution{1280, 720};
+inline constexpr Resolution kFaceTime2dResolution{1280, 720};
+inline constexpr Resolution kZoomResolution{640, 360};
+
+/// An 8-bit luma frame.
+struct VideoFrame {
+  int width = 0;
+  int height = 0;
+  std::vector<std::uint8_t> luma;  // row-major, width*height
+
+  VideoFrame() = default;
+  VideoFrame(int w, int h) : width(w), height(h), luma(static_cast<std::size_t>(w) * h, 0) {}
+
+  std::uint8_t at(int x, int y) const {
+    return luma[static_cast<std::size_t>(y) * width + x];
+  }
+  void set(int x, int y, std::uint8_t v) {
+    luma[static_cast<std::size_t>(y) * width + x] = v;
+  }
+};
+
+/// Peak signal-to-noise ratio between two equally sized frames (dB).
+double Psnr(const VideoFrame& a, const VideoFrame& b);
+
+}  // namespace vtp::video

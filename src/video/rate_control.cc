@@ -1,0 +1,35 @@
+#include "video/rate_control.h"
+
+#include <algorithm>
+
+namespace vtp::video {
+
+RateController::RateController(double target_bps, double fps, int initial_qp)
+    : target_bps_(target_bps), configured_bps_(target_bps), fps_(fps), qp_(initial_qp) {}
+
+void RateController::OnFrameEncoded(std::size_t bytes) {
+  const double budget = target_bps_ / fps_;
+  buffer_bits_ += static_cast<double>(bytes) * 8.0 - budget;
+  buffer_bits_ = std::max(buffer_bits_, -4.0 * budget);
+
+  // QP reacts to bucket fullness: the further over budget, the harder the
+  // quantizer clamps down.
+  if (buffer_bits_ > 4.0 * budget) {
+    qp_ += 2;
+  } else if (buffer_bits_ > budget) {
+    qp_ += 1;
+  } else if (buffer_bits_ < -budget) {
+    qp_ -= 1;
+  }
+  qp_ = std::clamp(qp_, 8, 48);
+}
+
+void RateController::OnTransportFeedback(double loss_rate) {
+  if (loss_rate > 0.02) {
+    target_bps_ = std::max(target_bps_ * (1.0 - 0.5 * loss_rate), 100e3);
+  } else {
+    target_bps_ = std::min(target_bps_ + 0.02 * configured_bps_, configured_bps_);
+  }
+}
+
+}  // namespace vtp::video

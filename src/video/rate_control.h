@@ -1,0 +1,42 @@
+// Closed-loop bitrate control for the 2D-persona pipelines.
+//
+// The paper contrasts the 2D VCAs — which adapt their video bitrate to
+// available bandwidth — with FaceTime's semantic stream, which cannot
+// (§4.3). This controller implements the 2D side: a leaky-bucket QP
+// adapter, plus a simple loss-driven target-rate backoff (the behaviour a
+// WebRTC-class congestion controller exposes to the codec).
+#pragma once
+
+#include <cstddef>
+
+namespace vtp::video {
+
+/// Leaky-bucket QP controller.
+class RateController {
+ public:
+  /// `target_bps` is the initial media bitrate target; `fps` the frame rate.
+  RateController(double target_bps, double fps, int initial_qp = 28);
+
+  /// QP to use for the next frame.
+  int NextQp() const { return qp_; }
+
+  /// Reports the actual encoded size of the frame just produced.
+  void OnFrameEncoded(std::size_t bytes);
+
+  /// Adjusts the target (e.g. from transport feedback).
+  void set_target_bps(double bps) { target_bps_ = bps; }
+  double target_bps() const { return target_bps_; }
+
+  /// Loss-driven backoff: multiplicative decrease on loss, slow additive
+  /// recovery otherwise — applied to the target bitrate.
+  void OnTransportFeedback(double loss_rate);
+
+ private:
+  double target_bps_;
+  double configured_bps_;
+  double fps_;
+  int qp_;
+  double buffer_bits_ = 0;
+};
+
+}  // namespace vtp::video

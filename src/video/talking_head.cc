@@ -1,0 +1,67 @@
+#include "video/talking_head.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace vtp::video {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+}
+
+TalkingHeadSource::TalkingHeadSource(TalkingHeadConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {}
+
+VideoFrame TalkingHeadSource::Next() {
+  const int w = config_.resolution.width;
+  const int h = config_.resolution.height;
+  const double t = static_cast<double>(frame_) / config_.fps;
+  ++frame_;
+
+  // Smooth head sway (damped spring + noise), in pixels.
+  const double dt = 1.0 / config_.fps;
+  sway_v_ += (-3.0 * sway_x_ - 1.2 * sway_v_ + rng_.Normal(0, 5.0)) * dt;
+  sway_x_ += sway_v_ * dt;
+  nod_v_ += (-3.0 * nod_y_ - 1.2 * nod_v_ + rng_.Normal(0, 4.0)) * dt;
+  nod_y_ += nod_v_ * dt;
+  const double cx = w / 2.0 + sway_x_ * config_.sway_amplitude * h;
+  const double cy = h / 2.0 + nod_y_ * config_.sway_amplitude * 0.6 * h;
+
+  const double head_rx = 0.16 * h;
+  const double head_ry = 0.23 * h;
+  const double mouth_open =
+      std::max(0.0, std::sin(2 * kPi * config_.mouth_rate_hz * t)) * 0.035 * h;
+
+  VideoFrame f(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      // Static background: smooth diagonal gradient (compresses away in
+      // P-frames, like the real static backdrop).
+      double v = 60.0 + 40.0 * (static_cast<double>(x) / w) +
+                 25.0 * (static_cast<double>(y) / h);
+
+      const double dx = (x - cx) / head_rx;
+      const double dy = (y - cy) / head_ry;
+      const double r2 = dx * dx + dy * dy;
+      if (r2 < 1.0) {
+        // Head: shaded ellipse with features.
+        v = 170.0 - 55.0 * r2;
+        // Eyes.
+        const double ex1 = (x - (cx - 0.42 * head_rx)) / (0.16 * head_rx);
+        const double ex2 = (x - (cx + 0.42 * head_rx)) / (0.16 * head_rx);
+        const double ey = (y - (cy - 0.25 * head_ry)) / (0.10 * head_ry);
+        if (ex1 * ex1 + ey * ey < 1.0 || ex2 * ex2 + ey * ey < 1.0) v = 35.0;
+        // Mouth: opens with speech.
+        const double mx = (x - cx) / (0.38 * head_rx);
+        const double my = (y - (cy + 0.45 * head_ry)) / (0.06 * head_ry + mouth_open);
+        if (mx * mx + my * my < 1.0) v = 50.0;
+      }
+      v += rng_.Normal(0.0, config_.grain_stddev);
+      f.set(x, y, static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0)));
+    }
+  }
+  return f;
+}
+
+}  // namespace vtp::video

@@ -1,0 +1,258 @@
+// Tests for the transport extensions: FEC, the playout buffer, and QUIC
+// connection close.
+#include <gtest/gtest.h>
+
+#include "netsim/netem.h"
+#include "netsim/network.h"
+#include "transport/fec.h"
+#include "transport/playout.h"
+#include "transport/quic.h"
+
+namespace vtp::transport {
+namespace {
+
+// --- FEC -----------------------------------------------------------------------
+
+std::vector<std::uint8_t> MakePayload(int seed, std::size_t size) {
+  std::vector<std::uint8_t> p(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    p[i] = static_cast<std::uint8_t>(seed * 31 + static_cast<int>(i) * 7);
+  }
+  return p;
+}
+
+TEST(Fec, LosslessPathDeliversEverySourceOnce) {
+  std::vector<std::vector<std::uint8_t>> delivered;
+  FecDecoder decoder([&](std::span<const std::uint8_t> p) {
+    delivered.emplace_back(p.begin(), p.end());
+  });
+  FecEncoder encoder(4);
+  std::vector<std::vector<std::uint8_t>> sent;
+  for (int i = 0; i < 12; ++i) {
+    sent.push_back(MakePayload(i, 100 + static_cast<std::size_t>(i)));
+    for (auto& framed : encoder.Protect(sent.back())) {
+      decoder.OnDatagram(framed);
+    }
+  }
+  ASSERT_EQ(delivered.size(), 12u);
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(delivered[static_cast<std::size_t>(i)], sent[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_EQ(decoder.stats().recovered, 0u);
+  EXPECT_EQ(decoder.stats().parities_received, 3u);
+}
+
+class FecLossPosition : public ::testing::TestWithParam<int> {};
+
+TEST_P(FecLossPosition, RecoversAnySingleLossInAGroup) {
+  const int lost_index = GetParam();
+  std::vector<std::vector<std::uint8_t>> delivered;
+  FecDecoder decoder([&](std::span<const std::uint8_t> p) {
+    delivered.emplace_back(p.begin(), p.end());
+  });
+  FecEncoder encoder(4);
+  std::vector<std::vector<std::uint8_t>> sent;
+  for (int i = 0; i < 4; ++i) {
+    sent.push_back(MakePayload(i, 50 + static_cast<std::size_t>(i) * 13));
+    const auto framed = encoder.Protect(sent.back());
+    for (std::size_t f = 0; f < framed.size(); ++f) {
+      // framed[0] is the source; framed[1] (last round) is the parity.
+      if (f == 0 && i == lost_index) continue;  // drop this source
+      decoder.OnDatagram(framed[f]);
+    }
+  }
+  ASSERT_EQ(delivered.size(), 4u);  // 3 direct + 1 recovered
+  EXPECT_EQ(decoder.stats().recovered, 1u);
+  // The recovered payload is delivered last but byte-exact.
+  EXPECT_EQ(delivered.back(), sent[static_cast<std::size_t>(lost_index)]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Positions, FecLossPosition, ::testing::Values(0, 1, 2, 3));
+
+TEST(Fec, DoubleLossIsUnrecoverable) {
+  int delivered = 0;
+  FecDecoder decoder([&](std::span<const std::uint8_t>) { ++delivered; });
+  FecEncoder encoder(3);
+  for (int group = 0; group < 20; ++group) {
+    for (int i = 0; i < 3; ++i) {
+      const auto framed = encoder.Protect(MakePayload(group * 3 + i, 80));
+      for (std::size_t f = 0; f < framed.size(); ++f) {
+        if (f == 0 && i <= 1) continue;  // drop two sources per group
+        decoder.OnDatagram(framed[f]);
+      }
+    }
+  }
+  EXPECT_EQ(delivered, 20);  // only the surviving source per group
+  EXPECT_EQ(decoder.stats().recovered, 0u);
+  EXPECT_GT(decoder.stats().unrecoverable, 0u);  // counted as groups retire
+}
+
+TEST(Fec, ParityLossCostsNothing) {
+  std::vector<std::vector<std::uint8_t>> delivered;
+  FecDecoder decoder([&](std::span<const std::uint8_t> p) {
+    delivered.emplace_back(p.begin(), p.end());
+  });
+  FecEncoder encoder(2);
+  for (int i = 0; i < 6; ++i) {
+    const auto framed = encoder.Protect(MakePayload(i, 64));
+    decoder.OnDatagram(framed[0]);  // never forward parity
+  }
+  EXPECT_EQ(delivered.size(), 6u);
+}
+
+TEST(Fec, OverheadIsOneOverK) {
+  FecEncoder encoder(5);
+  int total = 0;
+  for (int i = 0; i < 100; ++i) {
+    total += static_cast<int>(encoder.Protect(MakePayload(i, 100)).size());
+  }
+  EXPECT_EQ(total, 100 + 20);  // 100 sources + 100/5 parities
+}
+
+TEST(Fec, GarbageInputCountedNotCrashing) {
+  FecDecoder decoder(nullptr);
+  decoder.OnDatagram(std::vector<std::uint8_t>{});
+  decoder.OnDatagram(std::vector<std::uint8_t>{9, 9, 9, 9});
+  EXPECT_GT(decoder.stats().unrecoverable, 0u);
+}
+
+TEST(Fec, InvalidKThrows) {
+  EXPECT_THROW(FecEncoder(0), std::invalid_argument);
+  EXPECT_THROW(FecEncoder(300), std::invalid_argument);
+}
+
+// --- playout buffer ---------------------------------------------------------------
+
+TEST(Playout, PlaysFramesOnTheMediaClock) {
+  net::Simulator sim(1);
+  std::vector<net::SimTime> play_times;
+  PlayoutConfig config;
+  config.initial_delay = net::Millis(50);
+  PlayoutBuffer buffer(&sim, config,
+                       [&](std::uint32_t, std::vector<std::uint8_t>) {
+                         play_times.push_back(sim.now());
+                       });
+  // 10 frames at 90 fps (1000 ticks of 90 kHz), arriving with jitter.
+  for (int i = 0; i < 10; ++i) {
+    const net::SimTime arrival = net::Millis(11.1 * i + (i % 3) * 2.0);
+    sim.At(arrival, [&buffer, i] {
+      buffer.Push(static_cast<std::uint32_t>(i * 1000), std::vector<std::uint8_t>(10));
+    });
+  }
+  sim.Run();
+  ASSERT_EQ(play_times.size(), 10u);
+  EXPECT_EQ(buffer.stats().frames_played, 10u);
+  // Presentation is strictly periodic despite arrival jitter.
+  for (std::size_t i = 1; i < play_times.size(); ++i) {
+    EXPECT_NEAR(net::ToMillis(play_times[i] - play_times[i - 1]), 1000.0 / 90.0, 0.01);
+  }
+}
+
+TEST(Playout, LateFramesDroppedAndDelayGrows) {
+  net::Simulator sim(2);
+  PlayoutConfig config;
+  config.initial_delay = net::Millis(10);
+  PlayoutBuffer buffer(&sim, config, nullptr);
+  // Frame 0 anchors; frame 1 arrives 200 ms late relative to its slot.
+  sim.At(net::Millis(0), [&] { buffer.Push(0, {}); });
+  sim.At(net::Millis(230), [&] { buffer.Push(1000, {}); });  // slot was ~21 ms
+  sim.Run();
+  EXPECT_EQ(buffer.stats().frames_late_dropped, 1u);
+  EXPECT_GT(buffer.stats().current_delay, net::Millis(10));
+}
+
+TEST(Playout, DelayShrinksWhenHeadroomIsConsistentlyLarge) {
+  net::Simulator sim(3);
+  PlayoutConfig config;
+  config.initial_delay = net::Millis(200);
+  config.review_window_frames = 50;
+  PlayoutBuffer buffer(&sim, config, nullptr);
+  for (int i = 0; i < 200; ++i) {
+    sim.At(net::Millis(11.1 * i), [&buffer, i] {
+      buffer.Push(static_cast<std::uint32_t>(i * 1000), {});
+    });
+  }
+  sim.Run();
+  EXPECT_LT(buffer.stats().current_delay, net::Millis(200));
+  EXPECT_EQ(buffer.stats().frames_late_dropped, 0u);
+}
+
+// --- QUIC close --------------------------------------------------------------------
+
+TEST(QuicClose, CloseStopsTrafficAndNotifiesPeer) {
+  net::Simulator sim(1);
+  net::Network network(&sim);
+  network.BuildBackbone();
+  const auto a = network.AddHost("a", "SanFrancisco");
+  const auto b = network.AddHost("b", "NewYork");
+  network.ComputeRoutes();
+  QuicEndpoint client(&network, a, 9000), server(&network, b, 4433);
+  QuicConnection* server_conn = nullptr;
+  std::uint64_t peer_error = 999;
+  server.set_on_accept([&](QuicConnection* conn) {
+    server_conn = conn;
+    conn->set_on_close([&](std::uint64_t code) { peer_error = code; });
+  });
+  QuicConnection* conn = client.Connect(b, 4433);
+  sim.RunUntil(net::Millis(300));
+  ASSERT_TRUE(conn->established());
+
+  conn->Close(7);
+  sim.RunUntil(net::Millis(600));
+  EXPECT_TRUE(conn->closed());
+  ASSERT_NE(server_conn, nullptr);
+  EXPECT_TRUE(server_conn->closed());
+  EXPECT_EQ(peer_error, 7u);
+
+  // Post-close sends are no-ops.
+  const auto sent_before = conn->stats().packets_sent;
+  conn->SendDatagram(std::vector<std::uint8_t>(100, 1));
+  conn->SendStreamData(0, std::vector<std::uint8_t>(100, 1));
+  sim.RunUntil(net::Millis(900));
+  EXPECT_EQ(conn->stats().packets_sent, sent_before);
+}
+
+// --- FEC protecting the semantic stream over a lossy QUIC path ----------------------
+
+TEST(FecOverQuic, RecoversMostSingleLossesEndToEnd) {
+  net::Simulator sim(5);
+  net::Network network(&sim);
+  network.BuildBackbone();
+  const auto a = network.AddHost("a", "SanFrancisco");
+  const auto b = network.AddHost("b", "NewYork");
+  network.ComputeRoutes();
+
+  QuicEndpoint client(&network, a, 9000), server(&network, b, 4433);
+  FecDecoder fec_decoder(nullptr);
+  server.set_on_accept([&](QuicConnection* conn) {
+    conn->set_on_datagram(
+        [&](std::span<const std::uint8_t> d) { fec_decoder.OnDatagram(d); });
+  });
+  QuicConnection* conn = client.Connect(b, 4433);
+  sim.RunUntil(net::Millis(300));
+
+  net::Netem netem(&network, a, network.AccessRouter(a));
+  netem.SetLoss(0.05);
+
+  FecEncoder fec_encoder(4);
+  const int frames = 400;
+  for (int i = 0; i < frames; ++i) {
+    sim.At(net::Millis(300 + i * 11), [&, i] {
+      for (auto& framed : fec_encoder.Protect(MakePayload(i, 850))) {
+        conn->SendDatagram(framed);
+      }
+    });
+  }
+  sim.RunUntil(net::Seconds(10));
+
+  const FecDecoderStats& s = fec_decoder.stats();
+  const double direct = static_cast<double>(s.sources_received) / frames;
+  const double with_fec =
+      static_cast<double>(s.sources_received + s.recovered) / frames;
+  EXPECT_GT(s.recovered, 5u);            // FEC actually fired
+  EXPECT_GT(with_fec, direct + 0.01);    // and improved delivery
+  EXPECT_GT(with_fec, 0.97);             // ~5% loss mostly repaired at k=4
+}
+
+}  // namespace
+}  // namespace vtp::transport

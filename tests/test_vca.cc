@@ -1,0 +1,292 @@
+// Integration tests for the VCA layer: profiles, the SFU, and end-to-end
+// telepresence sessions.
+#include <gtest/gtest.h>
+
+#include "transport/classifier.h"
+#include "vca/profile.h"
+#include "vca/session.h"
+#include "vca/sfu.h"
+
+namespace vtp::vca {
+namespace {
+
+std::vector<Participant> TwoVisionPros() {
+  return {{.name = "U1", .metro = "SanFrancisco", .device = DeviceType::kVisionPro},
+          {.name = "U2", .metro = "NewYork", .device = DeviceType::kVisionPro}};
+}
+
+// --- profiles -----------------------------------------------------------------
+
+TEST(Profiles, ServerFootprintsMatchSection41) {
+  EXPECT_EQ(GetProfile(VcaApp::kFaceTime).server_metros.size(), 4u);
+  EXPECT_EQ(GetProfile(VcaApp::kZoom).server_metros.size(), 2u);
+  EXPECT_EQ(GetProfile(VcaApp::kWebex).server_metros.size(), 3u);
+  EXPECT_EQ(GetProfile(VcaApp::kTeams).server_metros.size(), 1u);
+}
+
+TEST(Profiles, ResolutionsMatchSection42) {
+  EXPECT_EQ(GetProfile(VcaApp::kWebex).persona_resolution.width, 1920);
+  EXPECT_EQ(GetProfile(VcaApp::kZoom).persona_resolution.width, 640);
+}
+
+TEST(Profiles, PersonaKindRules) {
+  const std::vector<DeviceType> all_vp = {DeviceType::kVisionPro, DeviceType::kVisionPro};
+  const std::vector<DeviceType> mixed = {DeviceType::kVisionPro, DeviceType::kMacBook};
+  EXPECT_EQ(SessionPersonaKind(VcaApp::kFaceTime, all_vp), PersonaKind::kSpatial);
+  // FaceTime reverts to 2D when any participant lacks a Vision Pro (§4.1).
+  EXPECT_EQ(SessionPersonaKind(VcaApp::kFaceTime, mixed), PersonaKind::k2d);
+  // The other apps never deliver spatial personas.
+  EXPECT_EQ(SessionPersonaKind(VcaApp::kZoom, all_vp), PersonaKind::k2d);
+  EXPECT_EQ(SessionPersonaKind(VcaApp::kWebex, all_vp), PersonaKind::k2d);
+}
+
+TEST(Profiles, P2pRules) {
+  const std::vector<DeviceType> all_vp = {DeviceType::kVisionPro, DeviceType::kVisionPro};
+  const std::vector<DeviceType> mixed = {DeviceType::kVisionPro, DeviceType::kMacBook};
+  const std::vector<DeviceType> three(3, DeviceType::kVisionPro);
+  // Zoom & FaceTime use P2P for two parties (§4.1)...
+  EXPECT_TRUE(SessionUsesP2p(VcaApp::kZoom, all_vp));
+  EXPECT_TRUE(SessionUsesP2p(VcaApp::kFaceTime, mixed));
+  // ...except FaceTime with two Vision Pros (§4.1's exception)...
+  EXPECT_FALSE(SessionUsesP2p(VcaApp::kFaceTime, all_vp));
+  // ...and never for >2 participants or for Webex/Teams.
+  EXPECT_FALSE(SessionUsesP2p(VcaApp::kZoom, three));
+  EXPECT_FALSE(SessionUsesP2p(VcaApp::kWebex, mixed));
+  EXPECT_FALSE(SessionUsesP2p(VcaApp::kTeams, mixed));
+}
+
+// --- spatial sessions --------------------------------------------------------------
+
+TEST(SpatialSession, ReproducesPaperHeadlineNumbers) {
+  SessionConfig config;
+  config.participants = TwoVisionPros();
+  config.duration = net::Seconds(12);
+  config.seed = 1;
+  TelepresenceSession session(std::move(config));
+  session.Run();
+  const SessionReport report = session.BuildReport();
+
+  EXPECT_EQ(report.persona_kind, PersonaKind::kSpatial);
+  EXPECT_FALSE(report.p2p);  // two Vision Pros still relay via a server
+  ASSERT_EQ(report.server_metros.size(), 1u);
+  EXPECT_EQ(report.server_metros[0], "SanJose");  // nearest to initiator (SF)
+
+  for (const ParticipantReport& p : report.participants) {
+    EXPECT_EQ(p.uplink_protocol, "QUIC");       // §4.1
+    EXPECT_NEAR(p.uplink_mbps.mean, 0.67, 0.15);   // §4.2: ~0.67 Mbps
+    EXPECT_NEAR(p.downlink_mbps.mean, 0.67, 0.15); // server forwards 1 peer
+    EXPECT_NEAR(p.triangles.mean, 70000, 15000);   // mostly full-LOD persona
+    EXPECT_NEAR(p.cpu_ms.mean, 5.67, 0.5);         // Fig. 6(b) 2-user point
+    EXPECT_NEAR(p.gpu_ms.mean, 5.65, 0.9);         // Fig. 6(b) 2-user point
+    EXPECT_GT(p.persona_available_fraction, 0.97);
+    EXPECT_LT(p.deadline_miss_rate, 0.05);
+  }
+}
+
+TEST(SpatialSession, ServerFollowsInitiator) {
+  SessionConfig config;
+  config.participants = {{.name = "U1", .metro = "NewYork", .device = DeviceType::kVisionPro},
+                         {.name = "U2", .metro = "SanFrancisco", .device = DeviceType::kVisionPro}};
+  config.duration = net::Seconds(4);
+  TelepresenceSession session(std::move(config));
+  // Initiator in NYC -> eastern FaceTime server regardless of U2 (§4.1).
+  EXPECT_EQ(session.server_metros_used().front(), "Ashburn");
+}
+
+TEST(SpatialSession, RejectsMoreThanFiveUsers) {
+  SessionConfig config;
+  for (int i = 0; i < 6; ++i) {
+    config.participants.push_back(
+        {.name = "U", .metro = "Chicago", .device = DeviceType::kVisionPro});
+  }
+  EXPECT_THROW(TelepresenceSession{std::move(config)}, std::invalid_argument);
+}
+
+TEST(SpatialSession, UplinkCapBelow700KbpsKillsThePersona) {
+  // §4.3: no rate adaptation — capping the uplink under ~700 Kbps makes the
+  // spatial persona unavailable ("poor connection").
+  SessionConfig config;
+  config.participants = TwoVisionPros();
+  config.duration = net::Seconds(12);
+  config.enable_reconstruction = false;  // speed: availability is the metric
+  TelepresenceSession session(std::move(config));
+  net::Netem netem = session.UplinkNetem(0);
+  session.sim().After(net::Seconds(5), [&netem] { netem.SetRateBps(400e3); });
+  session.Run();
+  const SessionReport report = session.BuildReport();
+  // U2 (viewing U1's persona) loses it for a large share of the session.
+  EXPECT_LT(report.participants[1].persona_available_fraction, 0.75);
+  // U1's view of U2 is unaffected.
+  EXPECT_GT(report.participants[0].persona_available_fraction, 0.95);
+}
+
+TEST(SpatialSession, GeoDistributedStrategyUsesMultipleServers) {
+  SessionConfig config;
+  config.participants = TwoVisionPros();
+  config.duration = net::Seconds(8);
+  config.strategy = ServerStrategy::kGeoDistributed;
+  config.enable_reconstruction = false;
+  TelepresenceSession session(std::move(config));
+  EXPECT_EQ(session.server_metros_used().size(), 2u);  // SJ for SF, Ashburn for NYC
+  session.Run();
+  const SessionReport report = session.BuildReport();
+  for (const ParticipantReport& p : report.participants) {
+    EXPECT_GT(p.persona_available_fraction, 0.95);  // relay mesh delivers
+    EXPECT_NEAR(p.uplink_mbps.mean, 0.67, 0.15);
+  }
+}
+
+// --- 2D sessions ---------------------------------------------------------------------
+
+TEST(TwoDSession, WebexOutweighsZoomPerResolution) {
+  const auto run = [](VcaApp app) {
+    SessionConfig config;
+    config.app = app;
+    config.participants = {{.name = "U1", .metro = "SanFrancisco", .device = DeviceType::kVisionPro},
+                           {.name = "U2", .metro = "NewYork", .device = DeviceType::kMacBook}};
+    config.duration = net::Seconds(12);
+    TelepresenceSession session(std::move(config));
+    session.Run();
+    return session.BuildReport();
+  };
+  const SessionReport webex = run(VcaApp::kWebex);
+  const SessionReport zoom = run(VcaApp::kZoom);
+
+  EXPECT_EQ(webex.persona_kind, PersonaKind::k2d);
+  EXPECT_FALSE(webex.p2p);
+  EXPECT_TRUE(zoom.p2p);  // two-party Zoom is P2P (§4.1)
+  EXPECT_EQ(webex.participants[0].uplink_protocol, "RTP");
+  EXPECT_EQ(zoom.participants[0].uplink_protocol, "RTP");
+  // §4.2: Webex (1080p) consumes ~3x Zoom (360p).
+  EXPECT_GT(webex.participants[0].uplink_mbps.mean,
+            zoom.participants[0].uplink_mbps.mean * 1.8);
+}
+
+TEST(TwoDSession, MixedFaceTimeFallsBackToRtpWithVideoPayloadType) {
+  SessionConfig config;
+  config.app = VcaApp::kFaceTime;
+  config.participants = {{.name = "U1", .metro = "Chicago", .device = DeviceType::kVisionPro},
+                         {.name = "U2", .metro = "Dallas", .device = DeviceType::kIphone}};
+  config.duration = net::Seconds(10);
+  TelepresenceSession session(std::move(config));
+  session.Run();
+  const SessionReport report = session.BuildReport();
+  EXPECT_EQ(report.persona_kind, PersonaKind::k2d);
+  EXPECT_TRUE(report.p2p);  // mixed two-party FaceTime is P2P
+  // §4.1: RTP with the same payload type as FaceTime's 2D video calls.
+  EXPECT_EQ(report.participants[0].uplink_protocol, "RTP");
+  EXPECT_EQ(report.participants[0].rtp_payload_type, 123);
+}
+
+TEST(TwoDSession, ThreePartyZoomGoesThroughAServer) {
+  SessionConfig config;
+  config.app = VcaApp::kZoom;
+  config.participants = {{.name = "U1", .metro = "Miami", .device = DeviceType::kMacBook},
+                         {.name = "U2", .metro = "Seattle", .device = DeviceType::kIpad},
+                         {.name = "U3", .metro = "Dallas", .device = DeviceType::kMacBook}};
+  config.duration = net::Seconds(10);
+  TelepresenceSession session(std::move(config));
+  session.Run();
+  const SessionReport report = session.BuildReport();
+  EXPECT_FALSE(report.p2p);
+  EXPECT_EQ(report.server_metros.front(), "Ashburn");  // nearest to Miami
+  // Each participant receives two remote streams: downlink ~2x uplink.
+  const ParticipantReport& u1 = report.participants[0];
+  EXPECT_NEAR(u1.downlink_mbps.mean, 2 * u1.uplink_mbps.mean, u1.uplink_mbps.mean * 0.6);
+}
+
+TEST(TwoDSession, RateAdaptationRespondsToUplinkCap) {
+  // The 2D pipelines DO adapt (§4.3, contrast with the spatial persona).
+  SessionConfig config;
+  config.app = VcaApp::kWebex;
+  config.participants = {{.name = "U1", .metro = "SanFrancisco", .device = DeviceType::kMacBook},
+                         {.name = "U2", .metro = "NewYork", .device = DeviceType::kMacBook}};
+  config.duration = net::Seconds(25);
+  TelepresenceSession session(std::move(config));
+  net::Netem netem = session.UplinkNetem(0);
+  session.sim().After(net::Seconds(10), [&netem] { netem.SetRateBps(1.2e6); });
+  session.Run();
+
+  // Uplink throughput before the cap is much higher than after; after the
+  // cap, the sender settles near (below) the cap instead of collapsing.
+  const net::Capture& cap = session.capture(0);
+  const auto from_u1 = net::Capture::FromNode(session.host(0));
+  const double before = cap.MeanThroughputBps(from_u1, net::Seconds(5), net::Seconds(10)) / 1e6;
+  const double after = cap.MeanThroughputBps(from_u1, net::Seconds(18), net::Seconds(24)) / 1e6;
+  EXPECT_GT(before, 3.0);
+  EXPECT_LT(after, 1.35);
+  EXPECT_GT(after, 0.4);
+}
+
+// --- SFU ------------------------------------------------------------------------------
+
+TEST(Sfu, RtpFanOutForwardsToAllOtherMembers) {
+  net::Simulator sim(1);
+  net::Network network(&sim);
+  network.BuildBackbone();
+  const auto s = network.AddHost("sfu", "Chicago", 10e9, net::Micros(200));
+  const auto a = network.AddHost("a", "Dallas");
+  const auto b = network.AddHost("b", "Miami");
+  const auto c = network.AddHost("c", "Seattle");
+  network.ComputeRoutes();
+
+  SfuServer sfu(&network, s, 5000, TransportKind::kRtp);
+  sfu.AddRtpMember(a, 6000);
+  sfu.AddRtpMember(b, 6000);
+  sfu.AddRtpMember(c, 6000);
+
+  int b_packets = 0, c_packets = 0, a_packets = 0;
+  network.BindUdp(b, 6000, [&](const net::Packet&) { ++b_packets; });
+  network.BindUdp(c, 6000, [&](const net::Packet&) { ++c_packets; });
+  network.BindUdp(a, 6000, [&](const net::Packet&) { ++a_packets; });
+
+  transport::RtpSender sender(&network, a, 6000, s, 5000,
+                              transport::RtpSenderConfig{.ssrc = 42});
+  for (int i = 0; i < 7; ++i) {
+    sender.SendFrame(std::vector<std::uint8_t>(500, 0), static_cast<std::uint32_t>(i));
+  }
+  sim.Run();
+  EXPECT_EQ(b_packets, 7);
+  EXPECT_EQ(c_packets, 7);
+  EXPECT_EQ(a_packets, 0);  // never echoed to the sender
+  EXPECT_EQ(sfu.forwarded_count(), 14u);
+}
+
+TEST(Sfu, RtcpRoutedOnlyToTheReportedSource) {
+  net::Simulator sim(1);
+  net::Network network(&sim);
+  network.BuildBackbone();
+  const auto s = network.AddHost("sfu", "Chicago", 10e9, net::Micros(200));
+  const auto a = network.AddHost("a", "Dallas");
+  const auto b = network.AddHost("b", "Miami");
+  network.ComputeRoutes();
+
+  SfuServer sfu(&network, s, 5000, TransportKind::kRtp);
+  sfu.AddRtpMember(a, 6000);
+  sfu.AddRtpMember(b, 6000);
+
+  // a sends media (so the SFU learns ssrc 42 belongs to a)...
+  transport::RtpSender sender(&network, a, 6000, s, 5000,
+                              transport::RtpSenderConfig{.ssrc = 42});
+  sender.SendFrame(std::vector<std::uint8_t>(100, 0), 0);
+
+  int a_rtcp = 0;
+  network.BindUdp(a, 6000, [&](const net::Packet& p) {
+    if (transport::LooksLikeRtcp(p.payload)) ++a_rtcp;
+  });
+  network.BindUdp(b, 6000, [&](const net::Packet&) {});
+
+  // ...then b reports loss on ssrc 42.
+  sim.After(net::Millis(100), [&] {
+    transport::RtcpReceiverReport rr;
+    rr.reporter_ssrc = 7;
+    rr.source_ssrc = 42;
+    rr.fraction_lost = 0.1;
+    network.SendUdp(b, 6000, s, 5000, rr.Serialize());
+  });
+  sim.Run();
+  EXPECT_EQ(a_rtcp, 1);
+}
+
+}  // namespace
+}  // namespace vtp::vca

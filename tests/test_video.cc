@@ -1,0 +1,230 @@
+// Tests for the video substrate: frame source, DCT codec, rate control, and
+// the calibrated rate model.
+#include <gtest/gtest.h>
+
+#include "compress/bitstream.h"
+#include "netsim/random.h"
+#include "video/codec.h"
+#include "video/frame.h"
+#include "video/rate_control.h"
+#include "video/rate_model.h"
+#include "video/talking_head.h"
+
+namespace vtp::video {
+namespace {
+
+constexpr Resolution kSmall{160, 96};
+
+TEST(Frame, PsnrIdentityAndSensitivity) {
+  VideoFrame a(64, 64);
+  for (std::size_t i = 0; i < a.luma.size(); ++i) a.luma[i] = static_cast<std::uint8_t>(i);
+  EXPECT_GT(Psnr(a, a), 90.0);
+  VideoFrame b = a;
+  b.luma[0] = static_cast<std::uint8_t>(b.luma[0] + 50);
+  EXPECT_LT(Psnr(a, b), 60.0);
+  EXPECT_THROW(Psnr(a, VideoFrame(32, 32)), std::invalid_argument);
+}
+
+TEST(TalkingHead, DeterministicAndAnimated) {
+  TalkingHeadConfig config;
+  config.resolution = kSmall;
+  TalkingHeadSource s1(config, 4), s2(config, 4);
+  const VideoFrame f1 = s1.Next();
+  const VideoFrame f2 = s2.Next();
+  EXPECT_EQ(f1.luma, f2.luma);
+
+  // Later frames differ (head sway + mouth + grain).
+  VideoFrame later = s1.Next();
+  for (int i = 0; i < 30; ++i) later = s1.Next();
+  EXPECT_LT(Psnr(f1, later), 45.0);
+}
+
+TEST(TalkingHead, HasFaceStructure) {
+  TalkingHeadConfig config;
+  config.resolution = kSmall;
+  config.grain_stddev = 0;
+  TalkingHeadSource src(config, 1);
+  const VideoFrame f = src.Next();
+  // Centre (face) is brighter than the top-left background corner.
+  EXPECT_GT(f.at(kSmall.width / 2, kSmall.height / 2), f.at(2, 2) + 30);
+}
+
+// --- codec ----------------------------------------------------------------------
+
+TEST(VideoCodec, IntraRoundTripDecodes) {
+  TalkingHeadConfig config;
+  config.resolution = kSmall;
+  TalkingHeadSource src(config, 2);
+  const VideoFrame original = src.Next();
+
+  VideoEncoder enc(kSmall);
+  VideoDecoder dec(kSmall);
+  const EncodedFrame encoded = enc.Encode(original, 10);
+  EXPECT_TRUE(encoded.keyframe);
+  const auto decoded = dec.Decode(encoded.bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_GT(Psnr(original, *decoded), 34.0);
+}
+
+TEST(VideoCodec, InterFramesTrackMotion) {
+  TalkingHeadConfig config;
+  config.resolution = kSmall;
+  TalkingHeadSource src(config, 3);
+  VideoEncoder enc(kSmall, {.gop_length = 100});
+  VideoDecoder dec(kSmall);
+  double worst_psnr = 100;
+  for (int i = 0; i < 12; ++i) {
+    const VideoFrame frame = src.Next();
+    const EncodedFrame encoded = enc.Encode(frame, 12);
+    EXPECT_EQ(encoded.keyframe, i == 0);
+    const auto decoded = dec.Decode(encoded.bytes);
+    ASSERT_TRUE(decoded.has_value());
+    worst_psnr = std::min(worst_psnr, Psnr(frame, *decoded));
+  }
+  EXPECT_GT(worst_psnr, 32.0);  // no drift across the GOP
+}
+
+TEST(VideoCodec, PFramesAreSmallerThanIFrames) {
+  // Grain-free content isolates the temporal prediction gain: P frames only
+  // pay for the head's motion, a fraction of the full intra picture.
+  TalkingHeadConfig config;
+  config.resolution = kSmall;
+  config.grain_stddev = 0;
+  TalkingHeadSource src(config, 5);
+  VideoEncoder enc(kSmall, {.gop_length = 100});
+  const std::size_t i_bytes = enc.Encode(src.Next(), 12).bytes.size();
+  std::size_t p_bytes = 0;
+  for (int i = 0; i < 5; ++i) p_bytes += enc.Encode(src.Next(), 12).bytes.size();
+  EXPECT_LT(p_bytes / 5, i_bytes / 2);
+}
+
+class QpSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(QpSweep, HigherQpMeansFewerBytesAndLowerQuality) {
+  const int qp = GetParam();
+  TalkingHeadConfig config;
+  config.resolution = kSmall;
+  TalkingHeadSource src_a(config, 6), src_b(config, 6);
+  VideoEncoder enc_a(kSmall), enc_b(kSmall);
+  VideoDecoder dec_a(kSmall), dec_b(kSmall);
+  const VideoFrame frame_a = src_a.Next();
+  const VideoFrame frame_b = src_b.Next();
+
+  const EncodedFrame at_qp = enc_a.Encode(frame_a, qp);
+  const EncodedFrame at_qp6 = enc_b.Encode(frame_b, qp + 6);  // step doubles
+  EXPECT_GT(at_qp.bytes.size(), at_qp6.bytes.size());
+  EXPECT_GE(Psnr(frame_a, *dec_a.Decode(at_qp.bytes)), Psnr(frame_b, *dec_b.Decode(at_qp6.bytes)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Qps, QpSweep, ::testing::Values(8, 14, 20, 26, 32));
+
+TEST(VideoCodec, DecoderWithoutReferenceReturnsNullopt) {
+  TalkingHeadConfig config;
+  config.resolution = kSmall;
+  TalkingHeadSource src(config, 7);
+  VideoEncoder enc(kSmall, {.gop_length = 100});
+  enc.Encode(src.Next(), 20);                               // I (not given to decoder)
+  const EncodedFrame p = enc.Encode(src.Next(), 20);        // P
+  VideoDecoder dec(kSmall);
+  EXPECT_FALSE(dec.Decode(p.bytes).has_value());  // joined mid-stream
+}
+
+TEST(VideoCodec, RequestKeyframeForcesIntra) {
+  TalkingHeadConfig config;
+  config.resolution = kSmall;
+  TalkingHeadSource src(config, 8);
+  VideoEncoder enc(kSmall, {.gop_length = 1000});
+  enc.Encode(src.Next(), 20);
+  EXPECT_FALSE(enc.Encode(src.Next(), 20).keyframe);
+  enc.RequestKeyframe();
+  EXPECT_TRUE(enc.Encode(src.Next(), 20).keyframe);
+}
+
+TEST(VideoCodec, CorruptDataThrowsOrRejects) {
+  VideoDecoder dec(kSmall);
+  EXPECT_THROW(dec.Decode(std::vector<std::uint8_t>{1}), compress::CorruptStream);
+  EXPECT_THROW(dec.Decode(std::vector<std::uint8_t>{0, 99, 0, 0, 0, 0, 0}),
+               compress::CorruptStream);
+}
+
+TEST(VideoCodec, ResolutionMismatchThrows) {
+  VideoEncoder enc(kSmall);
+  EXPECT_THROW(enc.Encode(VideoFrame(64, 64), 20), std::invalid_argument);
+}
+
+// --- rate control ------------------------------------------------------------------
+
+TEST(RateController, ConvergesTowardTarget) {
+  // Model: bytes halve per +6 QP from 20,000 at QP 10.
+  const auto frame_bytes = [](int qp) {
+    return static_cast<std::size_t>(20000.0 * std::exp2((10.0 - qp) / 6.0));
+  };
+  RateController rc(1e6, 30);  // 1 Mbps at 30 fps -> ~4,167 bytes/frame
+  for (int i = 0; i < 300; ++i) rc.OnFrameEncoded(frame_bytes(rc.NextQp()));
+  const double settled_bps = static_cast<double>(frame_bytes(rc.NextQp())) * 8 * 30;
+  EXPECT_NEAR(settled_bps, 1e6, 0.5e6);
+}
+
+TEST(RateController, LossFeedbackBacksOffAndRecovers) {
+  RateController rc(2e6, 30);
+  rc.OnTransportFeedback(0.2);  // heavy loss
+  EXPECT_LT(rc.target_bps(), 2e6);
+  const double backed_off = rc.target_bps();
+  for (int i = 0; i < 100; ++i) rc.OnTransportFeedback(0.0);
+  EXPECT_GT(rc.target_bps(), backed_off);
+  EXPECT_LE(rc.target_bps(), 2e6 + 1);  // never exceeds the configured rate
+}
+
+// --- rate model --------------------------------------------------------------------
+
+TEST(RateModel, CalibratesAndInterpolatesMonotonically) {
+  const CalibratedRateModel model(kSmall, {.qps = {12, 24, 36}, .frames_per_qp = 4, .seed = 1});
+  ASSERT_EQ(model.points().size(), 3u);
+  // More QP -> fewer bytes, for both frame kinds, including interpolated
+  // QPs. (No I-vs-P ordering assertion: on the tiny low-detail calibration
+  // content, grain makes P residuals comparable to cheap intra pictures.)
+  double prev_i = 1e18, prev_p = 1e18;
+  for (int qp = 12; qp <= 36; qp += 4) {
+    const double i_bytes = model.MeanFrameBytes(true, qp);
+    const double p_bytes = model.MeanFrameBytes(false, qp);
+    EXPECT_LT(i_bytes, prev_i);
+    EXPECT_LE(p_bytes, prev_p * 1.05);
+    prev_i = i_bytes;
+    prev_p = p_bytes;
+  }
+}
+
+TEST(RateModel, QpForTargetRespectsBudget) {
+  const CalibratedRateModel model(kSmall, {.qps = {12, 24, 36}, .frames_per_qp = 4, .seed = 2});
+  const double generous = model.MeanBpsAtQp(12, 30, 30) * 2;
+  EXPECT_EQ(model.QpForTargetBps(generous, 30, 30), 12);
+  const double tight = model.MeanBpsAtQp(36, 30, 30) * 0.5;
+  EXPECT_EQ(model.QpForTargetBps(tight, 30, 30), 36);
+}
+
+TEST(RateModel, SampleJittersAroundMean) {
+  const CalibratedRateModel model(kSmall, {.qps = {20}, .frames_per_qp = 6, .seed = 3});
+  net::Rng rng(1);
+  const double mean = model.MeanFrameBytes(false, 20);
+  double total = 0;
+  for (int i = 0; i < 500; ++i) {
+    total += static_cast<double>(model.SampleFrameBytes(false, 20, rng));
+  }
+  EXPECT_NEAR(total / 500, mean, mean * 0.25);
+}
+
+TEST(RateModel, ProcessWideCacheReturnsSameInstance) {
+  const CalibratedRateModel& a = CalibratedRateModel::For(kSmall);
+  const CalibratedRateModel& b = CalibratedRateModel::For(kSmall);
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(RateModel, InvalidConfigThrows) {
+  EXPECT_THROW(CalibratedRateModel(kSmall, {.qps = {}, .frames_per_qp = 4}),
+               std::invalid_argument);
+  EXPECT_THROW(CalibratedRateModel(kSmall, {.qps = {20}, .frames_per_qp = 1}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vtp::video

@@ -1,0 +1,308 @@
+// vtp — the command-line measurement tool.
+//
+// The paper commits to releasing "the source code of our tools"; this is
+// that tool for the simulated stack. Subcommands:
+//
+//   vtp run    — run a telepresence session and report what the testbed
+//                would measure (table or --json), with optional tc-style
+//                impairments and a --dump-trace=FILE packet-trace export.
+//   vtp rtt    — Table 1-style TCP-ping RTT matrix between arbitrary
+//                client metros and VCA server fleets.
+//   vtp probe  — the §4.3 display-latency probe at a given injected delay.
+//
+// Examples:
+//   vtp run --app=facetime --metros=SanFrancisco,NewYork --duration=20
+//   vtp run --app=webex --metros=SanFrancisco,Chicago,Miami \
+//           --devices=vp,mac,ipad --cap-uplink-kbps=1200 --json
+//   vtp rtt --clients=SanFrancisco,Dallas,NewYork --apps=facetime,zoom
+//   vtp probe --mode=remote --delay-ms=500
+#include <fstream>
+#include <iostream>
+
+#include "core/display_latency.h"
+#include "core/flags.h"
+#include "core/json.h"
+#include "core/rtt_matrix.h"
+#include "core/table.h"
+#include "netsim/trace_io.h"
+#include "vca/session.h"
+
+using namespace vtp;
+
+namespace {
+
+int Usage() {
+  std::cerr <<
+      R"(usage: vtp <run|rtt|probe> [flags]
+
+vtp run   --app=facetime|zoom|webex|teams --metros=A,B[,C...]
+          [--devices=vp|mac|ipad|iphone per user] [--duration=SECONDS]
+          [--seed=N] [--strategy=nearest|geo] [--no-audio]
+          [--cap-uplink-kbps=K] [--delay-ms=D] [--loss=P]   (applied to user 0)
+          [--dump-trace=FILE] [--json]
+vtp rtt   --clients=MetroA,MetroB,... [--apps=facetime,zoom,webex,teams]
+          [--servers=MetroX,MetroY,...] [--pings=N] [--json]
+vtp probe [--mode=local|remote] [--delay-ms=D] [--json]
+)";
+  return 2;
+}
+
+vca::VcaApp ParseApp(const std::string& name) {
+  if (name == "facetime") return vca::VcaApp::kFaceTime;
+  if (name == "zoom") return vca::VcaApp::kZoom;
+  if (name == "webex") return vca::VcaApp::kWebex;
+  if (name == "teams") return vca::VcaApp::kTeams;
+  throw std::invalid_argument("unknown app: " + name);
+}
+
+vca::DeviceType ParseDevice(const std::string& name) {
+  if (name == "vp" || name == "visionpro") return vca::DeviceType::kVisionPro;
+  if (name == "mac" || name == "macbook") return vca::DeviceType::kMacBook;
+  if (name == "ipad") return vca::DeviceType::kIpad;
+  if (name == "iphone") return vca::DeviceType::kIphone;
+  throw std::invalid_argument("unknown device: " + name);
+}
+
+void PrintSummaryJson(core::JsonWriter& w, const core::Summary& s) {
+  w.BeginObject();
+  w.Key("mean");
+  w.Number(s.mean);
+  w.Key("stddev");
+  w.Number(s.stddev);
+  w.Key("p5");
+  w.Number(s.p5);
+  w.Key("p50");
+  w.Number(s.p50);
+  w.Key("p95");
+  w.Number(s.p95);
+  w.EndObject();
+}
+
+int CmdRun(const core::Flags& flags) {
+  vca::SessionConfig config;
+  config.app = ParseApp(flags.Get("app", "facetime"));
+  const std::vector<std::string> metros = flags.GetList("metros");
+  if (metros.size() < 2) {
+    std::cerr << "vtp run: need --metros=A,B with at least two metros\n";
+    return 2;
+  }
+  const std::vector<std::string> devices = flags.GetList("devices");
+  for (std::size_t i = 0; i < metros.size(); ++i) {
+    vca::Participant p;
+    p.name = "U" + std::to_string(i + 1);
+    p.metro = metros[i];
+    p.device = i < devices.size() ? ParseDevice(devices[i]) : vca::DeviceType::kVisionPro;
+    config.participants.push_back(std::move(p));
+  }
+  config.duration = net::Seconds(flags.GetDouble("duration", 20));
+  config.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
+  config.enable_audio = !flags.GetBool("no-audio", false);
+  if (flags.Get("strategy", "nearest") == "geo") {
+    config.strategy = vca::ServerStrategy::kGeoDistributed;
+  }
+
+  vca::TelepresenceSession session(std::move(config));
+
+  // Impairments on user 0's uplink, like tc at its AP.
+  net::Netem netem = session.UplinkNetem(0);
+  if (flags.Has("cap-uplink-kbps")) {
+    netem.SetRateBps(flags.GetDouble("cap-uplink-kbps", 0) * 1e3);
+  }
+  if (flags.Has("delay-ms")) netem.SetDelay(net::Millis(flags.GetDouble("delay-ms", 0)));
+  if (flags.Has("loss")) netem.SetLoss(flags.GetDouble("loss", 0));
+
+  session.Run();
+  const vca::SessionReport report = session.BuildReport();
+
+  if (const std::string path = flags.Get("dump-trace"); !path.empty()) {
+    std::ofstream os(path);
+    if (!os) {
+      std::cerr << "vtp run: cannot write " << path << "\n";
+      return 1;
+    }
+    net::WriteCaptureCsv(session.capture(0), os);
+    std::cerr << "wrote " << session.capture(0).records().size() << " packets to " << path
+              << "\n";
+  }
+
+  if (flags.GetBool("json", false)) {
+    core::JsonWriter w;
+    w.BeginObject();
+    w.Key("app");
+    w.String(report.app);
+    w.Key("persona");
+    w.String(report.persona_kind == vca::PersonaKind::kSpatial ? "spatial" : "2d");
+    w.Key("p2p");
+    w.Bool(report.p2p);
+    w.Key("servers");
+    w.BeginArray();
+    for (const std::string& s : report.server_metros) w.String(s);
+    w.EndArray();
+    w.Key("participants");
+    w.BeginArray();
+    for (const vca::ParticipantReport& p : report.participants) {
+      w.BeginObject();
+      w.Key("name");
+      w.String(p.name);
+      w.Key("metro");
+      w.String(p.metro);
+      w.Key("protocol");
+      w.String(p.uplink_protocol);
+      w.Key("rtp_payload_type");
+      w.Int(p.rtp_payload_type);
+      w.Key("uplink_mbps");
+      PrintSummaryJson(w, p.uplink_mbps);
+      w.Key("downlink_mbps");
+      PrintSummaryJson(w, p.downlink_mbps);
+      w.Key("gpu_ms");
+      PrintSummaryJson(w, p.gpu_ms);
+      w.Key("cpu_ms");
+      PrintSummaryJson(w, p.cpu_ms);
+      w.Key("triangles_mean");
+      w.Number(p.triangles.mean);
+      w.Key("persona_available");
+      w.Number(p.persona_available_fraction);
+      w.Key("deadline_miss_rate");
+      w.Number(p.deadline_miss_rate);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    std::cout << w.str() << "\n";
+    return 0;
+  }
+
+  std::cout << "app " << report.app << ", persona "
+            << (report.persona_kind == vca::PersonaKind::kSpatial ? "spatial" : "2D")
+            << ", " << (report.p2p ? "P2P" : "server-relayed");
+  for (const std::string& s : report.server_metros) std::cout << " " << s;
+  std::cout << "\n\n";
+  core::TextTable table;
+  table.SetHeader({"user", "metro", "proto", "up Mbps", "down Mbps", "GPU ms", "CPU ms",
+                   "avail"});
+  for (const vca::ParticipantReport& p : report.participants) {
+    table.AddRow({p.name, p.metro, p.uplink_protocol, core::Fmt(p.uplink_mbps.mean),
+                  core::Fmt(p.downlink_mbps.mean), core::Fmt(p.gpu_ms.mean),
+                  core::Fmt(p.cpu_ms.mean),
+                  core::Fmt(100 * p.persona_available_fraction, 1) + "%"});
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+int CmdRtt(const core::Flags& flags) {
+  core::RttProbeSpec spec;
+  for (const std::string& metro : flags.GetList("clients")) {
+    spec.clients.push_back({metro, metro});
+  }
+  if (spec.clients.empty()) {
+    spec.clients = {{"W", "SanFrancisco"}, {"M", "Dallas"}, {"E", "NewYork"}};
+  }
+  for (const std::string& app_name : flags.GetList("apps")) {
+    const vca::VcaProfile& profile = vca::GetProfile(ParseApp(app_name));
+    for (const std::string_view metro : profile.server_metros) {
+      spec.servers.push_back({std::string(profile.name), std::string(metro)});
+    }
+  }
+  for (const std::string& metro : flags.GetList("servers")) {
+    spec.servers.push_back({metro, metro});
+  }
+  if (spec.servers.empty()) {
+    std::cerr << "vtp rtt: need --apps=... and/or --servers=...\n";
+    return 2;
+  }
+  spec.pings_per_pair = static_cast<int>(flags.GetInt("pings", 10));
+  const core::RttMatrix result = core::MeasureRttMatrix(spec);
+
+  if (flags.GetBool("json", false)) {
+    core::JsonWriter w;
+    w.BeginObject();
+    w.Key("servers");
+    w.BeginArray();
+    for (std::size_t s = 0; s < spec.servers.size(); ++s) {
+      w.BeginObject();
+      w.Key("label");
+      w.String(spec.servers[s].label);
+      w.Key("metro");
+      w.String(spec.servers[s].metro);
+      w.Key("region");
+      w.String(std::string(net::RegionCode(result.server_regions[s])));
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("rtt_ms");
+    w.BeginArray();
+    for (const auto& row : result.rtt_ms) {
+      w.BeginArray();
+      for (const core::Summary& s : row) w.Number(s.mean);
+      w.EndArray();
+    }
+    w.EndArray();
+    w.EndObject();
+    std::cout << w.str() << "\n";
+    return 0;
+  }
+
+  core::TextTable table;
+  std::vector<std::string> header = {"client"};
+  for (std::size_t s = 0; s < spec.servers.size(); ++s) {
+    header.push_back(spec.servers[s].label + "." +
+                     std::string(net::RegionCode(result.server_regions[s])));
+  }
+  table.SetHeader(header);
+  for (std::size_t c = 0; c < spec.clients.size(); ++c) {
+    std::vector<std::string> row = {spec.clients[c].label};
+    for (const core::Summary& s : result.rtt_ms[c]) row.push_back(core::Fmt(s.mean, 1));
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+int CmdProbe(const core::Flags& flags) {
+  core::DisplayLatencyConfig config;
+  config.mode = flags.Get("mode", "local") == "remote"
+                    ? core::DeliveryMode::kRemotePrerendered
+                    : core::DeliveryMode::kLocalReconstruction;
+  config.injected_delay = net::Millis(flags.GetDouble("delay-ms", 0));
+  const core::DisplayLatencyResult r = core::MeasureDisplayLatency(config);
+
+  if (flags.GetBool("json", false)) {
+    core::JsonWriter w;
+    w.BeginObject();
+    w.Key("mode");
+    w.String(flags.Get("mode", "local"));
+    w.Key("injected_delay_ms");
+    w.Number(net::ToMillis(config.injected_delay));
+    w.Key("real_world_ms");
+    w.Number(r.real_world_ms);
+    w.Key("persona_ms");
+    w.Number(r.persona_ms);
+    w.Key("difference_ms");
+    w.Number(r.difference_ms);
+    w.EndObject();
+    std::cout << w.str() << "\n";
+  } else {
+    std::cout << "real-world: " << core::Fmt(r.real_world_ms, 1) << " ms, persona: "
+              << core::Fmt(r.persona_ms, 1) << " ms, difference: "
+              << core::Fmt(r.difference_ms, 1) << " ms\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const core::Flags flags(argc, argv);
+  if (flags.positional().empty()) return Usage();
+  const std::string command = flags.positional().front();
+  try {
+    if (command == "run") return CmdRun(flags);
+    if (command == "rtt") return CmdRtt(flags);
+    if (command == "probe") return CmdProbe(flags);
+    return Usage();
+  } catch (const std::exception& e) {
+    std::cerr << "vtp " << command << ": " << e.what() << "\n";
+    return 1;
+  }
+}
