@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_visibility.dir/bench_fig5_visibility.cc.o"
+  "CMakeFiles/bench_fig5_visibility.dir/bench_fig5_visibility.cc.o.d"
+  "bench_fig5_visibility"
+  "bench_fig5_visibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_visibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec43_delivery.dir/bench_sec43_delivery.cc.o"
+  "CMakeFiles/bench_sec43_delivery.dir/bench_sec43_delivery.cc.o.d"
+  "bench_sec43_delivery"
+  "bench_sec43_delivery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec43_delivery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_rtt.dir/bench_table1_rtt.cc.o"
+  "CMakeFiles/bench_table1_rtt.dir/bench_table1_rtt.cc.o.d"
+  "bench_table1_rtt"
+  "bench_table1_rtt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_rtt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capture_analysis.dir/capture_analysis.cpp.o"
+  "CMakeFiles/capture_analysis.dir/capture_analysis.cpp.o.d"
+  "capture_analysis"
+  "capture_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capture_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codec_playground.dir/codec_playground.cpp.o"
+  "CMakeFiles/codec_playground.dir/codec_playground.cpp.o.d"
+  "codec_playground"
+  "codec_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codec_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

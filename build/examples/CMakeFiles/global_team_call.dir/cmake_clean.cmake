@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_team_call.dir/global_team_call.cpp.o"
+  "CMakeFiles/global_team_call.dir/global_team_call.cpp.o.d"
+  "global_team_call"
+  "global_team_call.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_team_call.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for global_team_call.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poor_connection_demo.dir/poor_connection_demo.cpp.o"
+  "CMakeFiles/poor_connection_demo.dir/poor_connection_demo.cpp.o.d"
+  "poor_connection_demo"
+  "poor_connection_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poor_connection_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

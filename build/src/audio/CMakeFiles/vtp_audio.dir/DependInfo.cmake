@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/audio/codec.cc" "src/audio/CMakeFiles/vtp_audio.dir/codec.cc.o" "gcc" "src/audio/CMakeFiles/vtp_audio.dir/codec.cc.o.d"
+  "/root/repo/src/audio/frame.cc" "src/audio/CMakeFiles/vtp_audio.dir/frame.cc.o" "gcc" "src/audio/CMakeFiles/vtp_audio.dir/frame.cc.o.d"
+  "/root/repo/src/audio/speech_source.cc" "src/audio/CMakeFiles/vtp_audio.dir/speech_source.cc.o" "gcc" "src/audio/CMakeFiles/vtp_audio.dir/speech_source.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compress/CMakeFiles/vtp_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/vtp_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

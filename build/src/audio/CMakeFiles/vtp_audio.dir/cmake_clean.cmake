@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vtp_audio.dir/codec.cc.o"
+  "CMakeFiles/vtp_audio.dir/codec.cc.o.d"
+  "CMakeFiles/vtp_audio.dir/frame.cc.o"
+  "CMakeFiles/vtp_audio.dir/frame.cc.o.d"
+  "CMakeFiles/vtp_audio.dir/speech_source.cc.o"
+  "CMakeFiles/vtp_audio.dir/speech_source.cc.o.d"
+  "libvtp_audio.a"
+  "libvtp_audio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vtp_audio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

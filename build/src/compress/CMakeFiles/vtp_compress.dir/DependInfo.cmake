@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/bitstream.cc" "src/compress/CMakeFiles/vtp_compress.dir/bitstream.cc.o" "gcc" "src/compress/CMakeFiles/vtp_compress.dir/bitstream.cc.o.d"
+  "/root/repo/src/compress/crc32.cc" "src/compress/CMakeFiles/vtp_compress.dir/crc32.cc.o" "gcc" "src/compress/CMakeFiles/vtp_compress.dir/crc32.cc.o.d"
+  "/root/repo/src/compress/lz77.cc" "src/compress/CMakeFiles/vtp_compress.dir/lz77.cc.o" "gcc" "src/compress/CMakeFiles/vtp_compress.dir/lz77.cc.o.d"
+  "/root/repo/src/compress/lzr.cc" "src/compress/CMakeFiles/vtp_compress.dir/lzr.cc.o" "gcc" "src/compress/CMakeFiles/vtp_compress.dir/lzr.cc.o.d"
+  "/root/repo/src/compress/range_coder.cc" "src/compress/CMakeFiles/vtp_compress.dir/range_coder.cc.o" "gcc" "src/compress/CMakeFiles/vtp_compress.dir/range_coder.cc.o.d"
+  "/root/repo/src/compress/varint.cc" "src/compress/CMakeFiles/vtp_compress.dir/varint.cc.o" "gcc" "src/compress/CMakeFiles/vtp_compress.dir/varint.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vtp_compress.dir/bitstream.cc.o"
+  "CMakeFiles/vtp_compress.dir/bitstream.cc.o.d"
+  "CMakeFiles/vtp_compress.dir/crc32.cc.o"
+  "CMakeFiles/vtp_compress.dir/crc32.cc.o.d"
+  "CMakeFiles/vtp_compress.dir/lz77.cc.o"
+  "CMakeFiles/vtp_compress.dir/lz77.cc.o.d"
+  "CMakeFiles/vtp_compress.dir/lzr.cc.o"
+  "CMakeFiles/vtp_compress.dir/lzr.cc.o.d"
+  "CMakeFiles/vtp_compress.dir/range_coder.cc.o"
+  "CMakeFiles/vtp_compress.dir/range_coder.cc.o.d"
+  "CMakeFiles/vtp_compress.dir/varint.cc.o"
+  "CMakeFiles/vtp_compress.dir/varint.cc.o.d"
+  "libvtp_compress.a"
+  "libvtp_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vtp_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvtp_compress.a"
+)

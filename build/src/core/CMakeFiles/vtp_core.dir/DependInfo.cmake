@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/display_latency.cc" "src/core/CMakeFiles/vtp_core.dir/display_latency.cc.o" "gcc" "src/core/CMakeFiles/vtp_core.dir/display_latency.cc.o.d"
+  "/root/repo/src/core/flags.cc" "src/core/CMakeFiles/vtp_core.dir/flags.cc.o" "gcc" "src/core/CMakeFiles/vtp_core.dir/flags.cc.o.d"
+  "/root/repo/src/core/json.cc" "src/core/CMakeFiles/vtp_core.dir/json.cc.o" "gcc" "src/core/CMakeFiles/vtp_core.dir/json.cc.o.d"
+  "/root/repo/src/core/rtt_matrix.cc" "src/core/CMakeFiles/vtp_core.dir/rtt_matrix.cc.o" "gcc" "src/core/CMakeFiles/vtp_core.dir/rtt_matrix.cc.o.d"
+  "/root/repo/src/core/stats.cc" "src/core/CMakeFiles/vtp_core.dir/stats.cc.o" "gcc" "src/core/CMakeFiles/vtp_core.dir/stats.cc.o.d"
+  "/root/repo/src/core/table.cc" "src/core/CMakeFiles/vtp_core.dir/table.cc.o" "gcc" "src/core/CMakeFiles/vtp_core.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netsim/CMakeFiles/vtp_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/vtp_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/vtp_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

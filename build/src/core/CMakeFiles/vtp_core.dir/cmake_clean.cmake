@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vtp_core.dir/display_latency.cc.o"
+  "CMakeFiles/vtp_core.dir/display_latency.cc.o.d"
+  "CMakeFiles/vtp_core.dir/flags.cc.o"
+  "CMakeFiles/vtp_core.dir/flags.cc.o.d"
+  "CMakeFiles/vtp_core.dir/json.cc.o"
+  "CMakeFiles/vtp_core.dir/json.cc.o.d"
+  "CMakeFiles/vtp_core.dir/rtt_matrix.cc.o"
+  "CMakeFiles/vtp_core.dir/rtt_matrix.cc.o.d"
+  "CMakeFiles/vtp_core.dir/stats.cc.o"
+  "CMakeFiles/vtp_core.dir/stats.cc.o.d"
+  "CMakeFiles/vtp_core.dir/table.cc.o"
+  "CMakeFiles/vtp_core.dir/table.cc.o.d"
+  "libvtp_core.a"
+  "libvtp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vtp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

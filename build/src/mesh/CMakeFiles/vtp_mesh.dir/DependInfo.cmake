@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/codec.cc" "src/mesh/CMakeFiles/vtp_mesh.dir/codec.cc.o" "gcc" "src/mesh/CMakeFiles/vtp_mesh.dir/codec.cc.o.d"
+  "/root/repo/src/mesh/generator.cc" "src/mesh/CMakeFiles/vtp_mesh.dir/generator.cc.o" "gcc" "src/mesh/CMakeFiles/vtp_mesh.dir/generator.cc.o.d"
+  "/root/repo/src/mesh/mesh.cc" "src/mesh/CMakeFiles/vtp_mesh.dir/mesh.cc.o" "gcc" "src/mesh/CMakeFiles/vtp_mesh.dir/mesh.cc.o.d"
+  "/root/repo/src/mesh/simplify.cc" "src/mesh/CMakeFiles/vtp_mesh.dir/simplify.cc.o" "gcc" "src/mesh/CMakeFiles/vtp_mesh.dir/simplify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compress/CMakeFiles/vtp_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/vtp_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

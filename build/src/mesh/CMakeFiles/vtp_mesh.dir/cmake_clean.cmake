@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vtp_mesh.dir/codec.cc.o"
+  "CMakeFiles/vtp_mesh.dir/codec.cc.o.d"
+  "CMakeFiles/vtp_mesh.dir/generator.cc.o"
+  "CMakeFiles/vtp_mesh.dir/generator.cc.o.d"
+  "CMakeFiles/vtp_mesh.dir/mesh.cc.o"
+  "CMakeFiles/vtp_mesh.dir/mesh.cc.o.d"
+  "CMakeFiles/vtp_mesh.dir/simplify.cc.o"
+  "CMakeFiles/vtp_mesh.dir/simplify.cc.o.d"
+  "libvtp_mesh.a"
+  "libvtp_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vtp_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

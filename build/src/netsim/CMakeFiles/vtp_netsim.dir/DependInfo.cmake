@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/capture.cc" "src/netsim/CMakeFiles/vtp_netsim.dir/capture.cc.o" "gcc" "src/netsim/CMakeFiles/vtp_netsim.dir/capture.cc.o.d"
+  "/root/repo/src/netsim/event_queue.cc" "src/netsim/CMakeFiles/vtp_netsim.dir/event_queue.cc.o" "gcc" "src/netsim/CMakeFiles/vtp_netsim.dir/event_queue.cc.o.d"
+  "/root/repo/src/netsim/geo.cc" "src/netsim/CMakeFiles/vtp_netsim.dir/geo.cc.o" "gcc" "src/netsim/CMakeFiles/vtp_netsim.dir/geo.cc.o.d"
+  "/root/repo/src/netsim/geoip.cc" "src/netsim/CMakeFiles/vtp_netsim.dir/geoip.cc.o" "gcc" "src/netsim/CMakeFiles/vtp_netsim.dir/geoip.cc.o.d"
+  "/root/repo/src/netsim/link.cc" "src/netsim/CMakeFiles/vtp_netsim.dir/link.cc.o" "gcc" "src/netsim/CMakeFiles/vtp_netsim.dir/link.cc.o.d"
+  "/root/repo/src/netsim/network.cc" "src/netsim/CMakeFiles/vtp_netsim.dir/network.cc.o" "gcc" "src/netsim/CMakeFiles/vtp_netsim.dir/network.cc.o.d"
+  "/root/repo/src/netsim/trace_io.cc" "src/netsim/CMakeFiles/vtp_netsim.dir/trace_io.cc.o" "gcc" "src/netsim/CMakeFiles/vtp_netsim.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compress/CMakeFiles/vtp_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

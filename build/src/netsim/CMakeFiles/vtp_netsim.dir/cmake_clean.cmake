@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vtp_netsim.dir/capture.cc.o"
+  "CMakeFiles/vtp_netsim.dir/capture.cc.o.d"
+  "CMakeFiles/vtp_netsim.dir/event_queue.cc.o"
+  "CMakeFiles/vtp_netsim.dir/event_queue.cc.o.d"
+  "CMakeFiles/vtp_netsim.dir/geo.cc.o"
+  "CMakeFiles/vtp_netsim.dir/geo.cc.o.d"
+  "CMakeFiles/vtp_netsim.dir/geoip.cc.o"
+  "CMakeFiles/vtp_netsim.dir/geoip.cc.o.d"
+  "CMakeFiles/vtp_netsim.dir/link.cc.o"
+  "CMakeFiles/vtp_netsim.dir/link.cc.o.d"
+  "CMakeFiles/vtp_netsim.dir/network.cc.o"
+  "CMakeFiles/vtp_netsim.dir/network.cc.o.d"
+  "CMakeFiles/vtp_netsim.dir/trace_io.cc.o"
+  "CMakeFiles/vtp_netsim.dir/trace_io.cc.o.d"
+  "libvtp_netsim.a"
+  "libvtp_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vtp_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/render/cost_model.cc" "src/render/CMakeFiles/vtp_render.dir/cost_model.cc.o" "gcc" "src/render/CMakeFiles/vtp_render.dir/cost_model.cc.o.d"
+  "/root/repo/src/render/frame_loop.cc" "src/render/CMakeFiles/vtp_render.dir/frame_loop.cc.o" "gcc" "src/render/CMakeFiles/vtp_render.dir/frame_loop.cc.o.d"
+  "/root/repo/src/render/lod.cc" "src/render/CMakeFiles/vtp_render.dir/lod.cc.o" "gcc" "src/render/CMakeFiles/vtp_render.dir/lod.cc.o.d"
+  "/root/repo/src/render/scenario.cc" "src/render/CMakeFiles/vtp_render.dir/scenario.cc.o" "gcc" "src/render/CMakeFiles/vtp_render.dir/scenario.cc.o.d"
+  "/root/repo/src/render/viewport_predict.cc" "src/render/CMakeFiles/vtp_render.dir/viewport_predict.cc.o" "gcc" "src/render/CMakeFiles/vtp_render.dir/viewport_predict.cc.o.d"
+  "/root/repo/src/render/visibility.cc" "src/render/CMakeFiles/vtp_render.dir/visibility.cc.o" "gcc" "src/render/CMakeFiles/vtp_render.dir/visibility.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mesh/CMakeFiles/vtp_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/vtp_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/vtp_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

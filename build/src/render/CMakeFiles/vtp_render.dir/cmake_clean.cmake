@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vtp_render.dir/cost_model.cc.o"
+  "CMakeFiles/vtp_render.dir/cost_model.cc.o.d"
+  "CMakeFiles/vtp_render.dir/frame_loop.cc.o"
+  "CMakeFiles/vtp_render.dir/frame_loop.cc.o.d"
+  "CMakeFiles/vtp_render.dir/lod.cc.o"
+  "CMakeFiles/vtp_render.dir/lod.cc.o.d"
+  "CMakeFiles/vtp_render.dir/scenario.cc.o"
+  "CMakeFiles/vtp_render.dir/scenario.cc.o.d"
+  "CMakeFiles/vtp_render.dir/viewport_predict.cc.o"
+  "CMakeFiles/vtp_render.dir/viewport_predict.cc.o.d"
+  "CMakeFiles/vtp_render.dir/visibility.cc.o"
+  "CMakeFiles/vtp_render.dir/visibility.cc.o.d"
+  "libvtp_render.a"
+  "libvtp_render.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vtp_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

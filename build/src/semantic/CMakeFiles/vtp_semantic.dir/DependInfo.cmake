@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/semantic/codec.cc" "src/semantic/CMakeFiles/vtp_semantic.dir/codec.cc.o" "gcc" "src/semantic/CMakeFiles/vtp_semantic.dir/codec.cc.o.d"
+  "/root/repo/src/semantic/generator.cc" "src/semantic/CMakeFiles/vtp_semantic.dir/generator.cc.o" "gcc" "src/semantic/CMakeFiles/vtp_semantic.dir/generator.cc.o.d"
+  "/root/repo/src/semantic/keypoints.cc" "src/semantic/CMakeFiles/vtp_semantic.dir/keypoints.cc.o" "gcc" "src/semantic/CMakeFiles/vtp_semantic.dir/keypoints.cc.o.d"
+  "/root/repo/src/semantic/reconstruct.cc" "src/semantic/CMakeFiles/vtp_semantic.dir/reconstruct.cc.o" "gcc" "src/semantic/CMakeFiles/vtp_semantic.dir/reconstruct.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mesh/CMakeFiles/vtp_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/vtp_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/vtp_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vtp_semantic.dir/codec.cc.o"
+  "CMakeFiles/vtp_semantic.dir/codec.cc.o.d"
+  "CMakeFiles/vtp_semantic.dir/generator.cc.o"
+  "CMakeFiles/vtp_semantic.dir/generator.cc.o.d"
+  "CMakeFiles/vtp_semantic.dir/keypoints.cc.o"
+  "CMakeFiles/vtp_semantic.dir/keypoints.cc.o.d"
+  "CMakeFiles/vtp_semantic.dir/reconstruct.cc.o"
+  "CMakeFiles/vtp_semantic.dir/reconstruct.cc.o.d"
+  "libvtp_semantic.a"
+  "libvtp_semantic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vtp_semantic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/classifier.cc" "src/transport/CMakeFiles/vtp_transport.dir/classifier.cc.o" "gcc" "src/transport/CMakeFiles/vtp_transport.dir/classifier.cc.o.d"
+  "/root/repo/src/transport/fec.cc" "src/transport/CMakeFiles/vtp_transport.dir/fec.cc.o" "gcc" "src/transport/CMakeFiles/vtp_transport.dir/fec.cc.o.d"
+  "/root/repo/src/transport/playout.cc" "src/transport/CMakeFiles/vtp_transport.dir/playout.cc.o" "gcc" "src/transport/CMakeFiles/vtp_transport.dir/playout.cc.o.d"
+  "/root/repo/src/transport/quic.cc" "src/transport/CMakeFiles/vtp_transport.dir/quic.cc.o" "gcc" "src/transport/CMakeFiles/vtp_transport.dir/quic.cc.o.d"
+  "/root/repo/src/transport/rtp.cc" "src/transport/CMakeFiles/vtp_transport.dir/rtp.cc.o" "gcc" "src/transport/CMakeFiles/vtp_transport.dir/rtp.cc.o.d"
+  "/root/repo/src/transport/tcp_ping.cc" "src/transport/CMakeFiles/vtp_transport.dir/tcp_ping.cc.o" "gcc" "src/transport/CMakeFiles/vtp_transport.dir/tcp_ping.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netsim/CMakeFiles/vtp_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/vtp_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vtp_transport.dir/classifier.cc.o"
+  "CMakeFiles/vtp_transport.dir/classifier.cc.o.d"
+  "CMakeFiles/vtp_transport.dir/fec.cc.o"
+  "CMakeFiles/vtp_transport.dir/fec.cc.o.d"
+  "CMakeFiles/vtp_transport.dir/playout.cc.o"
+  "CMakeFiles/vtp_transport.dir/playout.cc.o.d"
+  "CMakeFiles/vtp_transport.dir/quic.cc.o"
+  "CMakeFiles/vtp_transport.dir/quic.cc.o.d"
+  "CMakeFiles/vtp_transport.dir/rtp.cc.o"
+  "CMakeFiles/vtp_transport.dir/rtp.cc.o.d"
+  "CMakeFiles/vtp_transport.dir/tcp_ping.cc.o"
+  "CMakeFiles/vtp_transport.dir/tcp_ping.cc.o.d"
+  "libvtp_transport.a"
+  "libvtp_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vtp_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

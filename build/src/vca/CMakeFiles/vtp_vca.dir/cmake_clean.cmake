@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vtp_vca.dir/pipelines.cc.o"
+  "CMakeFiles/vtp_vca.dir/pipelines.cc.o.d"
+  "CMakeFiles/vtp_vca.dir/profile.cc.o"
+  "CMakeFiles/vtp_vca.dir/profile.cc.o.d"
+  "CMakeFiles/vtp_vca.dir/session.cc.o"
+  "CMakeFiles/vtp_vca.dir/session.cc.o.d"
+  "CMakeFiles/vtp_vca.dir/sfu.cc.o"
+  "CMakeFiles/vtp_vca.dir/sfu.cc.o.d"
+  "libvtp_vca.a"
+  "libvtp_vca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vtp_vca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/video/codec.cc" "src/video/CMakeFiles/vtp_video.dir/codec.cc.o" "gcc" "src/video/CMakeFiles/vtp_video.dir/codec.cc.o.d"
+  "/root/repo/src/video/frame.cc" "src/video/CMakeFiles/vtp_video.dir/frame.cc.o" "gcc" "src/video/CMakeFiles/vtp_video.dir/frame.cc.o.d"
+  "/root/repo/src/video/rate_control.cc" "src/video/CMakeFiles/vtp_video.dir/rate_control.cc.o" "gcc" "src/video/CMakeFiles/vtp_video.dir/rate_control.cc.o.d"
+  "/root/repo/src/video/rate_model.cc" "src/video/CMakeFiles/vtp_video.dir/rate_model.cc.o" "gcc" "src/video/CMakeFiles/vtp_video.dir/rate_model.cc.o.d"
+  "/root/repo/src/video/talking_head.cc" "src/video/CMakeFiles/vtp_video.dir/talking_head.cc.o" "gcc" "src/video/CMakeFiles/vtp_video.dir/talking_head.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compress/CMakeFiles/vtp_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/vtp_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

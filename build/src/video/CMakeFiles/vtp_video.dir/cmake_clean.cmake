@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vtp_video.dir/codec.cc.o"
+  "CMakeFiles/vtp_video.dir/codec.cc.o.d"
+  "CMakeFiles/vtp_video.dir/frame.cc.o"
+  "CMakeFiles/vtp_video.dir/frame.cc.o.d"
+  "CMakeFiles/vtp_video.dir/rate_control.cc.o"
+  "CMakeFiles/vtp_video.dir/rate_control.cc.o.d"
+  "CMakeFiles/vtp_video.dir/rate_model.cc.o"
+  "CMakeFiles/vtp_video.dir/rate_model.cc.o.d"
+  "CMakeFiles/vtp_video.dir/talking_head.cc.o"
+  "CMakeFiles/vtp_video.dir/talking_head.cc.o.d"
+  "libvtp_video.a"
+  "libvtp_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vtp_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

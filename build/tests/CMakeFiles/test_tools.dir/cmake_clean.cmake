@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tools.dir/test_tools.cc.o"
+  "CMakeFiles/test_tools.dir/test_tools.cc.o.d"
+  "test_tools"
+  "test_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transport_ext.dir/test_transport_ext.cc.o"
+  "CMakeFiles/test_transport_ext.dir/test_transport_ext.cc.o.d"
+  "test_transport_ext"
+  "test_transport_ext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transport_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vca.dir/test_vca.cc.o"
+  "CMakeFiles/test_vca.dir/test_vca.cc.o.d"
+  "test_vca"
+  "test_vca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

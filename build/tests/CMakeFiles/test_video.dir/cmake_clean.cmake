@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_video.dir/test_video.cc.o"
+  "CMakeFiles/test_video.dir/test_video.cc.o.d"
+  "test_video"
+  "test_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_compress "/root/repo/build/tests/test_compress")
+set_tests_properties(test_compress PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;8;vtp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_netsim "/root/repo/build/tests/test_netsim")
+set_tests_properties(test_netsim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;9;vtp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_transport "/root/repo/build/tests/test_transport")
+set_tests_properties(test_transport PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;10;vtp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_mesh "/root/repo/build/tests/test_mesh")
+set_tests_properties(test_mesh PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;11;vtp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_semantic "/root/repo/build/tests/test_semantic")
+set_tests_properties(test_semantic PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;12;vtp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_video "/root/repo/build/tests/test_video")
+set_tests_properties(test_video PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;13;vtp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_render "/root/repo/build/tests/test_render")
+set_tests_properties(test_render PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;14;vtp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_vca "/root/repo/build/tests/test_vca")
+set_tests_properties(test_vca PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;15;vtp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_core "/root/repo/build/tests/test_core")
+set_tests_properties(test_core PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;16;vtp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_audio "/root/repo/build/tests/test_audio")
+set_tests_properties(test_audio PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;17;vtp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_integration "/root/repo/build/tests/test_integration")
+set_tests_properties(test_integration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;18;vtp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_transport_ext "/root/repo/build/tests/test_transport_ext")
+set_tests_properties(test_transport_ext PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;19;vtp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_tools "/root/repo/build/tests/test_tools")
+set_tests_properties(test_tools PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;20;vtp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_fuzz "/root/repo/build/tests/test_fuzz")
+set_tests_properties(test_fuzz PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;21;vtp_test;/root/repo/tests/CMakeLists.txt;0;")

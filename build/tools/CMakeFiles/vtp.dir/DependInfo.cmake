@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/vtp.cc" "tools/CMakeFiles/vtp.dir/vtp.cc.o" "gcc" "tools/CMakeFiles/vtp.dir/vtp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vca/CMakeFiles/vtp_vca.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vtp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/vtp_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/semantic/CMakeFiles/vtp_semantic.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/vtp_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/audio/CMakeFiles/vtp_audio.dir/DependInfo.cmake"
+  "/root/repo/build/src/render/CMakeFiles/vtp_render.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/vtp_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/vtp_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/vtp_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

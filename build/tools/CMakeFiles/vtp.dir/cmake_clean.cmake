@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vtp.dir/vtp.cc.o"
+  "CMakeFiles/vtp.dir/vtp.cc.o.d"
+  "vtp"
+  "vtp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vtp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
