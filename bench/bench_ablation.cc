@@ -82,14 +82,32 @@ void RunServerPlacement() {
     table.AddRow({scenario, strategy, servers, rtt_list, core::Fmt(worst, 0)});
   };
 
-  add_row("US-wide", "nearest-to-initiator",
-          run(us_users, vca::ServerStrategy::kNearestToInitiator, {}));
-  add_row("US-wide", "geo-distributed",
-          run(us_users, vca::ServerStrategy::kGeoDistributed, {}));
-  add_row("intercontinental", "nearest-to-initiator",
-          run(global_users, vca::ServerStrategy::kNearestToInitiator, global_fleet));
-  add_row("intercontinental", "geo-distributed",
-          run(global_users, vca::ServerStrategy::kGeoDistributed, global_fleet));
+  struct Scenario {
+    const char* scenario;
+    const char* strategy_label;
+    const std::vector<std::string>* metros;
+    vca::ServerStrategy strategy;
+    const std::vector<std::string>* fleet;
+  };
+  const std::vector<std::string> no_fleet;
+  const std::vector<Scenario> scenarios = {
+      {"US-wide", "nearest-to-initiator", &us_users,
+       vca::ServerStrategy::kNearestToInitiator, &no_fleet},
+      {"US-wide", "geo-distributed", &us_users, vca::ServerStrategy::kGeoDistributed,
+       &no_fleet},
+      {"intercontinental", "nearest-to-initiator", &global_users,
+       vca::ServerStrategy::kNearestToInitiator, &global_fleet},
+      {"intercontinental", "geo-distributed", &global_users,
+       vca::ServerStrategy::kGeoDistributed, &global_fleet},
+  };
+  const auto results = bench::ParallelRepeats(
+      static_cast<int>(scenarios.size()), [&](int i) {
+        const Scenario& s = scenarios[static_cast<std::size_t>(i)];
+        return run(*s.metros, s.strategy, *s.fleet);
+      });
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    add_row(scenarios[i].scenario, scenarios[i].strategy_label, results[i]);
+  }
   table.Print(std::cout);
   std::cout << "\nA single initiator-side server leaves distant users with ~80 ms (US)\n"
                "to >100 ms (intercontinental) access RTTs; per-user nearest servers cut\n"
@@ -103,9 +121,14 @@ void RunDeliveryCulling() {
   core::TextTable table;
   table.SetHeader({"users", "proxy/out-of-view share", "downlink (Mbps)",
                    "with delivery culling (Mbps)", "avail (culled)"});
-  for (std::size_t users = 3; users <= 5; ++users) {
+  struct CullingRow {
+    double downlink[2] = {0, 0};
+    double share = 0, avail_culled = 0;
+  };
+  const auto culling_rows = bench::ParallelRepeats(3, [&](int idx) {
+    const std::size_t users = 3 + static_cast<std::size_t>(idx);
     const char* metros[] = {"SanFrancisco", "NewYork", "Chicago", "Dallas", "Seattle"};
-    double downlink[2] = {0, 0}, share = 0, avail_culled = 0;
+    CullingRow out;
     for (int mode = 0; mode < 2; ++mode) {
       vca::SessionConfig config;
       for (std::size_t i = 0; i < users; ++i) {
@@ -119,22 +142,27 @@ void RunDeliveryCulling() {
       vca::TelepresenceSession session(std::move(config));
       session.Run();
       const vca::SessionReport report = session.BuildReport();
-      downlink[mode] = report.participants[0].downlink_mbps.mean;
+      out.downlink[mode] = report.participants[0].downlink_mbps.mean;
       if (mode == 0) {
         const auto& hist = session.lod_histogram(0);
         std::uint64_t total = 0;
         for (const std::uint64_t h : hist) total += h;
-        share = total == 0 ? 0
-                           : static_cast<double>(hist[static_cast<std::size_t>(
-                                 render::LodClass::kProxy)]) /
-                                 static_cast<double>(total);
+        out.share = total == 0 ? 0
+                               : static_cast<double>(hist[static_cast<std::size_t>(
+                                     render::LodClass::kProxy)]) /
+                                     static_cast<double>(total);
       } else {
-        avail_culled = report.participants[0].persona_available_fraction;
+        out.avail_culled = report.participants[0].persona_available_fraction;
       }
     }
-    table.AddRow({core::Fmt(static_cast<double>(users), 0), core::Fmt(100 * share, 1) + "%",
-                  core::Fmt(downlink[0], 2), core::Fmt(downlink[1], 2),
-                  core::Fmt(100 * avail_culled, 0) + "%"});
+    return out;
+  });
+  for (std::size_t users = 3; users <= 5; ++users) {
+    const CullingRow& out = culling_rows[users - 3];
+    table.AddRow({core::Fmt(static_cast<double>(users), 0),
+                  core::Fmt(100 * out.share, 1) + "%", core::Fmt(out.downlink[0], 2),
+                  core::Fmt(out.downlink[1], 2),
+                  core::Fmt(100 * out.avail_culled, 0) + "%"});
   }
   table.Print(std::cout);
   std::cout << "\nFaceTime culls out-of-viewport personas from *rendering* but still\n"
@@ -164,26 +192,31 @@ void RunSemanticCodecAblation() {
 
   core::TextTable table;
   table.SetHeader({"codec", "bytes/frame", "Mbps @90FPS", "max error (mm)"});
-  for (const Mode& mode : modes) {
-    semantic::KeypointTrackGenerator generator({}, 21);
-    semantic::SemanticEncoder encoder(mode.config);
-    semantic::SemanticDecoder decoder;
-    std::size_t total = 0;
-    double max_err_m = 0;
-    const int frames = 500;
-    for (int i = 0; i < frames; ++i) {
-      const auto points = semantic::ExtractSemanticSubset(generator.Next());
-      const auto payload = encoder.EncodeFrame(points);
-      total += payload.size();
-      if (const auto decoded = decoder.DecodeFrame(payload)) {
-        for (std::size_t k = 0; k < points.size(); ++k) {
-          max_err_m = std::max(max_err_m,
-                               static_cast<double>((decoded->points[k] - points[k]).Length()));
+  const auto codec_rows = bench::ParallelRepeats(
+      static_cast<int>(modes.size()), [&](int m) {
+        const Mode& mode = modes[static_cast<std::size_t>(m)];
+        semantic::KeypointTrackGenerator generator({}, 21);
+        semantic::SemanticEncoder encoder(mode.config);
+        semantic::SemanticDecoder decoder;
+        std::size_t total = 0;
+        double max_err_m = 0;
+        const int frames = 500;
+        for (int i = 0; i < frames; ++i) {
+          const auto points = semantic::ExtractSemanticSubset(generator.Next());
+          const auto payload = encoder.EncodeFrame(points);
+          total += payload.size();
+          if (const auto decoded = decoder.DecodeFrame(payload)) {
+            for (std::size_t k = 0; k < points.size(); ++k) {
+              max_err_m = std::max(
+                  max_err_m, static_cast<double>((decoded->points[k] - points[k]).Length()));
+            }
+          }
         }
-      }
-    }
-    const double per_frame = static_cast<double>(total) / frames;
-    table.AddRow({mode.label, core::Fmt(per_frame, 0),
+        return std::make_pair(static_cast<double>(total) / frames, max_err_m);
+      });
+  for (std::size_t m = 0; m < modes.size(); ++m) {
+    const auto& [per_frame, max_err_m] = codec_rows[m];
+    table.AddRow({modes[m].label, core::Fmt(per_frame, 0),
                   core::Fmt(per_frame * 8 * 90 / 1e6, 3), core::Fmt(max_err_m * 1000, 2)});
   }
   table.Print(std::cout);
@@ -249,8 +282,15 @@ void RunFecAblation() {
 
   core::TextTable table;
   table.SetHeader({"loss", "no FEC: avail", "no FEC: Mbps", "FEC k=2: avail", "FEC k=2: Mbps"});
-  for (const double loss : {0.10, 0.20, 0.30, 0.35}) {
-    double avail[2] = {0, 0}, mbps[2] = {0, 0};
+  const std::vector<double> losses = {0.10, 0.20, 0.30, 0.35};
+  struct FecRow {
+    double avail[2] = {0, 0};
+    double mbps[2] = {0, 0};
+  };
+  const auto fec_rows = bench::ParallelRepeats(
+      static_cast<int>(losses.size()), [&](int i) {
+    const double loss = losses[static_cast<std::size_t>(i)];
+    FecRow out;
     for (int mode = 0; mode < 2; ++mode) {
       vca::SessionConfig config;
       config.participants = {
@@ -265,12 +305,16 @@ void RunFecAblation() {
       netem.SetLoss(loss);
       session.Run();
       const vca::SessionReport report = session.BuildReport();
-      avail[mode] = report.participants[1].persona_available_fraction;
-      mbps[mode] = report.participants[0].uplink_mbps.mean;
+      out.avail[mode] = report.participants[1].persona_available_fraction;
+      out.mbps[mode] = report.participants[0].uplink_mbps.mean;
     }
-    table.AddRow({core::Fmt(100 * loss, 0) + "%", core::Fmt(100 * avail[0], 0) + "%",
-                  core::Fmt(mbps[0], 2), core::Fmt(100 * avail[1], 0) + "%",
-                  core::Fmt(mbps[1], 2)});
+    return out;
+  });
+  for (std::size_t i = 0; i < losses.size(); ++i) {
+    const FecRow& out = fec_rows[i];
+    table.AddRow({core::Fmt(100 * losses[i], 0) + "%", core::Fmt(100 * out.avail[0], 0) + "%",
+                  core::Fmt(out.mbps[0], 2), core::Fmt(100 * out.avail[1], 0) + "%",
+                  core::Fmt(out.mbps[1], 2)});
   }
   table.Print(std::cout);
   std::cout << "\nOne XOR parity per 2 semantic frames repairs single losses per group\n"

@@ -17,31 +17,28 @@ struct Config {
   vca::DeviceType u2_device;
 };
 
-core::Summary MeasureUplink(const Config& config) {
+/// One independent session run; returns the 1-second throughput bins.
+std::vector<double> RunRepeat(const Config& config, int repeat) {
+  vca::SessionConfig session_config;
+  session_config.app = config.app;
+  session_config.participants = {
+      {.name = "U1", .metro = "SanFrancisco", .device = vca::DeviceType::kVisionPro},
+      {.name = "U2", .metro = "NewYork", .device = config.u2_device}};
+  session_config.duration = bench::SessionDuration();
+  session_config.seed = 100 + static_cast<std::uint64_t>(repeat);
+  session_config.enable_reconstruction = false;  // throughput-only runs
+  vca::TelepresenceSession session(std::move(session_config));
+  session.Run();
+  // Collect the per-second series (the report keeps the summary; rebuild
+  // the bins from the capture for the pooled box).
   std::vector<double> bins;
-  for (int repeat = 0; repeat < bench::Repeats(); ++repeat) {
-    vca::SessionConfig session_config;
-    session_config.app = config.app;
-    session_config.participants = {
-        {.name = "U1", .metro = "SanFrancisco", .device = vca::DeviceType::kVisionPro},
-        {.name = "U2", .metro = "NewYork", .device = config.u2_device}};
-    session_config.duration = bench::SessionDuration();
-    session_config.seed = 100 + static_cast<std::uint64_t>(repeat);
-    session_config.enable_reconstruction = false;  // throughput-only runs
-    vca::TelepresenceSession session(std::move(session_config));
-    session.Run();
-    const vca::SessionReport report = session.BuildReport();
-    // Collect the per-second series (the report keeps the summary; rebuild
-    // the bins from the capture for the pooled box).
-    const net::Capture& cap = session.capture(0);
-    const auto filter = net::Capture::FromNode(session.host(0));
-    for (net::SimTime t = net::Seconds(3); t + net::kSecond <= bench::SessionDuration();
-         t += net::kSecond) {
-      bins.push_back(cap.MeanThroughputBps(filter, t, t + net::kSecond) / 1e6);
-    }
-    (void)report;
+  const net::Capture& cap = session.capture(0);
+  const auto filter = net::Capture::FromNode(session.host(0));
+  for (net::SimTime t = net::Seconds(3); t + net::kSecond <= bench::SessionDuration();
+       t += net::kSecond) {
+    bins.push_back(cap.MeanThroughputBps(filter, t, t + net::kSecond) / 1e6);
   }
-  return core::Summarize(bins);
+  return bins;
 }
 
 }  // namespace
@@ -62,12 +59,26 @@ int main() {
   bench::Banner("Figure 4: uplink throughput per application (Mbps)");
   core::TextTable table;
   table.SetHeader(bench::BoxHeader("config"));
+  // Every (config, repeat) session is independent: fan all of them out at
+  // once and pool each config's bins in repeat order afterwards, so the boxes
+  // match a serial run bit for bit.
+  const int repeats = bench::Repeats();
+  const auto runs = bench::ParallelRepeats(
+      static_cast<int>(configs.size()) * repeats, [&](int i) {
+        return RunRepeat(configs[static_cast<std::size_t>(i / repeats)], i % repeats);
+      });
   core::Summary spatial, webex;
-  for (const Config& config : configs) {
-    const core::Summary s = MeasureUplink(config);
-    if (std::string(config.label).starts_with("F ")) spatial = s;
-    if (std::string(config.label).starts_with("W")) webex = s;
-    table.AddRow(bench::BoxRow(config.label, s));
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    std::vector<double> bins;
+    for (int r = 0; r < repeats; ++r) {
+      const std::vector<double>& run = runs[i * static_cast<std::size_t>(repeats) +
+                                            static_cast<std::size_t>(r)];
+      bins.insert(bins.end(), run.begin(), run.end());
+    }
+    const core::Summary s = core::Summarize(bins);
+    if (std::string(configs[i].label).starts_with("F ")) spatial = s;
+    if (std::string(configs[i].label).starts_with("W")) webex = s;
+    table.AddRow(bench::BoxRow(configs[i].label, s));
   }
   table.Print(std::cout);
 

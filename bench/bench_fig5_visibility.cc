@@ -88,10 +88,14 @@ int main() {
   core::TextTable tri_table;
   tri_table.SetHeader({"condition", "triangles (mean)", "paper"});
   const char* paper_tris[] = {"78030", "36", "21036", "45036"};
-  std::vector<Measured> results;
+  // The LOD ladder is shared read-only; each condition gets its own Rng.
+  const std::vector<Measured> results = bench::ParallelRepeats(
+      static_cast<int>(conditions.size()), [&](int i) {
+        const auto idx = static_cast<std::size_t>(i);
+        return MeasureCondition(ladder, policy, conditions[idx].camera,
+                                conditions[idx].placement, {}, frames, 7 + idx);
+      });
   for (std::size_t i = 0; i < conditions.size(); ++i) {
-    results.push_back(MeasureCondition(ladder, policy, conditions[i].camera,
-                                       conditions[i].placement, {}, frames, 7 + i));
     tri_table.AddRow({conditions[i].label, core::Fmt(results[i].triangles.mean, 0),
                       paper_tris[i]});
   }
@@ -114,10 +118,14 @@ int main() {
   bench::Banner("Section 4.4: distance sweep, 1-10 m");
   core::TextTable dist_table;
   dist_table.SetHeader({"distance (m)", "triangles", "GPU ms"});
+  const std::vector<Measured> sweep = bench::ParallelRepeats(10, [&](int i) {
+    const int d = 1 + i;
+    return MeasureCondition(ladder, policy, CameraLooking(0, 0),
+                            {{0, 0, static_cast<float>(d)}, 0.35f}, {}, frames / 4,
+                            static_cast<std::uint64_t>(50 + d));
+  });
   for (int d = 1; d <= 10; ++d) {
-    const Measured m =
-        MeasureCondition(ladder, policy, CameraLooking(0, 0),
-                         {{0, 0, static_cast<float>(d)}, 0.35f}, {}, frames / 4, 50 + d);
+    const Measured& m = sweep[static_cast<std::size_t>(d - 1)];
     dist_table.AddRow({core::Fmt(d, 0), core::Fmt(m.triangles.mean, 0),
                        core::Fmt(m.gpu_ms.mean, 2)});
   }
@@ -157,8 +165,10 @@ int main() {
 
   render::LodPolicy occlusion_on = policy;
   occlusion_on.occlusion_aware = true;
-  const auto [facetime_tris, facetime_gpu] = measure_line(policy);
-  const auto [ablation_tris, ablation_gpu] = measure_line(occlusion_on);
+  const auto line_runs = bench::ParallelRepeats(
+      2, [&](int i) { return measure_line(i == 0 ? policy : occlusion_on); });
+  const auto [facetime_tris, facetime_gpu] = line_runs[0];
+  const auto [ablation_tris, ablation_gpu] = line_runs[1];
 
   core::TextTable occ_table;
   occ_table.SetHeader({"policy", "triangles/frame", "GPU ms/frame"});

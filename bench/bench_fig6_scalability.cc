@@ -3,6 +3,7 @@
 // (c) downlink throughput, all measured at U1 across full simulated
 // sessions with behavioural viewing.
 #include <iostream>
+#include <span>
 
 #include "bench/bench_util.h"
 #include "vca/session.h"
@@ -21,38 +22,54 @@ struct ScalePoint {
   double miss_rate = 0;
 };
 
-ScalePoint Measure(std::size_t users) {
+/// Raw series from one independent session run.
+struct RepeatData {
   std::vector<double> tris, cpu, gpu, down;
   double miss = 0;
-  const int repeats = bench::Repeats();
-  for (int repeat = 0; repeat < repeats; ++repeat) {
-    vca::SessionConfig config;
-    config.app = vca::VcaApp::kFaceTime;
-    for (std::size_t i = 0; i < users; ++i) {
-      config.participants.push_back({.name = "U" + std::to_string(i + 1),
-                                     .metro = kMetros[i],
-                                     .device = vca::DeviceType::kVisionPro});
-    }
-    config.duration = bench::SessionDuration();
-    config.seed = 1000 + static_cast<std::uint64_t>(repeat) * 31 + users;
-    config.reconstruct_stride = 9;  // sample the deformation at 10 Hz
-    vca::TelepresenceSession session(std::move(config));
-    session.Run();
+};
 
-    const render::RenderLoop* loop = session.render_loop(0);
-    for (const render::FrameStats& f : loop->frames()) {
-      tris.push_back(static_cast<double>(f.triangles));
-      cpu.push_back(f.cpu_ms);
-      gpu.push_back(f.gpu_ms);
-    }
-    miss += loop->MissRate() / repeats;
+RepeatData RunRepeat(std::size_t users, int repeat) {
+  vca::SessionConfig config;
+  config.app = vca::VcaApp::kFaceTime;
+  for (std::size_t i = 0; i < users; ++i) {
+    config.participants.push_back({.name = "U" + std::to_string(i + 1),
+                                   .metro = kMetros[i],
+                                   .device = vca::DeviceType::kVisionPro});
+  }
+  config.duration = bench::SessionDuration();
+  config.seed = 1000 + static_cast<std::uint64_t>(repeat) * 31 + users;
+  config.reconstruct_stride = 9;  // sample the deformation at 10 Hz
+  vca::TelepresenceSession session(std::move(config));
+  session.Run();
 
-    const net::Capture& cap = session.capture(0);
-    const auto filter = net::Capture::ToNode(session.host(0));
-    for (net::SimTime t = net::Seconds(3); t + net::kSecond <= bench::SessionDuration();
-         t += net::kSecond) {
-      down.push_back(cap.MeanThroughputBps(filter, t, t + net::kSecond) / 1e6);
-    }
+  RepeatData data;
+  const render::RenderLoop* loop = session.render_loop(0);
+  for (const render::FrameStats& f : loop->frames()) {
+    data.tris.push_back(static_cast<double>(f.triangles));
+    data.cpu.push_back(f.cpu_ms);
+    data.gpu.push_back(f.gpu_ms);
+  }
+  data.miss = loop->MissRate();
+
+  const net::Capture& cap = session.capture(0);
+  const auto filter = net::Capture::ToNode(session.host(0));
+  for (net::SimTime t = net::Seconds(3); t + net::kSecond <= bench::SessionDuration();
+       t += net::kSecond) {
+    data.down.push_back(cap.MeanThroughputBps(filter, t, t + net::kSecond) / 1e6);
+  }
+  return data;
+}
+
+/// Pools repeat runs (in repeat order, so results match a serial harness).
+ScalePoint Aggregate(std::span<const RepeatData> runs) {
+  std::vector<double> tris, cpu, gpu, down;
+  double miss = 0;
+  for (const RepeatData& r : runs) {
+    tris.insert(tris.end(), r.tris.begin(), r.tris.end());
+    cpu.insert(cpu.end(), r.cpu.begin(), r.cpu.end());
+    gpu.insert(gpu.end(), r.gpu.begin(), r.gpu.end());
+    down.insert(down.end(), r.down.begin(), r.down.end());
+    miss += r.miss / static_cast<double>(runs.size());
   }
   return {core::Summarize(tris), core::Summarize(cpu), core::Summarize(gpu),
           core::Summarize(down), miss};
@@ -65,10 +82,19 @@ int main() {
             << "(each point is " << bench::Repeats() << " full sessions of "
             << net::ToSeconds(bench::SessionDuration()) << " s)\n";
 
+  // All (users, repeat) sessions are independent; fan the whole grid out at
+  // once and aggregate per user count afterwards.
+  const int repeats = bench::Repeats();
+  std::cout << "  running " << (4 * repeats) << " sessions on " << bench::BenchThreads()
+            << " thread(s)...\n";
+  const auto runs = bench::ParallelRepeats(4 * repeats, [&](int i) {
+    return RunRepeat(static_cast<std::size_t>(2 + i / repeats), i % repeats);
+  });
   std::vector<ScalePoint> points;
-  for (std::size_t users = 2; users <= 5; ++users) {
-    std::cout << "  running " << users << "-user sessions...\n";
-    points.push_back(Measure(users));
+  for (std::size_t u = 0; u < 4; ++u) {
+    points.push_back(Aggregate(std::span<const RepeatData>(
+        runs.data() + u * static_cast<std::size_t>(repeats),
+        static_cast<std::size_t>(repeats))));
   }
 
   bench::Banner("Figure 6(a): rendered triangles at U1");

@@ -33,17 +33,23 @@ void RunMeshStreaming() {
 
   core::TextTable table;
   table.SetHeader({"mesh", "triangles", "bytes/frame", "bytes/tri", "Mbps @90FPS"});
+  struct MeshRun {
+    double triangles = 0, bytes_per_frame = 0;
+  };
+  const auto mesh_runs = bench::ParallelRepeats(5, [&](int i) {
+    const auto m = static_cast<std::size_t>(i);
+    const mesh::TriangleMesh head = mesh::GenerateHead(budgets[m], 100 + m);
+    return MeshRun{static_cast<double>(head.triangle_count()),
+                   static_cast<double>(mesh::EncodeMesh(head).size())};
+  });
   std::vector<double> mbps_all;
   for (std::size_t m = 0; m < 5; ++m) {
-    const mesh::TriangleMesh head = mesh::GenerateHead(budgets[m], 100 + m);
-    const double bytes_per_frame = static_cast<double>(mesh::EncodeMesh(head).size());
-    const double mbps = bytes_per_frame * 8 * 90 / 1e6;
+    const MeshRun& run = mesh_runs[m];
+    const double mbps = run.bytes_per_frame * 8 * 90 / 1e6;
     mbps_all.push_back(mbps);
-    table.AddRow({"head-" + std::to_string(m + 1),
-                  core::Fmt(static_cast<double>(head.triangle_count()), 0),
-                  core::Fmt(bytes_per_frame, 0),
-                  core::Fmt(bytes_per_frame / static_cast<double>(head.triangle_count()), 2),
-                  core::Fmt(mbps, 1)});
+    table.AddRow({"head-" + std::to_string(m + 1), core::Fmt(run.triangles, 0),
+                  core::Fmt(run.bytes_per_frame, 0),
+                  core::Fmt(run.bytes_per_frame / run.triangles, 2), core::Fmt(mbps, 1)});
   }
   table.Print(std::cout);
   const core::Summary s = core::Summarize(mbps_all);
@@ -83,14 +89,20 @@ void RunDisplayLatency() {
 
   core::TextTable table;
   table.SetHeader({"injected delay (ms)", "local reconstruction (ms)", "remote pre-rendered (ms)"});
-  for (const int delay_ms : {0, 100, 250, 500, 1000}) {
-    core::DisplayLatencyConfig config;
-    config.injected_delay = net::Millis(delay_ms);
-    config.mode = core::DeliveryMode::kLocalReconstruction;
-    const double local = core::MeasureDisplayLatency(config).difference_ms;
-    config.mode = core::DeliveryMode::kRemotePrerendered;
-    const double remote = core::MeasureDisplayLatency(config).difference_ms;
-    table.AddRow({core::Fmt(delay_ms, 0), core::Fmt(local, 1), core::Fmt(remote, 1)});
+  const std::vector<int> delays = {0, 100, 250, 500, 1000};
+  const auto latency_rows = bench::ParallelRepeats(
+      static_cast<int>(delays.size()), [&](int i) {
+        core::DisplayLatencyConfig config;
+        config.injected_delay = net::Millis(delays[static_cast<std::size_t>(i)]);
+        config.mode = core::DeliveryMode::kLocalReconstruction;
+        const double local = core::MeasureDisplayLatency(config).difference_ms;
+        config.mode = core::DeliveryMode::kRemotePrerendered;
+        const double remote = core::MeasureDisplayLatency(config).difference_ms;
+        return std::make_pair(local, remote);
+      });
+  for (std::size_t i = 0; i < delays.size(); ++i) {
+    table.AddRow({core::Fmt(delays[i], 0), core::Fmt(latency_rows[i].first, 1),
+                  core::Fmt(latency_rows[i].second, 1)});
   }
   table.Print(std::cout);
   std::cout << "\nThe measured difference stays <16 ms at any delay (left column), which\n"
@@ -103,7 +115,9 @@ void RunRateAdaptation() {
   core::TextTable table;
   table.SetHeader({"uplink cap (Kbps)", "FaceTime persona availability",
                    "Webex uplink after cap (Mbps)"});
-  for (const double cap_kbps : {1200.0, 900.0, 700.0, 600.0, 500.0, 400.0}) {
+  const std::vector<double> caps = {1200.0, 900.0, 700.0, 600.0, 500.0, 400.0};
+  const auto cap_rows = bench::ParallelRepeats(static_cast<int>(caps.size()), [&](int i) {
+    const double cap_kbps = caps[static_cast<std::size_t>(i)];
     // FaceTime spatial: does the persona survive the cap?
     double availability = 0;
     {
@@ -141,8 +155,11 @@ void RunRateAdaptation() {
                         net::Seconds(19)) /
                     1e6;
     }
-    table.AddRow({core::Fmt(cap_kbps, 0), core::Fmt(100 * availability, 0) + "%",
-                  core::Fmt(webex_after, 2)});
+    return std::make_pair(availability, webex_after);
+  });
+  for (std::size_t i = 0; i < caps.size(); ++i) {
+    table.AddRow({core::Fmt(caps[i], 0), core::Fmt(100 * cap_rows[i].first, 0) + "%",
+                  core::Fmt(cap_rows[i].second, 2)});
   }
   table.Print(std::cout);
   std::cout << "\nBelow ~700 Kbps the spatial persona drops out (\"poor connection\"):\n"

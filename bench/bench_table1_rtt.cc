@@ -59,21 +59,26 @@ void RunServerAllocationCheck() {
   table.SetHeader({"app", "initiator", "other user", "assigned server"});
   const std::vector<std::pair<std::string, std::string>> pairs = {
       {"SanFrancisco", "NewYork"}, {"NewYork", "SanFrancisco"}, {"Dallas", "Seattle"}};
-  for (const vca::VcaApp app : {vca::VcaApp::kFaceTime, vca::VcaApp::kWebex}) {
-    for (const auto& [initiator, other] : pairs) {
-      vca::SessionConfig config;
-      config.app = app;
-      config.participants = {
-          {.name = "U1", .metro = initiator, .device = vca::DeviceType::kVisionPro},
-          {.name = "U2", .metro = other, .device = vca::DeviceType::kVisionPro}};
-      config.duration = net::Seconds(2);
-      config.enable_render = false;
-      config.enable_reconstruction = false;
-      vca::TelepresenceSession session(std::move(config));
-      table.AddRow({std::string(vca::AppName(app)), initiator, other,
-                    session.server_metros_used().empty() ? "P2P"
-                                                         : session.server_metros_used()[0]});
-    }
+  const std::vector<vca::VcaApp> apps = {vca::VcaApp::kFaceTime, vca::VcaApp::kWebex};
+  const auto servers = bench::ParallelRepeats(
+      static_cast<int>(apps.size() * pairs.size()), [&](int i) -> std::string {
+        const vca::VcaApp app = apps[static_cast<std::size_t>(i) / pairs.size()];
+        const auto& [initiator, other] = pairs[static_cast<std::size_t>(i) % pairs.size()];
+        vca::SessionConfig config;
+        config.app = app;
+        config.participants = {
+            {.name = "U1", .metro = initiator, .device = vca::DeviceType::kVisionPro},
+            {.name = "U2", .metro = other, .device = vca::DeviceType::kVisionPro}};
+        config.duration = net::Seconds(2);
+        config.enable_render = false;
+        config.enable_reconstruction = false;
+        vca::TelepresenceSession session(std::move(config));
+        return session.server_metros_used().empty() ? "P2P" : session.server_metros_used()[0];
+      });
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    const vca::VcaApp app = apps[i / pairs.size()];
+    const auto& [initiator, other] = pairs[i % pairs.size()];
+    table.AddRow({std::string(vca::AppName(app)), initiator, other, servers[i]});
   }
   table.Print(std::cout);
   std::cout << "\nThe server always follows the *initiating* user's region.\n";
@@ -97,24 +102,27 @@ void RunProtocolIdentification() {
 
   core::TextTable table;
   table.SetHeader({"session", "persona", "topology", "protocol", "RTP PT"});
-  for (const Case& c : cases) {
-    vca::SessionConfig config;
-    config.app = c.app;
-    config.participants = {
-        {.name = "U1", .metro = "SanFrancisco", .device = vca::DeviceType::kVisionPro},
-        {.name = "U2", .metro = "NewYork", .device = c.u2_device}};
-    config.duration = net::Seconds(6);
-    config.enable_reconstruction = false;
-    vca::TelepresenceSession session(std::move(config));
-    session.Run();
-    const vca::SessionReport report = session.BuildReport();
-    const vca::ParticipantReport& u1 = report.participants[0];
-    table.AddRow({c.label,
-                  report.persona_kind == vca::PersonaKind::kSpatial ? "spatial" : "2D",
-                  report.p2p ? "P2P" : "server",
-                  u1.uplink_protocol,
-                  u1.rtp_payload_type >= 0 ? core::Fmt(u1.rtp_payload_type, 0) : "-"});
-  }
+  const auto rows = bench::ParallelRepeats(
+      static_cast<int>(cases.size()), [&](int i) -> std::vector<std::string> {
+        const Case& c = cases[static_cast<std::size_t>(i)];
+        vca::SessionConfig config;
+        config.app = c.app;
+        config.participants = {
+            {.name = "U1", .metro = "SanFrancisco", .device = vca::DeviceType::kVisionPro},
+            {.name = "U2", .metro = "NewYork", .device = c.u2_device}};
+        config.duration = net::Seconds(6);
+        config.enable_reconstruction = false;
+        vca::TelepresenceSession session(std::move(config));
+        session.Run();
+        const vca::SessionReport report = session.BuildReport();
+        const vca::ParticipantReport& u1 = report.participants[0];
+        return {c.label,
+                report.persona_kind == vca::PersonaKind::kSpatial ? "spatial" : "2D",
+                report.p2p ? "P2P" : "server",
+                u1.uplink_protocol,
+                u1.rtp_payload_type >= 0 ? core::Fmt(u1.rtp_payload_type, 0) : "-"};
+      });
+  for (const std::vector<std::string>& row : rows) table.AddRow(row);
   table.Print(std::cout);
   std::cout << "\nQUIC appears only for all-Vision-Pro FaceTime; mixed-device FaceTime\n"
                "reverts to RTP with the same payload type as its 2D video calls.\n";

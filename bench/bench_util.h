@@ -3,23 +3,30 @@
 // Every bench prints the same rows/series its paper counterpart reports.
 // By default sessions are shorter than the paper's 120 s x >=5 repeats so
 // the whole harness runs in minutes; set VTP_FULL=1 for paper-length runs.
+//
+// Independent (repeat, config) session runs fan out across a thread pool
+// sized by VTP_BENCH_THREADS (default: hardware concurrency). Each run owns
+// its own Simulator, so results are bit-identical per seed no matter the
+// thread count; ParallelRepeats returns them in index order so every bench
+// aggregates and prints exactly what the serial harness did.
 #pragma once
 
-#include <cstdlib>
+#include <chrono>
+#include <functional>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "core/env.h"
 #include "core/stats.h"
 #include "core/table.h"
+#include "core/thread_pool.h"
 #include "netsim/time.h"
 
 namespace vtp::bench {
 
 /// True when VTP_FULL=1 is set in the environment.
-inline bool FullRuns() {
-  const char* env = std::getenv("VTP_FULL");
-  return env != nullptr && std::string(env) == "1";
-}
+inline bool FullRuns() { return core::EnvFlag("VTP_FULL"); }
 
 /// Session length: the paper's 120 s under VTP_FULL, else 20 s.
 inline net::SimTime SessionDuration() {
@@ -28,6 +35,46 @@ inline net::SimTime SessionDuration() {
 
 /// Repeats per configuration: the paper's 5 under VTP_FULL, else 3.
 inline int Repeats() { return FullRuns() ? 5 : 3; }
+
+/// Worker threads for ParallelRepeats: VTP_BENCH_THREADS, default one per
+/// hardware thread. Values < 1 (or 1) mean run serially on the caller.
+inline int BenchThreads() {
+  return core::EnvInt("VTP_BENCH_THREADS",
+                      static_cast<int>(core::ThreadPool::HardwareThreads()));
+}
+
+/// Runs `fn(0) .. fn(n-1)` across BenchThreads() workers and returns the
+/// results in index order. Each invocation must be self-contained (own
+/// Simulator, own seeds); the index-ordered merge keeps downstream
+/// aggregation independent of scheduling.
+template <class Fn>
+auto ParallelRepeats(int n, Fn&& fn) -> std::vector<decltype(fn(0))> {
+  using Result = decltype(fn(0));
+  std::vector<Result> results(static_cast<std::size_t>(n < 0 ? 0 : n));
+  const int threads = BenchThreads();
+  if (threads <= 1 || n <= 1) {
+    for (int i = 0; i < n; ++i) results[static_cast<std::size_t>(i)] = fn(i);
+    return results;
+  }
+  core::ThreadPool pool(static_cast<unsigned>(threads));
+  for (int i = 0; i < n; ++i) {
+    pool.Submit([&results, &fn, i] { results[static_cast<std::size_t>(i)] = fn(i); });
+  }
+  pool.Wait();
+  return results;
+}
+
+/// Wall-clock stopwatch for perf reporting.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 /// Prints a section banner.
 inline void Banner(const std::string& title) {

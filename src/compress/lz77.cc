@@ -62,9 +62,14 @@ std::vector<LzToken> LzTokenize(std::span<const std::uint8_t> data, const LzPara
                         .length = best_len,
                         .distance = static_cast<std::uint32_t>(best_dist)});
       // Insert every covered position into the hash chains so later matches
-      // can reference the interior of this one.
+      // can reference the interior of this one. Only positions with a full
+      // kMinMatch window left are hashable, so the insertion bound is the
+      // tighter of the match end and the last hashable position.
       const std::size_t end = pos + best_len;
-      for (; pos < end && pos + LzParams::kMinMatch <= data.size(); ++pos) {
+      const std::size_t last_hashable =
+          data.size() < LzParams::kMinMatch ? 0 : data.size() - (LzParams::kMinMatch - 1);
+      const std::size_t insert_end = std::min(end, last_hashable);
+      for (; pos < insert_end; ++pos) {
         const std::uint32_t h = HashAt(data, pos);
         prev[pos] = head[h];
         head[h] = pos;

@@ -1,0 +1,35 @@
+// Small environment-variable parsing helpers shared by the bench harness
+// (VTP_FULL, VTP_BENCH_THREADS, VTP_BENCH_JSON, ...) and the simulator's
+// scheduler escape hatch. Header-only so low-level libraries can use them
+// without a link dependency on vtp_core.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+namespace vtp::core {
+
+/// Integer-valued variable; `fallback` when unset or unparsable.
+inline int EnvInt(const char* name, int fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const long value = std::strtol(env, &end, 10);
+  return (end == nullptr || *end != '\0') ? fallback : static_cast<int>(value);
+}
+
+/// Boolean flag; true when set to "1", "true", or "on".
+inline bool EnvFlag(const char* name) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return false;
+  const std::string v(env);
+  return v == "1" || v == "true" || v == "on";
+}
+
+/// String-valued variable; `fallback` when unset.
+inline std::string EnvString(const char* name, const char* fallback) {
+  const char* env = std::getenv(name);
+  return env == nullptr ? fallback : env;
+}
+
+}  // namespace vtp::core

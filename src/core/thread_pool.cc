@@ -1,0 +1,67 @@
+#include "core/thread_pool.h"
+
+namespace vtp::core {
+
+unsigned ThreadPool::HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = HardwareThreads();
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    jobs_.push_back(std::move(job));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_idle_.wait(lock, [this] { return jobs_.empty() && in_flight_ == 0; });
+  if (first_error_ != nullptr) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_available_.wait(lock, [this] { return shutdown_ || !jobs_.empty(); });
+    if (jobs_.empty()) return;  // shutdown
+    std::function<void()> job = std::move(jobs_.front());
+    jobs_.pop_front();
+    ++in_flight_;
+    lock.unlock();
+    try {
+      job();
+    } catch (...) {
+      lock.lock();
+      if (first_error_ == nullptr) first_error_ = std::current_exception();
+      lock.unlock();
+    }
+    lock.lock();
+    --in_flight_;
+    if (jobs_.empty() && in_flight_ == 0) all_idle_.notify_all();
+  }
+}
+
+}  // namespace vtp::core

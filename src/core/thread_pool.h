@@ -1,0 +1,52 @@
+// A fixed-size worker pool for fanning independent simulation runs across
+// cores. Each bench repeat owns its own Simulator (and the thread-local
+// PacketPool keeps buffers thread-confined), so runs are embarrassingly
+// parallel and bit-identical per seed regardless of the thread count.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vtp::core {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 = one per hardware thread).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a job. Jobs must not touch each other's state.
+  void Submit(std::function<void()> job);
+
+  /// Blocks until every submitted job has finished. Rethrows the first
+  /// exception a job raised, if any.
+  void Wait();
+
+  unsigned thread_count() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static unsigned HardwareThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> jobs_;
+  std::size_t in_flight_ = 0;
+  std::exception_ptr first_error_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace vtp::core

@@ -1,8 +1,5 @@
 #include "netsim/link.h"
 
-#include <algorithm>
-#include <cmath>
-
 namespace vtp::net {
 
 double DirectedLink::effective_rate_bps() const {
@@ -13,45 +10,6 @@ std::size_t DirectedLink::backlog_bytes(SimTime now) const {
   if (busy_until_ <= now) return 0;
   const double seconds = ToSeconds(busy_until_ - now);
   return static_cast<std::size_t>(seconds * effective_rate_bps() / 8.0);
-}
-
-void DirectedLink::Transmit(Packet p, Deliver deliver) {
-  const SimTime now = sim_->now();
-  const std::uint32_t bytes = p.wire_bytes();
-
-  if (backlog_bytes(now) + bytes > config_.queue_limit_bytes) {
-    ++stats_.packets_dropped_queue;
-    return;
-  }
-  const double loss = config_.loss_rate + extra_loss_;
-  if (loss > 0.0 && sim_->rng().Chance(std::min(loss, 1.0))) {
-    ++stats_.packets_dropped_loss;
-    return;
-  }
-
-  const SimTime start = std::max(now, busy_until_);
-  const SimTime tx_time = static_cast<SimTime>(
-      std::llround(bytes * 8.0 / effective_rate_bps() * kSecond));
-  busy_until_ = start + tx_time;
-
-  ++stats_.packets_sent;
-  stats_.bytes_sent += bytes;
-
-  SimTime arrive = busy_until_ + config_.prop_delay + extra_delay_;
-  if (config_.jitter_mean > 0) {
-    arrive += static_cast<SimTime>(
-        sim_->rng().Exponential(1.0 / static_cast<double>(config_.jitter_mean)));
-  }
-  // The link is FIFO: jitter delays but never reorders.
-  arrive = std::max(arrive, last_arrival_);
-  last_arrival_ = arrive;
-  if (tap_) {
-    // Tap fires at transmission start: the packet is on the wire.
-    sim_->At(start, [tap = tap_, p, start] { tap(p, start); });
-  }
-  sim_->At(arrive, [deliver = std::move(deliver), p = std::move(p)]() mutable {
-    deliver(std::move(p));
-  });
 }
 
 }  // namespace vtp::net

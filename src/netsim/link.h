@@ -4,10 +4,13 @@
 // Linux `tc` at the WiFi access points (§4.3).
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <limits>
 #include <optional>
+#include <utility>
 
 #include "netsim/event_queue.h"
 #include "netsim/packet.h"
@@ -40,13 +43,54 @@ class DirectedLink {
   /// tap: the packet made it onto the wire).
   using Tap = std::function<void(const Packet&, SimTime)>;
 
-  /// Called when a packet finishes propagating to the far end.
-  using Deliver = std::function<void(Packet)>;
-
   DirectedLink(Simulator* sim, LinkConfig config) : sim_(sim), config_(config) {}
 
   /// Enqueues `p`; on success schedules delivery, otherwise drops it.
-  void Transmit(Packet p, Deliver deliver);
+  /// `deliver` is invoked as deliver(Packet) when the packet reaches the far
+  /// end. Keep its captures small — together with the Packet it is stored
+  /// inline in the scheduled event (see InlineCallback::kInlineBytes).
+  template <class Deliver>
+  void Transmit(Packet p, Deliver deliver) {
+    const SimTime now = sim_->now();
+    const std::uint32_t bytes = p.wire_bytes();
+
+    if (backlog_bytes(now) + bytes > config_.queue_limit_bytes) {
+      ++stats_.packets_dropped_queue;
+      return;
+    }
+    const double loss = config_.loss_rate + extra_loss_;
+    if (loss > 0.0 && sim_->rng().Chance(std::min(loss, 1.0))) {
+      ++stats_.packets_dropped_loss;
+      return;
+    }
+
+    const SimTime start = std::max(now, busy_until_);
+    const SimTime tx_time = static_cast<SimTime>(
+        std::llround(bytes * 8.0 / effective_rate_bps() * kSecond));
+    busy_until_ = start + tx_time;
+
+    ++stats_.packets_sent;
+    stats_.bytes_sent += bytes;
+
+    SimTime arrive = busy_until_ + config_.prop_delay + extra_delay_;
+    if (config_.jitter_mean > 0) {
+      arrive += static_cast<SimTime>(
+          sim_->rng().Exponential(1.0 / static_cast<double>(config_.jitter_mean)));
+    }
+    // The link is FIFO: jitter delays but never reorders.
+    arrive = std::max(arrive, last_arrival_);
+    last_arrival_ = arrive;
+    if (tap_) {
+      // Tap fires at transmission start: the packet is on the wire. Sharing
+      // `p` here only bumps the payload refcount.
+      sim_->At(start, [this, p, start] {
+        if (tap_) tap_(p, start);
+      });
+    }
+    sim_->At(arrive, [deliver = std::move(deliver), p = std::move(p)]() mutable {
+      deliver(std::move(p));
+    });
+  }
 
   /// netem-style impairments (applied on top of the base config).
   void set_extra_delay(SimTime d) { extra_delay_ = d; }

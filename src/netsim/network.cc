@@ -142,7 +142,12 @@ void Network::UnbindUdp(NodeId node, std::uint16_t port) {
 }
 
 void Network::SendUdp(NodeId src, std::uint16_t src_port, NodeId dst, std::uint16_t dst_port,
-                      std::vector<std::uint8_t> payload) {
+                      const std::vector<std::uint8_t>& payload) {
+  SendUdp(src, src_port, dst, dst_port, PacketBuffer::CopyOf(payload));
+}
+
+void Network::SendUdp(NodeId src, std::uint16_t src_port, NodeId dst, std::uint16_t dst_port,
+                      PacketBuffer payload) {
   if (next_hop_.empty()) throw std::logic_error("SendUdp: routes not computed");
   Packet p;
   p.src = src;
@@ -156,10 +161,14 @@ void Network::SendUdp(NodeId src, std::uint16_t src_port, NodeId dst, std::uint1
 
 void Network::Forward(Packet p, NodeId at) {
   if (at == p.dst) {
-    const auto it = udp_bindings_.find({p.dst, p.dst_port});
-    if (it == udp_bindings_.end()) return;  // no listener: drop
+    if (!udp_bindings_.contains({p.dst, p.dst_port})) return;  // no listener: drop
     // Small host-stack delay between wire arrival and application delivery.
-    sim_->After(Micros(20), [handler = it->second, p = std::move(p)] { handler(p); });
+    // The binding is resolved again at delivery time so the capture fits the
+    // event's inline storage (a handler unbound inside this window drops).
+    sim_->After(Micros(20), [this, p = std::move(p)] {
+      const auto it = udp_bindings_.find({p.dst, p.dst_port});
+      if (it != udp_bindings_.end()) it->second(p);
+    });
     return;
   }
   const NodeId next = next_hop_[at][p.dst];

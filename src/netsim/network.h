@@ -72,9 +72,14 @@ class Network {
   /// Removes a binding (arriving datagrams are then dropped silently).
   void UnbindUdp(NodeId node, std::uint16_t port);
 
-  /// Sends a datagram. The payload is consumed.
+  /// Sends a datagram. The payload is copied into a pooled buffer.
   void SendUdp(NodeId src, std::uint16_t src_port, NodeId dst, std::uint16_t dst_port,
-               std::vector<std::uint8_t> payload);
+               const std::vector<std::uint8_t>& payload);
+
+  /// Sends a datagram sharing an existing payload buffer (zero-copy; the SFU
+  /// fan-out path forwards one buffer to every receiver this way).
+  void SendUdp(NodeId src, std::uint16_t src_port, NodeId dst, std::uint16_t dst_port,
+               PacketBuffer payload);
 
   // --- access -----------------------------------------------------------
 

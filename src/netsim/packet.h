@@ -3,10 +3,16 @@
 // The simulator models UDP/IP: each datagram has node/port addressing, an
 // opaque payload produced by a transport (RTP, QUIC-lite, TCP-SYN probe),
 // and a wire size that includes IP+UDP header overhead.
+//
+// The payload lives in a pooled, reference-counted PacketBuffer: copying a
+// Packet (capture taps, SFU fan-out, scheduled delivery) shares the block
+// instead of duplicating bytes, and the block is recycled when the last
+// reference drops.
 #pragma once
 
 #include <cstdint>
-#include <vector>
+
+#include "netsim/packet_buffer.h"
 
 namespace vtp::net {
 
@@ -22,7 +28,7 @@ struct Packet {
   NodeId dst = 0;
   std::uint16_t src_port = 0;
   std::uint16_t dst_port = 0;
-  std::vector<std::uint8_t> payload;
+  PacketBuffer payload;
 
   /// Monotone per-network packet id, assigned at send time (for tracing).
   std::uint64_t id = 0;

@@ -202,6 +202,43 @@ TEST(Lz77, OverlappingMatchHandledLikeRle) {
   EXPECT_EQ(LzReconstruct(tokens), data);
 }
 
+TEST(Lz77, ShortRepetitiveInputRoundTrips) {
+  // Matches that run to the end of the input exercise the interior-chain
+  // insertion bound: positions inside the final kMinMatch-1 bytes have no
+  // full hash window and must be skipped, not hashed past the buffer.
+  for (std::size_t n = 1; n <= 32; ++n) {
+    std::vector<std::uint8_t> data;
+    for (std::size_t i = 0; i < n; ++i) data.push_back(static_cast<std::uint8_t>("ab"[i % 2]));
+    const auto tokens = LzTokenize(data);
+    EXPECT_EQ(LzReconstruct(tokens), data) << "n=" << n;
+  }
+}
+
+TEST(Lz77, InteriorOfMatchIsReferenceable) {
+  // "abcdefgh" twice, then a run that matches the *interior* of the earlier
+  // copy ("cdef"). The covered positions of the first match must be in the
+  // hash chains for the third block to find its match.
+  std::string text = "abcdefgh";
+  text += "abcdefgh";
+  text += "cdefcdef";
+  const std::vector<std::uint8_t> data(text.begin(), text.end());
+  const auto tokens = LzTokenize(data);
+  EXPECT_EQ(LzReconstruct(tokens), data);
+  std::size_t matches = 0;
+  for (const LzToken& t : tokens) matches += t.is_match ? 1 : 0;
+  EXPECT_GE(matches, 2u);  // the repeat AND the interior reference
+}
+
+TEST(Lz77, InputsBelowMinMatchStayLiteral) {
+  for (std::size_t n = 0; n < LzParams::kMinMatch; ++n) {
+    const std::vector<std::uint8_t> data(n, 0x41);
+    const auto tokens = LzTokenize(data);
+    EXPECT_EQ(tokens.size(), n);
+    for (const LzToken& t : tokens) EXPECT_FALSE(t.is_match);
+    EXPECT_EQ(LzReconstruct(tokens), data);
+  }
+}
+
 TEST(Lz77, BadDistanceThrows) {
   std::vector<LzToken> tokens;
   tokens.push_back({.is_match = true, .literal = 0, .length = 3, .distance = 7});

@@ -1,0 +1,330 @@
+// Tests for the simulation-core overhaul: the timer-wheel scheduler (against
+// the legacy heap engine), the pooled packet buffers, and the parallel bench
+// runner. The differential tests are the determinism contract: both engines
+// must produce byte-identical execution orders and results for any trace.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/env.h"
+#include "core/rtt_matrix.h"
+#include "core/thread_pool.h"
+#include "netsim/event_queue.h"
+#include "netsim/packet_buffer.h"
+
+namespace vtp {
+namespace {
+
+using net::Simulator;
+
+// --- wheel scheduler semantics ---------------------------------------------
+
+TEST(TimerWheel, SameInstantIsFifo) {
+  Simulator sim(1, Simulator::Scheduler::kWheel);
+  std::vector<int> order;
+  sim.At(net::Micros(100), [&order] { order.push_back(1); });
+  sim.At(net::Micros(100), [&order] { order.push_back(2); });
+  sim.At(net::Micros(50), [&order] { order.push_back(0); });
+  sim.At(net::Micros(100), [&order] { order.push_back(3); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(TimerWheel, SameTickDifferentTimesStayOrdered) {
+  // Distinct nanosecond times inside one 1.024 us wheel tick must still run
+  // in time order, not insertion order.
+  Simulator sim(1, Simulator::Scheduler::kWheel);
+  std::vector<int> order;
+  sim.At(900, [&order] { order.push_back(2); });
+  sim.At(100, [&order] { order.push_back(0); });
+  sim.At(500, [&order] { order.push_back(1); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(TimerWheel, EventsCanScheduleMoreEvents) {
+  Simulator sim(1, Simulator::Scheduler::kWheel);
+  std::vector<net::SimTime> fired;
+  sim.At(net::Millis(1), [&] {
+    fired.push_back(sim.now());
+    sim.After(net::Millis(2), [&] { fired.push_back(sim.now()); });
+    sim.After(0, [&] { fired.push_back(sim.now()); });  // same instant, runs next
+  });
+  sim.Run();
+  ASSERT_EQ(fired.size(), 3u);
+  EXPECT_EQ(fired[0], net::Millis(1));
+  EXPECT_EQ(fired[1], net::Millis(1));
+  EXPECT_EQ(fired[2], net::Millis(3));
+  EXPECT_EQ(sim.events_executed(), 3u);
+}
+
+TEST(TimerWheel, RunUntilAdvancesClockAndStops) {
+  Simulator sim(1, Simulator::Scheduler::kWheel);
+  std::vector<int> order;
+  sim.At(net::Millis(10), [&order] { order.push_back(10); });
+  sim.At(net::Millis(20), [&order] { order.push_back(20); });
+  sim.At(net::Millis(30), [&order] { order.push_back(30); });
+  sim.RunUntil(net::Millis(25));
+  EXPECT_EQ(order, (std::vector<int>{10, 20}));
+  EXPECT_EQ(sim.now(), net::Millis(25));
+  sim.RunUntil(net::Millis(40));
+  EXPECT_EQ(order, (std::vector<int>{10, 20, 30}));
+  EXPECT_EQ(sim.now(), net::Millis(40));
+}
+
+TEST(TimerWheel, PastEventsClampToNow) {
+  Simulator sim(1, Simulator::Scheduler::kWheel);
+  net::SimTime ran_at = -1;
+  sim.At(net::Millis(5), [&] {
+    sim.At(net::Millis(1), [&] { ran_at = sim.now(); });  // in the past
+  });
+  sim.Run();
+  EXPECT_EQ(ran_at, net::Millis(5));
+}
+
+TEST(TimerWheel, StopMidRunAndResume) {
+  Simulator sim(1, Simulator::Scheduler::kWheel);
+  std::vector<int> order;
+  sim.At(net::Millis(1), [&] {
+    order.push_back(1);
+    sim.Stop();
+  });
+  sim.At(net::Millis(2), [&order] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(sim.now(), net::Millis(1));
+  sim.Run();  // resumes; Run() clears the stop flag like the legacy engine
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(TimerWheel, FarTimersCrossWheelLevelsAndOverflow) {
+  Simulator sim(1, Simulator::Scheduler::kWheel);
+  std::vector<int> order;
+  // Spread across level 0 (us), level 1 (ms), level 2 (minutes), and past the
+  // ~2.4 h wheel horizon into the overflow heap.
+  sim.At(net::Seconds(3 * 3600), [&order] { order.push_back(4); });  // overflow
+  sim.At(net::Seconds(120), [&order] { order.push_back(3); });
+  sim.At(net::Millis(40), [&order] { order.push_back(2); });
+  sim.At(net::Micros(5), [&order] { order.push_back(1); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(sim.now(), net::Seconds(3 * 3600));
+  EXPECT_GE(sim.scheduler_stats().overflow_inserts, 1u);
+}
+
+TEST(TimerWheel, OversizedCapturesFallBackToHeap) {
+  Simulator sim(1, Simulator::Scheduler::kWheel);
+  std::array<char, 100> big{};
+  big[0] = 1;
+  int out = 0;
+  sim.At(1, [big, &out] { out = big[0]; });
+  sim.Run();
+  EXPECT_EQ(out, 1);
+  EXPECT_EQ(sim.scheduler_stats().callback_heap_allocs, 1u);
+}
+
+TEST(Scheduler, EnvSelectsEngine) {
+  setenv("VTP_SIM_SCHEDULER", "heap", 1);
+  Simulator heap_sim(1);
+  EXPECT_EQ(heap_sim.scheduler(), Simulator::Scheduler::kHeap);
+  unsetenv("VTP_SIM_SCHEDULER");
+  Simulator wheel_sim(1);
+  EXPECT_EQ(wheel_sim.scheduler(), Simulator::Scheduler::kWheel);
+}
+
+// --- differential: wheel vs legacy heap ------------------------------------
+
+/// A self-expanding random event tree. Every node logs its id; both engines
+/// must replay the identical log because the rng draws happen in execution
+/// order, which the determinism contract fixes.
+struct TraceNode {
+  Simulator* sim;
+  std::vector<std::uint64_t>* log;
+  std::mt19937_64* rng;
+  std::uint64_t* next_id;
+  int depth;
+  std::uint64_t id;
+
+  void operator()() const {
+    log->push_back(id);
+    if (depth >= 4) return;
+    const int kids = static_cast<int>((*rng)() % 3);
+    for (int k = 0; k < kids; ++k) {
+      // Mostly short delays (including 0 → same-instant FIFO), occasionally
+      // far ones that land in outer wheel levels or the overflow heap.
+      net::SimTime delay = static_cast<net::SimTime>((*rng)() % net::Millis(5));
+      if ((*rng)() % 16 == 0) delay = static_cast<net::SimTime>((*rng)() % net::Seconds(9000));
+      sim->After(delay, TraceNode{sim, log, rng, next_id, depth + 1, (*next_id)++});
+    }
+  }
+};
+
+struct TraceResult {
+  std::vector<std::uint64_t> log;
+  std::uint64_t executed;
+  net::SimTime end_time;
+};
+
+TraceResult RunTrace(Simulator::Scheduler scheduler) {
+  Simulator sim(123, scheduler);
+  TraceResult result;
+  std::mt19937_64 rng(99);
+  std::uint64_t next_id = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto delay = static_cast<net::SimTime>(rng() % net::Millis(2));
+    sim.After(delay, TraceNode{&sim, &result.log, &rng, &next_id, 0, next_id});
+    ++next_id;
+  }
+  sim.Run();
+  result.executed = sim.events_executed();
+  result.end_time = sim.now();
+  return result;
+}
+
+TEST(SchedulerDifferential, RandomTraceExecutesIdentically) {
+  const TraceResult wheel = RunTrace(Simulator::Scheduler::kWheel);
+  const TraceResult heap = RunTrace(Simulator::Scheduler::kHeap);
+  EXPECT_EQ(wheel.executed, heap.executed);
+  EXPECT_EQ(wheel.end_time, heap.end_time);
+  ASSERT_EQ(wheel.log.size(), heap.log.size());
+  EXPECT_EQ(wheel.log, heap.log);
+  EXPECT_GT(wheel.log.size(), 200u);  // the tree actually expanded
+}
+
+TEST(SchedulerDifferential, RttMatrixIsBitIdenticalAcrossEngines) {
+  core::RttProbeSpec spec;
+  spec.clients = {{"W", "SanFrancisco"}, {"E", "NewYork"}};
+  spec.servers = {{"S1", "SanJose"}, {"S2", "Ashburn"}};
+  spec.pings_per_pair = 5;
+
+  setenv("VTP_SIM_SCHEDULER", "wheel", 1);
+  const core::RttMatrix wheel = core::MeasureRttMatrix(spec);
+  setenv("VTP_SIM_SCHEDULER", "heap", 1);
+  const core::RttMatrix heap = core::MeasureRttMatrix(spec);
+  unsetenv("VTP_SIM_SCHEDULER");
+
+  for (std::size_t c = 0; c < spec.clients.size(); ++c) {
+    for (std::size_t s = 0; s < spec.servers.size(); ++s) {
+      EXPECT_EQ(wheel.rtt_ms[c][s].mean, heap.rtt_ms[c][s].mean) << c << "," << s;
+      EXPECT_EQ(wheel.rtt_ms[c][s].stddev, heap.rtt_ms[c][s].stddev) << c << "," << s;
+    }
+  }
+}
+
+// --- packet buffers ---------------------------------------------------------
+
+TEST(PacketBuffer, CopyOfAndRefCounting) {
+  const std::vector<std::uint8_t> bytes = {1, 2, 3, 4, 5};
+  net::PacketBuffer a = net::PacketBuffer::CopyOf(bytes);
+  ASSERT_EQ(a.size(), 5u);
+  EXPECT_TRUE(std::equal(a.begin(), a.end(), bytes.begin()));
+  EXPECT_EQ(a.ref_count(), 1u);
+  {
+    net::PacketBuffer b = a;  // share, no copy
+    EXPECT_EQ(a.ref_count(), 2u);
+    EXPECT_EQ(b.data(), a.data());
+  }
+  EXPECT_EQ(a.ref_count(), 1u);
+}
+
+TEST(PacketBuffer, AssignDetachesFromSharedBlock) {
+  net::PacketBuffer a = net::PacketBuffer::CopyOf(std::vector<std::uint8_t>{9, 9, 9});
+  net::PacketBuffer b = a;
+  b.assign(10, 7);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(a[0], 9u);
+  EXPECT_EQ(b.size(), 10u);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_EQ(b[i], 7u);
+  EXPECT_EQ(a.ref_count(), 1u);
+  EXPECT_EQ(b.ref_count(), 1u);
+}
+
+TEST(PacketBuffer, PoolRecyclesReleasedBlocks) {
+  net::PacketPool::ThreadLocal().ResetStats();
+  { net::PacketBuffer first(972); }  // released back to the 1536-byte class
+  net::PacketBuffer second(972);     // must come from the free list
+  const net::PacketPoolStats& stats = net::PacketPool::ThreadLocal().stats();
+  EXPECT_EQ(stats.allocations, 2u);
+  EXPECT_GE(stats.pool_hits, 1u);
+}
+
+TEST(PacketBuffer, SpanConversionSeesPayload) {
+  net::PacketBuffer buf = net::PacketBuffer::CopyOf(std::vector<std::uint8_t>{10, 20, 30});
+  const std::span<const std::uint8_t> view = buf;
+  ASSERT_EQ(view.size(), 3u);
+  EXPECT_EQ(view[1], 20u);
+}
+
+// --- thread pool & parallel repeats ----------------------------------------
+
+TEST(ThreadPool, RunsAllJobs) {
+  core::ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { ++count; });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitRethrowsJobException) {
+  core::ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+}
+
+std::vector<std::uint64_t> SimRunCounts() {
+  // Each index runs an independent Simulator; the result must not depend on
+  // which worker ran it or in what order.
+  return bench::ParallelRepeats(8, [](int i) {
+    Simulator sim(static_cast<std::uint64_t>(1 + i));
+    std::uint64_t ticks = 0;
+    for (int k = 0; k <= i; ++k) {
+      sim.After(net::Micros(10 * (k + 1)), [&ticks] { ++ticks; });
+    }
+    sim.Run();
+    return ticks + sim.events_executed();
+  });
+}
+
+TEST(ParallelRepeats, ResultsAreIndexOrderedAndThreadCountIndependent) {
+  setenv("VTP_BENCH_THREADS", "1", 1);
+  const std::vector<std::uint64_t> serial = SimRunCounts();
+  setenv("VTP_BENCH_THREADS", "4", 1);
+  const std::vector<std::uint64_t> parallel = SimRunCounts();
+  unsetenv("VTP_BENCH_THREADS");
+  ASSERT_EQ(serial.size(), 8u);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], 2 * (i + 1)) << i;  // ticks + events_executed
+  }
+  EXPECT_EQ(serial, parallel);
+}
+
+// --- env helpers ------------------------------------------------------------
+
+TEST(Env, IntFlagAndStringParsing) {
+  setenv("VTP_TEST_INT", "42", 1);
+  EXPECT_EQ(core::EnvInt("VTP_TEST_INT", 7), 42);
+  setenv("VTP_TEST_INT", "notanint", 1);
+  EXPECT_EQ(core::EnvInt("VTP_TEST_INT", 7), 7);
+  unsetenv("VTP_TEST_INT");
+  EXPECT_EQ(core::EnvInt("VTP_TEST_INT", 7), 7);
+
+  setenv("VTP_TEST_FLAG", "1", 1);
+  EXPECT_TRUE(core::EnvFlag("VTP_TEST_FLAG"));
+  setenv("VTP_TEST_FLAG", "0", 1);
+  EXPECT_FALSE(core::EnvFlag("VTP_TEST_FLAG"));
+  unsetenv("VTP_TEST_FLAG");
+  EXPECT_FALSE(core::EnvFlag("VTP_TEST_FLAG"));
+
+  EXPECT_EQ(core::EnvString("VTP_TEST_STR", "fallback"), "fallback");
+}
+
+}  // namespace
+}  // namespace vtp
