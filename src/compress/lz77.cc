@@ -3,20 +3,32 @@
 #include <algorithm>
 
 #include "compress/bitstream.h"
+#include "compress/match_finder.h"
 
 namespace vtp::compress {
 
 namespace {
 
-constexpr std::uint32_t kHashBits = 16;
-constexpr std::uint32_t kHashSize = 1u << kHashBits;
+/// Sink collecting tokens into a vector (the free-function API).
+struct TokenSink {
+  std::vector<LzToken>* tokens;
+  void Literal(std::uint8_t byte) {
+    tokens->push_back({.is_match = false, .literal = byte, .length = 0, .distance = 0});
+  }
+  void Match(std::uint32_t length, std::uint32_t distance) {
+    tokens->push_back({.is_match = true, .literal = 0, .length = length, .distance = distance});
+  }
+};
 
-std::uint32_t HashAt(std::span<const std::uint8_t> d, std::size_t i) {
+constexpr std::uint32_t kLegacyHashBits = 16;
+constexpr std::uint32_t kLegacyHashSize = 1u << kLegacyHashBits;
+
+std::uint32_t LegacyHashAt(std::span<const std::uint8_t> d, std::size_t i) {
   // Multiplicative hash over 3 bytes (the minimum match length).
   const std::uint32_t v = static_cast<std::uint32_t>(d[i]) |
                           (static_cast<std::uint32_t>(d[i + 1]) << 8) |
                           (static_cast<std::uint32_t>(d[i + 2]) << 16);
-  return (v * 2654435761u) >> (32 - kHashBits);
+  return (v * 2654435761u) >> (32 - kLegacyHashBits);
 }
 
 }  // namespace
@@ -24,11 +36,19 @@ std::uint32_t HashAt(std::span<const std::uint8_t> d, std::size_t i) {
 std::vector<LzToken> LzTokenize(std::span<const std::uint8_t> data, const LzParams& params) {
   std::vector<LzToken> tokens;
   tokens.reserve(data.size() / 2 + 8);
+  MatchFinder finder;
+  LzParse(finder, data, params, TokenSink{&tokens});
+  return tokens;
+}
+
+std::vector<LzToken> LzTokenizeLegacy(std::span<const std::uint8_t> data, const LzParams& params) {
+  std::vector<LzToken> tokens;
+  tokens.reserve(data.size() / 2 + 8);
 
   // head[h] = most recent position with hash h; prev[i] = previous position
   // in i's chain. kNone marks an empty slot.
   constexpr std::size_t kNone = static_cast<std::size_t>(-1);
-  std::vector<std::size_t> head(kHashSize, kNone);
+  std::vector<std::size_t> head(kLegacyHashSize, kNone);
   std::vector<std::size_t> prev(data.size(), kNone);
 
   std::size_t pos = 0;
@@ -37,7 +57,7 @@ std::vector<LzToken> LzTokenize(std::span<const std::uint8_t> data, const LzPara
     std::size_t best_dist = 0;
 
     if (pos + LzParams::kMinMatch <= data.size()) {
-      const std::uint32_t h = HashAt(data, pos);
+      const std::uint32_t h = LegacyHashAt(data, pos);
       std::size_t candidate = head[h];
       int probes = params.max_chain_length;
       const std::uint32_t max_len = static_cast<std::uint32_t>(
@@ -70,7 +90,7 @@ std::vector<LzToken> LzTokenize(std::span<const std::uint8_t> data, const LzPara
           data.size() < LzParams::kMinMatch ? 0 : data.size() - (LzParams::kMinMatch - 1);
       const std::size_t insert_end = std::min(end, last_hashable);
       for (; pos < insert_end; ++pos) {
-        const std::uint32_t h = HashAt(data, pos);
+        const std::uint32_t h = LegacyHashAt(data, pos);
         prev[pos] = head[h];
         head[h] = pos;
       }
@@ -78,7 +98,7 @@ std::vector<LzToken> LzTokenize(std::span<const std::uint8_t> data, const LzPara
     } else {
       tokens.push_back({.is_match = false, .literal = data[pos], .length = 0, .distance = 0});
       if (pos + LzParams::kMinMatch <= data.size()) {
-        const std::uint32_t h = HashAt(data, pos);
+        const std::uint32_t h = LegacyHashAt(data, pos);
         prev[pos] = head[h];
         head[h] = pos;
       }
@@ -89,19 +109,23 @@ std::vector<LzToken> LzTokenize(std::span<const std::uint8_t> data, const LzPara
 }
 
 std::vector<std::uint8_t> LzReconstruct(std::span<const LzToken> tokens) {
-  std::vector<std::uint8_t> out;
+  // Pass 1: total output size, so the buffer is sized exactly once and
+  // matches can block-copy instead of push_back'ing a byte at a time.
+  std::size_t total = 0;
+  for (const LzToken& t : tokens) total += t.is_match ? t.length : 1;
+
+  std::vector<std::uint8_t> out(total);
+  std::size_t wr = 0;
   for (const LzToken& t : tokens) {
     if (!t.is_match) {
-      out.push_back(t.literal);
+      out[wr++] = t.literal;
       continue;
     }
-    if (t.distance == 0 || t.distance > out.size()) {
+    if (t.distance == 0 || t.distance > wr) {
       throw CorruptStream("lz token distance out of range");
     }
-    // Byte-by-byte copy: overlapping matches (distance < length) are legal
-    // and replicate the RLE-like behaviour of LZ77.
-    std::size_t from = out.size() - t.distance;
-    for (std::uint32_t i = 0; i < t.length; ++i) out.push_back(out[from + i]);
+    LzCopyMatch(out.data(), wr, t.length, t.distance);
+    wr += t.length;
   }
   return out;
 }

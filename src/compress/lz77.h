@@ -1,13 +1,29 @@
-// Greedy LZ77 match finder with hash chains.
+// LZ77 tokenization: match finding over a sliding window with hash chains.
 //
 // Produces a token stream (literals and back-references) that the "lzr"
 // container entropy-codes. Kept separate from the container so other codecs
 // can reuse the matcher (e.g. for byte-plane compression experiments).
+//
+// Two parsers are available (LzParams::parser, overridable with the
+// VTP_LZ_PARSER environment variable):
+//   * greedy — take the longest match at every position; the historical
+//     default, and the mode whose output is frozen for format stability;
+//   * lazy   — zlib/LZMA-style one-step deferral: prefer a longer match at
+//     pos+1 over a match at pos. Denser parses on structured data.
+//
+// The hot-path implementation lives in match_finder.h (a persistent,
+// allocation-free MatchFinder plus template parse drivers); the free
+// functions here are convenience wrappers that allocate per call. The
+// original per-call tokenizer is retained verbatim as LzTokenizeLegacy —
+// it is the differential baseline for tests and bench_compress.
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <vector>
+
+#include "core/env.h"
 
 namespace vtp::compress {
 
@@ -19,6 +35,15 @@ struct LzToken {
   std::uint32_t distance = 0;   // valid when is_match; >= 1
 };
 
+/// Match-parsing strategy (see file comment).
+enum class LzParser : std::uint8_t { kGreedy, kLazy };
+
+/// Parser selected by VTP_LZ_PARSER ("greedy"/"lazy"); greedy when unset or
+/// unrecognized. Allocation-free so it can run per frame.
+inline LzParser DefaultLzParser() {
+  return core::EnvEquals("VTP_LZ_PARSER", "lazy") ? LzParser::kLazy : LzParser::kGreedy;
+}
+
 /// Tunables for the match finder.
 struct LzParams {
   static constexpr std::uint32_t kMinMatch = 3;
@@ -26,13 +51,43 @@ struct LzParams {
 
   std::uint32_t window_size = 1u << 20;  ///< max back-reference distance
   int max_chain_length = 64;             ///< hash-chain probes per position
+  LzParser parser = DefaultLzParser();   ///< parse strategy (VTP_LZ_PARSER)
 };
 
-/// Tokenises `data` greedily. Deterministic for identical inputs.
+/// Tokenises `data` with the configured parser. Deterministic for identical
+/// inputs and params. Convenience wrapper over MatchFinder; allocates the
+/// finder per call — per-frame callers should hold an LzrEncoder instead.
 std::vector<LzToken> LzTokenize(std::span<const std::uint8_t> data, const LzParams& params = {});
+
+/// The pre-arena greedy tokenizer, kept verbatim as the differential
+/// baseline: LzTokenize in greedy mode must reproduce its output exactly.
+std::vector<LzToken> LzTokenizeLegacy(std::span<const std::uint8_t> data,
+                                      const LzParams& params = {});
 
 /// Reconstructs the original bytes from a token stream.
 /// Throws CorruptStream if a token references data before the start.
 std::vector<std::uint8_t> LzReconstruct(std::span<const LzToken> tokens);
+
+/// Decoder fast path shared by LzReconstruct and LzrDecompress: writes the
+/// `length` bytes of a match at out[wr..wr+length) from distance `distance`
+/// back. Non-overlapping ranges block-copy; overlapping (RLE-like) matches
+/// replicate their period, doubling the copied span each pass. The caller
+/// must have validated 1 <= distance <= wr and that the destination fits.
+inline void LzCopyMatch(std::uint8_t* out, std::size_t wr, std::uint32_t length,
+                        std::uint32_t distance) {
+  std::uint8_t* dst = out + wr;
+  const std::uint8_t* src = dst - distance;
+  if (distance >= length) {
+    std::memcpy(dst, src, length);
+    return;
+  }
+  std::memcpy(dst, src, distance);
+  std::size_t done = distance;  // dst[0..done) now holds whole periods
+  while (done < length) {
+    const std::size_t chunk = done < length - done ? done : length - done;
+    std::memcpy(dst + done, dst, chunk);
+    done += chunk;
+  }
+}
 
 }  // namespace vtp::compress

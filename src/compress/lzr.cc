@@ -1,9 +1,9 @@
 #include "compress/lzr.h"
 
-#include <array>
-#include <bit>
+#include <algorithm>
 
 #include "compress/bitstream.h"
+#include "compress/lzr_stream.h"
 #include "compress/range_coder.h"
 #include "compress/varint.h"
 
@@ -11,63 +11,124 @@ namespace vtp::compress {
 
 namespace {
 
-constexpr std::array<std::uint8_t, 4> kMagic = {'L', 'Z', 'R', '1'};
-
-// Distance encoding: a 6-bit "slot" bit tree selects a power-of-two bucket,
-// then (slot/2 - 1) direct bits give the offset within the bucket.
-constexpr int kDistSlotBits = 6;
-
-std::uint32_t DistanceToSlot(std::uint32_t dist) {
-  // dist >= 1. Slots 0..3 encode distances 1..4 exactly.
-  if (dist <= 4) return dist - 1;
-  const int log = 31 - std::countl_zero(dist - 1);
-  return static_cast<std::uint32_t>((log << 1) + (((dist - 1) >> (log - 1)) & 1));
+/// Shared encoder for the free-function wrappers: keeps the match-finder
+/// arena warm across ad-hoc calls. Encoders embedded in codecs have their
+/// own instances; this one only serves the wrappers on this thread.
+LzrEncoder& WrapperEncoder() {
+  thread_local LzrEncoder encoder;
+  return encoder;
 }
 
-struct Models {
-  BitModel is_match;
-  BitTree<8> literal;
-  BitTree<9> length;  // encodes length - kMinMatch, range [0, 270] fits 9 bits
-  BitTree<kDistSlotBits> dist_slot;
+/// The seed's range encoder, frozen: identical byte stream to RangeEncoder,
+/// but with the original out-of-line, branchy bit path (the seed compiled it
+/// in its own translation unit, so nothing inlined). LzrCompressLegacy pins
+/// the WHOLE seed compressor — tokenizer, per-call tables, token vector, and
+/// this coder — so bench_compress measures the true old-vs-new hot-path gap,
+/// the same way bench_simcore keeps the heap scheduler alive as its baseline.
+class SeedRangeEncoder {
+ public:
+  explicit SeedRangeEncoder(std::vector<std::uint8_t>* out) : out_(out) {}
+
+  [[gnu::noinline]] void EncodeBit(BitModel& m, int bit) {
+    const std::uint32_t bound = (range_ >> BitModel::kTotalBits) * m.prob;
+    if (bit == 0) {
+      range_ = bound;
+      m.prob =
+          static_cast<std::uint16_t>(m.prob + ((BitModel::kTotal - m.prob) >> BitModel::kMoveBits));
+    } else {
+      low_ += bound;
+      range_ -= bound;
+      m.prob = static_cast<std::uint16_t>(m.prob - (m.prob >> BitModel::kMoveBits));
+    }
+    while (range_ < kTopValue) {
+      range_ <<= 8;
+      ShiftLow();
+    }
+  }
+
+  [[gnu::noinline]] void EncodeDirectBits(std::uint32_t value, int count) {
+    for (int i = count - 1; i >= 0; --i) {
+      range_ >>= 1;
+      if ((value >> i) & 1u) low_ += range_;
+      while (range_ < kTopValue) {
+        range_ <<= 8;
+        ShiftLow();
+      }
+    }
+  }
+
+  void Flush() {
+    for (int i = 0; i < 5; ++i) ShiftLow();
+  }
+
+ private:
+  static constexpr std::uint32_t kTopValue = 1u << 24;
+
+  [[gnu::noinline]] void ShiftLow() {
+    if (static_cast<std::uint32_t>(low_) < 0xFF000000u || (low_ >> 32) != 0) {
+      const auto carry = static_cast<std::uint8_t>(low_ >> 32);
+      do {
+        out_->push_back(static_cast<std::uint8_t>(cache_ + carry));
+        cache_ = 0xFF;
+      } while (--cache_size_ != 0);
+      cache_ = static_cast<std::uint8_t>(low_ >> 24);
+    }
+    ++cache_size_;
+    low_ = (low_ << 8) & 0xFFFFFFFFull;
+  }
+
+  std::vector<std::uint8_t>* out_;
+  std::uint64_t low_ = 0;
+  std::uint32_t range_ = 0xFFFFFFFFu;
+  std::uint8_t cache_ = 0;
+  std::uint64_t cache_size_ = 1;
 };
 
 }  // namespace
 
 std::vector<std::uint8_t> LzrCompress(std::span<const std::uint8_t> data, const LzParams& params) {
-  std::vector<std::uint8_t> out(kMagic.begin(), kMagic.end());
+  std::vector<std::uint8_t> out;
+  WrapperEncoder().CompressInto(data, out, params);
+  return out;
+}
+
+std::vector<std::uint8_t> LzrCompressLegacy(std::span<const std::uint8_t> data,
+                                            const LzParams& params) {
+  std::vector<std::uint8_t> out(detail::kLzrMagic.begin(), detail::kLzrMagic.end());
   PutUleb128(out, data.size());
   if (data.empty()) return out;
 
-  const std::vector<LzToken> tokens = LzTokenize(data, params);
+  const std::vector<LzToken> tokens = LzTokenizeLegacy(data, params);
 
-  RangeEncoder rc(&out);
-  Models m;
+  SeedRangeEncoder rc(&out);
+  detail::LzrModels m;
   for (const LzToken& t : tokens) {
-    if (!t.is_match) {
+    if (t.is_match) {
+      rc.EncodeBit(m.is_match, 1);
+      m.length.Encode(rc, t.length - LzParams::kMinMatch);
+      const std::uint32_t slot = detail::DistanceToSlot(t.distance);
+      m.dist_slot.Encode(rc, slot);
+      if (slot >= 4) {
+        const int direct = static_cast<int>(slot / 2 - 1);
+        const std::uint32_t base = (2u | (slot & 1u)) << direct;
+        rc.EncodeDirectBits((t.distance - 1) - base, direct);
+      }
+    } else {
       rc.EncodeBit(m.is_match, 0);
       m.literal.Encode(rc, t.literal);
-      continue;
-    }
-    rc.EncodeBit(m.is_match, 1);
-    m.length.Encode(rc, t.length - LzParams::kMinMatch);
-    const std::uint32_t slot = DistanceToSlot(t.distance);
-    m.dist_slot.Encode(rc, slot);
-    if (slot >= 4) {
-      const int direct = static_cast<int>(slot / 2 - 1);
-      const std::uint32_t base = (2u | (slot & 1u)) << direct;
-      rc.EncodeDirectBits((t.distance - 1) - base, direct);
     }
   }
   rc.Flush();
   return out;
 }
 
-std::vector<std::uint8_t> LzrDecompress(std::span<const std::uint8_t> data) {
-  if (data.size() < kMagic.size() ||
-      !std::equal(kMagic.begin(), kMagic.end(), data.begin())) {
+void LzrDecompressInto(std::span<const std::uint8_t> data, std::vector<std::uint8_t>& out) {
+  out.clear();
+  if (data.size() < detail::kLzrMagic.size() ||
+      !std::equal(detail::kLzrMagic.begin(), detail::kLzrMagic.end(), data.begin())) {
     throw CorruptStream("lzr: bad magic");
   }
-  std::size_t pos = kMagic.size();
+  std::size_t pos = detail::kLzrMagic.size();
   const std::uint64_t original_size = GetUleb128(data, &pos);
   // Plausibility bound: adaptive coding of a fully repetitive stream can
   // spend well under a bit per max-length match, but not less than ~1/60 of
@@ -75,15 +136,18 @@ std::vector<std::uint8_t> LzrDecompress(std::span<const std::uint8_t> data) {
   // allocations while admitting any stream the encoder can produce.
   const std::uint64_t max_plausible = static_cast<std::uint64_t>(data.size()) * 16384 + 4096;
   if (original_size > max_plausible) throw CorruptStream("lzr: implausible original size");
-  std::vector<std::uint8_t> out;
-  out.reserve(original_size);
-  if (original_size == 0) return out;
+  if (original_size == 0) return;
+
+  // Fast path: size the output once, then write literals in place and
+  // block-copy matches (LzCopyMatch handles overlapping RLE-style ones).
+  out.resize(original_size);
+  std::size_t wr = 0;
 
   RangeDecoder rc(data.subspan(pos));
-  Models m;
-  while (out.size() < original_size) {
+  detail::LzrModels m;
+  while (wr < original_size) {
     if (rc.DecodeBit(m.is_match) == 0) {
-      out.push_back(static_cast<std::uint8_t>(m.literal.Decode(rc)));
+      out[wr++] = static_cast<std::uint8_t>(m.literal.Decode(rc));
       continue;
     }
     const std::uint32_t length = m.length.Decode(rc) + LzParams::kMinMatch;
@@ -96,16 +160,21 @@ std::vector<std::uint8_t> LzrDecompress(std::span<const std::uint8_t> data) {
       const std::uint32_t base = (2u | (slot & 1u)) << direct;
       dist = base + rc.DecodeDirectBits(direct) + 1;
     }
-    if (dist > out.size()) throw CorruptStream("lzr: distance out of range");
-    if (out.size() + length > original_size) throw CorruptStream("lzr: output overrun");
-    const std::size_t from = out.size() - dist;
-    for (std::uint32_t i = 0; i < length; ++i) out.push_back(out[from + i]);
+    if (dist > wr) throw CorruptStream("lzr: distance out of range");
+    if (length > original_size - wr) throw CorruptStream("lzr: output overrun");
+    LzCopyMatch(out.data(), wr, length, dist);
+    wr += length;
   }
+}
+
+std::vector<std::uint8_t> LzrDecompress(std::span<const std::uint8_t> data) {
+  std::vector<std::uint8_t> out;
+  LzrDecompressInto(data, out);
   return out;
 }
 
 std::size_t LzrCompressedSize(std::span<const std::uint8_t> data) {
-  return LzrCompress(data).size();
+  return WrapperEncoder().CompressedSize(data);
 }
 
 }  // namespace vtp::compress

@@ -8,6 +8,12 @@
 // Tokens are entropy-coded with adaptive bit models: a match/literal flag,
 // order-0 context literals, a length bit tree, and distance slots with direct
 // bits (the LZMA distance scheme, simplified).
+//
+// The functions here are convenience wrappers for tests and tools. Per-frame
+// callers (semantic codec, pipelines, benches) hold a compress::LzrEncoder
+// (lzr_stream.h), which reuses its match-finder arena and scratch across
+// frames; the wrappers delegate to a thread-local LzrEncoder so even ad-hoc
+// calls skip the per-call table setup. Output bytes are identical either way.
 #pragma once
 
 #include <cstdint>
@@ -22,11 +28,23 @@ namespace vtp::compress {
 /// the input (incompressible data costs ~1.05x + 16 bytes).
 std::vector<std::uint8_t> LzrCompress(std::span<const std::uint8_t> data, const LzParams& params = {});
 
+/// The pre-arena compressor (token vector + fresh tables per call), kept
+/// verbatim as the A/B baseline for bench_compress and differential tests.
+/// Greedy-mode LzrCompress must produce identical bytes.
+std::vector<std::uint8_t> LzrCompressLegacy(std::span<const std::uint8_t> data,
+                                            const LzParams& params = {});
+
 /// Decompresses an LzrCompress stream.
 /// Throws CorruptStream on bad magic, truncation, or invalid tokens.
 std::vector<std::uint8_t> LzrDecompress(std::span<const std::uint8_t> data);
 
-/// Convenience: compressed size in bytes without keeping the buffer.
+/// Decompresses into `out` (replacing its contents), reusing its capacity —
+/// the decoder sizes the buffer once and block-copies matches, so a warm
+/// caller-held buffer makes decode allocation-free.
+void LzrDecompressInto(std::span<const std::uint8_t> data, std::vector<std::uint8_t>& out);
+
+/// Convenience: compressed size in bytes without materializing the output
+/// (counting range-coder sink; see RangeEncoder).
 std::size_t LzrCompressedSize(std::span<const std::uint8_t> data);
 
 }  // namespace vtp::compress

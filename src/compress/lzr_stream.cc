@@ -1,0 +1,44 @@
+#include "compress/lzr_stream.h"
+
+namespace vtp::compress {
+
+void LzrEncoder::CompressInto(std::span<const std::uint8_t> data, std::vector<std::uint8_t>& out,
+                              const LzParams& params) {
+  for (const std::uint8_t b : detail::kLzrMagic) out.push_back(b);
+  PutUleb128(out, data.size());
+  ++frames_;
+  if (data.empty()) return;
+
+  RangeEncoder rc(&out);
+  detail::LzrModels m;
+  {
+    RangeEncoder::Hot hot(rc);
+    LzParse(finder_, data, params, detail::LzrTokenCoder{hot, m});
+  }
+  rc.Flush();
+}
+
+std::span<const std::uint8_t> LzrEncoder::Compress(std::span<const std::uint8_t> data,
+                                                   const LzParams& params) {
+  scratch_.clear();
+  CompressInto(data, scratch_, params);
+  return scratch_;
+}
+
+std::size_t LzrEncoder::CompressedSize(std::span<const std::uint8_t> data,
+                                       const LzParams& params) {
+  ++frames_;
+  const std::size_t header = detail::kLzrMagic.size() + Uleb128Length(data.size());
+  if (data.empty()) return header;
+
+  RangeEncoder rc;  // counting sink: nothing is stored
+  detail::LzrModels m;
+  {
+    RangeEncoder::Hot hot(rc);
+    LzParse(finder_, data, params, detail::LzrTokenCoder{hot, m});
+  }
+  rc.Flush();
+  return header + rc.bytes_emitted();
+}
+
+}  // namespace vtp::compress

@@ -1,0 +1,36 @@
+#include "compress/match_finder.h"
+
+#include <algorithm>
+
+#include "compress/bitstream.h"
+
+namespace vtp::compress {
+
+void MatchFinder::Reset(std::span<const std::uint8_t> data) {
+  if (data.size() >= kNone) throw CorruptStream("match finder: input too large");
+  data_ = data.data();
+  size_ = data.size();
+  last_hashable_ = size_ < LzParams::kMinMatch ? 0 : size_ - (LzParams::kMinMatch - 1);
+  ++stats_.resets;
+
+  if (head_.empty()) {
+    head_.assign(kHashSize, 0);  // generation stamp 0 never matches: see below
+    ++stats_.arena_grows;
+  }
+  if (prev_.size() < size_) {
+    prev_.resize(size_);
+    ++stats_.arena_grows;
+  }
+  stats_.arena_bytes =
+      head_.capacity() * sizeof(std::uint64_t) + prev_.capacity() * sizeof(std::uint32_t);
+
+  if (++generation_ == 0) {
+    // Once per 2^32 resets the stamp space is exhausted: clear and restart.
+    // Live generations are always >= 1, so the stamp 0 written here (and at
+    // first use) can never read as current.
+    std::fill(head_.begin(), head_.end(), std::uint64_t{0});
+    generation_ = 1;
+  }
+}
+
+}  // namespace vtp::compress

@@ -2,102 +2,10 @@
 
 namespace vtp::compress {
 
-namespace {
-constexpr std::uint32_t kTopValue = 1u << 24;
-}  // namespace
-
-void RangeEncoder::ShiftLow() {
-  if (static_cast<std::uint32_t>(low_) < 0xFF000000u || (low_ >> 32) != 0) {
-    const auto carry = static_cast<std::uint8_t>(low_ >> 32);
-    do {
-      out_->push_back(static_cast<std::uint8_t>(cache_ + carry));
-      cache_ = 0xFF;
-    } while (--cache_size_ != 0);
-    cache_ = static_cast<std::uint8_t>(low_ >> 24);
-  }
-  ++cache_size_;
-  low_ = (low_ << 8) & 0xFFFFFFFFull;
-}
-
-void RangeEncoder::EncodeBit(BitModel& m, int bit) {
-  const std::uint32_t bound = (range_ >> BitModel::kTotalBits) * m.prob;
-  if (bit == 0) {
-    range_ = bound;
-    m.prob = static_cast<std::uint16_t>(m.prob + ((BitModel::kTotal - m.prob) >> BitModel::kMoveBits));
-  } else {
-    low_ += bound;
-    range_ -= bound;
-    m.prob = static_cast<std::uint16_t>(m.prob - (m.prob >> BitModel::kMoveBits));
-  }
-  while (range_ < kTopValue) {
-    range_ <<= 8;
-    ShiftLow();
-  }
-}
-
-void RangeEncoder::EncodeDirectBits(std::uint32_t value, int count) {
-  for (int i = count - 1; i >= 0; --i) {
-    range_ >>= 1;
-    if ((value >> i) & 1u) low_ += range_;
-    while (range_ < kTopValue) {
-      range_ <<= 8;
-      ShiftLow();
-    }
-  }
-}
-
-void RangeEncoder::Flush() {
-  for (int i = 0; i < 5; ++i) ShiftLow();
-}
-
 RangeDecoder::RangeDecoder(std::span<const std::uint8_t> data) : data_(data) {
   if (data_.size() < 5) throw CorruptStream("range-coder stream too short");
   ++pos_;  // first byte is always zero padding from the encoder cache
   for (int i = 0; i < 4; ++i) code_ = (code_ << 8) | data_[pos_++];
-}
-
-std::uint8_t RangeDecoder::NextByte() {
-  // Reading past the end returns zeros: the encoder's Flush() emits exactly
-  // the bytes needed, and trailing zero reads only occur on the final symbol.
-  return pos_ < data_.size() ? data_[pos_++] : 0;
-}
-
-int RangeDecoder::DecodeBit(BitModel& m) {
-  const std::uint32_t bound = (range_ >> BitModel::kTotalBits) * m.prob;
-  int bit;
-  if (code_ < bound) {
-    range_ = bound;
-    m.prob = static_cast<std::uint16_t>(m.prob + ((BitModel::kTotal - m.prob) >> BitModel::kMoveBits));
-    bit = 0;
-  } else {
-    code_ -= bound;
-    range_ -= bound;
-    m.prob = static_cast<std::uint16_t>(m.prob - (m.prob >> BitModel::kMoveBits));
-    bit = 1;
-  }
-  while (range_ < (1u << 24)) {
-    range_ <<= 8;
-    code_ = (code_ << 8) | NextByte();
-  }
-  return bit;
-}
-
-std::uint32_t RangeDecoder::DecodeDirectBits(int count) {
-  std::uint32_t result = 0;
-  for (int i = 0; i < count; ++i) {
-    range_ >>= 1;
-    std::uint32_t bit = 0;
-    if (code_ >= range_) {
-      code_ -= range_;
-      bit = 1;
-    }
-    result = (result << 1) | bit;
-    while (range_ < (1u << 24)) {
-      range_ <<= 8;
-      code_ = (code_ << 8) | NextByte();
-    }
-  }
-  return result;
 }
 
 }  // namespace vtp::compress

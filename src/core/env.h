@@ -32,4 +32,17 @@ inline std::string EnvString(const char* name, const char* fallback) {
   return env == nullptr ? fallback : env;
 }
 
+/// True when `name` is set to exactly `value`. Allocation-free, so hot-path
+/// defaults (e.g. LzParams::parser from VTP_LZ_PARSER) can consult it per
+/// call without heap traffic.
+inline bool EnvEquals(const char* name, const char* value) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return false;
+  while (*env != '\0' && *env == *value) {
+    ++env;
+    ++value;
+  }
+  return *env == '\0' && *value == '\0';
+}
+
 }  // namespace vtp::core

@@ -37,26 +37,9 @@ float GetFloat(std::span<const std::uint8_t> d, std::size_t* pos) {
   return f;
 }
 
-}  // namespace
-
-std::vector<std::uint8_t> EncodeMesh(const TriangleMesh& mesh, MeshCodecConfig config) {
-  if (config.position_bits < 1 || config.position_bits > 21) {
-    throw std::invalid_argument("position_bits out of range");
-  }
-  std::vector<std::uint8_t> out(kMagic.begin(), kMagic.end());
-  out.push_back(static_cast<std::uint8_t>(config.position_bits));
-  compress::PutUleb128(out, mesh.vertex_count());
-  compress::PutUleb128(out, mesh.triangle_count());
-
-  const Aabb box = mesh.Bounds();
-  PutFloat(out, box.min.x);
-  PutFloat(out, box.min.y);
-  PutFloat(out, box.min.z);
-  PutFloat(out, box.max.x);
-  PutFloat(out, box.max.y);
-  PutFloat(out, box.max.z);
-  if (mesh.vertex_count() == 0) return out;
-
+/// Entropy-codes positions + connectivity into `rc` (write or counting sink).
+void EncodeMeshBody(const TriangleMesh& mesh, MeshCodecConfig config, const Aabb& box,
+                    compress::RangeEncoder& rc) {
   const std::uint32_t grid = (1u << config.position_bits) - 1;
   const Vec3 size = box.Size();
   const auto quantize = [&](float v, float lo, float extent) -> std::int64_t {
@@ -64,7 +47,6 @@ std::vector<std::uint8_t> EncodeMesh(const TriangleMesh& mesh, MeshCodecConfig c
     return std::llround((v - lo) / extent * static_cast<float>(grid));
   };
 
-  compress::RangeEncoder rc(&out);
   std::array<ResidualCoder, 3> pos_coder;
   std::array<std::int64_t, 3> prev = {0, 0, 0};
   for (const Vec3& p : mesh.positions) {
@@ -97,7 +79,51 @@ std::vector<std::uint8_t> EncodeMesh(const TriangleMesh& mesh, MeshCodecConfig c
     history[i % 2] = current;
   }
   rc.Flush();
+}
+
+}  // namespace
+
+void EncodeMeshInto(const TriangleMesh& mesh, MeshCodecConfig config,
+                    std::vector<std::uint8_t>& out) {
+  if (config.position_bits < 1 || config.position_bits > 21) {
+    throw std::invalid_argument("position_bits out of range");
+  }
+  out.clear();
+  for (const std::uint8_t b : kMagic) out.push_back(b);
+  out.push_back(static_cast<std::uint8_t>(config.position_bits));
+  compress::PutUleb128(out, mesh.vertex_count());
+  compress::PutUleb128(out, mesh.triangle_count());
+
+  const Aabb box = mesh.Bounds();
+  PutFloat(out, box.min.x);
+  PutFloat(out, box.min.y);
+  PutFloat(out, box.min.z);
+  PutFloat(out, box.max.x);
+  PutFloat(out, box.max.y);
+  PutFloat(out, box.max.z);
+  if (mesh.vertex_count() == 0) return;
+
+  compress::RangeEncoder rc(&out);
+  EncodeMeshBody(mesh, config, box, rc);
+}
+
+std::vector<std::uint8_t> EncodeMesh(const TriangleMesh& mesh, MeshCodecConfig config) {
+  std::vector<std::uint8_t> out;
+  EncodeMeshInto(mesh, config, out);
   return out;
+}
+
+std::size_t EncodedMeshSize(const TriangleMesh& mesh, MeshCodecConfig config) {
+  if (config.position_bits < 1 || config.position_bits > 21) {
+    throw std::invalid_argument("position_bits out of range");
+  }
+  const std::size_t header = kMagic.size() + 1 + compress::Uleb128Length(mesh.vertex_count()) +
+                             compress::Uleb128Length(mesh.triangle_count()) + 6 * 4;
+  if (mesh.vertex_count() == 0) return header;
+
+  compress::RangeEncoder rc;  // counting sink
+  EncodeMeshBody(mesh, config, mesh.Bounds(), rc);
+  return header + rc.bytes_emitted();
 }
 
 TriangleMesh DecodeMesh(std::span<const std::uint8_t> data) {

@@ -30,6 +30,17 @@ struct MeshCodecConfig {
 /// Compresses `mesh` into a self-contained buffer.
 std::vector<std::uint8_t> EncodeMesh(const TriangleMesh& mesh, MeshCodecConfig config = {});
 
+/// Compresses `mesh` into `out` (replaced), reusing its capacity — the
+/// per-frame path for streaming encoders that keep a scratch buffer warm.
+void EncodeMeshInto(const TriangleMesh& mesh, MeshCodecConfig config,
+                    std::vector<std::uint8_t>& out);
+
+/// Exact EncodeMesh output size without materializing the buffer: the range
+/// coder runs in counting-sink mode (the 90 FPS bandwidth benches only need
+/// bytes-per-frame, which at 70-90 K triangles otherwise costs a ~100 KB
+/// allocation per probe).
+std::size_t EncodedMeshSize(const TriangleMesh& mesh, MeshCodecConfig config = {});
+
 /// Decompresses a buffer produced by EncodeMesh.
 /// Throws compress::CorruptStream on malformed input.
 TriangleMesh DecodeMesh(std::span<const std::uint8_t> data);

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstring>
 
 #include "compress/bitstream.h"
 #include "compress/lzr.h"
@@ -18,27 +17,6 @@ constexpr std::uint8_t kFlagLz = 0x04;
 
 /// Persona-local coordinates fit comfortably in this cube (metres).
 constexpr float kVolumeHalfExtent = 0.5f;
-
-void PutFloatLe(std::vector<std::uint8_t>& out, float f) {
-  std::uint32_t bits;
-  std::memcpy(&bits, &f, sizeof(bits));
-  out.push_back(static_cast<std::uint8_t>(bits));
-  out.push_back(static_cast<std::uint8_t>(bits >> 8));
-  out.push_back(static_cast<std::uint8_t>(bits >> 16));
-  out.push_back(static_cast<std::uint8_t>(bits >> 24));
-}
-
-float GetFloatLe(std::span<const std::uint8_t> d, std::size_t* pos) {
-  if (*pos + 4 > d.size()) throw compress::CorruptStream("semantic: truncated float");
-  std::uint32_t bits = static_cast<std::uint32_t>(d[*pos]) |
-                       (static_cast<std::uint32_t>(d[*pos + 1]) << 8) |
-                       (static_cast<std::uint32_t>(d[*pos + 2]) << 16) |
-                       (static_cast<std::uint32_t>(d[*pos + 3]) << 24);
-  *pos += 4;
-  float f;
-  std::memcpy(&f, &bits, sizeof(f));
-  return f;
-}
 
 std::int32_t Quantize(float v, int bits) {
   const float grid = static_cast<float>((1 << bits) - 1);
@@ -67,6 +45,13 @@ void SemanticEncoder::Reset() {
 }
 
 std::vector<std::uint8_t> SemanticEncoder::EncodeFrame(std::span<const Vec3> points) {
+  std::vector<std::uint8_t> out;
+  EncodeFrameInto(points, out);
+  return out;
+}
+
+void SemanticEncoder::EncodeFrameInto(std::span<const Vec3> points,
+                                      std::vector<std::uint8_t>& out) {
   if (points.size() != kSemanticPoints) {
     throw std::invalid_argument("semantic frame must contain 74 points");
   }
@@ -76,22 +61,21 @@ std::vector<std::uint8_t> SemanticEncoder::EncodeFrame(std::span<const Vec3> poi
   if (temporal) tag |= kFlagTemporal;
   if (config_.lz_compress) tag |= kFlagLz;
 
-  std::vector<std::uint8_t> header;
-  header.push_back(tag);
-  compress::PutUleb128(header, frame_++);
+  out.clear();
+  out.push_back(tag);
+  compress::PutUleb128(out, frame_++);
 
-  std::vector<std::uint8_t> body;
+  body_.clear();
   if (config_.quantize_bits == 0) {
-    body.reserve(points.size() * 12);
     for (const Vec3& p : points) {
-      PutFloatLe(body, p.x);
-      PutFloatLe(body, p.y);
-      PutFloatLe(body, p.z);
+      compress::PutFloatLe(body_, p.x);
+      compress::PutFloatLe(body_, p.y);
+      compress::PutFloatLe(body_, p.z);
     }
   } else {
-    header.push_back(static_cast<std::uint8_t>(config_.quantize_bits));
-    std::vector<std::int32_t> q;
-    q.reserve(points.size() * 3);
+    out.push_back(static_cast<std::uint8_t>(config_.quantize_bits));
+    std::vector<std::int32_t>& q = quantized_scratch_;
+    q.clear();
     for (const Vec3& p : points) {
       q.push_back(Quantize(p.x, config_.quantize_bits));
       q.push_back(Quantize(p.y, config_.quantize_bits));
@@ -100,15 +84,18 @@ std::vector<std::uint8_t> SemanticEncoder::EncodeFrame(std::span<const Vec3> poi
     std::int64_t prev_in_frame = 0;
     for (std::size_t i = 0; i < q.size(); ++i) {
       std::int64_t reference = temporal ? prev_quantized_[i] : prev_in_frame;
-      compress::PutUleb128(body, compress::ZigZagEncode(q[i] - reference));
+      compress::PutUleb128(body_, compress::ZigZagEncode(q[i] - reference));
       prev_in_frame = q[i];
     }
-    prev_quantized_ = std::move(q);
+    // Swap, not copy: q becomes next frame's scratch, no allocation.
+    std::swap(prev_quantized_, q);
   }
 
-  if (config_.lz_compress) body = compress::LzrCompress(body);
-  header.insert(header.end(), body.begin(), body.end());
-  return header;
+  if (config_.lz_compress) {
+    lzr_.CompressInto(body_, out);
+  } else {
+    out.insert(out.end(), body_.begin(), body_.end());
+  }
 }
 
 SemanticDecoder::SemanticDecoder() = default;
@@ -125,11 +112,10 @@ std::optional<SemanticFrame> SemanticDecoder::DecodeFrame(std::span<const std::u
     if (qbits < 1 || qbits > 21) throw compress::CorruptStream("semantic: bad qbits");
   }
 
-  std::vector<std::uint8_t> body;
   std::span<const std::uint8_t> body_view = payload.subspan(pos);
   if (tag & kFlagLz) {
-    body = compress::LzrDecompress(body_view);
-    body_view = body;
+    compress::LzrDecompressInto(body_view, body_);
+    body_view = body_;
   }
 
   SemanticFrame out;
@@ -140,9 +126,9 @@ std::optional<SemanticFrame> SemanticDecoder::DecodeFrame(std::span<const std::u
     std::size_t bpos = 0;
     for (std::size_t i = 0; i < kSemanticPoints; ++i) {
       Vec3 p;
-      p.x = GetFloatLe(body_view, &bpos);
-      p.y = GetFloatLe(body_view, &bpos);
-      p.z = GetFloatLe(body_view, &bpos);
+      p.x = compress::GetFloatLe(body_view, &bpos);
+      p.y = compress::GetFloatLe(body_view, &bpos);
+      p.z = compress::GetFloatLe(body_view, &bpos);
       out.points.push_back(p);
     }
     last_frame_ = frame_index;
@@ -159,8 +145,8 @@ std::optional<SemanticFrame> SemanticDecoder::DecodeFrame(std::span<const std::u
     }
   }
 
-  std::vector<std::int32_t> q;
-  q.reserve(kSemanticPoints * 3);
+  std::vector<std::int32_t>& q = quantized_scratch_;
+  q.clear();
   std::size_t bpos = 0;
   std::int64_t prev_in_frame = 0;
   for (std::size_t i = 0; i < kSemanticPoints * 3; ++i) {
@@ -174,7 +160,7 @@ std::optional<SemanticFrame> SemanticDecoder::DecodeFrame(std::span<const std::u
     out.points.push_back(Vec3{Dequantize(q[i * 3], qbits), Dequantize(q[i * 3 + 1], qbits),
                               Dequantize(q[i * 3 + 2], qbits)});
   }
-  prev_quantized_ = std::move(q);
+  std::swap(prev_quantized_, q);
   last_frame_ = frame_index;
   return out;
 }

@@ -14,6 +14,7 @@
 #include <span>
 #include <vector>
 
+#include "compress/lzr_stream.h"
 #include "semantic/keypoints.h"
 
 namespace vtp::semantic {
@@ -30,6 +31,11 @@ struct SemanticCodecConfig {
 };
 
 /// Stateful encoder (keeps the previous frame for temporal delta).
+///
+/// Holds the lzr hot-path state for its lifetime: the embedded LzrEncoder's
+/// match-finder arena plus the serialization scratch buffers are reused
+/// across EncodeFrame calls, so steady-state encoding via EncodeFrameInto
+/// performs no heap allocation.
 class SemanticEncoder {
  public:
   explicit SemanticEncoder(SemanticCodecConfig config = {});
@@ -38,13 +44,24 @@ class SemanticEncoder {
   /// The payload starts with a 1-byte mode tag and a uleb128 frame index.
   std::vector<std::uint8_t> EncodeFrame(std::span<const Vec3> points);
 
+  /// Same, into `out` (replaced) — the allocation-free per-frame path once
+  /// `out`'s capacity is warm.
+  void EncodeFrameInto(std::span<const Vec3> points, std::vector<std::uint8_t>& out);
+
   /// Resets temporal state (e.g. after a receiver resync).
   void Reset();
+
+  /// The embedded lzr hot path (arena stats for benches/tests).
+  const compress::LzrEncoder& lzr() const { return lzr_; }
 
  private:
   SemanticCodecConfig config_;
   std::uint64_t frame_ = 0;
   std::vector<std::int32_t> prev_quantized_;
+  // Reused per-frame scratch: serialized body, quantized coords, lzr state.
+  std::vector<std::uint8_t> body_;
+  std::vector<std::int32_t> quantized_scratch_;
+  compress::LzrEncoder lzr_;
 };
 
 /// Decoded frame.
@@ -67,6 +84,9 @@ class SemanticDecoder {
  private:
   std::optional<std::uint64_t> last_frame_;
   std::vector<std::int32_t> prev_quantized_;
+  // Reused decode scratch (lz body, quantized coords).
+  std::vector<std::uint8_t> body_;
+  std::vector<std::int32_t> quantized_scratch_;
 };
 
 }  // namespace vtp::semantic

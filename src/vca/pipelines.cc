@@ -1,5 +1,7 @@
 #include "vca/pipelines.h"
 
+#include <span>
+
 #include "compress/bitstream.h"
 
 namespace vtp::vca {
@@ -27,7 +29,8 @@ void SpatialPersonaSender::Tick(net::SimTime until) {
   if (sim_->now() >= until) return;
   const semantic::KeypointFrame frame = generator_.Next();
   const std::vector<semantic::Vec3> subset = semantic::ExtractSemanticSubset(frame);
-  const std::vector<std::uint8_t> encoded = encoder_.EncodeFrame(subset);
+  encoder_.EncodeFrameInto(subset, encode_scratch_);
+  const std::span<const std::uint8_t> encoded = encode_scratch_;
   ++frames_sent_;
 
   const auto ship = [this](std::uint8_t media, std::span<const std::uint8_t> body) {

@@ -69,6 +69,7 @@ class SpatialPersonaSender {
   double fps_;
   semantic::KeypointTrackGenerator generator_;
   semantic::SemanticEncoder encoder_;
+  std::vector<std::uint8_t> encode_scratch_;  // reused per-frame encode buffer
   std::optional<transport::FecEncoder> fec_;
   std::uint64_t frames_sent_ = 0;
   std::uint64_t payload_bytes_sent_ = 0;

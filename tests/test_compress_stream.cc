@@ -1,0 +1,287 @@
+// Tests for the streaming compression hot path: LzrEncoder / MatchFinder /
+// lazy parsing / counting-sink sizes. The core contract under test is
+// differential: the fused streaming encoder must be byte-identical to the
+// legacy tokenize-then-encode compressor in greedy mode, and every mode must
+// round-trip exactly.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <random>
+#include <vector>
+
+#include "compress/lz77.h"
+#include "compress/lzr.h"
+#include "compress/lzr_stream.h"
+#include "compress/match_finder.h"
+#include "semantic/codec.h"
+#include "semantic/generator.h"
+#include "semantic/keypoints.h"
+
+// ---- allocation counting ----------------------------------------------------
+// Global counter for the zero-allocation steady-state checks. Counting only;
+// all allocation behaviour is the default.
+//
+// GCC 12 cannot see through the replaced global operator new when it inlines
+// std::vector's deallocation and flags a malloc/free "mismatch" that is in
+// fact matched (both sides of the replacement use malloc/free).
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace vtp::compress {
+namespace {
+
+LzParams Greedy() { return {}; }
+
+LzParams Lazy() {
+  LzParams p;
+  p.parser = LzParser::kLazy;
+  return p;
+}
+
+// ---- corpora ----------------------------------------------------------------
+
+std::vector<std::uint8_t> RandomCorpus(std::size_t n, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::vector<std::uint8_t> data(n);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+  return data;
+}
+
+std::vector<std::uint8_t> RepetitiveCorpus(std::size_t n, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  const std::vector<std::uint8_t> motif = {'t', 'e', 'l', 'e', 'p', 'r', 'e', 's'};
+  std::vector<std::uint8_t> data;
+  data.reserve(n);
+  while (data.size() < n) {
+    data.push_back(motif[data.size() % motif.size()]);
+    if (rng() % 31 == 0) data.back() = static_cast<std::uint8_t>(rng());
+  }
+  return data;
+}
+
+/// The headline payload type: 11-bit quantized temporal-delta keypoint frames.
+std::vector<std::vector<std::uint8_t>> KeypointDeltaFrames(int frames, std::uint32_t seed) {
+  semantic::KeypointTrackGenerator generator({}, seed);
+  semantic::SemanticEncoder encoder(
+      {.quantize_bits = 11, .temporal_delta = true, .lz_compress = false});
+  std::vector<std::vector<std::uint8_t>> out;
+  out.reserve(static_cast<std::size_t>(frames));
+  for (int i = 0; i < frames; ++i) {
+    out.push_back(encoder.EncodeFrame(semantic::ExtractSemanticSubset(generator.Next())));
+  }
+  return out;
+}
+
+std::vector<std::vector<std::uint8_t>> AllCorpora() {
+  std::vector<std::vector<std::uint8_t>> corpora;
+  corpora.push_back({});                                   // empty
+  corpora.push_back({42});                                 // single byte
+  corpora.push_back({1, 2, 3});                            // exactly kMinMatch
+  corpora.push_back(RandomCorpus(4096, 1));
+  corpora.push_back(RepetitiveCorpus(4096, 2));
+  corpora.push_back(std::vector<std::uint8_t>(2048, 0x55));  // constant
+  for (auto& f : KeypointDeltaFrames(8, 3)) corpora.push_back(std::move(f));
+  return corpora;
+}
+
+// ---- differential greedy identity ------------------------------------------
+
+TEST(LzrStream, GreedyIsByteIdenticalToLegacy) {
+  LzrEncoder encoder;
+  std::vector<std::uint8_t> out;
+  for (const auto& data : AllCorpora()) {
+    const std::vector<std::uint8_t> legacy = LzrCompressLegacy(data, Greedy());
+    out.clear();
+    encoder.CompressInto(data, out, Greedy());
+    EXPECT_EQ(out, legacy) << "greedy stream diverged on input of " << data.size() << " bytes";
+  }
+}
+
+TEST(LzrStream, FreeFunctionWrapperMatchesEncoder) {
+  LzrEncoder encoder;
+  for (const auto& data : AllCorpora()) {
+    EXPECT_EQ(LzrCompress(data), LzrCompressLegacy(data, Greedy()));
+  }
+}
+
+// ---- lazy parsing -----------------------------------------------------------
+
+TEST(LzrStream, LazyRoundTripsAndNeverBeatenByGreedy) {
+  LzrEncoder encoder;
+  std::vector<std::uint8_t> greedy_out, lazy_out, decoded;
+  for (const auto& data : AllCorpora()) {
+    greedy_out.clear();
+    encoder.CompressInto(data, greedy_out, Greedy());
+    lazy_out.clear();
+    encoder.CompressInto(data, lazy_out, Lazy());
+
+    // One extra lookahead probe can only tighten the parse.
+    EXPECT_LE(lazy_out.size(), greedy_out.size());
+
+    LzrDecompressInto(greedy_out, decoded);
+    EXPECT_EQ(decoded, data);
+    LzrDecompressInto(lazy_out, decoded);
+    EXPECT_EQ(decoded, data);
+  }
+}
+
+TEST(LzrStream, LazyTightensRepetitiveParses) {
+  // On match-rich data the lazy parser should find at least one deferral
+  // that pays off; if it never does, it silently degenerated to greedy.
+  LzrEncoder encoder;
+  const auto data = RepetitiveCorpus(1 << 15, 17);
+  const std::size_t greedy = encoder.CompressedSize(data, Greedy());
+  const std::size_t lazy = encoder.CompressedSize(data, Lazy());
+  EXPECT_LT(lazy, greedy);
+}
+
+TEST(LzrStream, DefaultParserFollowsEnv) {
+  ASSERT_EQ(DefaultLzParser(), LzParser::kGreedy);
+  ::setenv("VTP_LZ_PARSER", "lazy", 1);
+  EXPECT_EQ(DefaultLzParser(), LzParser::kLazy);
+  ::setenv("VTP_LZ_PARSER", "greedy", 1);
+  EXPECT_EQ(DefaultLzParser(), LzParser::kGreedy);
+  ::unsetenv("VTP_LZ_PARSER");
+}
+
+// ---- match finder reuse -----------------------------------------------------
+
+TEST(MatchFinder, ReuseAcrossInputsMatchesFreshEncoder) {
+  // Generation stamping must make a warm finder indistinguishable from a
+  // fresh one: stale head slots from earlier (larger, different) inputs must
+  // never leak matches into later frames.
+  LzrEncoder reused;
+  std::vector<std::uint8_t> warm, fresh;
+  // Deliberately alternate sizes and content so stale chains would point at
+  // plausible-looking offsets if generations leaked.
+  std::vector<std::vector<std::uint8_t>> inputs;
+  inputs.push_back(RandomCorpus(8192, 11));
+  inputs.push_back(RepetitiveCorpus(512, 12));
+  inputs.push_back(RandomCorpus(64, 13));
+  inputs.push_back(RepetitiveCorpus(8192, 14));
+  inputs.push_back(RandomCorpus(512, 11));  // same seed family, shorter
+  for (auto& f : KeypointDeltaFrames(6, 5)) inputs.push_back(std::move(f));
+
+  for (const LzParams& params : {Greedy(), Lazy()}) {
+    for (const auto& data : inputs) {
+      warm.clear();
+      reused.CompressInto(data, warm, params);
+      LzrEncoder once;
+      fresh.clear();
+      once.CompressInto(data, fresh, params);
+      EXPECT_EQ(warm, fresh) << "warm finder diverged from fresh on " << data.size() << " bytes";
+    }
+  }
+  EXPECT_EQ(reused.finder_stats().resets, 2 * inputs.size());
+}
+
+TEST(MatchFinder, FindBestHonoursProbeAndWindowLimits) {
+  // All-identical bytes build one long chain; a tiny window must stop the
+  // walk at the window edge regardless of chain depth.
+  const std::vector<std::uint8_t> data(1024, 7);
+  MatchFinder finder;
+  finder.Reset(data);
+  for (std::size_t i = 0; i < 512; ++i) finder.Insert(i);
+  LzParams params;
+  params.window_size = 16;
+  const auto m = finder.FindBest(512, params);
+  ASSERT_GE(m.length, LzParams::kMinMatch);
+  EXPECT_LE(m.distance, params.window_size);
+}
+
+// ---- counting-sink sizes ----------------------------------------------------
+
+TEST(LzrStream, CompressedSizeIsExact) {
+  LzrEncoder encoder;
+  for (const auto& data : AllCorpora()) {
+    for (const LzParams& params : {Greedy(), Lazy()}) {
+      const std::size_t predicted = encoder.CompressedSize(data, params);
+      EXPECT_EQ(predicted, encoder.Compress(data, params).size());
+    }
+  }
+}
+
+TEST(LzrStream, LzrCompressedSizeMatchesWrapper) {
+  const auto data = RepetitiveCorpus(4096, 23);
+  EXPECT_EQ(LzrCompressedSize(data), LzrCompress(data).size());
+}
+
+// ---- steady-state allocations ----------------------------------------------
+
+TEST(LzrStream, SteadyStateEncodeDoesNotAllocate) {
+  const auto frames = KeypointDeltaFrames(32, 9);
+  LzrEncoder encoder;
+  std::vector<std::uint8_t> out, decoded;
+  for (const auto& f : frames) {  // warm arena, scratch, output, decode buffer
+    out.clear();
+    encoder.CompressInto(f, out);
+    LzrDecompressInto(out, decoded);
+  }
+
+  const std::uint64_t allocs_before = g_allocs.load();
+  const std::uint64_t grows_before = encoder.finder_stats().arena_grows;
+  for (int rep = 0; rep < 4; ++rep) {
+    for (const auto& f : frames) {
+      out.clear();
+      encoder.CompressInto(f, out);
+      LzrDecompressInto(out, decoded);
+    }
+  }
+  EXPECT_EQ(g_allocs.load() - allocs_before, 0u) << "warm encode+decode touched the heap";
+  EXPECT_EQ(encoder.finder_stats().arena_grows, grows_before) << "arena grew after warm-up";
+}
+
+TEST(LzrStream, SteadyStateFrameEncodeDoesNotAllocate) {
+  semantic::KeypointTrackGenerator generator({}, 9);
+  semantic::SemanticEncoder encoder({.quantize_bits = 11, .temporal_delta = true});
+  std::vector<std::vector<semantic::Vec3>> subsets;  // pre-generated input
+  for (int i = 0; i < 32; ++i) {
+    subsets.push_back(semantic::ExtractSemanticSubset(generator.Next()));
+  }
+  std::vector<std::uint8_t> payload;
+  for (const auto& s : subsets) encoder.EncodeFrameInto(s, payload);  // warm
+
+  const std::uint64_t before = g_allocs.load();
+  for (int rep = 0; rep < 4; ++rep) {
+    for (const auto& s : subsets) encoder.EncodeFrameInto(s, payload);
+  }
+  EXPECT_EQ(g_allocs.load() - before, 0u) << "warm EncodeFrameInto touched the heap";
+}
+
+// ---- decode buffer reuse ----------------------------------------------------
+
+TEST(LzrStream, DecompressIntoReusesBuffer) {
+  LzrEncoder encoder;
+  std::vector<std::uint8_t> out, decoded;
+  const auto big = RepetitiveCorpus(1 << 14, 31);
+  encoder.CompressInto(big, out);
+  LzrDecompressInto(out, decoded);
+  EXPECT_EQ(decoded, big);
+  const std::size_t cap = decoded.capacity();
+
+  const auto small = RandomCorpus(64, 32);
+  out.clear();
+  encoder.CompressInto(small, out);
+  LzrDecompressInto(out, decoded);
+  EXPECT_EQ(decoded, small);
+  EXPECT_EQ(decoded.capacity(), cap) << "shrinking decode should reuse capacity";
+}
+
+}  // namespace
+}  // namespace vtp::compress

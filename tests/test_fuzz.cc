@@ -9,6 +9,7 @@
 
 #include "audio/codec.h"
 #include "compress/lzr.h"
+#include "compress/varint.h"
 #include "mesh/codec.h"
 #include "mesh/generator.h"
 #include "netsim/network.h"
@@ -56,6 +57,69 @@ TEST(Fuzz, LzrDecompressNeverCrashes) {
     ExpectNoCrash([&] { compress::LzrDecompress(RandomBytes(rng, 512)); });
     ExpectNoCrash([&] {
       compress::LzrDecompress(RandomWithPrefix(rng, 512, {'L', 'Z', 'R', '1'}));
+    });
+  }
+}
+
+// The lzr decoder fast path sizes its output vector once from the header and
+// block-copies matches, so corrupt headers and corrupt token streams must be
+// caught by the plausibility bound and the per-match distance/overrun checks
+// — CorruptStream, never UB or a huge allocation.
+
+TEST(Fuzz, LzrTruncatedValidStreamNeverCrashes) {
+  // Overlap-heavy input: its stream decodes into long (often distance-1)
+  // matches, so truncation tends to hit mid-match and mid-preamble cases.
+  std::vector<std::uint8_t> data(2048, 0xAB);
+  std::mt19937_64 rng(21);
+  for (std::size_t i = 64; i < data.size(); i += 1 + rng() % 7) {
+    data[i] = static_cast<std::uint8_t>(rng());
+  }
+  const auto stream = compress::LzrCompress(data);
+  std::vector<std::uint8_t> out;
+  for (std::size_t len = 0; len < stream.size(); ++len) {
+    auto cut = stream;
+    cut.resize(len);
+    ExpectNoCrash([&] {
+      compress::LzrDecompressInto(cut, out);
+      // A truncated range-coder tail reads as zeros and may "decode" garbage,
+      // but the output may never outgrow the header's original size.
+      EXPECT_LE(out.size(), data.size());
+    });
+  }
+}
+
+TEST(Fuzz, LzrImplausibleSizeHeaderThrows) {
+  // "LZR1" + a huge uleb128 original size. The decoder must reject it from
+  // the plausibility bound instead of resizing to petabytes.
+  for (const std::uint64_t claimed :
+       {std::uint64_t{1} << 30, std::uint64_t{1} << 40, std::uint64_t{1} << 62}) {
+    std::vector<std::uint8_t> evil = {'L', 'Z', 'R', '1'};
+    compress::PutUleb128(evil, claimed);
+    evil.insert(evil.end(), 16, 0x5A);  // plausible-looking coded tail
+    EXPECT_THROW(compress::LzrDecompress(evil), compress::CorruptStream);
+  }
+}
+
+TEST(Fuzz, LzrBitFlippedStreamNeverCrashes) {
+  // Single-byte corruptions of valid overlap-heavy streams: decoded matches
+  // get wrong lengths/distances, which must hit the distance/overrun checks
+  // or decode to bounded garbage — never out-of-bounds copies.
+  std::mt19937_64 rng(22);
+  std::vector<std::uint8_t> data;
+  for (int i = 0; i < 4096; ++i) {
+    data.push_back(static_cast<std::uint8_t>(i % 17 == 0 ? rng() : 0x42));
+  }
+  const auto stream = compress::LzrCompress(data);
+  // A flip in the size header may claim a larger-but-plausible output; the
+  // decoder's own bound is the hard ceiling on what it will materialize.
+  const std::uint64_t plausible_limit = static_cast<std::uint64_t>(stream.size()) * 16384 + 4096;
+  std::vector<std::uint8_t> out;
+  for (int i = 0; i < 400; ++i) {
+    auto flipped = stream;
+    flipped[rng() % flipped.size()] ^= static_cast<std::uint8_t>(1 + rng() % 255);
+    ExpectNoCrash([&] {
+      compress::LzrDecompressInto(flipped, out);
+      EXPECT_LE(out.size(), plausible_limit);
     });
   }
 }
