@@ -80,7 +80,11 @@ ScalePoint Aggregate(std::span<const RepeatData> runs) {
 int main() {
   std::cout << "Reproduction of Figure 6: spatial-persona scalability, 2-5 users.\n"
             << "(each point is " << bench::Repeats() << " full sessions of "
-            << net::ToSeconds(bench::SessionDuration()) << " s)\n";
+            << net::ToSeconds(bench::SessionDuration()) << " s)\n"
+            << "QUIC transport path: "
+            << (core::EnvEquals("VTP_QUIC_PATH", "legacy") ? "legacy (std::vector/std::map)"
+                                                           : "pooled writer + sent-packet ring")
+            << "\n";
 
   // All (users, repeat) sessions are independent; fan the whole grid out at
   // once and aggregate per user count afterwards.

@@ -1,0 +1,333 @@
+// Transport hot-path benchmark: the pooled-writer/ring-buffer QUIC path vs
+// the retained legacy (std::vector / std::map) path, on the workload the
+// paper's scalability story is bounded by — an SFU fanning every inbound
+// datagram out to N-1 receivers (§4.2, Figure 6).
+//
+//   1. fan-out throughput — a 5-persona session (5 clients, one SFU, star
+//      topology) pushing 90 FPS semantic-sized datagrams through the relay
+//      for a fixed simulated duration. A/B wall time, interleaved reps,
+//      best-of per side; the >=2x target applies here;
+//   2. steady-state allocations — a global operator-new counter reset after
+//      a warmup second; the default path must not touch the heap per
+//      forwarded packet once pools and rings are warm;
+//   3. differential — the same session run once per path with a capture on
+//      the SFU's access link: wire traces (timing, addressing, sizes, and
+//      the 16-byte payload prefix of every packet), per-client delivery
+//      digests, and client transport stats must be identical.
+//
+// Results go to BENCH_transport.json (override with VTP_BENCH_JSON);
+// `--smoke` shrinks the run for CI. Exit is nonzero on any differential
+// mismatch, steady-state allocation on the default path, or speedup < 1.0.
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/json.h"
+#include "netsim/capture.h"
+#include "netsim/network.h"
+#include "transport/quic.h"
+#include "vca/sfu.h"
+
+using namespace vtp;
+
+// ---- allocation counter -----------------------------------------------------
+// Counts every operator-new in the process; the steady-state section resets
+// it after warmup. Single-threaded bench, but atomic keeps it honest.
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+constexpr int kPersonas = 5;
+constexpr std::uint16_t kSfuPort = 7000;
+constexpr std::size_t kPayloadBytes = 240;  // a semantic frame's ballpark
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t Fnv(std::uint64_t h, const std::uint8_t* p, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) h = (h ^ p[i]) * kFnvPrime;
+  return h;
+}
+
+std::uint64_t FnvU64(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h = (h ^ static_cast<std::uint8_t>(v)) * kFnvPrime;
+    v >>= 8;
+  }
+  return h;
+}
+
+void SelectPath(bool legacy) {
+  if (legacy) {
+    setenv("VTP_QUIC_PATH", "legacy", 1);
+  } else {
+    unsetenv("VTP_QUIC_PATH");
+  }
+}
+
+/// One client persona: ticks at 90 FPS, refreshing a reusable payload in
+/// place (xorshift over 64-bit words, deterministic per sender) and sending
+/// it as a QUIC datagram tagged for SFU fan-out.
+struct PersonaSender {
+  net::Simulator* sim = nullptr;
+  transport::QuicConnection* conn = nullptr;
+  std::vector<std::uint8_t> payload;
+  std::uint64_t rng = 0;
+  net::SimTime until = 0;
+  net::SimTime dt = 0;
+
+  void Start(int id, std::uint64_t seed) {
+    payload.assign(kPayloadBytes, 0);
+    payload[0] = vca::kRelayTagLocal;
+    payload[1] = static_cast<std::uint8_t>(id);
+    payload[2] = 1;  // audio-like kind: always fans out, never a subscription
+    rng = seed;
+    Tick();
+  }
+
+  void Tick() {
+    for (std::size_t i = 8; i + 8 <= payload.size(); i += 8) {
+      rng ^= rng << 13;
+      rng ^= rng >> 7;
+      rng ^= rng << 17;
+      std::memcpy(payload.data() + i, &rng, 8);
+    }
+    conn->SendDatagram(payload);
+    if (sim->now() + dt <= until) sim->After(dt, [this] { Tick(); });
+  }
+};
+
+struct SessionResult {
+  std::uint64_t forwarded = 0;         ///< SFU forwards over the whole run
+  std::uint64_t delivered = 0;         ///< datagrams received across clients
+  std::uint64_t payload_digest = kFnvOffset;  ///< delivered bytes, in order
+  std::uint64_t wire_digest = kFnvOffset;     ///< capture-trace digest
+  std::uint64_t wire_packets = 0;
+  std::uint64_t client_packets_sent = 0;
+  std::uint64_t client_bytes_sent = 0;
+  std::uint64_t prehandshake_drops = 0;
+  std::uint64_t steady_allocs = 0;     ///< operator-new count after warmup
+  std::uint64_t steady_forwarded = 0;  ///< forwards after warmup
+};
+
+/// Runs one 5-persona SFU fan-out session on the selected path. The star
+/// topology (every host one 1 Gbps hop from the hub router) keeps generic
+/// netsim cost minimal so the measurement isolates the transport layer.
+SessionResult RunSession(bool legacy, net::SimTime duration, net::SimTime warmup,
+                         bool with_capture) {
+  SelectPath(legacy);
+  SessionResult r;
+
+  net::Simulator sim(1);
+  net::Network net(&sim);
+  const net::GeoPoint here{41.88, -87.63};
+  const net::NodeId hub = net.AddNode("hub", here, net::Region::kMiddleUs, /*is_router=*/true);
+  const net::LinkConfig access{.rate_bps = 1e9, .prop_delay = net::Millis(1)};
+  const net::NodeId server = net.AddNode("sfu", here, net::Region::kMiddleUs, false);
+  net.Connect(server, hub, access);
+  net::NodeId clients[kPersonas];
+  for (int i = 0; i < kPersonas; ++i) {
+    clients[i] = net.AddNode("c" + std::to_string(i), here, net::Region::kMiddleUs, false);
+    net.Connect(clients[i], hub, access);
+  }
+  net.ComputeRoutes();
+
+  vca::SfuServer sfu(&net, server, kSfuPort, vca::TransportKind::kQuicDatagram);
+  net::Capture capture;
+  if (with_capture) capture.AttachToLink(net, server, hub);
+
+  std::vector<std::unique_ptr<transport::QuicEndpoint>> endpoints;
+  std::vector<transport::QuicConnection*> conns;
+  std::vector<PersonaSender> senders(kPersonas);
+  for (int i = 0; i < kPersonas; ++i) {
+    endpoints.push_back(std::make_unique<transport::QuicEndpoint>(
+        &net, clients[i], static_cast<std::uint16_t>(9000 + i)));
+    transport::QuicConnection* conn = endpoints.back()->Connect(server, kSfuPort);
+    conn->set_on_datagram([&r](std::span<const std::uint8_t> data) {
+      ++r.delivered;
+      r.payload_digest = Fnv(r.payload_digest, data.data(), data.size());
+    });
+    conns.push_back(conn);
+    senders[static_cast<std::size_t>(i)].sim = &sim;
+    senders[static_cast<std::size_t>(i)].conn = conn;
+    senders[static_cast<std::size_t>(i)].until = duration;
+    senders[static_cast<std::size_t>(i)].dt = net::kSecond / 90;
+    // Stagger starts so the five ticks don't land on one instant forever.
+    sim.At(net::Millis(i), [&senders, i] {
+      senders[static_cast<std::size_t>(i)].Start(i, 0x9E3779B97F4A7C15ull * (i + 1));
+    });
+  }
+
+  std::uint64_t warm_forwarded = 0;
+  sim.At(warmup, [&] {
+    warm_forwarded = sfu.forwarded_count();
+    g_allocs.store(0, std::memory_order_relaxed);
+  });
+  sim.RunUntil(duration);
+
+  r.steady_allocs = g_allocs.load(std::memory_order_relaxed);
+  r.forwarded = sfu.forwarded_count();
+  r.steady_forwarded = r.forwarded - warm_forwarded;
+  for (const transport::QuicConnection* conn : conns) {
+    r.client_packets_sent += conn->stats().packets_sent;
+    r.client_bytes_sent += conn->stats().bytes_sent;
+    r.prehandshake_drops += conn->stats().datagrams_dropped_prehandshake;
+  }
+  for (const net::CaptureRecord& rec : capture.records()) {
+    std::uint64_t h = r.wire_digest;
+    h = FnvU64(h, static_cast<std::uint64_t>(rec.time));
+    h = FnvU64(h, (static_cast<std::uint64_t>(rec.src) << 32) | rec.dst);
+    h = FnvU64(h, (static_cast<std::uint64_t>(rec.src_port) << 32) | rec.dst_port);
+    h = FnvU64(h, (static_cast<std::uint64_t>(rec.wire_bytes) << 8) | rec.prefix_len);
+    r.wire_digest = Fnv(h, rec.prefix.data(), rec.prefix_len);
+    ++r.wire_packets;
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
+  const net::SimTime duration = smoke ? net::Seconds(3) : net::Seconds(12);
+  const net::SimTime warmup = net::Seconds(1);
+  const int reps = smoke ? 2 : 5;
+
+  std::cout << "Transport hot-path benchmark: pooled-writer QUIC + SFU fan-out vs legacy"
+            << (smoke ? " (smoke)" : "") << "\n"
+            << kPersonas << " personas, " << net::ToSeconds(duration) << " s simulated, " << reps
+            << " reps\n";
+
+  // ---- 1+2: timed A/B (no capture; its record vector would pollute both
+  // the timing and the steady-state allocation count) ------------------------
+  bench::Banner("1. fan-out throughput (best of " + std::to_string(reps) + " interleaved reps)");
+  double legacy_best = 0, new_best = 0;
+  SessionResult legacy_timed, new_timed;
+  for (int rep = 0; rep < reps; ++rep) {
+    {
+      const bench::WallTimer timer;
+      legacy_timed = RunSession(/*legacy=*/true, duration, warmup, /*with_capture=*/false);
+      const double s = timer.seconds();
+      if (rep == 0 || s < legacy_best) legacy_best = s;
+    }
+    {
+      const bench::WallTimer timer;
+      new_timed = RunSession(/*legacy=*/false, duration, warmup, /*with_capture=*/false);
+      const double s = timer.seconds();
+      if (rep == 0 || s < new_best) new_best = s;
+    }
+  }
+  const double legacy_pps =
+      legacy_best > 0 ? static_cast<double>(legacy_timed.forwarded) / legacy_best : 0;
+  const double new_pps = new_best > 0 ? static_cast<double>(new_timed.forwarded) / new_best : 0;
+  const double speedup = legacy_best > 0 && new_best > 0 ? legacy_best / new_best : 0;
+  std::cout << "legacy: " << legacy_timed.forwarded << " forwarded in " << core::Fmt(legacy_best, 3)
+            << " s  (" << core::Fmt(legacy_pps / 1000, 1) << "k pkts/s)\n"
+            << "new:    " << new_timed.forwarded << " forwarded in " << core::Fmt(new_best, 3)
+            << " s  (" << core::Fmt(new_pps / 1000, 1) << "k pkts/s)\n"
+            << "speedup: " << core::Fmt(speedup, 2) << "x (target: >=2x)\n";
+
+  bench::Banner("2. steady-state allocations (after " + core::Fmt(net::ToSeconds(warmup), 0) +
+                " s warmup)");
+  const double legacy_apf =
+      legacy_timed.steady_forwarded > 0
+          ? static_cast<double>(legacy_timed.steady_allocs) /
+                static_cast<double>(legacy_timed.steady_forwarded)
+          : 0;
+  const double new_apf = new_timed.steady_forwarded > 0
+                             ? static_cast<double>(new_timed.steady_allocs) /
+                                   static_cast<double>(new_timed.steady_forwarded)
+                             : 0;
+  std::cout << "legacy: " << legacy_timed.steady_allocs << " allocs / "
+            << legacy_timed.steady_forwarded << " forwarded = " << core::Fmt(legacy_apf, 2)
+            << " per packet\n"
+            << "new:    " << new_timed.steady_allocs << " allocs / " << new_timed.steady_forwarded
+            << " forwarded = " << core::Fmt(new_apf, 2) << " per packet\n";
+  const bool alloc_free = new_timed.steady_allocs == 0;
+
+  // ---- 3: differential ------------------------------------------------------
+  bench::Banner("3. differential (wire capture at the SFU access link)");
+  const SessionResult legacy_diff =
+      RunSession(/*legacy=*/true, duration, warmup, /*with_capture=*/true);
+  const SessionResult new_diff =
+      RunSession(/*legacy=*/false, duration, warmup, /*with_capture=*/true);
+  const bool wire_match = legacy_diff.wire_digest == new_diff.wire_digest &&
+                          legacy_diff.wire_packets == new_diff.wire_packets;
+  const bool delivery_match = legacy_diff.payload_digest == new_diff.payload_digest &&
+                              legacy_diff.delivered == new_diff.delivered;
+  const bool stats_match = legacy_diff.client_packets_sent == new_diff.client_packets_sent &&
+                           legacy_diff.client_bytes_sent == new_diff.client_bytes_sent &&
+                           legacy_diff.forwarded == new_diff.forwarded;
+  std::cout << "wire trace: " << new_diff.wire_packets << " packets, digests "
+            << (wire_match ? "identical" : "DIFFER") << "\n"
+            << "delivery:   " << new_diff.delivered << " datagrams, digests "
+            << (delivery_match ? "identical" : "DIFFER") << "\n"
+            << "stats:      " << (stats_match ? "identical" : "DIFFER") << "\n";
+
+  // ---- JSON ---------------------------------------------------------------
+  core::JsonWriter w;
+  w.BeginObject();
+  w.Key("smoke"); w.Bool(smoke);
+  w.Key("personas"); w.Int(kPersonas);
+  w.Key("duration_s"); w.Number(net::ToSeconds(duration));
+  w.Key("reps"); w.Int(reps);
+  w.Key("fanout");
+  w.BeginObject();
+  w.Key("forwarded"); w.Int(static_cast<std::int64_t>(new_timed.forwarded));
+  w.Key("legacy_wall_s"); w.Number(legacy_best);
+  w.Key("new_wall_s"); w.Number(new_best);
+  w.Key("legacy_packets_per_s"); w.Number(legacy_pps);
+  w.Key("new_packets_per_s"); w.Number(new_pps);
+  w.Key("speedup"); w.Number(speedup);
+  w.Key("speedup_target"); w.Number(2.0);
+  w.EndObject();
+  w.Key("steady_state");
+  w.BeginObject();
+  w.Key("legacy_allocs"); w.Int(static_cast<std::int64_t>(legacy_timed.steady_allocs));
+  w.Key("new_allocs"); w.Int(static_cast<std::int64_t>(new_timed.steady_allocs));
+  w.Key("legacy_forwarded"); w.Int(static_cast<std::int64_t>(legacy_timed.steady_forwarded));
+  w.Key("new_forwarded"); w.Int(static_cast<std::int64_t>(new_timed.steady_forwarded));
+  w.Key("legacy_allocs_per_packet"); w.Number(legacy_apf);
+  w.Key("new_allocs_per_packet"); w.Number(new_apf);
+  w.EndObject();
+  w.Key("differential");
+  w.BeginObject();
+  w.Key("wire_packets"); w.Int(static_cast<std::int64_t>(new_diff.wire_packets));
+  w.Key("wire_identical"); w.Bool(wire_match);
+  w.Key("delivery_identical"); w.Bool(delivery_match);
+  w.Key("stats_identical"); w.Bool(stats_match);
+  w.EndObject();
+  w.Key("prehandshake_drops"); w.Int(static_cast<std::int64_t>(new_timed.prehandshake_drops));
+  w.Key("alloc_free"); w.Bool(alloc_free);
+  w.EndObject();
+
+  const std::string path = core::EnvString("VTP_BENCH_JSON", "BENCH_transport.json");
+  std::ofstream(path) << w.str() << "\n";
+  std::cout << "\nwrote " << path << "\n";
+
+  if (!wire_match || !delivery_match || !stats_match) std::cout << "FAIL: paths diverge\n";
+  if (!alloc_free) std::cout << "FAIL: default path allocated in steady state\n";
+  if (speedup < 1.0) std::cout << "FAIL: speedup < 1.0\n";
+  return wire_match && delivery_match && stats_match && alloc_free && speedup >= 1.0 ? 0 : 1;
+}

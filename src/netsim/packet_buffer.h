@@ -129,6 +129,19 @@ class PacketBuffer {
   /// Detaches into a fresh block of `n` bytes, all set to `value`.
   void assign(std::size_t n, std::uint8_t value);
 
+  /// Bytes the underlying block can hold without reallocating (its size
+  /// class, typically larger than size()).
+  std::size_t capacity() const { return block_ == nullptr ? 0 : block_->capacity; }
+
+  /// Adjusts the byte count within the block's capacity without touching the
+  /// contents. Only legal while this handle is the sole owner; the transport's
+  /// scratch writer uses it to shrink a maximal MTU-sized block down to the
+  /// bytes actually written (and to extend into padding it just memset).
+  void resize(std::size_t n) {
+    assert(block_ != nullptr && block_->refs == 1 && n <= block_->capacity);
+    block_->size = static_cast<std::uint32_t>(n);
+  }
+
   void clear() { Unref(); }
 
   /// Number of handles sharing this block (0 for an empty handle).

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "compress/bitstream.h"
+#include "core/env.h"
 
 namespace vtp::transport {
 
@@ -28,28 +29,27 @@ constexpr int kPacketLossThreshold = 3;
 constexpr net::SimTime kMaxAckDelay = net::Millis(25);
 constexpr int kAckElicitingThreshold = 2;  // RFC 9000 default: ack every 2nd
 
-void PutU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  out.push_back(static_cast<std::uint8_t>(v >> 24));
-  out.push_back(static_cast<std::uint8_t>(v >> 16));
-  out.push_back(static_cast<std::uint8_t>(v >> 8));
-  out.push_back(static_cast<std::uint8_t>(v));
-}
+// ACK frames report at most this many ranges (RFC 9000 §13.2.3 lets an
+// endpoint omit old ranges), so an ACK always fits one packet even under
+// pathological loss patterns.
+constexpr std::size_t kMaxAckRanges = 32;
+// Merged received-pn ranges kept per connection; older holes beyond this are
+// forgotten (they could never be reported again under kMaxAckRanges anyway).
+constexpr std::size_t kMaxTrackedRecvRanges = 256;
 
-void PutU64(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  PutU32(out, static_cast<std::uint32_t>(v >> 32));
-  PutU32(out, static_cast<std::uint32_t>(v));
-}
+constexpr std::size_t kInitialRingSize = 64;  // sent-packet ring; power of two
 
-std::uint64_t GetU64(std::span<const std::uint8_t> d, std::size_t* pos) {
-  if (*pos + 8 > d.size()) throw compress::CorruptStream("quic: truncated u64");
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v = (v << 8) | d[(*pos)++];
-  return v;
-}
+// Hard cap on how far ahead of the delivery frontier a stream segment may
+// land in the contiguous reassembly window. Honest senders stay within the
+// congestion window (far below this); a forged frame with a huge offset must
+// not translate into a huge allocation.
+constexpr std::uint64_t kMaxReassemblyWindow = 1ull << 24;  // 16 MiB
 
-}  // namespace
-
-void PutQuicVarint(std::vector<std::uint8_t>& out, std::uint64_t value) {
+// The varint/byte emitters are templated over the sink so the legacy
+// std::vector path and the pooled QuicPacketWriter path share one serializer
+// and stay byte-identical by construction.
+template <class Out>
+void PutVarintTo(Out& out, std::uint64_t value) {
   if (value < (1ull << 6)) {
     out.push_back(static_cast<std::uint8_t>(value));
   } else if (value < (1ull << 14)) {
@@ -68,6 +68,56 @@ void PutQuicVarint(std::vector<std::uint8_t>& out, std::uint64_t value) {
   } else {
     throw std::invalid_argument("quic varint out of range");
   }
+}
+
+template <class Out>
+void PutU32To(Out& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+template <class Out>
+void PutU64To(Out& out, std::uint64_t v) {
+  PutU32To(out, static_cast<std::uint32_t>(v >> 32));
+  PutU32To(out, static_cast<std::uint32_t>(v));
+}
+
+std::uint64_t GetU64(std::span<const std::uint8_t> d, std::size_t* pos) {
+  if (*pos + 8 > d.size()) throw compress::CorruptStream("quic: truncated u64");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | d[(*pos)++];
+  return v;
+}
+
+/// Merges the absolute byte range [first, last] into an ascending list of
+/// disjoint ranges (stream reassembly bookkeeping; unlike packet numbers,
+/// retransmitted stream bytes can overlap existing ranges arbitrarily).
+void MergeByteRange(std::vector<std::pair<std::uint64_t, std::uint64_t>>& ranges,
+                    std::uint64_t first, std::uint64_t last) {
+  auto it = std::lower_bound(
+      ranges.begin(), ranges.end(), first,
+      [](const std::pair<std::uint64_t, std::uint64_t>& r, std::uint64_t v) {
+        return r.second + 1 < v;
+      });
+  if (it == ranges.end() || last + 1 < it->first) {
+    ranges.insert(it, {first, last});
+    return;
+  }
+  it->first = std::min(it->first, first);
+  it->second = std::max(it->second, last);
+  auto next = std::next(it);
+  while (next != ranges.end() && next->first <= it->second + 1) {
+    it->second = std::max(it->second, next->second);
+    next = ranges.erase(next);
+  }
+}
+
+}  // namespace
+
+void PutQuicVarint(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  PutVarintTo(out, value);
 }
 
 std::uint64_t GetQuicVarint(std::span<const std::uint8_t> data, std::size_t* pos) {
@@ -95,13 +145,22 @@ QuicConnection::QuicConnection(QuicEndpoint* endpoint, std::uint64_t local_cid,
       remote_cid_(remote_cid),
       peer_node_(peer_node),
       peer_port_(peer_port),
-      is_client_(is_client) {}
+      is_client_(is_client),
+      legacy_(core::EnvEquals("VTP_QUIC_PATH", "legacy")) {
+  if (!legacy_) sent_ring_.resize(kInitialRingSize);
+}
 
 void QuicConnection::StartHandshake() {
-  std::vector<std::uint8_t> frames;
-  frames.push_back(kFramePing);
-  SendPacket(std::move(frames), /*ack_eliciting=*/true, {}, /*long_header=*/true,
-             kLongTypeInitial);
+  if (legacy_) {
+    std::vector<std::uint8_t> frames;
+    frames.push_back(kFramePing);
+    SendPacket(std::move(frames), /*ack_eliciting=*/true, {}, /*long_header=*/true,
+               kLongTypeInitial);
+    return;
+  }
+  QuicPacketWriter w = BeginPacket(/*long_header=*/true, kLongTypeInitial);
+  w.push_back(kFramePing);
+  FinishPacket(std::move(w), /*ack_eliciting=*/true, nullptr, /*pad_initial=*/true);
 }
 
 std::size_t QuicConnection::CongestionBudget() const {
@@ -132,27 +191,54 @@ void QuicConnection::SendStreamData(std::uint64_t stream_id,
 
 void QuicConnection::Close(std::uint64_t error_code) {
   if (closed_) return;
-  std::vector<std::uint8_t> frames;
-  frames.push_back(kFrameConnectionClose);
-  PutQuicVarint(frames, error_code);
-  PutQuicVarint(frames, 0);  // offending frame type (none)
-  PutQuicVarint(frames, 0);  // reason phrase length
-  SendPacket(std::move(frames), /*ack_eliciting=*/false, {}, /*long_header=*/false, 0);
+  if (legacy_) {
+    std::vector<std::uint8_t> frames;
+    frames.push_back(kFrameConnectionClose);
+    PutQuicVarint(frames, error_code);
+    PutQuicVarint(frames, 0);  // offending frame type (none)
+    PutQuicVarint(frames, 0);  // reason phrase length
+    SendPacket(std::move(frames), /*ack_eliciting=*/false, {}, /*long_header=*/false, 0);
+    closed_ = true;
+    return;
+  }
+  QuicPacketWriter w = BeginPacket(/*long_header=*/false, 0);
+  w.push_back(kFrameConnectionClose);
+  PutVarintTo(w, error_code);
+  PutVarintTo(w, 0);  // offending frame type (none)
+  PutVarintTo(w, 0);  // reason phrase length
+  FinishPacket(std::move(w), /*ack_eliciting=*/false, nullptr);
   closed_ = true;
 }
 
 void QuicConnection::SendDatagram(std::span<const std::uint8_t> data) {
   if (closed_) return;
   if (!established_) {
+    // A handshake that never completes must not grow this queue without
+    // bound: beyond the cap the oldest is dropped (datagrams are unreliable
+    // by contract, so silently losing the stalest one is fair game).
+    if (datagram_queue_.size() >= kMaxPreHandshakeDatagrams) {
+      datagram_queue_.pop_front();
+      ++stats_.datagrams_dropped_prehandshake;
+    }
     datagram_queue_.emplace_back(data.begin(), data.end());
     return;
   }
-  std::vector<std::uint8_t> frames;
-  frames.push_back(kFrameDatagram);
-  PutQuicVarint(frames, data.size());
-  frames.insert(frames.end(), data.begin(), data.end());
   ++stats_.datagrams_sent;
-  SendPacket(std::move(frames), /*ack_eliciting=*/true, {}, /*long_header=*/false, 0);
+  if (legacy_ || 1 + kCidBytes + 9 + 1 + 9 + data.size() > kMaxPacketSize) {
+    // Legacy path — or a datagram too large for the pooled MTU block, where
+    // the unbounded vector builder keeps the historical oversized behaviour.
+    std::vector<std::uint8_t> frames;
+    frames.push_back(kFrameDatagram);
+    PutQuicVarint(frames, data.size());
+    frames.insert(frames.end(), data.begin(), data.end());
+    SendPacket(std::move(frames), /*ack_eliciting=*/true, {}, /*long_header=*/false, 0);
+    return;
+  }
+  QuicPacketWriter w = BeginPacket(/*long_header=*/false, 0);
+  w.push_back(kFrameDatagram);
+  PutVarintTo(w, data.size());
+  w.append(data.data(), data.size());
+  FinishPacket(std::move(w), /*ack_eliciting=*/true, nullptr);
 }
 
 void QuicConnection::MaybeSendPending() {
@@ -161,6 +247,10 @@ void QuicConnection::MaybeSendPending() {
     auto d = std::move(datagram_queue_.front());
     datagram_queue_.pop_front();
     SendDatagram(d);
+  }
+  if (!legacy_) {
+    SendPendingStreams();
+    return;
   }
   while (!stream_queue_.empty()) {
     // Respect the congestion window for reliable data.
@@ -191,6 +281,40 @@ void QuicConnection::MaybeSendPending() {
   }
 }
 
+// Default-path twin of the legacy stream-packing loop above. Every
+// threshold, ordering quirk, and queue manipulation is mirrored exactly —
+// including the move-then-push_front on the rejection path — because the
+// differential suite holds the two paths to byte-identical wire traffic.
+void QuicConnection::SendPendingStreams() {
+  while (!stream_queue_.empty()) {
+    std::size_t budget = CongestionBudget();
+    if (budget < stream_queue_.front().data.size() + 64) break;
+
+    QuicPacketWriter w = BeginPacket(/*long_header=*/false, 0);
+    const std::size_t header = w.size();
+    chunk_scratch_.clear();
+    while (!stream_queue_.empty() && w.size() - header < kMaxPacketSize - 96) {
+      SentStreamChunk c = std::move(stream_queue_.front());
+      const std::size_t cost = c.data.size() + 16;
+      if (w.size() != header &&
+          (w.size() - header + cost > kMaxPacketSize - 64 || cost > budget)) {
+        stream_queue_.push_front(std::move(c));
+        break;
+      }
+      stream_queue_.pop_front();
+      budget = budget > cost ? budget - cost : 0;
+      w.push_back(c.fin ? kFrameStreamFin : kFrameStreamBase);
+      PutVarintTo(w, c.stream_id);
+      PutVarintTo(w, c.offset);
+      PutVarintTo(w, c.data.size());
+      w.append(c.data.data(), c.data.size());
+      chunk_scratch_.push_back(std::move(c));
+    }
+    if (w.size() == header) break;
+    FinishPacket(std::move(w), /*ack_eliciting=*/true, &chunk_scratch_);
+  }
+}
+
 void QuicConnection::SendPacket(std::vector<std::uint8_t> frames, bool ack_eliciting,
                                 std::vector<SentStreamChunk> chunks, bool long_header,
                                 std::uint8_t long_type) {
@@ -198,14 +322,14 @@ void QuicConnection::SendPacket(std::vector<std::uint8_t> frames, bool ack_elici
   std::vector<std::uint8_t> packet;
   if (long_header) {
     packet.push_back(static_cast<std::uint8_t>(0xC0 | (long_type << 4)));
-    PutU32(packet, kQuicVersion);
+    PutU32To(packet, kQuicVersion);
     packet.push_back(kCidBytes);
-    PutU64(packet, remote_cid_);
+    PutU64To(packet, remote_cid_);
     packet.push_back(kCidBytes);
-    PutU64(packet, local_cid_);
+    PutU64To(packet, local_cid_);
   } else {
     packet.push_back(0x40);
-    PutU64(packet, remote_cid_);
+    PutU64To(packet, remote_cid_);
   }
   PutQuicVarint(packet, pn);
   packet.insert(packet.end(), frames.begin(), frames.end());
@@ -220,12 +344,84 @@ void QuicConnection::SendPacket(std::vector<std::uint8_t> frames, bool ack_elici
   info.ack_eliciting = ack_eliciting;
   info.chunks = std::move(chunks);
   if (ack_eliciting) bytes_in_flight_ += info.bytes;
-  sent_packets_[pn] = std::move(info);
+  if (legacy_) {
+    sent_packets_[pn] = std::move(info);
+  } else {
+    SentPacketInfo& slot = SentSlot(pn);
+    slot = std::move(info);
+  }
 
   ++stats_.packets_sent;
   stats_.bytes_sent += packet.size();
   endpoint_->SendRaw(peer_node_, peer_port_, std::move(packet));
   if (ack_eliciting) ArmPto();
+}
+
+QuicPacketWriter QuicConnection::BeginPacket(bool long_header, std::uint8_t long_type) {
+  QuicPacketWriter w(kMaxPacketSize);
+  if (long_header) {
+    w.push_back(static_cast<std::uint8_t>(0xC0 | (long_type << 4)));
+    PutU32To(w, kQuicVersion);
+    w.push_back(kCidBytes);
+    PutU64To(w, remote_cid_);
+    w.push_back(kCidBytes);
+    PutU64To(w, local_cid_);
+  } else {
+    w.push_back(0x40);
+    PutU64To(w, remote_cid_);
+  }
+  PutVarintTo(w, next_pn_);  // consumed by the matching FinishPacket
+  return w;
+}
+
+void QuicConnection::FinishPacket(QuicPacketWriter&& w, bool ack_eliciting,
+                                  std::vector<SentStreamChunk>* chunks, bool pad_initial) {
+  if (pad_initial) w.pad_to(kMaxPacketSize);  // RFC 9000 §14.1, one memset
+  const std::uint64_t pn = next_pn_++;
+  SentPacketInfo& info = SentSlot(pn);
+  info.sent_time = endpoint_->network().sim().now();
+  info.bytes = static_cast<std::uint32_t>(w.size());
+  info.ack_eliciting = ack_eliciting;
+  info.acked = false;
+  info.lost = false;
+  info.chunks.clear();  // keeps capacity: slot reuse stays allocation-free
+  if (chunks != nullptr) std::swap(info.chunks, *chunks);
+  if (ack_eliciting) bytes_in_flight_ += info.bytes;
+
+  ++stats_.packets_sent;
+  stats_.bytes_sent += info.bytes;
+  endpoint_->SendRaw(peer_node_, peer_port_, w.Take());
+  if (ack_eliciting) ArmPto();
+}
+
+QuicConnection::SentPacketInfo* QuicConnection::FindSent(std::uint64_t pn) {
+  if (legacy_) {
+    const auto it = sent_packets_.find(pn);
+    return it == sent_packets_.end() ? nullptr : &it->second;
+  }
+  if (pn < ring_base_ || pn >= next_pn_) return nullptr;
+  return &sent_ring_[pn & (sent_ring_.size() - 1)];
+}
+
+QuicConnection::SentPacketInfo& QuicConnection::SentSlot(std::uint64_t pn) {
+  // Retire the settled prefix first so the live window stays tight.
+  while (ring_base_ < pn) {
+    SentPacketInfo& s = sent_ring_[ring_base_ & (sent_ring_.size() - 1)];
+    if (!(s.acked || s.lost)) break;
+    s.chunks.clear();
+    ++ring_base_;
+  }
+  if (pn - ring_base_ >= sent_ring_.size()) {
+    // Unsettled window outgrew the ring: double it and re-index live slots.
+    std::size_t cap = sent_ring_.size() * 2;
+    while (pn - ring_base_ >= cap) cap *= 2;
+    std::vector<SentPacketInfo> grown(cap);
+    for (std::uint64_t i = ring_base_; i < pn; ++i) {
+      grown[i & (cap - 1)] = std::move(sent_ring_[i & (sent_ring_.size() - 1)]);
+    }
+    sent_ring_ = std::move(grown);
+  }
+  return sent_ring_[pn & (sent_ring_.size() - 1)];
 }
 
 void QuicConnection::OnDatagramReceived(std::span<const std::uint8_t> payload) {
@@ -264,11 +460,18 @@ void QuicConnection::OnDatagramReceived(std::span<const std::uint8_t> payload) {
     if (is_long && long_type == kLongTypeInitial && !is_client_ && !established_) {
       // Server side: answer the Initial with a Handshake packet carrying
       // HANDSHAKE_DONE, then consider the connection usable.
-      std::vector<std::uint8_t> frames;
-      AppendAckFrame(frames);
-      frames.push_back(kFrameHandshakeDone);
-      SendPacket(std::move(frames), /*ack_eliciting=*/true, {}, /*long_header=*/true,
-                 kLongTypeHandshake);
+      if (legacy_) {
+        std::vector<std::uint8_t> frames;
+        AppendAckFrameTo(frames);
+        frames.push_back(kFrameHandshakeDone);
+        SendPacket(std::move(frames), /*ack_eliciting=*/true, {}, /*long_header=*/true,
+                   kLongTypeHandshake);
+      } else {
+        QuicPacketWriter w = BeginPacket(/*long_header=*/true, kLongTypeHandshake);
+        AppendAckFrameTo(w);
+        w.push_back(kFrameHandshakeDone);
+        FinishPacket(std::move(w), /*ack_eliciting=*/true, nullptr);
+      }
       established_ = true;
     }
     if (!was_established && established_ && on_established_) on_established_();
@@ -335,6 +538,12 @@ void QuicConnection::ProcessFrames(std::span<const std::uint8_t> payload) {
         const std::uint64_t offset = GetQuicVarint(payload, &pos);
         const std::uint64_t length = GetQuicVarint(payload, &pos);
         if (pos + length > payload.size()) throw compress::CorruptStream("quic: stream overrun");
+        if (!legacy_) {
+          OnStreamSegment(stream_id, offset, payload.subspan(pos, length),
+                          type == kFrameStreamFin);
+          pos += length;
+          break;
+        }
         RecvStream& rs = recv_streams_[stream_id];
         if (offset >= rs.delivered) {
           rs.segments.emplace(
@@ -372,32 +581,81 @@ void QuicConnection::ProcessFrames(std::span<const std::uint8_t> payload) {
   }
 }
 
+// Default-path stream reassembly: bytes land in a contiguous window anchored
+// at the delivery frontier, with merged range bookkeeping. Consecutive
+// segments arriving out of order are handed to the application as one merged
+// run — same bytes in the same order as the legacy per-segment delivery.
+void QuicConnection::OnStreamSegment(std::uint64_t stream_id, std::uint64_t offset,
+                                     std::span<const std::uint8_t> data, bool fin) {
+  RecvAssembly& rs = recv_assembly_[stream_id];
+  if (fin) rs.fin_offset = offset + data.size();
+  const std::uint64_t end = offset + data.size();
+  if (end > rs.delivered && !data.empty()) {
+    std::uint64_t begin = offset;
+    if (begin < rs.delivered) {  // clip the already-delivered prefix
+      data = data.subspan(static_cast<std::size_t>(rs.delivered - begin));
+      begin = rs.delivered;
+    }
+    if (end - rs.delivered > kMaxReassemblyWindow) {
+      throw compress::CorruptStream("quic: stream segment beyond reassembly window");
+    }
+    const std::size_t rel = static_cast<std::size_t>(begin - rs.delivered);
+    if (rs.window.size() < rel + data.size()) rs.window.resize(rel + data.size());
+    std::memcpy(rs.window.data() + rel, data.data(), data.size());
+    MergeByteRange(rs.ranges, begin, end - 1);
+  }
+  // Deliver the contiguous prefix. Ranges are merged, so this runs at most
+  // once per arriving segment.
+  while (!rs.ranges.empty() && rs.ranges.front().first == rs.delivered) {
+    const std::uint64_t run = rs.ranges.front().second - rs.delivered + 1;
+    const std::size_t n = static_cast<std::size_t>(run);
+    rs.delivered += run;
+    rs.ranges.erase(rs.ranges.begin());
+    stats_.stream_bytes_delivered += run;
+    const bool done = rs.fin_offset && rs.delivered >= *rs.fin_offset;
+    if (on_stream_data_) on_stream_data_(stream_id, std::span(rs.window.data(), n), done);
+    rs.window.erase(rs.window.begin(), rs.window.begin() + static_cast<std::ptrdiff_t>(n));
+  }
+  // Legacy parity: an empty FIN segment at the delivery frontier signals
+  // end-of-stream with an empty payload.
+  if (data.empty() && fin && offset == rs.delivered && rs.fin_offset == rs.delivered) {
+    if (on_stream_data_) on_stream_data_(stream_id, {}, true);
+  }
+}
+
 void QuicConnection::HandleAckFrame(std::span<const std::uint8_t> payload, std::size_t* pos) {
   const std::uint64_t largest = GetQuicVarint(payload, pos);
   const std::uint64_t ack_delay_us = GetQuicVarint(payload, pos);
   const std::uint64_t range_count = GetQuicVarint(payload, pos);
   const std::uint64_t first_range = GetQuicVarint(payload, pos);
 
+  // A frame acknowledging packets we never sent is malformed; dropping the
+  // whole packet also bounds the per-pn walk below to packets actually in
+  // flight (a garbage `largest` would otherwise walk up to 2^62 numbers).
+  if (largest >= next_pn_ || first_range > largest) {
+    throw compress::CorruptStream("quic: ack out of range");
+  }
+
   // RTT sample from the largest acked, if it is newly acknowledged.
-  const auto it = sent_packets_.find(largest);
-  if (it != sent_packets_.end() && !it->second.acked && !it->second.lost) {
+  if (SentPacketInfo* info = FindSent(largest);
+      info != nullptr && !info->acked && !info->lost) {
     const net::SimTime now = endpoint_->network().sim().now();
-    net::SimTime sample = now - it->second.sent_time -
+    net::SimTime sample = now - info->sent_time -
                           static_cast<net::SimTime>(ack_delay_us) * net::kMicrosecond;
     if (sample < net::Micros(1)) sample = net::Micros(1);
     UpdateRtt(sample);
   }
 
-  std::uint64_t lo = largest >= first_range ? largest - first_range : 0;
-  for (std::uint64_t pn = lo; pn <= largest; ++pn) OnPacketAcked(pn);
+  const std::uint64_t lo = largest - first_range;
+  AckRange(lo, largest);
   std::uint64_t cursor = lo;
   for (std::uint64_t i = 0; i < range_count; ++i) {
     const std::uint64_t gap = GetQuicVarint(payload, pos);
     const std::uint64_t len = GetQuicVarint(payload, pos);
-    if (cursor < gap + 2) break;  // malformed
+    if (cursor < gap + 2) throw compress::CorruptStream("quic: malformed ack range");
     const std::uint64_t hi = cursor - gap - 2;
     const std::uint64_t lo2 = hi >= len ? hi - len : 0;
-    for (std::uint64_t pn = lo2; pn <= hi; ++pn) OnPacketAcked(pn);
+    AckRange(lo2, hi);
     cursor = lo2;
   }
 
@@ -407,10 +665,20 @@ void QuicConnection::HandleAckFrame(std::span<const std::uint8_t> payload, std::
   MaybeSendPending();
 }
 
+void QuicConnection::AckRange(std::uint64_t lo, std::uint64_t hi) {
+  // On the ring path the retired prefix is coalesced away in one clamp
+  // instead of a per-pn map miss each.
+  if (!legacy_ && lo < ring_base_) lo = ring_base_;
+  for (std::uint64_t pn = lo; pn <= hi; ++pn) OnPacketAcked(pn);
+}
+
 void QuicConnection::OnPacketAcked(std::uint64_t pn) {
-  const auto it = sent_packets_.find(pn);
-  if (it == sent_packets_.end() || it->second.acked) return;
-  SentPacketInfo& info = it->second;
+  SentPacketInfo* info = FindSent(pn);
+  if (info != nullptr) AckInfo(*info);
+}
+
+void QuicConnection::AckInfo(SentPacketInfo& info) {
+  if (info.acked) return;
   info.acked = true;
   pto_backoff_ = 0;
   if (info.ack_eliciting && !info.lost) {
@@ -428,35 +696,57 @@ void QuicConnection::OnPacketAcked(std::uint64_t pn) {
 void QuicConnection::DetectLosses() {
   if (!any_acked_) return;
   bool congestion_event = false;
-  for (auto& [pn, info] : sent_packets_) {
-    if (pn + kPacketLossThreshold > largest_acked_) break;
-    if (info.acked || info.lost) continue;
+  // Returns true when iteration can stop (pn too recent to judge).
+  const auto check = [&](std::uint64_t pn, SentPacketInfo& info) {
+    if (pn + kPacketLossThreshold > largest_acked_) return true;
+    if (info.acked || info.lost) return false;
     if (!info.ack_eliciting) {
       // ACK-only packets are never acknowledged; retire them silently so
       // they neither count as losses nor trigger congestion response.
       info.lost = true;
-      continue;
+      return false;
     }
     info.lost = true;
     ++stats_.packets_declared_lost;
-    if (info.ack_eliciting) {
-      bytes_in_flight_ = bytes_in_flight_ >= info.bytes ? bytes_in_flight_ - info.bytes : 0;
-    }
+    bytes_in_flight_ = bytes_in_flight_ >= info.bytes ? bytes_in_flight_ - info.bytes : 0;
     // Retransmit reliable payloads; datagrams stay lost by design.
     for (SentStreamChunk& c : info.chunks) stream_queue_.push_front(std::move(c));
     info.chunks.clear();
     if (pn >= recovery_start_pn_) congestion_event = true;
+    return false;
+  };
+  if (legacy_) {
+    for (auto& [pn, info] : sent_packets_) {
+      if (check(pn, info)) break;
+    }
+  } else {
+    for (std::uint64_t pn = ring_base_; pn < next_pn_; ++pn) {
+      if (check(pn, sent_ring_[pn & (sent_ring_.size() - 1)])) break;
+    }
   }
   if (congestion_event) {
     ssthresh_ = std::max(cwnd_ / 2, 2 * kMaxPacketSize);
     cwnd_ = ssthresh_;
     recovery_start_pn_ = next_pn_;
   }
-  // Prune settled history so the map stays small on long sessions.
-  while (!sent_packets_.empty()) {
-    const auto first = sent_packets_.begin();
-    if (!(first->second.acked || first->second.lost)) break;
-    sent_packets_.erase(first);
+  RetireSettled();
+}
+
+void QuicConnection::RetireSettled() {
+  // Prune settled history so tracking state stays small on long sessions.
+  if (legacy_) {
+    while (!sent_packets_.empty()) {
+      const auto first = sent_packets_.begin();
+      if (!(first->second.acked || first->second.lost)) break;
+      sent_packets_.erase(first);
+    }
+    return;
+  }
+  while (ring_base_ < next_pn_) {
+    SentPacketInfo& s = sent_ring_[ring_base_ & (sent_ring_.size() - 1)];
+    if (!(s.acked || s.lost)) break;
+    s.chunks.clear();
+    ++ring_base_;
   }
 }
 
@@ -485,22 +775,30 @@ void QuicConnection::RecordReceivedPn(std::uint64_t pn) {
     }
   }
   recv_ranges_.insert(it, {pn, pn});
+  // Bound the tracked history: ranges older than what an ACK frame can still
+  // report (kMaxAckRanges) are dead weight on a lossy long-lived connection.
+  if (recv_ranges_.size() > kMaxTrackedRecvRanges) {
+    recv_ranges_.erase(recv_ranges_.begin());
+  }
 }
 
-void QuicConnection::AppendAckFrame(std::vector<std::uint8_t>& out) {
+template <class Out>
+void QuicConnection::AppendAckFrameTo(Out& out) {
   if (recv_ranges_.empty()) return;
+  const std::size_t nranges = std::min(recv_ranges_.size(), kMaxAckRanges);
   out.push_back(kFrameAck);
   const auto& top = recv_ranges_.back();
-  PutQuicVarint(out, top.second);                 // largest acknowledged
+  PutVarintTo(out, top.second);                 // largest acknowledged
   const net::SimTime held = endpoint_->network().sim().now() - first_pending_ack_time_;
-  PutQuicVarint(out, static_cast<std::uint64_t>(std::max<net::SimTime>(held, 0) /
-                                                net::kMicrosecond));  // ack delay, µs
-  PutQuicVarint(out, recv_ranges_.size() - 1);    // additional ranges
-  PutQuicVarint(out, top.second - top.first);     // first range length
+  PutVarintTo(out, static_cast<std::uint64_t>(std::max<net::SimTime>(held, 0) /
+                                              net::kMicrosecond));  // ack delay, µs
+  PutVarintTo(out, nranges - 1);                // additional ranges
+  PutVarintTo(out, top.second - top.first);     // first range length
   std::uint64_t cursor = top.first;
-  for (auto it = recv_ranges_.rbegin() + 1; it != recv_ranges_.rend(); ++it) {
-    PutQuicVarint(out, cursor - it->second - 2);  // gap
-    PutQuicVarint(out, it->second - it->first);   // range length
+  const auto last = recv_ranges_.rbegin() + static_cast<std::ptrdiff_t>(nranges);
+  for (auto it = recv_ranges_.rbegin() + 1; it != last; ++it) {
+    PutVarintTo(out, cursor - it->second - 2);  // gap
+    PutVarintTo(out, it->second - it->first);   // range length
     cursor = it->first;
   }
 }
@@ -509,10 +807,16 @@ void QuicConnection::SendAckIfNeeded() {
   if (!ack_pending_) return;
   ack_pending_ = false;
   pending_ack_eliciting_ = 0;
-  std::vector<std::uint8_t> frames;
-  AppendAckFrame(frames);
-  if (frames.empty()) return;
-  SendPacket(std::move(frames), /*ack_eliciting=*/false, {}, /*long_header=*/false, 0);
+  if (recv_ranges_.empty()) return;
+  if (legacy_) {
+    std::vector<std::uint8_t> frames;
+    AppendAckFrameTo(frames);
+    SendPacket(std::move(frames), /*ack_eliciting=*/false, {}, /*long_header=*/false, 0);
+    return;
+  }
+  QuicPacketWriter w = BeginPacket(/*long_header=*/false, 0);
+  AppendAckFrameTo(w);
+  FinishPacket(std::move(w), /*ack_eliciting=*/false, nullptr);
 }
 
 net::SimTime QuicConnection::PtoInterval() const {
@@ -532,15 +836,21 @@ void QuicConnection::OnPto() {
   if (closed_) return;
   // Anything ack-eliciting still outstanding?
   bool outstanding = false;
-  for (auto& [pn, info] : sent_packets_) {
-    if (!info.acked && !info.lost && info.ack_eliciting) {
-      outstanding = true;
-      // Requeue reliable payloads for retransmission.
-      for (SentStreamChunk& c : info.chunks) stream_queue_.push_front(std::move(c));
-      info.chunks.clear();
-      info.lost = true;
-      ++stats_.packets_declared_lost;
-      bytes_in_flight_ = bytes_in_flight_ >= info.bytes ? bytes_in_flight_ - info.bytes : 0;
+  const auto resend = [&](SentPacketInfo& info) {
+    if (info.acked || info.lost || !info.ack_eliciting) return;
+    outstanding = true;
+    // Requeue reliable payloads for retransmission.
+    for (SentStreamChunk& c : info.chunks) stream_queue_.push_front(std::move(c));
+    info.chunks.clear();
+    info.lost = true;
+    ++stats_.packets_declared_lost;
+    bytes_in_flight_ = bytes_in_flight_ >= info.bytes ? bytes_in_flight_ - info.bytes : 0;
+  };
+  if (legacy_) {
+    for (auto& [pn, info] : sent_packets_) resend(info);
+  } else {
+    for (std::uint64_t pn = ring_base_; pn < next_pn_; ++pn) {
+      resend(sent_ring_[pn & (sent_ring_.size() - 1)]);
     }
   }
   if (!outstanding && stream_queue_.empty()) return;
@@ -551,10 +861,14 @@ void QuicConnection::OnPto() {
   }
   if (!stream_queue_.empty()) {
     MaybeSendPending();
-  } else {
+  } else if (legacy_) {
     std::vector<std::uint8_t> frames;
     frames.push_back(kFramePing);
     SendPacket(std::move(frames), /*ack_eliciting=*/true, {}, /*long_header=*/false, 0);
+  } else {
+    QuicPacketWriter w = BeginPacket(/*long_header=*/false, 0);
+    w.push_back(kFramePing);
+    FinishPacket(std::move(w), /*ack_eliciting=*/true, nullptr);
   }
 }
 
@@ -598,6 +912,10 @@ QuicConnection* QuicEndpoint::Connect(net::NodeId peer, std::uint16_t peer_port)
 
 void QuicEndpoint::SendRaw(net::NodeId dst, std::uint16_t dst_port,
                            std::vector<std::uint8_t> payload) {
+  network_->SendUdp(node_, port_, dst, dst_port, std::move(payload));
+}
+
+void QuicEndpoint::SendRaw(net::NodeId dst, std::uint16_t dst_port, net::PacketBuffer payload) {
   network_->SendUdp(node_, port_, dst, dst_port, std::move(payload));
 }
 

@@ -16,9 +16,20 @@
 //
 // There is no TLS: payloads are opaque to the network anyway (the paper
 // could not decrypt them either, §5) and the simulator never inspects them.
+//
+// Two send/track/reassemble implementations coexist (DESIGN.md §7):
+//   * the default hot path serializes packets straight into pooled
+//     PacketBuffer blocks, tracks sent packets in a ring indexed by packet
+//     number, and reassembles streams into a contiguous window — zero heap
+//     allocations per packet in steady state;
+//   * VTP_QUIC_PATH=legacy keeps the original std::vector/std::map
+//     implementation as a frozen reference. Both produce byte-identical
+//     wire traffic (enforced by the differential suite and bench_transport).
 #pragma once
 
+#include <cassert>
 #include <cstdint>
+#include <cstring>
 #include <deque>
 #include <functional>
 #include <map>
@@ -44,7 +55,52 @@ struct QuicStats {
   std::uint64_t stream_bytes_delivered = 0;
   std::uint64_t datagrams_sent = 0;
   std::uint64_t datagrams_received = 0;
+  std::uint64_t datagrams_dropped_prehandshake = 0;  ///< queue-cap drops
   double smoothed_rtt_ms = 0.0;
+};
+
+/// Serializes one outgoing packet straight into a pooled payload block: the
+/// writer starts at the MTU-sized block capacity, frames append in place,
+/// and Take() shrinks the block to the bytes written and hands that same
+/// block to the network layer — no intermediate std::vector, no copy.
+class QuicPacketWriter {
+ public:
+  explicit QuicPacketWriter(std::size_t capacity)
+      : buf_(capacity), data_(buf_.writable().data()) {}
+
+  QuicPacketWriter(QuicPacketWriter&&) noexcept = default;
+  QuicPacketWriter& operator=(QuicPacketWriter&&) noexcept = default;
+  QuicPacketWriter(const QuicPacketWriter&) = delete;
+  QuicPacketWriter& operator=(const QuicPacketWriter&) = delete;
+
+  void push_back(std::uint8_t b) {
+    assert(len_ < buf_.size());
+    data_[len_++] = b;
+  }
+  void append(const std::uint8_t* p, std::size_t n) {
+    assert(len_ + n <= buf_.size());
+    std::memcpy(data_ + len_, p, n);
+    len_ += n;
+  }
+  /// Zero-fills to `n` bytes total in one memset (RFC 9000 §14.1 Initial
+  /// padding; the legacy path pads with a per-byte push_back loop).
+  void pad_to(std::size_t n) {
+    assert(n >= len_ && n <= buf_.size());
+    std::memset(data_ + len_, 0, n - len_);
+    len_ = n;
+  }
+  std::size_t size() const { return len_; }
+
+  /// The finished packet: the pooled block, shrunk to the written length.
+  net::PacketBuffer Take() {
+    buf_.resize(len_);
+    return std::move(buf_);
+  }
+
+ private:
+  net::PacketBuffer buf_;
+  std::uint8_t* data_;
+  std::size_t len_ = 0;
 };
 
 class QuicEndpoint;
@@ -84,6 +140,11 @@ class QuicConnection {
   /// Max UDP payload we produce (QUIC requires >= 1200 for Initials).
   static constexpr std::size_t kMaxPacketSize = 1200;
 
+  /// Datagrams buffered while the handshake is still in flight; beyond this
+  /// the oldest is dropped (counted in stats), so a peer that never answers
+  /// cannot grow the queue without bound.
+  static constexpr std::size_t kMaxPreHandshakeDatagrams = 64;
+
  private:
   friend class QuicEndpoint;
 
@@ -106,6 +167,15 @@ class QuicConnection {
     std::uint64_t delivered = 0;
     std::optional<std::uint64_t> fin_offset;
   };
+  /// Default-path reassembly: one contiguous window anchored at `delivered`
+  /// plus a merged list of received absolute byte ranges, replacing the
+  /// per-segment map<offset, vector> above.
+  struct RecvAssembly {
+    std::vector<std::uint8_t> window;  // bytes at [delivered, delivered + window.size())
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges;  // merged [first,last], ascending
+    std::uint64_t delivered = 0;
+    std::optional<std::uint64_t> fin_offset;
+  };
 
   QuicConnection(QuicEndpoint* endpoint, std::uint64_t local_cid, std::uint64_t remote_cid,
                  net::NodeId peer_node, std::uint16_t peer_port, bool is_client);
@@ -115,16 +185,28 @@ class QuicConnection {
   void ProcessFrames(std::span<const std::uint8_t> payload);
   void HandleAckFrame(std::span<const std::uint8_t> payload, std::size_t* pos);
   void OnPacketAcked(std::uint64_t pn);
+  void AckInfo(SentPacketInfo& info);
+  void AckRange(std::uint64_t lo, std::uint64_t hi);
   void DetectLosses();
+  void RetireSettled();
   void MaybeSendPending();
+  void SendPendingStreams();
   void SendPacket(std::vector<std::uint8_t> frames, bool ack_eliciting,
                   std::vector<SentStreamChunk> chunks, bool long_header, std::uint8_t long_type);
+  QuicPacketWriter BeginPacket(bool long_header, std::uint8_t long_type);
+  void FinishPacket(QuicPacketWriter&& w, bool ack_eliciting,
+                    std::vector<SentStreamChunk>* chunks, bool pad_initial = false);
+  SentPacketInfo* FindSent(std::uint64_t pn);
+  SentPacketInfo& SentSlot(std::uint64_t pn);
+  void OnStreamSegment(std::uint64_t stream_id, std::uint64_t offset,
+                       std::span<const std::uint8_t> data, bool fin);
   void SendAckIfNeeded();
   void ArmPto();
   void OnPto();
   net::SimTime PtoInterval() const;
   void UpdateRtt(net::SimTime rtt_sample);
-  void AppendAckFrame(std::vector<std::uint8_t>& out);
+  template <class Out>
+  void AppendAckFrameTo(Out& out);
   void RecordReceivedPn(std::uint64_t pn);
   std::size_t CongestionBudget() const;
 
@@ -134,11 +216,19 @@ class QuicConnection {
   net::NodeId peer_node_;
   std::uint16_t peer_port_;
   bool is_client_;
+  const bool legacy_;  ///< VTP_QUIC_PATH=legacy: frozen reference implementation
   bool established_ = false;
   bool closed_ = false;
 
   std::uint64_t next_pn_ = 0;
-  std::map<std::uint64_t, SentPacketInfo> sent_packets_;
+  std::map<std::uint64_t, SentPacketInfo> sent_packets_;  // legacy path only
+  // Default path: sent packets live in a ring, slot = pn & (size - 1).
+  // Live window is [ring_base_, next_pn_); the settled prefix is retired by
+  // advancing ring_base_, and the ring doubles (re-indexing live entries)
+  // when an unsettled window outgrows it.
+  std::vector<SentPacketInfo> sent_ring_;
+  std::uint64_t ring_base_ = 0;
+  std::vector<SentStreamChunk> chunk_scratch_;  // reused per stream packet
   std::uint64_t largest_acked_ = 0;
   bool any_acked_ = false;
 
@@ -167,7 +257,8 @@ class QuicConnection {
   std::uint64_t pto_epoch_ = 0;  // invalidates stale PTO timers
   int pto_backoff_ = 0;
 
-  std::map<std::uint64_t, RecvStream> recv_streams_;
+  std::map<std::uint64_t, RecvStream> recv_streams_;      // legacy path only
+  std::map<std::uint64_t, RecvAssembly> recv_assembly_;   // default path
   std::deque<std::vector<std::uint8_t>> datagram_queue_;  // pre-handshake sends
 
   StreamDataHandler on_stream_data_;
@@ -205,6 +296,7 @@ class QuicEndpoint {
 
   void OnPacket(const net::Packet& p);
   void SendRaw(net::NodeId dst, std::uint16_t dst_port, std::vector<std::uint8_t> payload);
+  void SendRaw(net::NodeId dst, std::uint16_t dst_port, net::PacketBuffer payload);
   std::uint64_t NewCid();
 
   net::Network* network_;

@@ -106,6 +106,12 @@ std::uint32_t GetU32Be(std::span<const std::uint8_t> data, std::size_t at) {
 
 std::vector<std::uint8_t> RtcpSenderReport::Serialize() const {
   std::vector<std::uint8_t> out;
+  SerializeTo(out);
+  return out;
+}
+
+void RtcpSenderReport::SerializeTo(std::vector<std::uint8_t>& out) const {
+  const std::size_t base = out.size();
   out.push_back(0x80);  // version 2, no report blocks
   out.push_back(200);   // RTCP SR
   out.push_back(0);     // length (unused by the parser)
@@ -113,8 +119,7 @@ std::vector<std::uint8_t> RtcpSenderReport::Serialize() const {
   PutU32Be(out, sender_ssrc);
   PutU32Be(out, ntp_ms);
   PutU32Be(out, rtp_timestamp);
-  out.resize(28, 0);  // pad to a typical SR size
-  return out;
+  out.resize(base + 28, 0);  // pad to a typical SR size
 }
 
 std::optional<RtcpSenderReport> RtcpSenderReport::Parse(std::span<const std::uint8_t> data) {
@@ -128,6 +133,12 @@ std::optional<RtcpSenderReport> RtcpSenderReport::Parse(std::span<const std::uin
 
 std::vector<std::uint8_t> RtcpReceiverReport::Serialize() const {
   std::vector<std::uint8_t> out;
+  SerializeTo(out);
+  return out;
+}
+
+void RtcpReceiverReport::SerializeTo(std::vector<std::uint8_t>& out) const {
+  const std::size_t base = out.size();
   out.push_back(0x81);  // version 2, one report block
   out.push_back(201);   // RTCP RR
   out.push_back(0);     // length (unused by the parser)
@@ -138,8 +149,7 @@ std::vector<std::uint8_t> RtcpReceiverReport::Serialize() const {
       std::clamp(fraction_lost, 0.0, 1.0) * 255.0));
   PutU32Be(out, lsr_ms);
   PutU32Be(out, dlsr_ms);
-  out.resize(32, 0);  // pad to a typical RR size
-  return out;
+  out.resize(base + 32, 0);  // pad to a typical RR size
 }
 
 std::optional<RtcpReceiverReport> RtcpReceiverReport::Parse(std::span<const std::uint8_t> data) {

@@ -47,6 +47,9 @@ struct RtcpSenderReport {
   std::uint32_t rtp_timestamp = 0;
 
   std::vector<std::uint8_t> Serialize() const;
+  /// Appends the 28 serialized bytes to `out` — callers on a periodic report
+  /// path reuse one scratch vector instead of allocating per report.
+  void SerializeTo(std::vector<std::uint8_t>& out) const;
   static std::optional<RtcpSenderReport> Parse(std::span<const std::uint8_t> data);
 };
 
@@ -60,6 +63,8 @@ struct RtcpReceiverReport {
   std::uint32_t dlsr_ms = 0;  ///< delay between receiving that SR and this RR
 
   std::vector<std::uint8_t> Serialize() const;
+  /// Appends the 32 serialized bytes to `out` (see RtcpSenderReport).
+  void SerializeTo(std::vector<std::uint8_t>& out) const;
   static std::optional<RtcpReceiverReport> Parse(std::span<const std::uint8_t> data);
 };
 

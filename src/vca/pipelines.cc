@@ -214,7 +214,9 @@ void VideoPersonaSender::Tick(net::SimTime until) {
     sr.sender_ssrc = ssrc_;
     sr.ntp_ms = static_cast<std::uint32_t>(net::ToMillis(network_->sim().now()));
     sr.rtp_timestamp = rtp_timestamp_;
-    network_->SendUdp(node_, local_port_, dst_, dst_port_, sr.Serialize());
+    rtcp_scratch_.clear();
+    sr.SerializeTo(rtcp_scratch_);
+    network_->SendUdp(node_, local_port_, dst_, dst_port_, rtcp_scratch_);
   }
 
   network_->sim().After(static_cast<net::SimTime>(net::kSecond / profile_.video_fps),
@@ -310,7 +312,9 @@ void VideoPersonaReceiver::SendReports(net::SimTime until, net::SimTime interval
     const auto [lsr, dlsr] = rtp_.SenderReportEcho(ssrc);
     rr.lsr_ms = lsr;
     rr.dlsr_ms = dlsr;
-    network_->SendUdp(node_, port_, feedback_dst_, feedback_port_, rr.Serialize());
+    rtcp_scratch_.clear();
+    rr.SerializeTo(rtcp_scratch_);
+    network_->SendUdp(node_, port_, feedback_dst_, feedback_port_, rtcp_scratch_);
   }
   network_->sim().After(interval, [this, until, interval] { SendReports(until, interval); });
 }

@@ -176,6 +176,7 @@ class VideoPersonaSender {
   net::Rng rng_;
   std::uint64_t frames_sent_ = 0;
   std::uint32_t rtp_timestamp_ = 0;
+  std::vector<std::uint8_t> rtcp_scratch_;  // reused across periodic SRs
 };
 
 /// Voice sender: synthetic conversational speech through the real audio
@@ -244,6 +245,7 @@ class VideoPersonaReceiver {
   std::uint64_t frames_received_ = 0;
   double own_rtt_ms_ = 0;
   std::function<void(double)> on_own_loss_;
+  std::vector<std::uint8_t> rtcp_scratch_;  // reused across periodic RRs
 };
 
 }  // namespace vtp::vca

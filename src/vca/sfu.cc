@@ -16,6 +16,7 @@ SfuServer::SfuServer(net::Network* network, net::NodeId node, std::uint16_t port
       conn->set_on_datagram([this, conn](std::span<const std::uint8_t> data) {
         OnQuicDatagram(conn, data);
       });
+      conn->set_on_close([this, conn](std::uint64_t) { OnConnClosed(conn); });
     });
   }
 }
@@ -25,6 +26,7 @@ SfuServer::~SfuServer() {
 }
 
 void SfuServer::AddRtpMember(net::NodeId node, std::uint16_t port) {
+  rtp_index_[MemberKey(node, port)] = rtp_members_.size();
   rtp_members_.push_back(RtpMember{node, port, 0});
 }
 
@@ -33,6 +35,7 @@ void SfuServer::ConnectPeerServer(net::NodeId node, std::uint16_t port) {
   conn->set_on_datagram([this, conn](std::span<const std::uint8_t> data) {
     OnQuicDatagram(conn, data);
   });
+  conn->set_on_close([this, conn](std::uint64_t) { OnConnClosed(conn); });
   peer_conns_.push_back(conn);
   // Identify ourselves to the acceptor so it reclassifies this connection
   // as a server-to-server link (sent thrice: datagrams are unreliable, but
@@ -41,16 +44,25 @@ void SfuServer::ConnectPeerServer(net::NodeId node, std::uint16_t port) {
   for (int i = 0; i < 3; ++i) conn->SendDatagram(hello);
 }
 
+void SfuServer::OnConnClosed(transport::QuicConnection* conn) {
+  // A closed connection must not linger in any forwarding or subscription
+  // table (the subscription entry in particular used to leak here).
+  semantic_subscriptions_.erase(conn);
+  if (const auto it = std::find(client_conns_.begin(), client_conns_.end(), conn);
+      it != client_conns_.end()) {
+    client_conns_.erase(it);
+  }
+  if (const auto it = std::find(peer_conns_.begin(), peer_conns_.end(), conn);
+      it != peer_conns_.end()) {
+    peer_conns_.erase(it);
+  }
+}
+
 void SfuServer::OnRtpPacket(const net::Packet& p) {
   // Identify the member by transport address.
-  RtpMember* from = nullptr;
-  for (RtpMember& m : rtp_members_) {
-    if (m.node == p.src && m.port == p.src_port) {
-      from = &m;
-      break;
-    }
-  }
-  if (from == nullptr) return;  // not part of this session
+  const auto idx = rtp_index_.find(MemberKey(p.src, p.src_port));
+  if (idx == rtp_index_.end()) return;  // not part of this session
+  RtpMember* from = &rtp_members_[idx->second];
 
   if (transport::LooksLikeRtcp(p.payload)) {
     // Receiver reports route to the member that owns the reported SSRC;
@@ -80,7 +92,8 @@ void SfuServer::OnRtpPacket(const net::Packet& p) {
     from->ssrc = header->ssrc;
   }
 
-  // Fan out to everyone else.
+  // Fan out to everyone else: every send shares the inbound packet's pooled
+  // payload block (refcount bump per receiver, zero copies).
   for (const RtpMember& m : rtp_members_) {
     if (&m == from) continue;
     ++forwarded_;
@@ -104,10 +117,13 @@ void SfuServer::OnQuicDatagram(transport::QuicConnection* from,
 
   if (tag == kRelayTagHello) {
     // A peer server announced itself on an accepted connection: reclassify.
+    // Server-to-server links never subscribe, so any subscription recorded
+    // while this conn still looked like a client dies with the reclassify.
     const auto it = std::find(client_conns_.begin(), client_conns_.end(), from);
     if (it != client_conns_.end()) {
       client_conns_.erase(it);
       peer_conns_.push_back(from);
+      semantic_subscriptions_.erase(from);
     }
     return;
   }
@@ -129,14 +145,15 @@ void SfuServer::OnQuicDatagram(transport::QuicConnection* from,
     conn->SendDatagram(data);
   }
   // Locally originated traffic also crosses the private backbone to peer
-  // servers, tagged so they do not relay it onward again.
-  if (tag == kRelayTagLocal) {
-    std::vector<std::uint8_t> relayed(data.begin(), data.end());
-    relayed[0] = kRelayTagRelayed;
+  // servers, tagged so they do not relay it onward again. One pooled buffer
+  // holds the rewritten payload and is shared across every peer send.
+  if (tag == kRelayTagLocal && !peer_conns_.empty()) {
+    net::PacketBuffer relayed = net::PacketBuffer::CopyOf(data);
+    relayed.writable()[0] = kRelayTagRelayed;
     for (transport::QuicConnection* conn : peer_conns_) {
       if (conn == from) continue;
       ++forwarded_;
-      conn->SendDatagram(relayed);
+      conn->SendDatagram(relayed.view());
     }
   }
 }

@@ -54,6 +54,10 @@ class SfuServer {
   /// Packets forwarded so far (for tests).
   std::uint64_t forwarded_count() const { return forwarded_; }
 
+  /// Live subscription-table entries (for leak tests: entries must go away
+  /// when their connection is reclassified as a peer server or closes).
+  std::size_t semantic_subscription_count() const { return semantic_subscriptions_.size(); }
+
  private:
   struct RtpMember {
     net::NodeId node;
@@ -61,8 +65,13 @@ class SfuServer {
     std::uint32_t ssrc = 0;  ///< learned from the member's RTP packets
   };
 
+  static std::uint64_t MemberKey(net::NodeId node, std::uint16_t port) {
+    return (static_cast<std::uint64_t>(node) << 16) | port;
+  }
+
   void OnRtpPacket(const net::Packet& p);
   void OnQuicDatagram(transport::QuicConnection* from, std::span<const std::uint8_t> data);
+  void OnConnClosed(transport::QuicConnection* conn);
 
   net::Network* network_;
   net::NodeId node_;
@@ -70,8 +79,10 @@ class SfuServer {
   TransportKind kind_;
   std::uint64_t forwarded_ = 0;
 
-  // RTP mode.
+  // RTP mode. Members are looked up per packet by transport address, so the
+  // vector is shadowed by a (node, port) index instead of a linear scan.
   std::vector<RtpMember> rtp_members_;
+  std::map<std::uint64_t, std::size_t> rtp_index_;  // MemberKey -> rtp_members_ slot
 
   // QUIC mode.
   std::unique_ptr<transport::QuicEndpoint> quic_;

@@ -5,7 +5,9 @@
 // reproduce.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <random>
+#include <string>
 
 #include "audio/codec.h"
 #include "compress/lzr.h"
@@ -218,6 +220,84 @@ TEST(Fuzz, QuicEndpointSurvivesGarbagePackets) {
   }
   sim.RunUntil(net::Seconds(5));
   SUCCEED();  // no crash, no hang
+}
+
+// Garbage delivered to an *established* connection reaches the frame parser
+// and ACK processing, not just the endpoint demux — the deepest attack
+// surface. Run against both transport paths.
+void FuzzEstablishedConnection(const char* path) {
+  if (std::string(path) == "legacy") {
+    setenv("VTP_QUIC_PATH", "legacy", 1);
+  } else {
+    unsetenv("VTP_QUIC_PATH");
+  }
+  net::Simulator sim(13);
+  net::Network network(&sim);
+  network.BuildBackbone();
+  const auto attacker = network.AddHost("x", "Chicago");
+  const auto client_host = network.AddHost("c", "SanFrancisco");
+  const auto victim = network.AddHost("v", "NewYork");
+  network.ComputeRoutes();
+
+  transport::QuicEndpoint client(&network, client_host, 9300);
+  transport::QuicEndpoint server(&network, victim, 4433);
+  server.set_on_accept([](transport::QuicConnection* conn) {
+    conn->set_on_datagram([](std::span<const std::uint8_t>) {});
+    conn->set_on_stream_data([](std::uint64_t, std::span<const std::uint8_t>, bool) {});
+  });
+  transport::QuicConnection* conn = client.Connect(victim, 4433);
+  sim.RunUntil(net::Millis(300));
+  ASSERT_TRUE(conn->established());
+
+  // The deterministic CID scheme ((node << 32) | (port << 8) | seq) lets the
+  // attacker address the client connection directly.
+  const std::uint64_t client_cid = (static_cast<std::uint64_t>(client_host) << 32) |
+                                   (static_cast<std::uint64_t>(9300) << 8) | 1;
+  std::mt19937_64 rng(14);
+  const auto forge = [&](std::initializer_list<std::uint8_t> frame_prefix) {
+    std::vector<std::uint8_t> p;
+    p.push_back(0x40);
+    for (int s = 7; s >= 0; --s) {
+      p.push_back(static_cast<std::uint8_t>(client_cid >> (8 * s)));
+    }
+    p.push_back(static_cast<std::uint8_t>(rng() % 64));  // 1-byte varint pn
+    p.insert(p.end(), frame_prefix);
+    const auto tail = RandomBytes(rng, 48);
+    p.insert(p.end(), tail.begin(), tail.end());
+    return p;
+  };
+  for (int i = 0; i < 200; ++i) {
+    // Truncated / garbage ACK frames: random largest/delay/range-count
+    // varints followed by noise, plus hand-picked degenerate encodings.
+    network.SendUdp(attacker, 2000, client_host, 9300, forge({0x02}));
+    network.SendUdp(attacker, 2001, client_host, 9300,
+                    forge({0x02, 0xFF}));  // truncated 8-byte varint
+    // Garbage stream / datagram / close frames.
+    network.SendUdp(attacker, 2002, client_host, 9300, forge({0x0E}));
+    network.SendUdp(attacker, 2003, client_host, 9300, forge({0x0F, 0x04}));
+    network.SendUdp(attacker, 2004, client_host, 9300, forge({0x31, 0xBF}));
+    // Truncated packets: header cut mid-CID.
+    auto cut = forge({0x02, 0x10});
+    cut.resize(1 + rng() % 8);
+    network.SendUdp(attacker, 2005, client_host, 9300, std::move(cut));
+  }
+  sim.RunUntil(net::Seconds(5));
+
+  // The connection survives and still carries traffic.
+  EXPECT_FALSE(conn->closed());
+  const std::uint64_t sent_before = conn->stats().datagrams_sent;
+  conn->SendDatagram(std::vector<std::uint8_t>(100, 1));
+  sim.RunUntil(sim.now() + net::Millis(300));
+  EXPECT_EQ(conn->stats().datagrams_sent, sent_before + 1);
+  unsetenv("VTP_QUIC_PATH");
+}
+
+TEST(Fuzz, EstablishedQuicConnectionSurvivesForgedFrames) {
+  FuzzEstablishedConnection("default");
+}
+
+TEST(Fuzz, EstablishedQuicConnectionSurvivesForgedFramesLegacy) {
+  FuzzEstablishedConnection("legacy");
 }
 
 TEST(Fuzz, RtpReceiverSurvivesGarbage) {

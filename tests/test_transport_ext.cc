@@ -1,7 +1,11 @@
-// Tests for the transport extensions: FEC, the playout buffer, and QUIC
-// connection close.
+// Tests for the transport extensions: FEC, the playout buffer, QUIC
+// connection close, ACK-range edge cases, and the legacy-vs-default
+// transport-path differential suite.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
+#include "netsim/capture.h"
 #include "netsim/netem.h"
 #include "netsim/network.h"
 #include "transport/fec.h"
@@ -253,6 +257,344 @@ TEST(FecOverQuic, RecoversMostSingleLossesEndToEnd) {
   EXPECT_GT(with_fec, direct + 0.01);    // and improved delivery
   EXPECT_GT(with_fec, 0.97);             // ~5% loss mostly repaired at k=4
 }
+
+// --- ACK-range edge cases -----------------------------------------------------------
+//
+// Endpoint CIDs are deterministic ((node << 32) | (port << 8) | seq), so a
+// test can forge short-header packets carrying hand-built ACK frames and
+// inject them at the victim's UDP port — exercising ACK processing on inputs
+// a well-behaved peer never produces.
+
+class AckHarness : public ::testing::Test {
+ protected:
+  AckHarness() : sim_(1), net_(&sim_) {
+    net_.BuildBackbone();
+    a_ = net_.AddHost("a", "SanFrancisco");
+    b_ = net_.AddHost("b", "NewYork");
+    net_.ComputeRoutes();
+  }
+
+  /// The first CID minted by the endpoint at (node, port).
+  static std::uint64_t FirstCid(net::NodeId node, std::uint16_t port) {
+    return (static_cast<std::uint64_t>(node) << 32) |
+           (static_cast<std::uint64_t>(port) << 8) | 1;
+  }
+
+  /// Short-header packet for `dcid` containing one ACK frame.
+  /// `ranges` are the (gap, len) pairs after the first range, as on the wire.
+  static std::vector<std::uint8_t> ForgeAck(
+      std::uint64_t dcid, std::uint64_t pn, std::uint64_t largest,
+      std::uint64_t first_range,
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges = {}) {
+    std::vector<std::uint8_t> p;
+    p.push_back(0x40);
+    for (int i = 7; i >= 0; --i) {
+      p.push_back(static_cast<std::uint8_t>(dcid >> (8 * i)));
+    }
+    PutQuicVarint(p, pn);
+    p.push_back(0x02);  // ACK frame
+    PutQuicVarint(p, largest);
+    PutQuicVarint(p, 0);  // ack delay (us)
+    PutQuicVarint(p, ranges.size());
+    PutQuicVarint(p, first_range);
+    for (const auto& [gap, len] : ranges) {
+      PutQuicVarint(p, gap);
+      PutQuicVarint(p, len);
+    }
+    return p;
+  }
+
+  /// Establishes a client connection and sends `n` datagrams on it.
+  QuicConnection* Establish(QuicEndpoint& client, QuicEndpoint& server, int n) {
+    server.set_on_accept([](QuicConnection* conn) {
+      conn->set_on_datagram([](std::span<const std::uint8_t>) {});
+    });
+    QuicConnection* conn = client.Connect(b_, 4433);
+    sim_.RunUntil(net::Millis(300));
+    EXPECT_TRUE(conn->established());
+    for (int i = 0; i < n; ++i) {
+      sim_.After(net::Millis(i), [conn] {
+        conn->SendDatagram(std::vector<std::uint8_t>(200, 5));
+      });
+    }
+    sim_.RunUntil(sim_.now() + net::Millis(n + 200));
+    return conn;
+  }
+
+  net::Simulator sim_;
+  net::Network net_;
+  net::NodeId a_ = 0, b_ = 0;
+};
+
+class AckPathCase : public AckHarness,
+                    public ::testing::WithParamInterface<const char*> {
+ protected:
+  AckPathCase() {
+    if (std::string(GetParam()) == "legacy") {
+      setenv("VTP_QUIC_PATH", "legacy", 1);
+    } else {
+      unsetenv("VTP_QUIC_PATH");
+    }
+  }
+  ~AckPathCase() override { unsetenv("VTP_QUIC_PATH"); }
+};
+
+TEST_P(AckPathCase, OutOfOrderAckRangesAllSettle) {
+  QuicEndpoint client(&net_, a_, 9100), server(&net_, b_, 4433);
+  QuicConnection* conn = Establish(client, server, 20);
+  const std::uint64_t cid = FirstCid(a_, 9100);
+
+  // Two disjoint ranges acking the middle of the sent window, injected out
+  // of band (the real peer's ACKs are also in flight). Ranges inside one
+  // frame run high-to-low per the wire format.
+  net_.SendUdp(b_, 40000, a_, 9100,
+               ForgeAck(cid, 1000, 15, 2, {{1, 2}}));  // acks 13-15 and 8-10
+  net_.SendUdp(b_, 40001, a_, 9100, ForgeAck(cid, 1001, 5, 4));  // acks 1-5
+  sim_.RunUntil(sim_.now() + net::Millis(500));
+
+  // Nothing was spuriously declared lost and the connection still moves data.
+  EXPECT_EQ(conn->stats().packets_declared_lost, 0u);
+  const std::uint64_t sent_before = conn->stats().datagrams_sent;
+  conn->SendDatagram(std::vector<std::uint8_t>(100, 6));
+  sim_.RunUntil(sim_.now() + net::Millis(200));
+  EXPECT_EQ(conn->stats().datagrams_sent, sent_before + 1);
+}
+
+TEST_P(AckPathCase, DuplicateAcksAreIdempotent) {
+  QuicEndpoint client(&net_, a_, 9101), server(&net_, b_, 4433);
+  QuicConnection* conn = Establish(client, server, 10);
+  const std::uint64_t cid = FirstCid(a_, 9101);
+
+  // The same full-window ACK delivered five times.
+  for (int i = 0; i < 5; ++i) {
+    net_.SendUdp(b_, 41000 + static_cast<std::uint16_t>(i), a_, 9101,
+                 ForgeAck(cid, 2000 + static_cast<std::uint64_t>(i), 10, 9));
+  }
+  sim_.RunUntil(sim_.now() + net::Millis(500));
+  EXPECT_EQ(conn->stats().packets_declared_lost, 0u);
+  EXPECT_TRUE(conn->established());
+
+  const std::uint64_t sent_before = conn->stats().datagrams_sent;
+  conn->SendDatagram(std::vector<std::uint8_t>(100, 7));
+  sim_.RunUntil(sim_.now() + net::Millis(200));
+  EXPECT_EQ(conn->stats().datagrams_sent, sent_before + 1);
+}
+
+TEST_P(AckPathCase, AckOfUnsentPacketsIsDroppedHarmlessly) {
+  QuicEndpoint client(&net_, a_, 9102), server(&net_, b_, 4433);
+  QuicConnection* conn = Establish(client, server, 5);
+  const std::uint64_t cid = FirstCid(a_, 9102);
+
+  // largest far beyond anything sent: without the range guard this walks
+  // billions of packet numbers. first_range > largest is equally malformed.
+  net_.SendUdp(b_, 42000, a_, 9102, ForgeAck(cid, 3000, (1ull << 40), 3));
+  net_.SendUdp(b_, 42001, a_, 9102, ForgeAck(cid, 3001, 4, 100));
+  // A range whose gap underflows the cursor (cursor < gap + 2).
+  net_.SendUdp(b_, 42002, a_, 9102, ForgeAck(cid, 3002, 4, 0, {{50, 1}}));
+  sim_.RunUntil(sim_.now() + net::Millis(500));
+
+  // Malformed frames dropped the packet, nothing more.
+  EXPECT_TRUE(conn->established());
+  EXPECT_EQ(conn->stats().packets_declared_lost, 0u);
+  const std::uint64_t sent_before = conn->stats().datagrams_sent;
+  conn->SendDatagram(std::vector<std::uint8_t>(100, 8));
+  sim_.RunUntil(sim_.now() + net::Millis(200));
+  EXPECT_EQ(conn->stats().datagrams_sent, sent_before + 1);
+}
+
+TEST_P(AckPathCase, LateAckOfRetransmittedPacketIsBenign) {
+  net::Netem netem(&net_, a_, net_.AccessRouter(a_));
+  QuicEndpoint client(&net_, a_, 9103), server(&net_, b_, 4433);
+  std::vector<std::uint8_t> received;
+  server.set_on_accept([&](QuicConnection* conn) {
+    conn->set_on_stream_data(
+        [&](std::uint64_t, std::span<const std::uint8_t> d, bool) {
+          received.insert(received.end(), d.begin(), d.end());
+        });
+  });
+  QuicConnection* conn = client.Connect(b_, 4433);
+  sim_.RunUntil(net::Millis(300));
+  ASSERT_TRUE(conn->established());
+
+  // Heavy loss forces retransmissions: originals are declared lost, their
+  // chunks go out again under new packet numbers.
+  netem.SetLoss(0.3);
+  std::vector<std::uint8_t> payload(20000);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 13);
+  }
+  conn->SendStreamData(2, payload, /*fin=*/true);
+  sim_.RunUntil(net::Seconds(20));
+  netem.SetLoss(0.0);
+  ASSERT_EQ(received, payload);
+  EXPECT_GT(conn->stats().packets_declared_lost, 0u);
+
+  // Now ack every packet number ever used — including the lost originals
+  // whose data was retransmitted. Acking a packet already marked lost must
+  // not rewind congestion state or double-deliver.
+  const std::uint64_t cid = FirstCid(a_, 9103);
+  net_.SendUdp(b_, 43000, a_, 9103,
+               ForgeAck(cid, 4000, conn->stats().packets_sent,
+                        conn->stats().packets_sent - 1));
+  sim_.RunUntil(sim_.now() + net::Millis(500));
+  EXPECT_TRUE(conn->established());
+  const std::uint64_t sent_before = conn->stats().datagrams_sent;
+  conn->SendDatagram(std::vector<std::uint8_t>(100, 9));
+  sim_.RunUntil(sim_.now() + net::Millis(200));
+  EXPECT_EQ(conn->stats().datagrams_sent, sent_before + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Paths, AckPathCase, ::testing::Values("default", "legacy"));
+
+// --- pre-handshake datagram queue cap -----------------------------------------------
+
+TEST_F(AckHarness, PreHandshakeQueueCapDropsOldest) {
+  QuicEndpoint client(&net_, a_, 9104), server(&net_, b_, 4433);
+  std::vector<std::uint8_t> first_bytes;
+  server.set_on_accept([&](QuicConnection* conn) {
+    conn->set_on_datagram([&](std::span<const std::uint8_t> d) {
+      first_bytes.push_back(d[0]);
+    });
+  });
+  QuicConnection* conn = client.Connect(b_, 4433);
+  // 200 sends before the handshake can complete (the sim has not run yet).
+  for (int i = 0; i < 200; ++i) {
+    conn->SendDatagram(std::vector<std::uint8_t>(
+        100, static_cast<std::uint8_t>(i)));
+  }
+  EXPECT_EQ(conn->stats().datagrams_dropped_prehandshake,
+            200 - QuicConnection::kMaxPreHandshakeDatagrams);
+  sim_.RunUntil(net::Seconds(2));
+  // Drop-oldest: exactly the newest kMaxPreHandshakeDatagrams survive.
+  ASSERT_EQ(first_bytes.size(), QuicConnection::kMaxPreHandshakeDatagrams);
+  EXPECT_EQ(first_bytes.front(),
+            static_cast<std::uint8_t>(200 - QuicConnection::kMaxPreHandshakeDatagrams));
+  EXPECT_EQ(first_bytes.back(), static_cast<std::uint8_t>(199));
+}
+
+// --- legacy vs default path differential suite --------------------------------------
+//
+// The default (pooled-writer / ring-buffer) path must be indistinguishable
+// from the legacy path on the wire and at the application edge. Each
+// scenario runs twice in identical deterministic simulations — once per
+// path — and every observable is compared.
+
+std::uint64_t Fnv1a(std::uint64_t h, std::span<const std::uint8_t> data) {
+  for (const std::uint8_t b : data) {
+    h = (h ^ b) * 1099511628211ull;
+  }
+  return h;
+}
+
+struct DifferentialResult {
+  std::uint64_t stream_digest = 1469598103934665603ull;
+  std::uint64_t datagram_digest = 1469598103934665603ull;
+  std::uint64_t wire_digest = 1469598103934665603ull;
+  std::uint64_t wire_packets = 0;
+  std::uint64_t stream_bytes = 0;
+  std::uint64_t datagrams = 0;
+  QuicStats client_stats;
+};
+
+/// One mixed-traffic session (streams + datagrams + loss) on the path
+/// selected by VTP_QUIC_PATH at entry.
+DifferentialResult RunDifferentialSession(double loss) {
+  net::Simulator sim(1);
+  net::Network net(&sim);
+  net.BuildBackbone();
+  const auto a = net.AddHost("a", "SanFrancisco");
+  const auto b = net.AddHost("b", "NewYork");
+  net.ComputeRoutes();
+
+  net::Capture cap;
+  cap.AttachToLink(net, a, net.AccessRouter(a));
+  net::Netem netem(&net, a, net.AccessRouter(a));
+  netem.SetLoss(loss);
+
+  DifferentialResult r;
+  QuicEndpoint client(&net, a, 9200), server(&net, b, 4433);
+  server.set_on_accept([&](QuicConnection* conn) {
+    conn->set_on_stream_data(
+        [&](std::uint64_t id, std::span<const std::uint8_t> d, bool fin) {
+          r.stream_digest = Fnv1a(r.stream_digest, d);
+          r.stream_bytes += d.size();
+          if (fin) {
+            const std::uint8_t marker[1] = {static_cast<std::uint8_t>(id)};
+            r.stream_digest = Fnv1a(r.stream_digest, marker);
+          }
+        });
+    conn->set_on_datagram([&](std::span<const std::uint8_t> d) {
+      r.datagram_digest = Fnv1a(r.datagram_digest, d);
+      ++r.datagrams;
+    });
+  });
+  QuicConnection* conn = client.Connect(b, 4433);
+  conn->SendDatagram(std::vector<std::uint8_t>(80, 1));  // queued pre-handshake
+
+  std::vector<std::uint8_t> payload(40000);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 31 + 7);
+  }
+  conn->SendStreamData(4, payload, /*fin=*/false);
+  sim.At(net::Millis(500), [conn, &payload] {
+    conn->SendStreamData(4, payload, /*fin=*/true);
+    conn->SendStreamData(8, std::vector<std::uint8_t>(5000, 0xEE), /*fin=*/true);
+  });
+  for (int i = 0; i < 120; ++i) {
+    sim.At(net::Millis(200 + i * 7), [conn, i] {
+      conn->SendDatagram(std::vector<std::uint8_t>(
+          300 + static_cast<std::size_t>(i), static_cast<std::uint8_t>(i)));
+    });
+  }
+  sim.RunUntil(net::Seconds(60));
+
+  for (const net::CaptureRecord& rec : cap.records()) {
+    ++r.wire_packets;
+    const std::uint8_t hdr[4] = {
+        static_cast<std::uint8_t>(rec.wire_bytes >> 8),
+        static_cast<std::uint8_t>(rec.wire_bytes),
+        static_cast<std::uint8_t>(rec.src_port >> 8),
+        static_cast<std::uint8_t>(rec.src_port)};
+    r.wire_digest = Fnv1a(r.wire_digest, hdr);
+    r.wire_digest = Fnv1a(r.wire_digest,
+                          std::span(rec.prefix.data(), rec.prefix_len));
+  }
+  r.client_stats = conn->stats();
+  return r;
+}
+
+class DifferentialLoss : public ::testing::TestWithParam<double> {};
+
+TEST_P(DifferentialLoss, LegacyAndDefaultPathsAreIndistinguishable) {
+  setenv("VTP_QUIC_PATH", "legacy", 1);
+  const DifferentialResult legacy = RunDifferentialSession(GetParam());
+  unsetenv("VTP_QUIC_PATH");
+  const DifferentialResult fresh = RunDifferentialSession(GetParam());
+
+  // Byte-identical wire traffic...
+  EXPECT_EQ(fresh.wire_packets, legacy.wire_packets);
+  EXPECT_EQ(fresh.wire_digest, legacy.wire_digest);
+  // ...identical application-edge delivery...
+  EXPECT_EQ(fresh.stream_bytes, legacy.stream_bytes);
+  EXPECT_EQ(fresh.stream_digest, legacy.stream_digest);
+  EXPECT_EQ(fresh.datagrams, legacy.datagrams);
+  EXPECT_EQ(fresh.datagram_digest, legacy.datagram_digest);
+  // ...and identical transport accounting.
+  EXPECT_EQ(fresh.client_stats.packets_sent, legacy.client_stats.packets_sent);
+  EXPECT_EQ(fresh.client_stats.packets_received, legacy.client_stats.packets_received);
+  EXPECT_EQ(fresh.client_stats.packets_declared_lost,
+            legacy.client_stats.packets_declared_lost);
+  EXPECT_EQ(fresh.client_stats.bytes_sent, legacy.client_stats.bytes_sent);
+  EXPECT_EQ(fresh.client_stats.datagrams_sent, legacy.client_stats.datagrams_sent);
+  EXPECT_DOUBLE_EQ(fresh.client_stats.smoothed_rtt_ms,
+                   legacy.client_stats.smoothed_rtt_ms);
+  // Sanity: the scenario exercised real traffic.
+  EXPECT_EQ(fresh.stream_bytes, 85000u);
+  EXPECT_GT(fresh.datagrams, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(LossGrid, DifferentialLoss,
+                         ::testing::Values(0.0, 0.05, 0.15));
 
 }  // namespace
 }  // namespace vtp::transport

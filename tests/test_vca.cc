@@ -288,5 +288,41 @@ TEST(Sfu, RtcpRoutedOnlyToTheReportedSource) {
   EXPECT_EQ(a_rtcp, 1);
 }
 
+TEST(Sfu, SubscriptionEntriesFreedOnReclassifyAndClose) {
+  net::Simulator sim(1);
+  net::Network network(&sim);
+  network.BuildBackbone();
+  const auto s = network.AddHost("sfu", "Chicago", 10e9, net::Micros(200));
+  const auto a = network.AddHost("a", "Dallas");
+  const auto b = network.AddHost("b", "Miami");
+  network.ComputeRoutes();
+
+  SfuServer sfu(&network, s, 5000, TransportKind::kQuicDatagram);
+  transport::QuicEndpoint ep_a(&network, a, 9000), ep_b(&network, b, 9000);
+  transport::QuicConnection* conn_a = ep_a.Connect(s, 5000);
+  transport::QuicConnection* conn_b = ep_b.Connect(s, 5000);
+  sim.RunUntil(net::Millis(300));
+  ASSERT_TRUE(conn_a->established());
+  ASSERT_TRUE(conn_b->established());
+
+  // Both connections register a viewport subscription
+  // ([tag][receiver_id][kMediaSubscription][bitmask]).
+  conn_a->SendDatagram(std::vector<std::uint8_t>{kRelayTagLocal, 1, 3, 0x0F});
+  conn_b->SendDatagram(std::vector<std::uint8_t>{kRelayTagLocal, 2, 3, 0xF0});
+  sim.RunUntil(sim.now() + net::Millis(300));
+  EXPECT_EQ(sfu.semantic_subscription_count(), 2u);
+
+  // b announces itself as a peer server: the reclassify must drop its
+  // subscription entry (server links never subscribe).
+  conn_b->SendDatagram(std::vector<std::uint8_t>{kRelayTagHello});
+  sim.RunUntil(sim.now() + net::Millis(300));
+  EXPECT_EQ(sfu.semantic_subscription_count(), 1u);
+
+  // a closes: its entry must go with the connection.
+  conn_a->Close(0);
+  sim.RunUntil(sim.now() + net::Millis(500));
+  EXPECT_EQ(sfu.semantic_subscription_count(), 0u);
+}
+
 }  // namespace
 }  // namespace vtp::vca
