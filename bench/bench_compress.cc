@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/report.h"
 #include "compress/lzr.h"
 #include "compress/lzr_stream.h"
 #include "core/json.h"
@@ -282,6 +283,7 @@ struct AllocResult {
   std::uint64_t decode_allocs = 0;        ///< LzrDecompressInto, warm buffer
   std::uint64_t frames = 0;
   compress::MatchFinder::Stats finder;
+  compress::LzrEncoder::IoStats io;  ///< the frame encoder's byte/token flow
 };
 
 AllocResult MeasureSteadyStateAllocs(const Chunks& payloads, int frames) {
@@ -323,6 +325,7 @@ AllocResult MeasureSteadyStateAllocs(const Chunks& payloads, int frames) {
   for (const auto& s : subsets) frame_encoder.EncodeFrameInto(s, out);
   r.frame_encode_allocs = g_allocs.load(std::memory_order_relaxed);
   r.finder = frame_encoder.lzr().finder_stats();
+  r.io = frame_encoder.lzr().io_stats();
   return r;
 }
 
@@ -407,9 +410,17 @@ int main(int argc, char** argv) {
   const bool alloc_free = allocs.raw_encode_allocs == 0 && allocs.frame_encode_allocs == 0 &&
                           allocs.decode_allocs == 0;
 
+  const double hit_rate =
+      allocs.io.literals + allocs.io.matches > 0
+          ? static_cast<double>(allocs.io.matches) /
+                static_cast<double>(allocs.io.literals + allocs.io.matches)
+          : 0;
+  std::cout << "encoder io: " << allocs.io.bytes_in << " B in -> " << allocs.io.bytes_out
+            << " B out, match hit rate " << core::Fmt(100 * hit_rate, 1) << "%\n";
+
   // ---- JSON ---------------------------------------------------------------
-  core::JsonWriter w;
-  w.BeginObject();
+  bench::JsonReport report("compress");
+  core::JsonWriter& w = report.writer();
   w.Key("smoke"); w.Bool(smoke);
   w.Key("frames"); w.Int(frames);
   w.Key("reps"); w.Int(reps);
@@ -432,12 +443,18 @@ int main(int argc, char** argv) {
   w.Key("finder_resets"); w.Int(static_cast<std::int64_t>(allocs.finder.resets));
   w.Key("finder_arena_bytes"); w.Int(static_cast<std::int64_t>(allocs.finder.arena_bytes));
   w.EndObject();
+  w.Key("encoder_io");
+  w.BeginObject();
+  w.Key("bytes_in"); w.Int(static_cast<std::int64_t>(allocs.io.bytes_in));
+  w.Key("bytes_out"); w.Int(static_cast<std::int64_t>(allocs.io.bytes_out));
+  w.Key("literals"); w.Int(static_cast<std::int64_t>(allocs.io.literals));
+  w.Key("matches"); w.Int(static_cast<std::int64_t>(allocs.io.matches));
+  w.Key("match_hit_rate"); w.Number(hit_rate);
+  w.EndObject();
   w.Key("correctness_ok"); w.Bool(correctness_ok);
   w.Key("alloc_free"); w.Bool(alloc_free);
-  w.EndObject();
 
-  const std::string path = core::EnvString("VTP_BENCH_JSON", "BENCH_compress.json");
-  std::ofstream(path) << w.str() << "\n";
+  const std::string path = report.Write();
   std::cout << "\nwrote " << path << "\n";
 
   if (!correctness_ok) std::cout << "FAIL: correctness checks failed\n";

@@ -82,7 +82,7 @@ int main() {
             << "(each point is " << bench::Repeats() << " full sessions of "
             << net::ToSeconds(bench::SessionDuration()) << " s)\n"
             << "QUIC transport path: "
-            << (core::EnvEquals("VTP_QUIC_PATH", "legacy") ? "legacy (std::vector/std::map)"
+            << (core::knobs::kQuicPath.Is("legacy") ? "legacy (std::vector/std::map)"
                                                            : "pooled writer + sent-packet ring")
             << "\n";
 

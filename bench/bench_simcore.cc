@@ -9,14 +9,17 @@
 //   3. session A/B  — a 3-user FaceTime session run under both schedulers,
 //      checking the reports agree bit for bit and timing the difference.
 //
+//   4. obs A/B      — the same session with frame-lifecycle tracing armed
+//      (VTP_OBS=1, the default) vs disarmed; the throughput overhead must
+//      stay within the observability budget (<3% target, >5% fails).
+//
 // Results always go to BENCH_simcore.json (override the path with
 // VTP_BENCH_JSON) so perf regressions are machine-checkable.
 #include <cstdlib>
-#include <fstream>
 #include <iostream>
 
 #include "bench/bench_util.h"
-#include "core/json.h"
+#include "bench/report.h"
 #include "netsim/network.h"
 #include "netsim/packet_buffer.h"
 #include "vca/session.h"
@@ -156,8 +159,9 @@ struct SessionRun {
 /// The Figure 6 extreme: a 5-user all-Vision-Pro FaceTime session (FaceTime's
 /// persona cap), transport-only so the scheduler share of the wall time is
 /// what the fig6 sweeps actually pay per session.
-SessionRun RunSession(net::Simulator::Scheduler scheduler) {
+SessionRun RunSession(net::Simulator::Scheduler scheduler, bool obs = true) {
   setenv("VTP_SIM_SCHEDULER", SchedulerName(scheduler), 1);
+  setenv("VTP_OBS", obs ? "1" : "0", 1);
   const char* metros[] = {"SanFrancisco", "NewYork", "Chicago", "Dallas", "Seattle"};
   vca::SessionConfig config;
   config.app = vca::VcaApp::kFaceTime;
@@ -180,6 +184,7 @@ SessionRun RunSession(net::Simulator::Scheduler scheduler) {
   out.uplink_mbps = report.participants[0].uplink_mbps.mean;
   out.downlink_mbps = report.participants[0].downlink_mbps.mean;
   unsetenv("VTP_SIM_SCHEDULER");
+  unsetenv("VTP_OBS");
   return out;
 }
 
@@ -270,9 +275,32 @@ int main() {
             << "\n(model code — codecs, capture, QUIC — dominates session wall time; the\n"
                "scheduler's own capacity is the event-churn number above)\n";
 
+  bench::Banner("4. obs A/B (same session, frame tracing armed vs off, best of 2)");
+  double obs_on_wall = 0, obs_off_wall = 0;
+  std::uint64_t obs_on_events = 0;
+  bool obs_identical = true;
+  for (int rep = 0; rep < 2; ++rep) {
+    const SessionRun on = RunSession(net::Simulator::Scheduler::kWheel, /*obs=*/true);
+    const SessionRun off = RunSession(net::Simulator::Scheduler::kWheel, /*obs=*/false);
+    if (rep == 0 || on.wall_s < obs_on_wall) obs_on_wall = on.wall_s;
+    if (rep == 0 || off.wall_s < obs_off_wall) obs_off_wall = off.wall_s;
+    obs_on_events = on.events;
+    obs_identical = obs_identical && on.events == off.events &&
+                    on.uplink_mbps == off.uplink_mbps &&
+                    on.downlink_mbps == off.downlink_mbps;
+  }
+  const double obs_overhead_pct =
+      obs_off_wall > 0 ? (obs_on_wall / obs_off_wall - 1.0) * 100 : 0;
+  const bool obs_ok = obs_overhead_pct <= 5.0 && obs_identical;
+  std::cout << "obs on:  " << core::Fmt(obs_on_wall, 3) << " s (" << obs_on_events
+            << " events)\nobs off: " << core::Fmt(obs_off_wall, 3) << " s\noverhead: "
+            << core::Fmt(obs_overhead_pct, 2)
+            << "% (target <3%, hard fail >5%); reports identical: "
+            << (obs_identical ? "yes" : "NO") << "\n";
+
   // ---- JSON ---------------------------------------------------------------
-  core::JsonWriter w;
-  w.BeginObject();
+  bench::JsonReport report("simcore");
+  core::JsonWriter& w = report.writer();
   w.Key("event_churn");
   w.BeginObject();
   w.Key("wheel"); WriteChurn(w, churn_wheel);
@@ -297,11 +325,19 @@ int main() {
   w.Number(sess_wheel.wall_s > 0 ? sess_heap.wall_s / sess_wheel.wall_s : 0);
   w.Key("reports_identical"); w.Bool(identical);
   w.EndObject();
+  w.Key("obs_overhead");
+  w.BeginObject();
+  w.Key("on_wall_s"); w.Number(obs_on_wall);
+  w.Key("off_wall_s"); w.Number(obs_off_wall);
+  w.Key("overhead_pct"); w.Number(obs_overhead_pct);
+  w.Key("target_pct"); w.Number(3.0);
+  w.Key("fail_pct"); w.Number(5.0);
+  w.Key("reports_identical"); w.Bool(obs_identical);
   w.EndObject();
 
-  const std::string path = core::EnvString("VTP_BENCH_JSON", "BENCH_simcore.json");
-  std::ofstream(path) << w.str() << "\n";
+  const std::string path = report.Write();
   std::cout << "\nwrote " << path << "\n";
 
-  return identical && churn_speedup >= 1.0 ? 0 : 1;
+  if (!obs_ok) std::cout << "FAIL: obs overhead > 5% or changed the session report\n";
+  return identical && churn_speedup >= 1.0 && obs_ok ? 0 : 1;
 }

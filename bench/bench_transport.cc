@@ -15,13 +15,22 @@
 //      the 16-byte payload prefix of every packet), per-client delivery
 //      digests, and client transport stats must be identical.
 //
+//   4. observability overhead — the same fan-out session with the frame
+//      tracer armed vs off (registry counters are always on). The A/B's
+//      packets/s delta must stay under 3% (CI fails the bench above 5%);
+//   5. per-stage latency breakdown — a small spatial TelepresenceSession,
+//      with the Figure-4-style capture->...->playout stage table produced
+//      entirely from obs::Snapshot and cross-checked against the receivers'
+//      frames_decoded and a bench-side percentile recomputation.
+//
 // Results go to BENCH_transport.json (override with VTP_BENCH_JSON);
 // `--smoke` shrinks the run for CI. Exit is nonzero on any differential
-// mismatch, steady-state allocation on the default path, or speedup < 1.0.
+// mismatch, steady-state allocation on the default path, speedup < 1.0,
+// obs overhead > 5%, or an obs snapshot that disagrees with the legacy
+// accounting.
 #include <atomic>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <iostream>
 #include <memory>
 #include <new>
@@ -29,10 +38,13 @@
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "core/json.h"
+#include "bench/report.h"
 #include "netsim/capture.h"
 #include "netsim/network.h"
+#include "obs/snapshot.h"
+#include "obs/trace.h"
 #include "transport/quic.h"
+#include "vca/session.h"
 #include "vca/sfu.h"
 
 using namespace vtp;
@@ -97,16 +109,26 @@ struct PersonaSender {
   net::SimTime until = 0;
   net::SimTime dt = 0;
 
+  std::uint64_t seq = 0;
+
   void Start(int id, std::uint64_t seed) {
     payload.assign(kPayloadBytes, 0);
     payload[0] = vca::kRelayTagLocal;
     payload[1] = static_cast<std::uint8_t>(id);
-    payload[2] = 1;  // audio-like kind: always fans out, never a subscription
+    payload[2] = 0;  // semantic kind: fans out, and exercises the SFU's
+    payload[3] = 0;  // relay-stamp parse (codec tag + uleb128 frame index)
     rng = seed;
     Tick();
   }
 
   void Tick() {
+    // Frame index as a padded (non-canonical but valid) 4-byte uleb128, so
+    // the header stays fixed-width and the random body never moves.
+    payload[4] = static_cast<std::uint8_t>(0x80u | (seq & 0x7Fu));
+    payload[5] = static_cast<std::uint8_t>(0x80u | ((seq >> 7) & 0x7Fu));
+    payload[6] = static_cast<std::uint8_t>(0x80u | ((seq >> 14) & 0x7Fu));
+    payload[7] = static_cast<std::uint8_t>((seq >> 21) & 0x7Fu);
+    ++seq;
     for (std::size_t i = 8; i + 8 <= payload.size(); i += 8) {
       rng ^= rng << 13;
       rng ^= rng >> 7;
@@ -135,11 +157,12 @@ struct SessionResult {
 /// topology (every host one 1 Gbps hop from the hub router) keeps generic
 /// netsim cost minimal so the measurement isolates the transport layer.
 SessionResult RunSession(bool legacy, net::SimTime duration, net::SimTime warmup,
-                         bool with_capture) {
+                         bool with_capture, bool obs_trace = false) {
   SelectPath(legacy);
   SessionResult r;
 
   net::Simulator sim(1);
+  if (obs_trace) sim.tracer().Enable(/*max_spans=*/1024);
   net::Network net(&sim);
   const net::GeoPoint here{41.88, -87.63};
   const net::NodeId hub = net.AddNode("hub", here, net::Region::kMiddleUs, /*is_router=*/true);
@@ -285,9 +308,100 @@ int main(int argc, char** argv) {
             << (delivery_match ? "identical" : "DIFFER") << "\n"
             << "stats:      " << (stats_match ? "identical" : "DIFFER") << "\n";
 
+  // ---- 4: observability overhead -------------------------------------------
+  bench::Banner("4. obs overhead (tracer armed vs off, default path, best of " +
+                std::to_string(reps) + ")");
+  double obs_off_best = 0, obs_on_best = 0;
+  SessionResult obs_off_r, obs_on_r;
+  for (int rep = 0; rep < reps; ++rep) {
+    {
+      const bench::WallTimer timer;
+      obs_off_r = RunSession(/*legacy=*/false, duration, warmup, /*with_capture=*/false,
+                             /*obs_trace=*/false);
+      const double s = timer.seconds();
+      if (rep == 0 || s < obs_off_best) obs_off_best = s;
+    }
+    {
+      const bench::WallTimer timer;
+      obs_on_r = RunSession(/*legacy=*/false, duration, warmup, /*with_capture=*/false,
+                            /*obs_trace=*/true);
+      const double s = timer.seconds();
+      if (rep == 0 || s < obs_on_best) obs_on_best = s;
+    }
+  }
+  const double obs_off_pps =
+      obs_off_best > 0 ? static_cast<double>(obs_off_r.forwarded) / obs_off_best : 0;
+  const double obs_on_pps =
+      obs_on_best > 0 ? static_cast<double>(obs_on_r.forwarded) / obs_on_best : 0;
+  const double obs_overhead_pct =
+      obs_off_pps > 0 ? (obs_off_pps / (obs_on_pps > 0 ? obs_on_pps : obs_off_pps) - 1.0) * 100
+                      : 0;
+  const bool obs_same_work = obs_off_r.forwarded == obs_on_r.forwarded &&
+                             obs_off_r.payload_digest == obs_on_r.payload_digest;
+  const bool obs_ok = obs_overhead_pct <= 5.0 && obs_same_work;
+  std::cout << "obs off: " << core::Fmt(obs_off_pps / 1000, 1) << "k pkts/s ("
+            << core::Fmt(obs_off_best, 3) << " s)\n"
+            << "obs on:  " << core::Fmt(obs_on_pps / 1000, 1) << "k pkts/s ("
+            << core::Fmt(obs_on_best, 3) << " s)\n"
+            << "overhead: " << core::Fmt(obs_overhead_pct, 2)
+            << "% (target <3%, hard fail >5%); identical forwarding: "
+            << (obs_same_work ? "yes" : "NO") << "\n";
+
+  // ---- 5: per-stage latency breakdown from obs::Snapshot --------------------
+  bench::Banner("5. frame-lifecycle breakdown (3-persona spatial session, from obs::Snapshot)");
+  bool trace_ok = true;
+  obs::Snapshot session_snap;
+  {
+    vca::SessionConfig cfg;
+    cfg.app = vca::VcaApp::kFaceTime;
+    cfg.participants = {{.name = "U1", .metro = "SanFrancisco", .device = vca::DeviceType::kVisionPro},
+                        {.name = "U2", .metro = "NewYork", .device = vca::DeviceType::kVisionPro},
+                        {.name = "U3", .metro = "Chicago", .device = vca::DeviceType::kVisionPro}};
+    cfg.duration = smoke ? net::Seconds(4) : net::Seconds(8);
+    cfg.enable_render = false;
+    cfg.seed = 7;
+    vca::TelepresenceSession session(cfg);
+    session.Run();
+
+    const obs::FrameTracer& tracer = session.sim().tracer();
+    session_snap = obs::Snapshot::Capture(session.sim().metrics(), &tracer);
+
+    // Cross-check 1: every decoded frame closed exactly one span.
+    std::uint64_t frames_decoded = 0;
+    for (std::size_t i = 0; i < cfg.participants.size(); ++i) {
+      const vca::SpatialPersonaReceiver* rx = session.spatial_receiver(i);
+      for (std::size_t j = 0; j < cfg.participants.size(); ++j) {
+        if (j == i) continue;
+        frames_decoded += rx->remote(static_cast<std::uint8_t>(j)).frames_decoded;
+      }
+    }
+    if (session_snap.spans + session_snap.dropped_spans != frames_decoded) trace_ok = false;
+
+    // Cross-check 2: the snapshot's percentiles equal a bench-side
+    // recomputation from the raw spans (same Summarize the tables use).
+    core::TextTable table;
+    table.SetHeader(bench::BoxHeader("stage (ms)"));
+    for (const obs::FrameTracer::StageSeries& series : tracer.Breakdown()) {
+      const core::Summary recomputed = core::Summarize(series.ms);
+      const obs::Snapshot::StageRow* row = session_snap.stage(series.label);
+      if (row == nullptr || row->summary.n != recomputed.n ||
+          row->summary.p50 != recomputed.p50 || row->summary.p95 != recomputed.p95 ||
+          row->summary.mean != recomputed.mean) {
+        trace_ok = false;
+        continue;
+      }
+      table.AddRow(bench::BoxRow(series.label, row->summary));
+    }
+    table.Print(std::cout);
+    std::cout << "spans: " << session_snap.spans << " (+" << session_snap.dropped_spans
+              << " dropped, " << session_snap.orphan_completions
+              << " orphaned) vs frames decoded: " << frames_decoded << " -> "
+              << (trace_ok ? "consistent" : "MISMATCH") << "\n";
+  }
+
   // ---- JSON ---------------------------------------------------------------
-  core::JsonWriter w;
-  w.BeginObject();
+  bench::JsonReport report("transport");
+  core::JsonWriter& w = report.writer();
   w.Key("smoke"); w.Bool(smoke);
   w.Key("personas"); w.Int(kPersonas);
   w.Key("duration_s"); w.Number(net::ToSeconds(duration));
@@ -320,14 +434,29 @@ int main(int argc, char** argv) {
   w.EndObject();
   w.Key("prehandshake_drops"); w.Int(static_cast<std::int64_t>(new_timed.prehandshake_drops));
   w.Key("alloc_free"); w.Bool(alloc_free);
+  w.Key("obs_overhead");
+  w.BeginObject();
+  w.Key("off_packets_per_s"); w.Number(obs_off_pps);
+  w.Key("on_packets_per_s"); w.Number(obs_on_pps);
+  w.Key("overhead_pct"); w.Number(obs_overhead_pct);
+  w.Key("target_pct"); w.Number(3.0);
+  w.Key("fail_pct"); w.Number(5.0);
+  w.Key("identical_forwarding"); w.Bool(obs_same_work);
   w.EndObject();
+  w.Key("session_snapshot");
+  session_snap.WriteJson(w);
+  w.Key("trace_consistent"); w.Bool(trace_ok);
 
-  const std::string path = core::EnvString("VTP_BENCH_JSON", "BENCH_transport.json");
-  std::ofstream(path) << w.str() << "\n";
+  const std::string path = report.Write();
   std::cout << "\nwrote " << path << "\n";
 
   if (!wire_match || !delivery_match || !stats_match) std::cout << "FAIL: paths diverge\n";
   if (!alloc_free) std::cout << "FAIL: default path allocated in steady state\n";
   if (speedup < 1.0) std::cout << "FAIL: speedup < 1.0\n";
-  return wire_match && delivery_match && stats_match && alloc_free && speedup >= 1.0 ? 0 : 1;
+  if (!obs_ok) std::cout << "FAIL: obs overhead > 5% or changed forwarding\n";
+  if (!trace_ok) std::cout << "FAIL: obs snapshot disagrees with legacy accounting\n";
+  return wire_match && delivery_match && stats_match && alloc_free && speedup >= 1.0 &&
+                 obs_ok && trace_ok
+             ? 0
+             : 1;
 }

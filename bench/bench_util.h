@@ -17,7 +17,7 @@
 #include <string>
 #include <vector>
 
-#include "core/env.h"
+#include "core/knobs.h"
 #include "core/stats.h"
 #include "core/table.h"
 #include "core/thread_pool.h"
@@ -26,7 +26,7 @@
 namespace vtp::bench {
 
 /// True when VTP_FULL=1 is set in the environment.
-inline bool FullRuns() { return core::EnvFlag("VTP_FULL"); }
+inline bool FullRuns() { return core::knobs::kFull.Get(); }
 
 /// Session length: the paper's 120 s under VTP_FULL, else 20 s.
 inline net::SimTime SessionDuration() {
@@ -36,11 +36,11 @@ inline net::SimTime SessionDuration() {
 /// Repeats per configuration: the paper's 5 under VTP_FULL, else 3.
 inline int Repeats() { return FullRuns() ? 5 : 3; }
 
-/// Worker threads for ParallelRepeats: VTP_BENCH_THREADS, default one per
-/// hardware thread. Values < 1 (or 1) mean run serially on the caller.
+/// Worker threads for ParallelRepeats: VTP_BENCH_THREADS, whose negative
+/// sentinel default means one per hardware thread. 0 or 1 runs serially.
 inline int BenchThreads() {
-  return core::EnvInt("VTP_BENCH_THREADS",
-                      static_cast<int>(core::ThreadPool::HardwareThreads()));
+  const int v = core::knobs::kBenchThreads.Get();
+  return v < 0 ? static_cast<int>(core::ThreadPool::HardwareThreads()) : v;
 }
 
 /// Runs `fn(0) .. fn(n-1)` across BenchThreads() workers and returns the

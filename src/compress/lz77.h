@@ -23,7 +23,7 @@
 #include <span>
 #include <vector>
 
-#include "core/env.h"
+#include "core/knobs.h"
 
 namespace vtp::compress {
 
@@ -41,7 +41,7 @@ enum class LzParser : std::uint8_t { kGreedy, kLazy };
 /// Parser selected by VTP_LZ_PARSER ("greedy"/"lazy"); greedy when unset or
 /// unrecognized. Allocation-free so it can run per frame.
 inline LzParser DefaultLzParser() {
-  return core::EnvEquals("VTP_LZ_PARSER", "lazy") ? LzParser::kLazy : LzParser::kGreedy;
+  return core::knobs::kLzParser.Is("lazy") ? LzParser::kLazy : LzParser::kGreedy;
 }
 
 /// Tunables for the match finder.

@@ -4,18 +4,24 @@ namespace vtp::compress {
 
 void LzrEncoder::CompressInto(std::span<const std::uint8_t> data, std::vector<std::uint8_t>& out,
                               const LzParams& params) {
+  const std::size_t out_before = out.size();
   for (const std::uint8_t b : detail::kLzrMagic) out.push_back(b);
   PutUleb128(out, data.size());
   ++frames_;
-  if (data.empty()) return;
+  io_.bytes_in += data.size();
+  if (data.empty()) {
+    io_.bytes_out += out.size() - out_before;
+    return;
+  }
 
   RangeEncoder rc(&out);
   detail::LzrModels m;
   {
     RangeEncoder::Hot hot(rc);
-    LzParse(finder_, data, params, detail::LzrTokenCoder{hot, m});
+    LzParse(finder_, data, params, detail::LzrTokenCoder{hot, m, &io_.literals, &io_.matches});
   }
   rc.Flush();
+  io_.bytes_out += out.size() - out_before;
 }
 
 std::span<const std::uint8_t> LzrEncoder::Compress(std::span<const std::uint8_t> data,
@@ -33,9 +39,10 @@ std::size_t LzrEncoder::CompressedSize(std::span<const std::uint8_t> data,
 
   RangeEncoder rc;  // counting sink: nothing is stored
   detail::LzrModels m;
+  std::uint64_t discard_lit = 0, discard_match = 0;  // sizing probe: not real output
   {
     RangeEncoder::Hot hot(rc);
-    LzParse(finder_, data, params, detail::LzrTokenCoder{hot, m});
+    LzParse(finder_, data, params, detail::LzrTokenCoder{hot, m, &discard_lit, &discard_match});
   }
   rc.Flush();
   return header + rc.bytes_emitted();

@@ -54,12 +54,16 @@ struct LzrModels {
 struct LzrTokenCoder {
   RangeEncoder::Hot& rc;
   LzrModels& m;
+  std::uint64_t* literals;  ///< token tally (match-finder hit-rate metric)
+  std::uint64_t* matches;
 
   void Literal(std::uint8_t byte) {
+    ++*literals;
     rc.EncodeBit(m.is_match, 0);
     m.literal.Encode(rc, byte);
   }
   void Match(std::uint32_t length, std::uint32_t distance) {
+    ++*matches;
     rc.EncodeBit(m.is_match, 1);
     m.length.Encode(rc, length - LzParams::kMinMatch);
     const std::uint32_t slot = DistanceToSlot(distance);
@@ -96,6 +100,18 @@ class LzrEncoder {
   /// Frames compressed by this encoder (CompressInto/Compress calls).
   std::uint64_t frames() const { return frames_; }
 
+  /// Cumulative I/O and token tallies for the real compress paths
+  /// (CompressedSize's counting-sink satellite is excluded). The match
+  /// hit rate — matches / (matches + literals) — is the fraction of parse
+  /// decisions the match finder converted into back-references.
+  struct IoStats {
+    std::uint64_t bytes_in = 0;
+    std::uint64_t bytes_out = 0;
+    std::uint64_t literals = 0;
+    std::uint64_t matches = 0;
+  };
+  const IoStats& io_stats() const { return io_; }
+
   /// Match-finder arena behaviour — arena_grows stops moving once warm.
   const MatchFinder::Stats& finder_stats() const { return finder_.stats(); }
 
@@ -106,6 +122,7 @@ class LzrEncoder {
   MatchFinder finder_;
   std::vector<std::uint8_t> scratch_;
   std::uint64_t frames_ = 0;
+  IoStats io_;
 };
 
 }  // namespace vtp::compress

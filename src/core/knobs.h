@@ -1,0 +1,51 @@
+// The single declaration point for every VTP_* environment knob.
+//
+// Each knob appears exactly once, with its type, default, and help string;
+// the inline handles self-register with core::Config so `vtp --knobs` lists
+// them all. Call sites consult the handle (knobs::kFull.Get(),
+// knobs::kQuicPath.Is("legacy")) instead of scattering EnvInt/EnvFlag/
+// getenv parsing through the tree — resolution still happens per call, so
+// benches that setenv() a knob mid-run (scheduler/QUIC-path A/Bs) behave
+// exactly as before.
+#pragma once
+
+#include "core/config.h"
+
+namespace vtp::core::knobs {
+
+/// Paper-length bench runs: 120 s sessions x 5 repeats instead of the quick
+/// 20 s x 3 defaults.
+inline const FlagKnob kFull{"VTP_FULL", "run paper-length benches (120 s sessions x 5 repeats)"};
+
+/// Worker threads for bench::ParallelRepeats. The -1 sentinel means "one per
+/// hardware thread"; 0 or 1 runs repeats serially on the caller.
+inline const IntKnob kBenchThreads{
+    "VTP_BENCH_THREADS", -1,
+    "worker threads for bench repeats; 0/1 = serial, unset = one per hardware thread",
+    "auto (one per hardware thread)"};
+
+/// Override for the bench JSON report path.
+inline const StringKnob kBenchJson{"VTP_BENCH_JSON", "",
+                                   "path for the bench JSON report", "BENCH_<bench>.json"};
+
+/// Discrete-event scheduler engine (bench_simcore A/Bs these per session).
+inline const ChoiceKnob kSimScheduler{
+    "VTP_SIM_SCHEDULER", "wheel", {"wheel", "heap"},
+    "event scheduler: hierarchical timer wheel or legacy priority-queue heap"};
+
+/// QUIC serialization path (bench_transport A/Bs these per session).
+inline const ChoiceKnob kQuicPath{
+    "VTP_QUIC_PATH", "default", {"default", "legacy"},
+    "QUIC hot path: pooled packet writer + sent-packet ring, or the legacy per-frame buffers"};
+
+/// LZ parse strategy used by compress::DefaultLzParser().
+inline const ChoiceKnob kLzParser{"VTP_LZ_PARSER", "greedy", {"greedy", "lazy"},
+                                  "LZ parser: greedy (seed-exact) or one-step-lazy"};
+
+/// Frame-lifecycle tracing (obs::FrameTracer). Registry counters are always
+/// on — they replace the bespoke stats structs at identical cost — but span
+/// stamping is armed per session from this knob.
+inline const BoolKnob kObs{"VTP_OBS", true,
+                           "enable frame-lifecycle span tracing (metrics are always on)"};
+
+}  // namespace vtp::core::knobs

@@ -1,8 +1,10 @@
 #include "netsim/event_queue.h"
 
 #include <cassert>
-#include <cstdlib>
-#include <cstring>
+
+#include "core/knobs.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace vtp::net {
 
@@ -22,7 +24,10 @@ void EventPool::Grow(SchedulerStats* stats) {
 }  // namespace detail
 
 Simulator::Simulator(std::uint64_t seed, Scheduler scheduler)
-    : scheduler_(scheduler), rng_(seed) {
+    : scheduler_(scheduler),
+      rng_(seed),
+      metrics_(std::make_unique<obs::MetricRegistry>()),
+      tracer_(std::make_unique<obs::FrameTracer>()) {
   if (scheduler_ == Scheduler::kWheel) {
     for (int level = 0; level < kLevels; ++level) {
       buckets_[level].assign(kWheelSize, nullptr);
@@ -34,9 +39,7 @@ Simulator::Simulator(std::uint64_t seed, Scheduler scheduler)
 Simulator::~Simulator() { ReleaseAll(); }
 
 Simulator::Scheduler Simulator::SchedulerFromEnv() {
-  const char* env = std::getenv("VTP_SIM_SCHEDULER");
-  if (env != nullptr && std::strcmp(env, "heap") == 0) return Scheduler::kHeap;
-  return Scheduler::kWheel;
+  return core::knobs::kSimScheduler.Is("heap") ? Scheduler::kHeap : Scheduler::kWheel;
 }
 
 void Simulator::Insert(detail::SimEvent* e) {

@@ -31,6 +31,11 @@
 #include "netsim/random.h"
 #include "netsim/time.h"
 
+namespace vtp::obs {
+class MetricRegistry;
+class FrameTracer;
+}  // namespace vtp::obs
+
 namespace vtp::net {
 
 /// Counters the scheduler keeps so benches can report allocations/event.
@@ -196,6 +201,17 @@ class Simulator {
   Scheduler scheduler() const { return scheduler_; }
   const SchedulerStats& scheduler_stats() const { return stats_; }
 
+  /// This run's observability registry. One registry per Simulator keeps
+  /// parallel bench repeats independent, so snapshots are bit-identical for
+  /// a fixed seed regardless of VTP_BENCH_THREADS.
+  obs::MetricRegistry& metrics() { return *metrics_; }
+  const obs::MetricRegistry& metrics() const { return *metrics_; }
+
+  /// Frame-lifecycle tracer (off until FrameTracer::Enable, typically armed
+  /// by the session from VTP_OBS).
+  obs::FrameTracer& tracer() { return *tracer_; }
+  const obs::FrameTracer& tracer() const { return *tracer_; }
+
   /// Scheduler selected by VTP_SIM_SCHEDULER ("heap" or "wheel"); the wheel
   /// unless "heap" is explicitly requested.
   static Scheduler SchedulerFromEnv();
@@ -236,6 +252,8 @@ class Simulator {
   bool stopped_ = false;
   Rng rng_;
   SchedulerStats stats_;
+  std::unique_ptr<obs::MetricRegistry> metrics_;
+  std::unique_ptr<obs::FrameTracer> tracer_;
 
   // Wheel engine.
   detail::EventPool pool_;

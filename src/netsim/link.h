@@ -12,9 +12,12 @@
 #include <optional>
 #include <utility>
 
+#include <string>
+
 #include "netsim/event_queue.h"
 #include "netsim/packet.h"
 #include "netsim/time.h"
+#include "obs/metrics.h"
 
 namespace vtp::net {
 
@@ -28,7 +31,9 @@ struct LinkConfig {
                                               ///< delay jitter (cross traffic)
 };
 
-/// Counters a link maintains for analysis.
+/// Counters a link maintains for analysis. Since the obs refactor this is a
+/// value snapshot assembled from the link's registry handles (see
+/// DirectedLink::stats()); the field set is unchanged for back-compat.
 struct LinkStats {
   std::uint64_t packets_sent = 0;
   std::uint64_t bytes_sent = 0;
@@ -43,7 +48,17 @@ class DirectedLink {
   /// tap: the packet made it onto the wire).
   using Tap = std::function<void(const Packet&, SimTime)>;
 
-  DirectedLink(Simulator* sim, LinkConfig config) : sim_(sim), config_(config) {}
+  DirectedLink(Simulator* sim, LinkConfig config) : sim_(sim), config_(config) {
+    // Per-link metrics live in the owning Simulator's registry; the scope id
+    // follows construction order, which is deterministic per topology.
+    obs::MetricRegistry& reg = sim_->metrics();
+    const std::string scope = reg.UniqueScope("net.link");
+    packets_sent_ = reg.NewCounter(scope + ".packets_sent");
+    bytes_sent_ = reg.NewCounter(scope + ".bytes_sent");
+    dropped_queue_ = reg.NewCounter(scope + ".dropped_queue");
+    dropped_loss_ = reg.NewCounter(scope + ".dropped_loss");
+    queue_peak_bytes_ = reg.NewGauge(scope + ".queue_peak_bytes");
+  }
 
   /// Enqueues `p`; on success schedules delivery, otherwise drops it.
   /// `deliver` is invoked as deliver(Packet) when the packet reaches the far
@@ -54,13 +69,14 @@ class DirectedLink {
     const SimTime now = sim_->now();
     const std::uint32_t bytes = p.wire_bytes();
 
-    if (backlog_bytes(now) + bytes > config_.queue_limit_bytes) {
-      ++stats_.packets_dropped_queue;
+    const std::size_t backlog = backlog_bytes(now);
+    if (backlog + bytes > config_.queue_limit_bytes) {
+      dropped_queue_->Inc();
       return;
     }
     const double loss = config_.loss_rate + extra_loss_;
     if (loss > 0.0 && sim_->rng().Chance(std::min(loss, 1.0))) {
-      ++stats_.packets_dropped_loss;
+      dropped_loss_->Inc();
       return;
     }
 
@@ -69,8 +85,9 @@ class DirectedLink {
         std::llround(bytes * 8.0 / effective_rate_bps() * kSecond));
     busy_until_ = start + tx_time;
 
-    ++stats_.packets_sent;
-    stats_.bytes_sent += bytes;
+    packets_sent_->Inc();
+    bytes_sent_->Inc(bytes);
+    queue_peak_bytes_->Max(static_cast<double>(backlog + bytes));
 
     SimTime arrive = busy_until_ + config_.prop_delay + extra_delay_;
     if (config_.jitter_mean > 0) {
@@ -101,7 +118,11 @@ class DirectedLink {
   void set_tap(Tap tap) { tap_ = std::move(tap); }
 
   const LinkConfig& config() const { return config_; }
-  const LinkStats& stats() const { return stats_; }
+  /// Back-compat snapshot of this link's registry counters.
+  LinkStats stats() const {
+    return {packets_sent_->value(), bytes_sent_->value(), dropped_queue_->value(),
+            dropped_loss_->value()};
+  }
 
   /// Bytes currently queued awaiting transmission.
   std::size_t backlog_bytes(SimTime now) const;
@@ -117,7 +138,11 @@ class DirectedLink {
   std::optional<double> rate_cap_bps_;
   double extra_loss_ = 0.0;
   Tap tap_;
-  LinkStats stats_;
+  obs::Counter* packets_sent_ = nullptr;
+  obs::Counter* bytes_sent_ = nullptr;
+  obs::Counter* dropped_queue_ = nullptr;
+  obs::Counter* dropped_loss_ = nullptr;
+  obs::Gauge* queue_peak_bytes_ = nullptr;
 };
 
 }  // namespace vtp::net

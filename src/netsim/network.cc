@@ -156,6 +156,7 @@ void Network::SendUdp(NodeId src, std::uint16_t src_port, NodeId dst, std::uint1
   p.dst_port = dst_port;
   p.payload = std::move(payload);
   p.id = next_packet_id_++;
+  udp_sent_->Inc();
   Forward(std::move(p), src);
 }
 
@@ -167,7 +168,10 @@ void Network::Forward(Packet p, NodeId at) {
     // event's inline storage (a handler unbound inside this window drops).
     sim_->After(Micros(20), [this, p = std::move(p)] {
       const auto it = udp_bindings_.find({p.dst, p.dst_port});
-      if (it != udp_bindings_.end()) it->second(p);
+      if (it == udp_bindings_.end()) return;
+      udp_delivered_->Inc();
+      udp_delivered_bytes_->Inc(p.payload.size());
+      it->second(p);
     });
     return;
   }

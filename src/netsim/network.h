@@ -36,7 +36,12 @@ struct Node {
 /// The network graph plus the routing and delivery machinery.
 class Network {
  public:
-  explicit Network(Simulator* sim) : sim_(sim) {}
+  explicit Network(Simulator* sim) : sim_(sim) {
+    obs::MetricRegistry& reg = sim_->metrics();
+    udp_sent_ = reg.NewCounter("net.udp.datagrams_sent");
+    udp_delivered_ = reg.NewCounter("net.udp.datagrams_delivered");
+    udp_delivered_bytes_ = reg.NewCounter("net.udp.bytes_delivered");
+  }
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -115,6 +120,9 @@ class Network {
   std::uint64_t next_packet_id_ = 1;
   std::vector<NodeId> backbone_routers_;  // indexed like MetroDb()
   std::map<NodeId, NodeId> access_router_;
+  obs::Counter* udp_sent_ = nullptr;
+  obs::Counter* udp_delivered_ = nullptr;
+  obs::Counter* udp_delivered_bytes_ = nullptr;
 };
 
 }  // namespace vtp::net

@@ -1,0 +1,81 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace vtp::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::Observe(double v) {
+  std::size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  ++buckets_[i];
+  ++count_;
+  sum_ += v;
+}
+
+bool Histogram::Merge(const Histogram& other) {
+  if (bounds_ != other.bounds_) return false;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  return true;
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const std::uint64_t in_bucket = buckets_[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cum + in_bucket) >= target) {
+      // Interpolate inside [lo, hi); the overflow bucket reports its lower
+      // bound (no finite upper edge to interpolate toward).
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      if (i >= bounds_.size()) return lo;
+      const double hi = bounds_[i];
+      const double frac = (target - static_cast<double>(cum)) / static_cast<double>(in_bucket);
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    cum += in_bucket;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+Counter* MetricRegistry::NewCounter(const std::string& name) { return &counters_[name]; }
+
+Gauge* MetricRegistry::NewGauge(const std::string& name) { return &gauges_[name]; }
+
+Histogram* MetricRegistry::NewHistogram(const std::string& name, std::vector<double> bounds) {
+  auto it = histograms_.find(name);
+  if (it != histograms_.end()) return &it->second;
+  return &histograms_.emplace(name, Histogram(std::move(bounds))).first->second;
+}
+
+void MetricRegistry::NewProbe(const std::string& name, std::function<double()> fn) {
+  probes_[name] = std::move(fn);
+}
+
+std::string MetricRegistry::UniqueScope(const std::string& prefix) {
+  const int id = scopes_[prefix]++;
+  return prefix + std::to_string(id);
+}
+
+std::uint64_t MetricRegistry::CounterValue(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+double MetricRegistry::GaugeValue(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second.value();
+}
+
+}  // namespace vtp::obs

@@ -1,0 +1,128 @@
+// vtp::obs — sim-time-aware observability primitives.
+//
+// A MetricRegistry hands out pointer-stable typed handles (Counter, Gauge,
+// Histogram) that hot paths bump with plain integer/double stores: no locks,
+// no allocation, no indirection beyond one pointer — the same cost as the
+// bespoke per-subsystem stats structs they replace. Registration happens at
+// setup time (connection/link/pipeline construction); after that the registry
+// is read-only until a snapshot walks it.
+//
+// Scoping: one registry per net::Simulator (see Simulator::metrics()), so
+// every parallel bench run owns an independent registry and snapshots are
+// bit-identical regardless of VTP_BENCH_THREADS. Within a registry,
+// UniqueScope("quic.conn") mints "quic.conn0", "quic.conn1", ... prefixes in
+// construction order, which is deterministic for a fixed seed.
+//
+// The library has no link dependencies (vtp_obs sits below netsim/compress);
+// JSON export lives in obs/snapshot.h so only executables pull in core.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vtp::obs {
+
+/// Monotonic event count. Increment is a single add on a stable address.
+class Counter {
+ public:
+  void Inc(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-write-wins scalar (buffer occupancy, smoothed RTT, table sizes).
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  void Add(double d) { value_ += d; }
+  /// Keeps the running maximum (queue high-water marks).
+  void Max(double v) {
+    if (v > value_) value_ = v;
+  }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram. Bucket `i` counts observations with
+/// `v <= bounds[i]`; one implicit overflow bucket counts the rest. Bounds are
+/// fixed at registration so hot-path Observe() is a branch-light scan with no
+/// allocation, and two histograms with identical bounds can be merged.
+class Histogram {
+ public:
+  Histogram() = default;
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts; size is bounds().size() + 1 (last = overflow).
+  const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+
+  /// Adds another histogram's observations. Bounds must match exactly.
+  /// Returns false (and leaves *this untouched) on a bounds mismatch.
+  bool Merge(const Histogram& other);
+
+  /// Approximate quantile (q in [0,1]) by linear interpolation inside the
+  /// containing bucket; exact at bucket boundaries. Returns 0 when empty.
+  double Quantile(double q) const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Owns every metric of one simulation. Node-based storage keeps handles
+/// pointer-stable for the registry's lifetime; name-keyed maps make repeated
+/// registration idempotent (same name -> same handle) and give snapshots a
+/// deterministic, sorted iteration order.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  Counter* NewCounter(const std::string& name);
+  Gauge* NewGauge(const std::string& name);
+  /// Bounds are fixed on first registration; a second call with the same
+  /// name returns the existing histogram (its original bounds win).
+  Histogram* NewHistogram(const std::string& name, std::vector<double> bounds);
+
+  /// Registers a pull-style gauge evaluated at snapshot time (subscription
+  /// table sizes, buffer occupancy). The callback must stay valid for the
+  /// registry's lifetime — in practice: owner and registry share the
+  /// Simulator's lifetime.
+  void NewProbe(const std::string& name, std::function<double()> fn);
+
+  /// Mints "prefix0", "prefix1", ... per distinct prefix, in call order.
+  std::string UniqueScope(const std::string& prefix);
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const { return histograms_; }
+  const std::map<std::string, std::function<double()>>& probes() const { return probes_; }
+
+  /// Convenience lookups for tests and back-compat accessors; 0 when absent.
+  std::uint64_t CounterValue(const std::string& name) const;
+  double GaugeValue(const std::string& name) const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+  std::map<std::string, std::function<double()>> probes_;
+  std::map<std::string, int> scopes_;
+};
+
+}  // namespace vtp::obs

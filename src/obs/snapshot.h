@@ -1,0 +1,181 @@
+// obs::Snapshot — the single export path for observability data.
+//
+// Capture() freezes a MetricRegistry (and optionally a FrameTracer) into a
+// plain value object: sorted counter/gauge lists (probes evaluated once, at
+// capture), histogram buckets, and per-stage latency summaries computed with
+// the same core::Summarize the paper benches use for their percentile boxes.
+// WriteJson() then renders it through core::JsonWriter, so benches,
+// tools/vtp.cc, and tests all consume one schema instead of hand-rolling
+// their own emission.
+//
+// Header-only by design: vtp_obs has no link dependencies, but Snapshot needs
+// core::JsonWriter/core::Summarize — keeping it inline defers symbol
+// resolution to the executables, which always link vtp_core.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/json.h"
+#include "core/stats.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace vtp::obs {
+
+struct Snapshot {
+  struct HistogramRow {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t count = 0;
+    double sum = 0;
+  };
+  struct StageRow {
+    std::string label;
+    core::Summary summary;
+  };
+
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;  // gauges + probes, merged sorted
+  std::vector<HistogramRow> histograms;
+
+  // Present only when captured with a tracer.
+  bool traced = false;
+  std::uint64_t spans = 0;
+  std::uint64_t dropped_spans = 0;
+  std::uint64_t orphan_completions = 0;
+  std::vector<StageRow> stages;
+
+  /// 0 / 0.0 when the name is absent (same contract as the registry).
+  std::uint64_t counter(const std::string& name) const {
+    for (const auto& [n, v] : counters) {
+      if (n == name) return v;
+    }
+    return 0;
+  }
+  double gauge(const std::string& name) const {
+    for (const auto& [n, v] : gauges) {
+      if (n == name) return v;
+    }
+    return 0.0;
+  }
+  const StageRow* stage(const std::string& label) const {
+    for (const StageRow& row : stages) {
+      if (row.label == label) return &row;
+    }
+    return nullptr;
+  }
+
+  static Snapshot Capture(const MetricRegistry& reg, const FrameTracer* tracer = nullptr) {
+    Snapshot snap;
+    snap.counters.reserve(reg.counters().size());
+    for (const auto& [name, c] : reg.counters()) snap.counters.emplace_back(name, c.value());
+    for (const auto& [name, g] : reg.gauges()) snap.gauges.emplace_back(name, g.value());
+    for (const auto& [name, probe] : reg.probes()) snap.gauges.emplace_back(name, probe());
+    std::sort(snap.gauges.begin(), snap.gauges.end());
+    for (const auto& [name, h] : reg.histograms()) {
+      snap.histograms.push_back({name, h.bounds(), h.buckets(), h.count(), h.sum()});
+    }
+    if (tracer != nullptr && tracer->enabled()) {
+      snap.traced = true;
+      snap.spans = tracer->spans().size();
+      snap.dropped_spans = tracer->dropped_spans();
+      snap.orphan_completions = tracer->orphan_completions();
+      for (const FrameTracer::StageSeries& series : tracer->Breakdown()) {
+        snap.stages.push_back({series.label, core::Summarize(series.ms)});
+      }
+      const Histogram& e2e = tracer->e2e_ms();
+      snap.histograms.push_back(
+          {"trace.e2e_ms", e2e.bounds(), e2e.buckets(), e2e.count(), e2e.sum()});
+    }
+    return snap;
+  }
+
+  /// Writes the snapshot as one JSON object into an open writer (the caller
+  /// brackets it, so snapshots embed naturally in bench reports).
+  void WriteJson(core::JsonWriter& w) const {
+    w.BeginObject();
+    w.Key("counters");
+    w.BeginObject();
+    for (const auto& [name, v] : counters) {
+      w.Key(name);
+      w.Int(static_cast<std::int64_t>(v));
+    }
+    w.EndObject();
+    w.Key("gauges");
+    w.BeginObject();
+    for (const auto& [name, v] : gauges) {
+      w.Key(name);
+      w.Number(v);
+    }
+    w.EndObject();
+    w.Key("histograms");
+    w.BeginObject();
+    for (const HistogramRow& h : histograms) {
+      w.Key(h.name);
+      w.BeginObject();
+      w.Key("count");
+      w.Int(static_cast<std::int64_t>(h.count));
+      w.Key("sum");
+      w.Number(h.sum);
+      w.Key("bounds");
+      w.BeginArray();
+      for (double b : h.bounds) w.Number(b);
+      w.EndArray();
+      w.Key("buckets");
+      w.BeginArray();
+      for (std::uint64_t c : h.buckets) w.Int(static_cast<std::int64_t>(c));
+      w.EndArray();
+      w.EndObject();
+    }
+    w.EndObject();
+    if (traced) {
+      w.Key("trace");
+      w.BeginObject();
+      w.Key("spans");
+      w.Int(static_cast<std::int64_t>(spans));
+      w.Key("dropped_spans");
+      w.Int(static_cast<std::int64_t>(dropped_spans));
+      w.Key("orphan_completions");
+      w.Int(static_cast<std::int64_t>(orphan_completions));
+      w.Key("stages_ms");
+      w.BeginObject();
+      for (const StageRow& row : stages) {
+        w.Key(row.label);
+        w.BeginObject();
+        w.Key("n");
+        w.Int(static_cast<std::int64_t>(row.summary.n));
+        w.Key("mean");
+        w.Number(row.summary.mean);
+        w.Key("stddev");
+        w.Number(row.summary.stddev);
+        w.Key("p5");
+        w.Number(row.summary.p5);
+        w.Key("p25");
+        w.Number(row.summary.p25);
+        w.Key("p50");
+        w.Number(row.summary.p50);
+        w.Key("p75");
+        w.Number(row.summary.p75);
+        w.Key("p95");
+        w.Number(row.summary.p95);
+        w.EndObject();
+      }
+      w.EndObject();
+      w.EndObject();
+    }
+    w.EndObject();
+  }
+
+  std::string ToJson() const {
+    core::JsonWriter w;
+    WriteJson(w);
+    return w.str();
+  }
+};
+
+}  // namespace vtp::obs

@@ -1,0 +1,118 @@
+#include "obs/trace.h"
+
+namespace vtp::obs {
+
+namespace {
+
+constexpr std::uint8_t Bit(Stage s) {
+  return static_cast<std::uint8_t>(std::uint8_t{1} << static_cast<int>(s));
+}
+
+// E2E latency buckets (ms): resolves FaceTime-scale latencies (tens of ms)
+// without losing the congested-uplink tail the paper's §4.3 cliff produces.
+std::vector<double> E2eBoundsMs() {
+  return {1, 2, 5, 10, 20, 35, 50, 75, 100, 150, 200, 350, 500, 1000, 2000};
+}
+
+}  // namespace
+
+const char* StageName(Stage s) {
+  switch (s) {
+    case Stage::kCapture:
+      return "capture";
+    case Stage::kEncode:
+      return "encode";
+    case Stage::kSend:
+      return "send";
+    case Stage::kSfuRelay:
+      return "sfu_relay";
+    case Stage::kDeliver:
+      return "deliver";
+    case Stage::kDecode:
+      return "decode";
+    case Stage::kPlayout:
+      return "playout";
+  }
+  return "?";
+}
+
+void FrameTracer::Enable(std::size_t max_spans, std::size_t ring_slots) {
+  if (!enabled_) {
+    ring_slots_ = ring_slots == 0 ? 1 : ring_slots;
+    rings_.assign(kMaxPersonas * ring_slots_, SourceSlot{});
+    e2e_ms_ = Histogram(E2eBoundsMs());
+    enabled_ = true;
+  }
+  if (spans_.capacity() < max_spans) spans_.reserve(max_spans);
+}
+
+void FrameTracer::StampSource(std::uint8_t persona, std::uint64_t seq, Stage stage,
+                              net::SimTime t) {
+  if (!enabled_ || persona >= kMaxPersonas) return;
+  SourceSlot& slot = rings_[persona * ring_slots_ + seq % ring_slots_];
+  if (slot.seq != seq) {
+    slot.seq = seq;
+    slot.mask = 0;
+  }
+  slot.t[static_cast<int>(stage)] = t;
+  slot.mask |= Bit(stage);
+}
+
+void FrameTracer::Complete(std::uint8_t persona, std::uint8_t receiver, std::uint64_t seq,
+                           net::SimTime deliver, net::SimTime decode, net::SimTime playout) {
+  if (!enabled_ || persona >= kMaxPersonas) return;
+  if (spans_.size() == spans_.capacity()) {  // never reallocate on the hot path
+    ++dropped_;
+    return;
+  }
+  FrameSpan span;
+  span.seq = seq;
+  span.persona = persona;
+  span.receiver = receiver;
+  const SourceSlot& slot = rings_[persona * ring_slots_ + seq % ring_slots_];
+  if (slot.seq == seq) {
+    span.mask = slot.mask;
+    for (int i = 0; i < kStageCount; ++i) span.t[i] = slot.t[i];
+  } else {
+    ++orphans_;
+  }
+  span.t[static_cast<int>(Stage::kDeliver)] = deliver;
+  span.t[static_cast<int>(Stage::kDecode)] = decode;
+  span.mask |= Bit(Stage::kDeliver) | Bit(Stage::kDecode);
+  if (playout >= 0) {
+    span.t[static_cast<int>(Stage::kPlayout)] = playout;
+    span.mask |= Bit(Stage::kPlayout);
+  }
+  if (span.has(Stage::kCapture)) {
+    const net::SimTime end = span.has(Stage::kPlayout) ? span.at(Stage::kPlayout) : decode;
+    e2e_ms_.Observe(net::ToMillis(end - span.at(Stage::kCapture)));
+  }
+  spans_.push_back(span);
+}
+
+std::vector<FrameTracer::StageSeries> FrameTracer::Breakdown() const {
+  std::vector<StageSeries> out;
+  out.push_back({"encode_send", Stage::kCapture, Stage::kSend, {}});
+  out.push_back({"uplink", Stage::kSend, Stage::kSfuRelay, {}});
+  out.push_back({"downlink", Stage::kSfuRelay, Stage::kDeliver, {}});
+  out.push_back({"network", Stage::kSend, Stage::kDeliver, {}});
+  out.push_back({"decode_playout", Stage::kDeliver, Stage::kPlayout, {}});
+  out.push_back({"e2e", Stage::kCapture, Stage::kPlayout, {}});
+  for (StageSeries& series : out) series.ms.reserve(spans_.size());
+  for (const FrameSpan& span : spans_) {
+    for (StageSeries& series : out) {
+      // "e2e" falls back to the decode stamp for frames the reconstruction
+      // stride skipped, so the series covers every delivered frame.
+      Stage to = series.to;
+      if (series.from == Stage::kCapture && series.to == Stage::kPlayout &&
+          !span.has(Stage::kPlayout)) {
+        to = Stage::kDecode;
+      }
+      if (!span.has(series.from) || !span.has(to)) continue;
+      series.ms.push_back(net::ToMillis(span.at(to) - span.at(series.from)));
+    }
+  }
+  return out;
+}
+
+}  // namespace vtp::obs

@@ -6,7 +6,13 @@ namespace vtp::transport {
 
 PlayoutBuffer::PlayoutBuffer(net::Simulator* sim, PlayoutConfig config, PlayCallback on_play)
     : sim_(sim), config_(config), on_play_(std::move(on_play)), delay_(config.initial_delay) {
-  stats_.current_delay = delay_;
+  obs::MetricRegistry& reg = sim_->metrics();
+  const std::string scope = reg.UniqueScope("playout");
+  frames_played_ = reg.NewCounter(scope + ".frames_played");
+  frames_late_dropped_ = reg.NewCounter(scope + ".frames_late_dropped");
+  current_delay_ns_ = reg.NewGauge(scope + ".current_delay_ns");
+  occupancy_ = reg.NewGauge(scope + ".occupancy_frames");
+  current_delay_ns_->Set(static_cast<double>(delay_));
 }
 
 net::SimTime PlayoutBuffer::PresentationTime(std::uint32_t timestamp) const {
@@ -27,10 +33,10 @@ void PlayoutBuffer::Push(std::uint32_t timestamp, std::vector<std::uint8_t> fram
 
   const net::SimTime when = PresentationTime(timestamp);
   if (when < now) {
-    // Too late to present: drop and widen the safety margin.
-    ++stats_.frames_late_dropped;
+    // Too late to present (a stall): drop and widen the safety margin.
+    frames_late_dropped_->Inc();
     delay_ = std::min(delay_ + config_.late_increase, config_.max_delay);
-    stats_.current_delay = delay_;
+    current_delay_ns_->Set(static_cast<double>(delay_));
     return;
   }
 
@@ -39,14 +45,16 @@ void PlayoutBuffer::Push(std::uint32_t timestamp, std::vector<std::uint8_t> fram
   if (++frames_in_window_ >= config_.review_window_frames) {
     if (min_headroom_in_window_ > config_.shrink_headroom) {
       delay_ = std::max(delay_ - config_.early_decrease, config_.min_delay);
-      stats_.current_delay = delay_;
+      current_delay_ns_->Set(static_cast<double>(delay_));
     }
     frames_in_window_ = 0;
     min_headroom_in_window_ = net::Seconds(3600);
   }
 
+  occupancy_->Add(1.0);
   sim_->At(when, [this, timestamp, frame = std::move(frame)]() mutable {
-    ++stats_.frames_played;
+    frames_played_->Inc();
+    occupancy_->Add(-1.0);
     if (on_play_) on_play_(timestamp, std::move(frame));
   });
 }

@@ -13,9 +13,11 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "netsim/event_queue.h"
+#include "obs/metrics.h"
 
 namespace vtp::transport {
 
@@ -31,7 +33,10 @@ struct PlayoutConfig {
   net::SimTime shrink_headroom = net::Millis(80); ///< required min headroom
 };
 
-/// Counters.
+/// Counters. Since the obs refactor this is a value snapshot assembled from
+/// the buffer's registry handles (scope "playout<N>."); `frames_late_dropped`
+/// doubles as the stall count — a frame that misses its presentation instant
+/// is exactly a rendering stall.
 struct PlayoutStats {
   std::uint64_t frames_played = 0;
   std::uint64_t frames_late_dropped = 0;
@@ -49,7 +54,11 @@ class PlayoutBuffer {
   /// Feeds a received frame (media timestamp + payload).
   void Push(std::uint32_t timestamp, std::vector<std::uint8_t> frame);
 
-  const PlayoutStats& stats() const { return stats_; }
+  /// Back-compat snapshot of this buffer's registry counters.
+  PlayoutStats stats() const {
+    return {frames_played_->value(), frames_late_dropped_->value(),
+            static_cast<net::SimTime>(current_delay_ns_->value())};
+  }
 
  private:
   net::SimTime PresentationTime(std::uint32_t timestamp) const;
@@ -57,7 +66,10 @@ class PlayoutBuffer {
   net::Simulator* sim_;
   PlayoutConfig config_;
   PlayCallback on_play_;
-  PlayoutStats stats_;
+  obs::Counter* frames_played_ = nullptr;
+  obs::Counter* frames_late_dropped_ = nullptr;
+  obs::Gauge* current_delay_ns_ = nullptr;
+  obs::Gauge* occupancy_ = nullptr;  ///< frames queued for presentation
 
   bool anchored_ = false;
   net::SimTime anchor_arrival_ = 0;

@@ -4,7 +4,7 @@
 #include <cassert>
 
 #include "compress/bitstream.h"
-#include "core/env.h"
+#include "core/knobs.h"
 
 namespace vtp::transport {
 
@@ -146,8 +146,37 @@ QuicConnection::QuicConnection(QuicEndpoint* endpoint, std::uint64_t local_cid,
       peer_node_(peer_node),
       peer_port_(peer_port),
       is_client_(is_client),
-      legacy_(core::EnvEquals("VTP_QUIC_PATH", "legacy")) {
+      legacy_(core::knobs::kQuicPath.Is("legacy")) {
   if (!legacy_) sent_ring_.resize(kInitialRingSize);
+  // Connection metrics live in the owning Simulator's registry under a
+  // per-connection scope; construction order is deterministic per seed.
+  obs::MetricRegistry& reg = endpoint_->network().sim().metrics();
+  scope_ = reg.UniqueScope("quic.conn");
+  obs_.packets_sent = reg.NewCounter(scope_ + ".packets_sent");
+  obs_.packets_received = reg.NewCounter(scope_ + ".packets_received");
+  obs_.packets_declared_lost = reg.NewCounter(scope_ + ".packets_declared_lost");
+  obs_.bytes_sent = reg.NewCounter(scope_ + ".bytes_sent");
+  obs_.stream_bytes_delivered = reg.NewCounter(scope_ + ".stream_bytes_delivered");
+  obs_.datagrams_sent = reg.NewCounter(scope_ + ".datagrams_sent");
+  obs_.datagrams_received = reg.NewCounter(scope_ + ".datagrams_received");
+  obs_.datagrams_dropped_prehandshake = reg.NewCounter(scope_ + ".datagrams_dropped_prehandshake");
+  obs_.smoothed_rtt_ms = reg.NewGauge(scope_ + ".smoothed_rtt_ms");
+  obs_.reassembly_ranges_peak = reg.NewGauge(scope_ + ".reassembly_ranges_peak");
+  obs_.reassembly_window_peak = reg.NewGauge(scope_ + ".reassembly_window_peak");
+}
+
+QuicStats QuicConnection::stats() const {
+  QuicStats s;
+  s.packets_sent = obs_.packets_sent->value();
+  s.packets_received = obs_.packets_received->value();
+  s.packets_declared_lost = obs_.packets_declared_lost->value();
+  s.bytes_sent = obs_.bytes_sent->value();
+  s.stream_bytes_delivered = obs_.stream_bytes_delivered->value();
+  s.datagrams_sent = obs_.datagrams_sent->value();
+  s.datagrams_received = obs_.datagrams_received->value();
+  s.datagrams_dropped_prehandshake = obs_.datagrams_dropped_prehandshake->value();
+  s.smoothed_rtt_ms = obs_.smoothed_rtt_ms->value();
+  return s;
 }
 
 void QuicConnection::StartHandshake() {
@@ -218,12 +247,12 @@ void QuicConnection::SendDatagram(std::span<const std::uint8_t> data) {
     // by contract, so silently losing the stalest one is fair game).
     if (datagram_queue_.size() >= kMaxPreHandshakeDatagrams) {
       datagram_queue_.pop_front();
-      ++stats_.datagrams_dropped_prehandshake;
+      obs_.datagrams_dropped_prehandshake->Inc();
     }
     datagram_queue_.emplace_back(data.begin(), data.end());
     return;
   }
-  ++stats_.datagrams_sent;
+  obs_.datagrams_sent->Inc();
   if (legacy_ || 1 + kCidBytes + 9 + 1 + 9 + data.size() > kMaxPacketSize) {
     // Legacy path — or a datagram too large for the pooled MTU block, where
     // the unbounded vector builder keeps the historical oversized behaviour.
@@ -351,8 +380,8 @@ void QuicConnection::SendPacket(std::vector<std::uint8_t> frames, bool ack_elici
     slot = std::move(info);
   }
 
-  ++stats_.packets_sent;
-  stats_.bytes_sent += packet.size();
+  obs_.packets_sent->Inc();
+  obs_.bytes_sent->Inc(packet.size());
   endpoint_->SendRaw(peer_node_, peer_port_, std::move(packet));
   if (ack_eliciting) ArmPto();
 }
@@ -388,8 +417,8 @@ void QuicConnection::FinishPacket(QuicPacketWriter&& w, bool ack_eliciting,
   if (chunks != nullptr) std::swap(info.chunks, *chunks);
   if (ack_eliciting) bytes_in_flight_ += info.bytes;
 
-  ++stats_.packets_sent;
-  stats_.bytes_sent += info.bytes;
+  obs_.packets_sent->Inc();
+  obs_.bytes_sent->Inc(info.bytes);
   endpoint_->SendRaw(peer_node_, peer_port_, w.Take());
   if (ack_eliciting) ArmPto();
 }
@@ -452,7 +481,7 @@ void QuicConnection::OnDatagramReceived(std::span<const std::uint8_t> payload) {
     }
     const std::uint64_t pn = GetQuicVarint(payload, &pos);
     RecordReceivedPn(pn);
-    ++stats_.packets_received;
+    obs_.packets_received->Inc();
 
     const bool was_established = established_;
     ProcessFrames(payload.subspan(pos));
@@ -559,7 +588,7 @@ void QuicConnection::ProcessFrames(std::span<const std::uint8_t> payload) {
           std::vector<std::uint8_t> data = std::move(it->second);
           rs.segments.erase(it);
           rs.delivered += data.size();
-          stats_.stream_bytes_delivered += data.size();
+          obs_.stream_bytes_delivered->Inc(data.size());
           const bool fin = rs.fin_offset && rs.delivered >= *rs.fin_offset;
           if (on_stream_data_) on_stream_data_(stream_id, data, fin);
         }
@@ -569,7 +598,7 @@ void QuicConnection::ProcessFrames(std::span<const std::uint8_t> payload) {
         mark_ack_eliciting();
         const std::uint64_t length = GetQuicVarint(payload, &pos);
         if (pos + length > payload.size()) throw compress::CorruptStream("quic: datagram overrun");
-        ++stats_.datagrams_received;
+        obs_.datagrams_received->Inc();
         if (on_datagram_) on_datagram_(payload.subspan(pos, length));
         pos += length;
         break;
@@ -603,6 +632,8 @@ void QuicConnection::OnStreamSegment(std::uint64_t stream_id, std::uint64_t offs
     if (rs.window.size() < rel + data.size()) rs.window.resize(rel + data.size());
     std::memcpy(rs.window.data() + rel, data.data(), data.size());
     MergeByteRange(rs.ranges, begin, end - 1);
+    obs_.reassembly_ranges_peak->Max(static_cast<double>(rs.ranges.size()));
+    obs_.reassembly_window_peak->Max(static_cast<double>(rs.window.size()));
   }
   // Deliver the contiguous prefix. Ranges are merged, so this runs at most
   // once per arriving segment.
@@ -611,7 +642,7 @@ void QuicConnection::OnStreamSegment(std::uint64_t stream_id, std::uint64_t offs
     const std::size_t n = static_cast<std::size_t>(run);
     rs.delivered += run;
     rs.ranges.erase(rs.ranges.begin());
-    stats_.stream_bytes_delivered += run;
+    obs_.stream_bytes_delivered->Inc(run);
     const bool done = rs.fin_offset && rs.delivered >= *rs.fin_offset;
     if (on_stream_data_) on_stream_data_(stream_id, std::span(rs.window.data(), n), done);
     rs.window.erase(rs.window.begin(), rs.window.begin() + static_cast<std::ptrdiff_t>(n));
@@ -707,7 +738,7 @@ void QuicConnection::DetectLosses() {
       return false;
     }
     info.lost = true;
-    ++stats_.packets_declared_lost;
+    obs_.packets_declared_lost->Inc();
     bytes_in_flight_ = bytes_in_flight_ >= info.bytes ? bytes_in_flight_ - info.bytes : 0;
     // Retransmit reliable payloads; datagrams stay lost by design.
     for (SentStreamChunk& c : info.chunks) stream_queue_.push_front(std::move(c));
@@ -843,7 +874,7 @@ void QuicConnection::OnPto() {
     for (SentStreamChunk& c : info.chunks) stream_queue_.push_front(std::move(c));
     info.chunks.clear();
     info.lost = true;
-    ++stats_.packets_declared_lost;
+    obs_.packets_declared_lost->Inc();
     bytes_in_flight_ = bytes_in_flight_ >= info.bytes ? bytes_in_flight_ - info.bytes : 0;
   };
   if (legacy_) {
@@ -883,7 +914,7 @@ void QuicConnection::UpdateRtt(net::SimTime sample) {
     rttvar_ = (3 * rttvar_ + err) / 4;
     srtt_ = (7 * *srtt_ + sample) / 8;
   }
-  stats_.smoothed_rtt_ms = net::ToMillis(*srtt_);
+  obs_.smoothed_rtt_ms->Set(net::ToMillis(*srtt_));
 }
 
 // ---------------------------------------------------------------------------

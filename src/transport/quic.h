@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "netsim/network.h"
+#include "obs/metrics.h"
 
 namespace vtp::transport {
 
@@ -46,7 +47,10 @@ namespace vtp::transport {
 void PutQuicVarint(std::vector<std::uint8_t>& out, std::uint64_t value);
 std::uint64_t GetQuicVarint(std::span<const std::uint8_t> data, std::size_t* pos);
 
-/// Connection-level counters.
+/// Connection-level counters. Since the obs refactor this is a value
+/// snapshot assembled from the connection's registry handles (same names
+/// under the connection's "quic.conn<N>." scope); the field set is unchanged
+/// for back-compat.
 struct QuicStats {
   std::uint64_t packets_sent = 0;
   std::uint64_t packets_received = 0;
@@ -134,7 +138,11 @@ class QuicConnection {
   void set_on_close(CloseHandler h) { on_close_ = std::move(h); }
 
   bool established() const { return established_; }
-  const QuicStats& stats() const { return stats_; }
+  /// Back-compat snapshot of this connection's registry counters.
+  QuicStats stats() const;
+  /// The registry scope this connection's metrics live under
+  /// ("quic.conn<N>"), for looking them up in an obs::Snapshot.
+  const std::string& metrics_scope() const { return scope_; }
   net::NodeId peer_node() const { return peer_node_; }
 
   /// Max UDP payload we produce (QUIC requires >= 1200 for Initials).
@@ -265,7 +273,25 @@ class QuicConnection {
   DatagramHandler on_datagram_;
   EstablishedHandler on_established_;
   CloseHandler on_close_;
-  QuicStats stats_;
+
+  /// Registry handles behind the legacy QuicStats accessor. Increments are
+  /// plain adds through stable pointers — same hot-path cost as the struct
+  /// fields they replaced.
+  struct StatsHandles {
+    obs::Counter* packets_sent = nullptr;
+    obs::Counter* packets_received = nullptr;
+    obs::Counter* packets_declared_lost = nullptr;
+    obs::Counter* bytes_sent = nullptr;
+    obs::Counter* stream_bytes_delivered = nullptr;
+    obs::Counter* datagrams_sent = nullptr;
+    obs::Counter* datagrams_received = nullptr;
+    obs::Counter* datagrams_dropped_prehandshake = nullptr;
+    obs::Gauge* smoothed_rtt_ms = nullptr;
+    obs::Gauge* reassembly_ranges_peak = nullptr;  ///< merged-range high-water
+    obs::Gauge* reassembly_window_peak = nullptr;  ///< window bytes high-water
+  };
+  std::string scope_;
+  StatsHandles obs_;
 };
 
 /// A UDP (node, port) speaking QUIC: dials outbound connections and accepts

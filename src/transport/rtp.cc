@@ -51,7 +51,12 @@ RtpSender::RtpSender(net::Network* network, net::NodeId node, std::uint16_t loca
       local_port_(local_port),
       dst_(dst),
       dst_port_(dst_port),
-      config_(config) {}
+      config_(config) {
+  obs::MetricRegistry& reg = network_->sim().metrics();
+  const std::string scope = reg.UniqueScope("rtp.tx");
+  frames_sent_ = reg.NewCounter(scope + ".frames_sent");
+  packets_sent_ = reg.NewCounter(scope + ".packets_sent");
+  payload_bytes_sent_ = reg.NewCounter(scope + ".payload_bytes_sent");}
 
 void RtpSender::SendFrame(std::span<const std::uint8_t> frame, std::uint32_t rtp_timestamp) {
   std::size_t offset = 0;
@@ -72,16 +77,24 @@ void RtpSender::SendFrame(std::span<const std::uint8_t> frame, std::uint32_t rtp
                   frame.begin() + static_cast<std::ptrdiff_t>(offset + chunk));
     network_->SendUdp(node_, local_port_, dst_, dst_port_, std::move(packet));
 
-    ++stats_.packets_sent;
-    stats_.payload_bytes_sent += chunk;
+    packets_sent_->Inc();
+    payload_bytes_sent_->Inc(chunk);
     offset += chunk;
   } while (offset < frame.size());
-  ++stats_.frames_sent;
+  frames_sent_->Inc();
 }
 
 RtpReceiver::RtpReceiver(net::Network* network, net::NodeId node, std::uint16_t port,
                          FrameHandler on_frame)
     : network_(network), node_(node), port_(port), on_frame_(std::move(on_frame)) {
+  obs::MetricRegistry& reg = network_->sim().metrics();
+  const std::string scope = reg.UniqueScope("rtp.rx");
+  packets_received_ = reg.NewCounter(scope + ".packets_received");
+  payload_bytes_received_ = reg.NewCounter(scope + ".payload_bytes_received");
+  packets_lost_ = reg.NewCounter(scope + ".packets_lost");
+  frames_delivered_ = reg.NewCounter(scope + ".frames_delivered");
+  frames_damaged_ = reg.NewCounter(scope + ".frames_damaged");
+  jitter_rtp_units_ = reg.NewGauge(scope + ".jitter_rtp_units");
   network_->BindUdp(node_, port_, [this](const net::Packet& p) { OnPacket(p); });
 }
 
@@ -180,8 +193,8 @@ void RtpReceiver::OnPacket(const net::Packet& p) {
   if (!header) return;  // not RTP: ignore
   const net::SimTime now = network_->sim().now();
 
-  ++stats_.packets_received;
-  stats_.payload_bytes_received += p.payload.size() - RtpHeader::kSize;
+  packets_received_->Inc();
+  payload_bytes_received_->Inc(p.payload.size() - RtpHeader::kSize);
   last_pt_ = header->payload_type;
 
   StreamState& s = streams_[header->ssrc];
@@ -195,7 +208,7 @@ void RtpReceiver::OnPacket(const net::Packet& p) {
     const std::uint16_t gap = static_cast<std::uint16_t>(header->sequence - expected);
     if (gap != 0 && gap < 0x8000) {
       s.stats.packets_lost += gap;
-      stats_.packets_lost += gap;
+      packets_lost_->Inc(gap);
       s.interval_lost += gap;
       s.frame_gap = true;
     }
@@ -209,7 +222,7 @@ void RtpReceiver::OnPacket(const net::Packet& p) {
   if (s.last_transit) {
     const double d = std::abs(transit - *s.last_transit);
     s.stats.jitter_rtp_units += (d - s.stats.jitter_rtp_units) / 16.0;
-    stats_.jitter_rtp_units = s.stats.jitter_rtp_units;
+    jitter_rtp_units_->Set(s.stats.jitter_rtp_units);
   }
   s.last_transit = transit;
 
@@ -230,10 +243,10 @@ void RtpReceiver::FlushFrame(std::uint32_t ssrc, StreamState& s, net::SimTime ar
   if (!s.frame_timestamp) return;
   if (s.frame_gap) {
     ++s.stats.frames_damaged;
-    ++stats_.frames_damaged;
+    frames_damaged_->Inc();
   } else {
     ++s.stats.frames_delivered;
-    ++stats_.frames_delivered;
+    frames_delivered_->Inc();
     if (on_frame_) on_frame_(ssrc, std::move(s.frame_buffer), *s.frame_timestamp, arrival);
   }
   s.frame_buffer.clear();

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "netsim/network.h"
+#include "obs/metrics.h"
 
 namespace vtp::transport {
 
@@ -75,7 +76,8 @@ struct RtpSenderConfig {
   std::size_t mtu_payload = 1200;   ///< media bytes per packet (after header)
 };
 
-/// Counters kept by the sender.
+/// Counters kept by the sender. Value snapshot over registry handles
+/// (scope "rtp.tx<N>.") since the obs refactor.
 struct RtpSenderStats {
   std::uint64_t frames_sent = 0;
   std::uint64_t packets_sent = 0;
@@ -91,7 +93,10 @@ class RtpSender {
   /// Packetizes one media frame; the marker bit is set on the final packet.
   void SendFrame(std::span<const std::uint8_t> frame, std::uint32_t rtp_timestamp);
 
-  const RtpSenderStats& stats() const { return stats_; }
+  /// Back-compat snapshot of this sender's registry counters.
+  RtpSenderStats stats() const {
+    return {frames_sent_->value(), packets_sent_->value(), payload_bytes_sent_->value()};
+  }
 
  private:
   net::Network* network_;
@@ -101,10 +106,14 @@ class RtpSender {
   std::uint16_t dst_port_;
   RtpSenderConfig config_;
   std::uint16_t next_seq_ = 0;
-  RtpSenderStats stats_;
+  obs::Counter* frames_sent_ = nullptr;
+  obs::Counter* packets_sent_ = nullptr;
+  obs::Counter* payload_bytes_sent_ = nullptr;
 };
 
-/// Counters kept by the receiver (loss from sequence gaps, RFC 3550 jitter).
+/// Counters kept by the receiver (loss from sequence gaps, RFC 3550
+/// jitter). The aggregate accessor is a value snapshot over registry handles
+/// (scope "rtp.rx<N>.") since the obs refactor; per-SSRC stats stay inline.
 struct RtpReceiverStats {
   std::uint64_t packets_received = 0;
   std::uint64_t payload_bytes_received = 0;
@@ -131,8 +140,12 @@ class RtpReceiver {
   RtpReceiver(const RtpReceiver&) = delete;
   RtpReceiver& operator=(const RtpReceiver&) = delete;
 
-  /// Aggregate counters over all SSRCs.
-  const RtpReceiverStats& stats() const { return stats_; }
+  /// Aggregate counters over all SSRCs (snapshot of the registry handles).
+  RtpReceiverStats stats() const {
+    return {packets_received_->value(), payload_bytes_received_->value(),
+            packets_lost_->value(),     frames_delivered_->value(),
+            frames_damaged_->value(),   jitter_rtp_units_->value()};
+  }
 
   /// Counters for one sender (zeros if never seen).
   RtpReceiverStats StatsForSsrc(std::uint32_t ssrc) const;
@@ -179,7 +192,12 @@ class RtpReceiver {
   std::uint16_t port_;
   FrameHandler on_frame_;
   RtcpHandler on_rtcp_;
-  RtpReceiverStats stats_;
+  obs::Counter* packets_received_ = nullptr;
+  obs::Counter* payload_bytes_received_ = nullptr;
+  obs::Counter* packets_lost_ = nullptr;  ///< 16-bit sequence-gap estimate
+  obs::Counter* frames_delivered_ = nullptr;
+  obs::Counter* frames_damaged_ = nullptr;
+  obs::Gauge* jitter_rtp_units_ = nullptr;
   std::optional<std::uint8_t> last_pt_;
   std::map<std::uint32_t, StreamState> streams_;
 };

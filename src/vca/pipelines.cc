@@ -3,6 +3,7 @@
 #include <span>
 
 #include "compress/bitstream.h"
+#include "obs/trace.h"
 
 namespace vtp::vca {
 
@@ -21,17 +22,43 @@ SpatialPersonaSender::SpatialPersonaSender(net::Simulator* sim, transport::QuicC
       generator_(semantic::TrackConfig{.fps = fps}, seed),
       encoder_(codec_config) {
   if (fec_k > 0) fec_.emplace(fec_k);
+  obs::MetricRegistry& reg = sim_->metrics();
+  const std::string scope = reg.UniqueScope("persona.tx");
+  frames_sent_ = reg.NewCounter(scope + ".frames_sent");
+  payload_bytes_sent_ = reg.NewCounter(scope + ".payload_bytes_sent");
+  // The semantic codec's lzr stage, exposed as pull-probes so snapshots see
+  // the encoder's byte flow and match-finder hit rate without per-frame cost.
+  reg.NewProbe(scope + ".lzr_bytes_in", [this] {
+    return static_cast<double>(encoder_.lzr().io_stats().bytes_in);
+  });
+  reg.NewProbe(scope + ".lzr_bytes_out", [this] {
+    return static_cast<double>(encoder_.lzr().io_stats().bytes_out);
+  });
+  reg.NewProbe(scope + ".lzr_match_hit_rate", [this] {
+    const compress::LzrEncoder::IoStats io = encoder_.lzr().io_stats();
+    const double tokens = static_cast<double>(io.literals + io.matches);
+    return tokens > 0 ? static_cast<double>(io.matches) / tokens : 0.0;
+  });
 }
 
 void SpatialPersonaSender::Start(net::SimTime until) { Tick(until); }
 
 void SpatialPersonaSender::Tick(net::SimTime until) {
   if (sim_->now() >= until) return;
+  // The encoder's embedded frame index equals the number of frames encoded
+  // so far — the tracer keys the lifecycle span by (sender, that index).
+  const std::uint64_t seq = frames_sent_->value();
+  obs::FrameTracer& tracer = sim_->tracer();
+  const bool trace = tracer.enabled() && sender_id_ < obs::FrameTracer::kMaxPersonas;
+  const net::SimTime now = sim_->now();
+  if (trace) tracer.StampSource(sender_id_, seq, obs::Stage::kCapture, now);
+
   const semantic::KeypointFrame frame = generator_.Next();
   const std::vector<semantic::Vec3> subset = semantic::ExtractSemanticSubset(frame);
   encoder_.EncodeFrameInto(subset, encode_scratch_);
   const std::span<const std::uint8_t> encoded = encode_scratch_;
-  ++frames_sent_;
+  if (trace) tracer.StampSource(sender_id_, seq, obs::Stage::kEncode, sim_->now());
+  frames_sent_->Inc();
 
   const auto ship = [this](std::uint8_t media, std::span<const std::uint8_t> body) {
     std::vector<std::uint8_t> payload;
@@ -40,7 +67,7 @@ void SpatialPersonaSender::Tick(net::SimTime until) {
     payload.push_back(sender_id_);
     payload.push_back(media);
     payload.insert(payload.end(), body.begin(), body.end());
-    payload_bytes_sent_ += payload.size();
+    payload_bytes_sent_->Inc(payload.size());
     conn_->SendDatagram(payload);
   };
   if (fec_) {
@@ -48,6 +75,7 @@ void SpatialPersonaSender::Tick(net::SimTime until) {
   } else {
     ship(kMediaSemantic, encoded);
   }
+  if (trace) tracer.StampSource(sender_id_, seq, obs::Stage::kSend, sim_->now());
   sim_->After(static_cast<net::SimTime>(net::kSecond / fps_), [this, until] { Tick(until); });
 }
 
@@ -116,6 +144,7 @@ void SpatialPersonaReceiver::ProcessSemantic(std::uint8_t sender, Remote& remote
            remote.recent_decodes.front() < now - net::kSecond) {
       remote.recent_decodes.pop_front();
     }
+    bool reconstructed = false;
     if (remote.base != nullptr &&
         ++remote.decoded_since_reconstruct >= reconstruct_stride_) {
       remote.decoded_since_reconstruct = 0;
@@ -123,6 +152,15 @@ void SpatialPersonaReceiver::ProcessSemantic(std::uint8_t sender, Remote& remote
         remote.reconstructor = std::make_unique<semantic::PersonaReconstructor>(*remote.base);
       }
       remote.reconstructor->Apply(frame->points);
+      reconstructed = true;
+    }
+    // Close the frame's lifecycle span. Datagram delivery and decode share
+    // the sim instant (decode is not modelled as taking sim time); playout
+    // is stamped only on frames whose mesh was actually reconstructed.
+    obs::FrameTracer& tracer = sim_->tracer();
+    if (tracer.enabled() && sender < obs::FrameTracer::kMaxPersonas) {
+      tracer.Complete(sender, self_id_, frame->frame_index, now, now,
+                      reconstructed ? now : net::SimTime{-1});
     }
   } catch (const compress::CorruptStream&) {
     ++remote.stats.decode_failures;

@@ -57,8 +57,9 @@ class SpatialPersonaSender {
   /// Starts ticking now and stops at `until`.
   void Start(net::SimTime until);
 
-  std::uint64_t frames_sent() const { return frames_sent_; }
-  std::uint64_t payload_bytes_sent() const { return payload_bytes_sent_; }
+  /// Back-compat views of the "persona.tx<N>" registry counters.
+  std::uint64_t frames_sent() const { return frames_sent_->value(); }
+  std::uint64_t payload_bytes_sent() const { return payload_bytes_sent_->value(); }
 
  private:
   void Tick(net::SimTime until);
@@ -71,8 +72,8 @@ class SpatialPersonaSender {
   semantic::SemanticEncoder encoder_;
   std::vector<std::uint8_t> encode_scratch_;  // reused per-frame encode buffer
   std::optional<transport::FecEncoder> fec_;
-  std::uint64_t frames_sent_ = 0;
-  std::uint64_t payload_bytes_sent_ = 0;
+  obs::Counter* frames_sent_ = nullptr;
+  obs::Counter* payload_bytes_sent_ = nullptr;
 };
 
 /// Decodes semantic frames from every remote sender; optionally reconstructs
@@ -119,6 +120,10 @@ class SpatialPersonaReceiver {
   const RemoteStats& remote(std::uint8_t sender) const;
   std::size_t known_senders() const { return remotes_.size(); }
 
+  /// This participant's own sender id, used only to label completed frame
+  /// spans in the tracer (sessions set it; standalone receivers may not).
+  void set_self_id(std::uint8_t id) { self_id_ = id; }
+
  private:
   struct Remote {
     semantic::SemanticDecoder decoder;
@@ -140,6 +145,7 @@ class SpatialPersonaReceiver {
   std::map<std::uint8_t, const mesh::TriangleMesh*> bases_;
   std::size_t reconstruct_stride_;
   double nominal_fps_;
+  std::uint8_t self_id_ = 0xFF;  ///< 0xFF = unset (spans keep receiver 0xFF)
   std::map<std::uint8_t, Remote> remotes_;
 };
 

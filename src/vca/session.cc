@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/knobs.h"
+#include "obs/trace.h"
 #include "transport/classifier.h"
 
 namespace vtp::vca {
@@ -140,6 +142,16 @@ void TelepresenceSession::SetupServers() {
 void TelepresenceSession::SetupSpatialPipelines() {
   const std::size_t n = config_.participants.size();
 
+  // Frame-lifecycle tracing (VTP_OBS=0 turns it off). Capacity covers every
+  // (sender, receiver) frame pair for the whole run plus 20% slack so the
+  // tracer never reallocates mid-session; overflow is counted, not grown.
+  if (core::knobs::kObs.Get()) {
+    const double frames = net::ToSeconds(config_.duration) * config_.spatial_fps;
+    const std::size_t pairs = n * (n - 1);
+    sim_->tracer().Enable(
+        static_cast<std::size_t>(frames * static_cast<double>(pairs) * 1.2) + 64);
+  }
+
   // Pre-captured persona (enrollment) and its LOD ladder, per participant.
   for (std::size_t i = 0; i < n; ++i) {
     ladders_.push_back(std::make_unique<render::PersonaLodLadder>(
@@ -178,6 +190,7 @@ void TelepresenceSession::SetupSpatialPipelines() {
     remote_ids_.push_back(std::move(remote_ids));
     auto receiver = std::make_unique<SpatialPersonaReceiver>(
         sim_.get(), std::move(bases), config_.reconstruct_stride, config_.spatial_fps);
+    receiver->set_self_id(static_cast<std::uint8_t>(i));
     conn->set_on_datagram([rx = receiver.get()](std::span<const std::uint8_t> data) {
       rx->OnDatagram(data);
     });

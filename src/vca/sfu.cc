@@ -2,11 +2,39 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace vtp::vca {
+
+namespace {
+
+// Frame index of a semantic datagram ([relay_tag][sender][media][codec_tag]
+// [uleb128 seq]...), parsed without touching the payload pool. Returns false
+// on a truncated varint (malformed datagram) so the caller skips the stamp.
+bool SemanticFrameSeq(std::span<const std::uint8_t> data, std::uint64_t* seq) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  for (std::size_t pos = 4; pos < data.size() && shift < 64; shift += 7) {
+    const std::uint8_t byte = data[pos++];
+    value |= static_cast<std::uint64_t>(byte & 0x7Fu) << shift;
+    if ((byte & 0x80u) == 0) {
+      *seq = value;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
 
 SfuServer::SfuServer(net::Network* network, net::NodeId node, std::uint16_t port,
                      TransportKind kind)
     : network_(network), node_(node), port_(port), kind_(kind) {
+  obs::MetricRegistry& reg = network_->sim().metrics();
+  scope_ = reg.UniqueScope("sfu");
+  forwarded_ = reg.NewCounter(scope_ + ".forwarded");
+  culled_ = reg.NewCounter(scope_ + ".culled");
+  subscriptions_ = reg.NewGauge(scope_ + ".subscription_table_size");
   if (kind_ == TransportKind::kRtp) {
     network_->BindUdp(node_, port_, [this](const net::Packet& p) { OnRtpPacket(p); });
   } else {
@@ -48,6 +76,7 @@ void SfuServer::OnConnClosed(transport::QuicConnection* conn) {
   // A closed connection must not linger in any forwarding or subscription
   // table (the subscription entry in particular used to leak here).
   semantic_subscriptions_.erase(conn);
+  subscriptions_->Set(static_cast<double>(semantic_subscriptions_.size()));
   if (const auto it = std::find(client_conns_.begin(), client_conns_.end(), conn);
       it != client_conns_.end()) {
     client_conns_.erase(it);
@@ -70,7 +99,7 @@ void SfuServer::OnRtpPacket(const net::Packet& p) {
     if (const auto rr = transport::RtcpReceiverReport::Parse(p.payload)) {
       for (const RtpMember& m : rtp_members_) {
         if (&m != from && m.ssrc == rr->source_ssrc) {
-          ++forwarded_;
+          forwarded_->Inc();
           network_->SendUdp(node_, port_, m.node, m.port, p.payload);
           return;
         }
@@ -80,7 +109,7 @@ void SfuServer::OnRtpPacket(const net::Packet& p) {
     if (transport::RtcpSenderReport::Parse(p.payload)) {
       for (const RtpMember& m : rtp_members_) {
         if (&m == from) continue;
-        ++forwarded_;
+        forwarded_->Inc();
         network_->SendUdp(node_, port_, m.node, m.port, p.payload);
       }
     }
@@ -96,7 +125,7 @@ void SfuServer::OnRtpPacket(const net::Packet& p) {
   // payload block (refcount bump per receiver, zero copies).
   for (const RtpMember& m : rtp_members_) {
     if (&m == from) continue;
-    ++forwarded_;
+    forwarded_->Inc();
     network_->SendUdp(node_, port_, m.node, m.port, p.payload);
   }
 }
@@ -112,6 +141,7 @@ void SfuServer::OnQuicDatagram(transport::QuicConnection* from,
   if ((tag == kRelayTagLocal || tag == kRelayTagRelayed) && data.size() >= 4 &&
       data[2] == 3 /* kMediaSubscription */) {
     semantic_subscriptions_[from] = data[3];
+    subscriptions_->Set(static_cast<double>(semantic_subscriptions_.size()));
     return;
   }
 
@@ -124,6 +154,7 @@ void SfuServer::OnQuicDatagram(transport::QuicConnection* from,
       client_conns_.erase(it);
       peer_conns_.push_back(from);
       semantic_subscriptions_.erase(from);
+      subscriptions_->Set(static_cast<double>(semantic_subscriptions_.size()));
     }
     return;
   }
@@ -132,16 +163,29 @@ void SfuServer::OnQuicDatagram(transport::QuicConnection* from,
   // receiver's semantic subscription mask (audio always flows).
   const bool is_semantic = data.size() >= 3 && (data[2] == 0 || data[2] == 2);
   const std::uint8_t sender_id = data.size() >= 2 ? data[1] : 0;
+
+  // Frame-lifecycle span: mark the relay instant for semantic media
+  // (media byte 0 = full semantic frame; FEC repair is not a frame).
+  obs::FrameTracer& tracer = network_->sim().tracer();
+  if (tracer.enabled() && data.size() >= 5 && data[2] == 0 &&
+      sender_id < obs::FrameTracer::kMaxPersonas) {
+    std::uint64_t seq = 0;
+    if (SemanticFrameSeq(data, &seq)) {
+      tracer.StampSource(sender_id, seq, obs::Stage::kSfuRelay, network_->sim().now());
+    }
+  }
+
   for (transport::QuicConnection* conn : client_conns_) {
     if (conn == from) continue;
     if (is_semantic && sender_id < 8) {
       const auto it = semantic_subscriptions_.find(conn);
       if (it != semantic_subscriptions_.end() &&
           (it->second & (1u << sender_id)) == 0) {
+        culled_->Inc();
         continue;  // receiver culled this persona from delivery
       }
     }
-    ++forwarded_;
+    forwarded_->Inc();
     conn->SendDatagram(data);
   }
   // Locally originated traffic also crosses the private backbone to peer
@@ -152,7 +196,7 @@ void SfuServer::OnQuicDatagram(transport::QuicConnection* from,
     relayed.writable()[0] = kRelayTagRelayed;
     for (transport::QuicConnection* conn : peer_conns_) {
       if (conn == from) continue;
-      ++forwarded_;
+      forwarded_->Inc();
       conn->SendDatagram(relayed.view());
     }
   }

@@ -16,9 +16,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "netsim/network.h"
+#include "obs/metrics.h"
 #include "transport/quic.h"
 #include "transport/rtp.h"
 
@@ -51,8 +53,12 @@ class SfuServer {
   net::NodeId node() const { return node_; }
   std::uint16_t port() const { return port_; }
 
-  /// Packets forwarded so far (for tests).
-  std::uint64_t forwarded_count() const { return forwarded_; }
+  /// Packets forwarded so far (for tests). Back-compat view of the
+  /// "<scope>.forwarded" registry counter.
+  std::uint64_t forwarded_count() const { return forwarded_->value(); }
+
+  /// Registry scope of this server's metrics ("sfu<N>").
+  const std::string& metrics_scope() const { return scope_; }
 
   /// Live subscription-table entries (for leak tests: entries must go away
   /// when their connection is reclassified as a peer server or closes).
@@ -77,7 +83,10 @@ class SfuServer {
   net::NodeId node_;
   std::uint16_t port_;
   TransportKind kind_;
-  std::uint64_t forwarded_ = 0;
+  std::string scope_;
+  obs::Counter* forwarded_ = nullptr;       ///< "<scope>.forwarded"
+  obs::Counter* culled_ = nullptr;          ///< sends skipped by subscription masks
+  obs::Gauge* subscriptions_ = nullptr;     ///< live subscription-table entries
 
   // RTP mode. Members are looked up per packet by transport address, so the
   // vector is shadowed by a (node, port) index instead of a linear scan.

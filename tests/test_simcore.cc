@@ -326,5 +326,33 @@ TEST(Env, IntFlagAndStringParsing) {
   EXPECT_EQ(core::EnvString("VTP_TEST_STR", "fallback"), "fallback");
 }
 
+TEST(Env, IntRejectsOverflowAndTrailingGarbage) {
+  // Regression: strtol clamps out-of-range input to LONG_MIN/LONG_MAX and the
+  // old static_cast<int> then wrapped it to an arbitrary value. Anything that
+  // does not round-trip as an int must fall back instead.
+  setenv("VTP_TEST_INT", "99999999999999999999", 1);  // > LONG_MAX
+  EXPECT_EQ(core::EnvInt("VTP_TEST_INT", 7), 7);
+  setenv("VTP_TEST_INT", "-99999999999999999999", 1);  // < LONG_MIN
+  EXPECT_EQ(core::EnvInt("VTP_TEST_INT", 7), 7);
+  setenv("VTP_TEST_INT", "2147483648", 1);  // INT_MAX + 1 (fits in long on LP64)
+  EXPECT_EQ(core::EnvInt("VTP_TEST_INT", 7), 7);
+  setenv("VTP_TEST_INT", "-2147483649", 1);  // INT_MIN - 1
+  EXPECT_EQ(core::EnvInt("VTP_TEST_INT", 7), 7);
+  setenv("VTP_TEST_INT", "2147483647", 1);  // exactly INT_MAX: accepted
+  EXPECT_EQ(core::EnvInt("VTP_TEST_INT", 7), 2147483647);
+  setenv("VTP_TEST_INT", "-2147483648", 1);  // exactly INT_MIN: accepted
+  EXPECT_EQ(core::EnvInt("VTP_TEST_INT", 7), -2147483648);
+
+  setenv("VTP_TEST_INT", "42abc", 1);  // trailing garbage
+  EXPECT_EQ(core::EnvInt("VTP_TEST_INT", 7), 7);
+  setenv("VTP_TEST_INT", "42 ", 1);  // trailing space counts too
+  EXPECT_EQ(core::EnvInt("VTP_TEST_INT", 7), 7);
+  setenv("VTP_TEST_INT", "", 1);  // empty string
+  EXPECT_EQ(core::EnvInt("VTP_TEST_INT", 7), 7);
+  setenv("VTP_TEST_INT", "-8", 1);
+  EXPECT_EQ(core::EnvInt("VTP_TEST_INT", 7), -8);
+  unsetenv("VTP_TEST_INT");
+}
+
 }  // namespace
 }  // namespace vtp

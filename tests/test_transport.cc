@@ -4,6 +4,7 @@
 #include "netsim/capture.h"
 #include "netsim/netem.h"
 #include "netsim/network.h"
+#include "obs/snapshot.h"
 #include "transport/classifier.h"
 #include "transport/quic.h"
 #include "transport/rtp.h"
@@ -239,6 +240,42 @@ TEST_F(TwoHosts, QuicDatagramsAreUnreliableUnderLoss) {
   EXPECT_GT(got, 40);
   EXPECT_LT(got, 160);  // about half lost, never retransmitted
   EXPECT_EQ(conn->stats().datagrams_sent, 200u);
+}
+
+TEST_F(TwoHosts, QuicStatsMatchMetricRegistry) {
+  // Back-compat contract: the legacy QuicStats accessor is assembled from the
+  // same registry handles an obs::Snapshot exports, so the two views must
+  // agree field for field.
+  QuicEndpoint client(&net_, a_, 9000), server(&net_, b_, 4433);
+  server.set_on_accept([](QuicConnection* conn) {
+    conn->set_on_stream_data([](std::uint64_t, std::span<const std::uint8_t>, bool) {});
+    conn->set_on_datagram([](std::span<const std::uint8_t>) {});
+  });
+  QuicConnection* conn = client.Connect(b_, 4433);
+  conn->SendStreamData(4, std::vector<std::uint8_t>(20000, 0xAB), /*fin=*/true);
+  for (int i = 0; i < 50; ++i) conn->SendDatagram(std::vector<std::uint8_t>(400, 2));
+  sim_.RunUntil(net::Seconds(5));
+  ASSERT_TRUE(conn->established());
+
+  const QuicStats stats = conn->stats();
+  const obs::Snapshot snap = obs::Snapshot::Capture(sim_.metrics());
+  const std::string& scope = conn->metrics_scope();
+  EXPECT_EQ(scope.rfind("quic.conn", 0), 0u);
+  EXPECT_EQ(snap.counter(scope + ".packets_sent"), stats.packets_sent);
+  EXPECT_EQ(snap.counter(scope + ".packets_received"), stats.packets_received);
+  EXPECT_EQ(snap.counter(scope + ".packets_declared_lost"), stats.packets_declared_lost);
+  EXPECT_EQ(snap.counter(scope + ".bytes_sent"), stats.bytes_sent);
+  EXPECT_EQ(snap.counter(scope + ".stream_bytes_delivered"), stats.stream_bytes_delivered);
+  EXPECT_EQ(snap.counter(scope + ".datagrams_sent"), stats.datagrams_sent);
+  EXPECT_EQ(snap.counter(scope + ".datagrams_received"), stats.datagrams_received);
+  EXPECT_EQ(snap.counter(scope + ".datagrams_dropped_prehandshake"),
+            stats.datagrams_dropped_prehandshake);
+  EXPECT_DOUBLE_EQ(snap.gauge(scope + ".smoothed_rtt_ms"), stats.smoothed_rtt_ms);
+  EXPECT_GT(stats.packets_sent, 0u);
+  EXPECT_GT(stats.datagrams_sent, 0u);
+
+  // The client and server connections registered distinct scopes.
+  EXPECT_GT(snap.counter("quic.conn1.packets_sent"), 0u);
 }
 
 TEST_F(TwoHosts, QuicDatagramsQueuedBeforeHandshakeAreFlushed) {

@@ -2,6 +2,7 @@
 // telepresence sessions.
 #include <gtest/gtest.h>
 
+#include "obs/snapshot.h"
 #include "transport/classifier.h"
 #include "vca/profile.h"
 #include "vca/session.h"
@@ -322,6 +323,46 @@ TEST(Sfu, SubscriptionEntriesFreedOnReclassifyAndClose) {
   conn_a->Close(0);
   sim.RunUntil(sim.now() + net::Millis(500));
   EXPECT_EQ(sfu.semantic_subscription_count(), 0u);
+}
+
+TEST(Sfu, LegacyAccessorsMatchMetricRegistry) {
+  // Back-compat contract: forwarded_count() and the subscription-table gauge
+  // are views of the registry metrics an obs::Snapshot exports.
+  net::Simulator sim(1);
+  net::Network network(&sim);
+  network.BuildBackbone();
+  const auto s = network.AddHost("sfu", "Chicago", 10e9, net::Micros(200));
+  const auto a = network.AddHost("a", "Dallas");
+  const auto b = network.AddHost("b", "Miami");
+  const auto c = network.AddHost("c", "Seattle");
+  network.ComputeRoutes();
+
+  SfuServer sfu(&network, s, 5000, TransportKind::kRtp);
+  EXPECT_EQ(sfu.metrics_scope(), "sfu0");
+  sfu.AddRtpMember(a, 6000);
+  sfu.AddRtpMember(b, 6000);
+  sfu.AddRtpMember(c, 6000);
+  network.BindUdp(a, 6000, [](const net::Packet&) {});
+  network.BindUdp(b, 6000, [](const net::Packet&) {});
+  network.BindUdp(c, 6000, [](const net::Packet&) {});
+
+  transport::RtpSender sender(&network, a, 6000, s, 5000,
+                              transport::RtpSenderConfig{.ssrc = 42});
+  for (int i = 0; i < 5; ++i) {
+    sender.SendFrame(std::vector<std::uint8_t>(500, 0), static_cast<std::uint32_t>(i));
+  }
+  sim.Run();
+
+  const obs::Snapshot snap = obs::Snapshot::Capture(sim.metrics());
+  EXPECT_EQ(sfu.forwarded_count(), 10u);
+  EXPECT_EQ(snap.counter("sfu0.forwarded"), sfu.forwarded_count());
+  EXPECT_DOUBLE_EQ(snap.gauge("sfu0.subscription_table_size"),
+                   static_cast<double>(sfu.semantic_subscription_count()));
+
+  // A second server on the same simulator gets its own scope.
+  SfuServer sfu2(&network, s, 5001, TransportKind::kRtp);
+  EXPECT_EQ(sfu2.metrics_scope(), "sfu1");
+  EXPECT_EQ(sfu2.forwarded_count(), 0u);
 }
 
 }  // namespace

@@ -9,11 +9,14 @@
 //   vtp rtt    — Table 1-style TCP-ping RTT matrix between arbitrary
 //                client metros and VCA server fleets.
 //   vtp probe  — the §4.3 display-latency probe at a given injected delay.
+//   vtp knobs  — every VTP_* environment knob the build understands
+//                (also reachable as `vtp --knobs`).
 //
 // Examples:
 //   vtp run --app=facetime --metros=SanFrancisco,NewYork --duration=20
 //   vtp run --app=webex --metros=SanFrancisco,Chicago,Miami \
 //           --devices=vp,mac,ipad --cap-uplink-kbps=1200 --json
+//   vtp run --app=facetime --metros=SanFrancisco,NewYork --obs-dump=obs.json
 //   vtp rtt --clients=SanFrancisco,Dallas,NewYork --apps=facetime,zoom
 //   vtp probe --mode=remote --delay-ms=500
 #include <fstream>
@@ -22,9 +25,11 @@
 #include "core/display_latency.h"
 #include "core/flags.h"
 #include "core/json.h"
+#include "core/knobs.h"
 #include "core/rtt_matrix.h"
 #include "core/table.h"
 #include "netsim/trace_io.h"
+#include "obs/snapshot.h"
 #include "vca/session.h"
 
 using namespace vtp;
@@ -39,10 +44,11 @@ vtp run   --app=facetime|zoom|webex|teams --metros=A,B[,C...]
           [--devices=vp|mac|ipad|iphone per user] [--duration=SECONDS]
           [--seed=N] [--strategy=nearest|geo] [--no-audio]
           [--cap-uplink-kbps=K] [--delay-ms=D] [--loss=P]   (applied to user 0)
-          [--dump-trace=FILE] [--json]
+          [--dump-trace=FILE] [--obs-dump=FILE] [--json]
 vtp rtt   --clients=MetroA,MetroB,... [--apps=facetime,zoom,webex,teams]
           [--servers=MetroX,MetroY,...] [--pings=N] [--json]
 vtp probe [--mode=local|remote] [--delay-ms=D] [--json]
+vtp knobs [--json]          (also: vtp --knobs)
 )";
   return 2;
 }
@@ -123,6 +129,19 @@ int CmdRun(const core::Flags& flags) {
     net::WriteCaptureCsv(session.capture(0), os);
     std::cerr << "wrote " << session.capture(0).records().size() << " packets to " << path
               << "\n";
+  }
+
+  if (const std::string path = flags.Get("obs-dump"); !path.empty()) {
+    std::ofstream os(path);
+    if (!os) {
+      std::cerr << "vtp run: cannot write " << path << "\n";
+      return 1;
+    }
+    const obs::Snapshot snap =
+        obs::Snapshot::Capture(session.sim().metrics(), &session.sim().tracer());
+    os << snap.ToJson() << "\n";
+    std::cerr << "wrote obs snapshot (" << snap.counters.size() << " counters, "
+              << snap.spans << " spans) to " << path << "\n";
   }
 
   if (flags.GetBool("json", false)) {
@@ -290,16 +309,62 @@ int CmdProbe(const core::Flags& flags) {
   return 0;
 }
 
+// Dumps every registered VTP_* knob: name, type, default, the value it
+// currently resolves to, and whether the environment overrides it. The
+// catalogue is populated by including core/knobs.h above — each knob handle
+// self-registers with core::Config during static initialization.
+int CmdKnobs(const core::Flags& flags) {
+  const std::vector<const core::Config::KnobInfo*> knobs = core::Config::Instance().List();
+
+  if (flags.GetBool("json", false)) {
+    core::JsonWriter w;
+    w.BeginObject();
+    w.Key("knobs");
+    w.BeginArray();
+    for (const core::Config::KnobInfo* k : knobs) {
+      w.BeginObject();
+      w.Key("name");
+      w.String(k->name);
+      w.Key("type");
+      w.String(k->type);
+      w.Key("default");
+      w.String(k->def);
+      w.Key("current");
+      w.String(k->current());
+      w.Key("overridden");
+      w.Bool(k->overridden());
+      w.Key("help");
+      w.String(k->help);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    std::cout << w.str() << "\n";
+    return 0;
+  }
+
+  core::TextTable table;
+  table.SetHeader({"knob", "type", "default", "current", "set", "help"});
+  for (const core::Config::KnobInfo* k : knobs) {
+    table.AddRow({k->name, k->type, k->def, k->current(), k->overridden() ? "env" : "-",
+                  k->help});
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const core::Flags flags(argc, argv);
+  if (flags.GetBool("knobs", false)) return CmdKnobs(flags);
   if (flags.positional().empty()) return Usage();
   const std::string command = flags.positional().front();
   try {
     if (command == "run") return CmdRun(flags);
     if (command == "rtt") return CmdRtt(flags);
     if (command == "probe") return CmdProbe(flags);
+    if (command == "knobs") return CmdKnobs(flags);
     return Usage();
   } catch (const std::exception& e) {
     std::cerr << "vtp " << command << ": " << e.what() << "\n";
