@@ -1,23 +1,38 @@
-// Example: reproduce the "poor connection" cliff live (§4.3).
+// Example: the "poor connection" cliff (§4.3) — and the adaptive fix.
 //
 // A two-user FaceTime spatial call runs while U1's uplink degrades in
-// steps (1.5 Mbps -> 0.9 -> 0.7 -> 0.5 -> back to unlimited). Every second
-// we print U2's view: is U1's persona available, and at what decoded rate?
+// steps (1.5 Mbps -> 0.9 -> 0.7 -> 0.5 -> 0.25 -> back to unlimited).
+// Every second we print U2's view of U1 (available? decoded rate?) and,
+// with the adaptive control loop on, the ladder level U1's uplink
+// controller picked (VTP_ADAPT; DESIGN §9).
 //
-// Build & run:  ./build/examples/poor_connection_demo
+// Run it both ways:
+//   ./build/examples/poor_connection_demo            # measured behaviour:
+//                                                    # persona dies < ~0.7 Mbps
+//   VTP_ADAPT=1 ./build/examples/poor_connection_demo
+//                                                    # live ladder: persona
+//                                                    # survives every step and
+//                                                    # recovers to full quality
+//
+// Exits nonzero if the adaptive run fails to recover to 100% availability
+// in the final window (so it doubles as a smoke test).
+#include <cstdlib>
 #include <iomanip>
 #include <iostream>
 
+#include "core/knobs.h"
 #include "vca/session.h"
 
 using namespace vtp;
 
 int main() {
+  const bool adaptive = core::knobs::kAdapt.Get();
+
   vca::SessionConfig config;
   config.participants = {
       {.name = "U1", .metro = "SanFrancisco", .device = vca::DeviceType::kVisionPro},
       {.name = "U2", .metro = "NewYork", .device = vca::DeviceType::kVisionPro}};
-  config.duration = net::Seconds(40);
+  config.duration = net::Seconds(54);
   config.enable_reconstruction = false;
   vca::TelepresenceSession session(std::move(config));
 
@@ -29,8 +44,9 @@ int main() {
     const char* label;
   };
   const std::vector<Step> steps = {
-      {8, 1.5e6, "cap 1.5 Mbps"}, {14, 0.9e6, "cap 0.9 Mbps"}, {20, 0.7e6, "cap 0.7 Mbps"},
-      {26, 0.5e6, "cap 0.5 Mbps"}, {32, 0, "cap removed"},
+      {8, 1.5e6, "cap 1.5 Mbps"},  {14, 0.9e6, "cap 0.9 Mbps"},
+      {20, 0.7e6, "cap 0.7 Mbps"}, {26, 0.5e6, "cap 0.5 Mbps"},
+      {32, 0.25e6, "cap 0.25 Mbps"}, {38, 0, "cap removed"},
   };
   for (const Step& step : steps) {
     session.sim().At(net::Seconds(step.at_s), [&netem, step] {
@@ -43,25 +59,59 @@ int main() {
     });
   }
 
-  // A 1 Hz probe of U2's view of U1 (sender id 0).
+  // A 1 Hz probe of U2's view of U1 (sender id 0), plus U1's own ladder
+  // level when the control loop is live. The cap lifts at 38 s; by 48 s even
+  // a hold-down doubled by earlier failed probes (2 s -> 8 s) has expired,
+  // so the last 6 s are the recovery window the demo asserts on.
   std::uint64_t last_decoded = 0;
+  std::uint64_t recovery_samples = 0;
+  std::uint64_t recovery_available = 0;
   std::function<void()> probe = [&] {
     const auto* receiver = session.spatial_receiver(1);
     const auto& stats = receiver->remote(0);
-    const bool available = receiver->PersonaAvailable(0, session.sim().now());
+    const net::SimTime now = session.sim().now();
+    const bool available = receiver->PersonaAvailable(0, now);
     const std::uint64_t fps = stats.frames_decoded - last_decoded;
     last_decoded = stats.frames_decoded;
-    std::cout << "t=" << std::setw(4) << net::ToSeconds(session.sim().now()) << "s  U1 persona: "
+    if (now >= net::Seconds(48)) {
+      ++recovery_samples;
+      if (available) ++recovery_available;
+    }
+    std::cout << "t=" << std::setw(4) << net::ToSeconds(now) << "s  U1 persona: "
               << (available ? "VISIBLE       " : "poor connection") << "  decoded "
-              << std::setw(3) << fps << " fps\n";
-    if (session.sim().now() < net::Seconds(39)) session.sim().After(net::kSecond, probe);
+              << std::setw(3) << fps << " fps";
+    if (const auto* ctl = session.adapt_controller(0)) {
+      std::cout << "  [level " << ctl->level() << ": " << ctl->level_spec().name << "]";
+    }
+    std::cout << "\n";
+    if (now < net::Seconds(53)) session.sim().After(net::kSecond, probe);
   };
   session.sim().At(net::Seconds(2), probe);
 
-  std::cout << "Two-user FaceTime spatial call; degrading U1's uplink...\n\n";
+  std::cout << "Two-user FaceTime spatial call; degrading U1's uplink"
+            << (adaptive ? " (adaptive delivery ON)...\n\n" : "...\n\n");
   session.Run();
 
-  std::cout << "\nThe persona survives caps above its ~0.7 Mbps semantic rate and drops\n"
-               "out below it — there is no lower-quality ladder to fall back to (§4.3).\n";
+  if (!adaptive) {
+    std::cout << "\nThe persona survives caps above its ~0.7 Mbps semantic rate and drops\n"
+                 "out below it — there is no lower-quality ladder to fall back to (§4.3).\n"
+                 "Re-run with VTP_ADAPT=1 to watch the control loop ride the ladder down\n"
+                 "and recover.\n";
+    return 0;
+  }
+
+  const auto* ctl = session.adapt_controller(0);
+  std::cout << "\nController: " << ctl->downswitches() << " downswitches, "
+            << ctl->upswitches() << " upswitches, " << ctl->probe_failures()
+            << " failed probes; final level " << ctl->level() << " ("
+            << ctl->level_spec().name << ")\n";
+  if (recovery_samples == 0 || recovery_available < recovery_samples) {
+    std::cout << "FAIL: persona did not recover to 100% availability after the cap was\n"
+                 "removed (" << recovery_available << "/" << recovery_samples
+              << " post-recovery samples available)\n";
+    return 1;
+  }
+  std::cout << "Recovered: persona available in " << recovery_available << "/"
+            << recovery_samples << " samples after the cap was removed.\n";
   return 0;
 }

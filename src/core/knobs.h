@@ -48,4 +48,28 @@ inline const ChoiceKnob kLzParser{"VTP_LZ_PARSER", "greedy", {"greedy", "lazy"},
 inline const BoolKnob kObs{"VTP_OBS", true,
                            "enable frame-lifecycle span tracing (metrics are always on)"};
 
+/// Adaptive delivery control loop (transport/adapt.*). Off by default: with
+/// the knob off no estimator, controller, or timer is even constructed, so
+/// sessions are event-for-event identical to the pre-adaptation stack (the
+/// differential suite in test_transport_ext.cc pins this).
+inline const BoolKnob kAdapt{"VTP_ADAPT", false,
+                             "enable the adaptive delivery control loop (rate ladder + FEC)"};
+
+/// Fault injection (netsim). Each knob arms one impairment on the access
+/// uplink when a session calls net::ApplyFaultKnobs(); empty = off. Formats
+/// are comma-separated numbers, documented per knob.
+inline const StringKnob kFaultBurst{
+    "VTP_FAULT_BURST", "",
+    "Gilbert-Elliott burst loss on the uplink: p_enter,p_exit,loss_bad[,loss_good]", "off"};
+inline const StringKnob kFaultReorder{
+    "VTP_FAULT_REORDER", "", "packet reordering on the uplink: probability,extra_delay_ms", "off"};
+inline const StringKnob kFaultDup{"VTP_FAULT_DUP", "",
+                                  "packet duplication on the uplink: probability", "off"};
+inline const StringKnob kFaultFlap{
+    "VTP_FAULT_FLAP", "",
+    "scheduled link flap (100% loss) on the uplink: at_s,duration_s", "off"};
+inline const StringKnob kFaultRamp{
+    "VTP_FAULT_RAMP", "",
+    "stepped bandwidth-cap ramp on the uplink: start_s,end_s,from_kbps,to_kbps[,steps]", "off"};
+
 }  // namespace vtp::core::knobs

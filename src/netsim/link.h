@@ -41,6 +41,18 @@ struct LinkStats {
   std::uint64_t packets_dropped_loss = 0;
 };
 
+/// Two-state Gilbert–Elliott burst-loss model. The chain advances once per
+/// offered packet: good->bad with `p_enter`, bad->good with `p_exit`; the
+/// per-packet drop probability is `loss_good`/`loss_bad` by state. Mean
+/// burst length is 1/p_exit packets, stationary bad fraction
+/// p_enter/(p_enter+p_exit).
+struct BurstLossConfig {
+  double p_enter = 0.0;
+  double p_exit = 1.0;
+  double loss_bad = 1.0;
+  double loss_good = 0.0;
+};
+
 /// One direction of a link. Owned by the Network.
 class DirectedLink {
  public:
@@ -52,12 +64,12 @@ class DirectedLink {
     // Per-link metrics live in the owning Simulator's registry; the scope id
     // follows construction order, which is deterministic per topology.
     obs::MetricRegistry& reg = sim_->metrics();
-    const std::string scope = reg.UniqueScope("net.link");
-    packets_sent_ = reg.NewCounter(scope + ".packets_sent");
-    bytes_sent_ = reg.NewCounter(scope + ".bytes_sent");
-    dropped_queue_ = reg.NewCounter(scope + ".dropped_queue");
-    dropped_loss_ = reg.NewCounter(scope + ".dropped_loss");
-    queue_peak_bytes_ = reg.NewGauge(scope + ".queue_peak_bytes");
+    scope_ = reg.UniqueScope("net.link");
+    packets_sent_ = reg.NewCounter(scope_ + ".packets_sent");
+    bytes_sent_ = reg.NewCounter(scope_ + ".bytes_sent");
+    dropped_queue_ = reg.NewCounter(scope_ + ".dropped_queue");
+    dropped_loss_ = reg.NewCounter(scope_ + ".dropped_loss");
+    queue_peak_bytes_ = reg.NewGauge(scope_ + ".queue_peak_bytes");
   }
 
   /// Enqueues `p`; on success schedules delivery, otherwise drops it.
@@ -74,7 +86,18 @@ class DirectedLink {
       dropped_queue_->Inc();
       return;
     }
-    const double loss = config_.loss_rate + extra_loss_;
+    double loss = config_.loss_rate + extra_loss_;
+    if (burst_loss_) {
+      // Advance the Gilbert–Elliott chain once per offered packet. All RNG
+      // draws for fault injection are gated on the feature being armed, so
+      // un-faulted sessions consume the exact same random stream as before.
+      if (burst_bad_) {
+        if (sim_->rng().Chance(burst_loss_->p_exit)) burst_bad_ = false;
+      } else if (sim_->rng().Chance(burst_loss_->p_enter)) {
+        burst_bad_ = true;
+      }
+      loss += burst_bad_ ? burst_loss_->loss_bad : burst_loss_->loss_good;
+    }
     if (loss > 0.0 && sim_->rng().Chance(std::min(loss, 1.0))) {
       dropped_loss_->Inc();
       return;
@@ -94,15 +117,28 @@ class DirectedLink {
       arrive += static_cast<SimTime>(
           sim_->rng().Exponential(1.0 / static_cast<double>(config_.jitter_mean)));
     }
-    // The link is FIFO: jitter delays but never reorders.
-    arrive = std::max(arrive, last_arrival_);
-    last_arrival_ = arrive;
+    if (reorder_prob_ > 0.0 && sim_->rng().Chance(reorder_prob_)) {
+      // A reordered packet is held back and skips the FIFO clamp below, so
+      // it genuinely arrives behind packets sent after it.
+      arrive += reorder_delay_;
+      if (reordered_ != nullptr) reordered_->Inc();
+    } else {
+      // The link is FIFO: jitter delays but never reorders.
+      arrive = std::max(arrive, last_arrival_);
+      last_arrival_ = arrive;
+    }
     if (tap_) {
       // Tap fires at transmission start: the packet is on the wire. Sharing
       // `p` here only bumps the payload refcount.
       sim_->At(start, [this, p, start] {
         if (tap_) tap_(p, start);
       });
+    }
+    if (duplicate_prob_ > 0.0 && sim_->rng().Chance(duplicate_prob_)) {
+      // The copy shares the payload (refcount bump) and lands slightly after
+      // the original, bypassing the FIFO clamp like a real duplicated frame.
+      if (duplicated_ != nullptr) duplicated_->Inc();
+      sim_->At(arrive + Micros(50), [deliver, p]() mutable { deliver(std::move(p)); });
     }
     sim_->At(arrive, [deliver = std::move(deliver), p = std::move(p)]() mutable {
       deliver(std::move(p));
@@ -113,6 +149,27 @@ class DirectedLink {
   void set_extra_delay(SimTime d) { extra_delay_ = d; }
   void set_rate_cap_bps(std::optional<double> cap) { rate_cap_bps_ = cap; }
   void set_extra_loss(double p) { extra_loss_ = p; }
+
+  /// Fault injection (netem SetBurstLoss/SetReorder/SetDuplicate). The
+  /// reorder/duplicate counters are registered lazily on first arm, so
+  /// un-faulted topologies keep their obs snapshot unchanged.
+  void set_burst_loss(std::optional<BurstLossConfig> config) {
+    burst_loss_ = config;
+    if (!burst_loss_) burst_bad_ = false;
+  }
+  void set_reorder(double probability, SimTime extra_delay) {
+    reorder_prob_ = probability;
+    reorder_delay_ = extra_delay;
+    if (probability > 0.0 && reordered_ == nullptr) {
+      reordered_ = sim_->metrics().NewCounter(scope_ + ".reordered");
+    }
+  }
+  void set_duplicate(double probability) {
+    duplicate_prob_ = probability;
+    if (probability > 0.0 && duplicated_ == nullptr) {
+      duplicated_ = sim_->metrics().NewCounter(scope_ + ".duplicated");
+    }
+  }
 
   /// Installs (or clears) the capture tap.
   void set_tap(Tap tap) { tap_ = std::move(tap); }
@@ -132,16 +189,24 @@ class DirectedLink {
 
   Simulator* sim_;
   LinkConfig config_;
+  std::string scope_;
   SimTime busy_until_ = 0;
   SimTime last_arrival_ = 0;
   SimTime extra_delay_ = 0;
   std::optional<double> rate_cap_bps_;
   double extra_loss_ = 0.0;
+  std::optional<BurstLossConfig> burst_loss_;
+  bool burst_bad_ = false;
+  double reorder_prob_ = 0.0;
+  SimTime reorder_delay_ = 0;
+  double duplicate_prob_ = 0.0;
   Tap tap_;
   obs::Counter* packets_sent_ = nullptr;
   obs::Counter* bytes_sent_ = nullptr;
   obs::Counter* dropped_queue_ = nullptr;
   obs::Counter* dropped_loss_ = nullptr;
+  obs::Counter* reordered_ = nullptr;
+  obs::Counter* duplicated_ = nullptr;
   obs::Gauge* queue_peak_bytes_ = nullptr;
 };
 

@@ -1,0 +1,78 @@
+// VTP_FAULT_* knob parsing for netem fault injection.
+//
+// Each knob is a comma-separated number list (see core/knobs.h for the
+// per-knob format). Malformed values are ignored field-by-field rather than
+// aborting the run: fault injection is a test harness, and a typo should
+// degrade to "no fault", never to a crash inside a bench sweep.
+#include "netsim/netem.h"
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/knobs.h"
+
+namespace vtp::net {
+namespace {
+
+// Parses "1.5,2,0.25" into doubles; stops at the first unparsable field.
+std::vector<double> ParseNumberList(const std::string& value) {
+  std::vector<double> out;
+  const char* p = value.c_str();
+  while (*p != '\0') {
+    char* end = nullptr;
+    const double v = std::strtod(p, &end);
+    if (end == p) break;
+    out.push_back(v);
+    p = end;
+    if (*p == ',') ++p;
+  }
+  return out;
+}
+
+}  // namespace
+
+bool ApplyFaultKnobs(Netem& netem) {
+  bool armed = false;
+
+  const std::vector<double> burst = ParseNumberList(core::knobs::kFaultBurst.Get());
+  if (burst.size() >= 3) {
+    BurstLossConfig config;
+    config.p_enter = burst[0];
+    config.p_exit = burst[1];
+    config.loss_bad = burst[2];
+    if (burst.size() >= 4) config.loss_good = burst[3];
+    netem.SetBurstLoss(config);
+    armed = true;
+  }
+
+  const std::vector<double> reorder = ParseNumberList(core::knobs::kFaultReorder.Get());
+  if (reorder.size() >= 2 && reorder[0] > 0.0) {
+    netem.SetReorder(reorder[0], Millis(reorder[1]));
+    armed = true;
+  }
+
+  const std::vector<double> dup = ParseNumberList(core::knobs::kFaultDup.Get());
+  if (dup.size() >= 1 && dup[0] > 0.0) {
+    netem.SetDuplicate(dup[0]);
+    armed = true;
+  }
+
+  const std::vector<double> flap = ParseNumberList(core::knobs::kFaultFlap.Get());
+  if (flap.size() >= 2 && flap[1] > 0.0) {
+    netem.ScheduleFlap(Seconds(flap[0]), Seconds(flap[1]));
+    armed = true;
+  }
+
+  const std::vector<double> ramp = ParseNumberList(core::knobs::kFaultRamp.Get());
+  if (ramp.size() >= 4 && ramp[1] > ramp[0]) {
+    const int steps = ramp.size() >= 5 ? static_cast<int>(ramp[4]) : 8;
+    netem.ScheduleRateRamp(Seconds(ramp[0]), Seconds(ramp[1]), ramp[2] * 1e3, ramp[3] * 1e3,
+                           steps);
+    armed = true;
+  }
+
+  return armed;
+}
+
+}  // namespace vtp::net

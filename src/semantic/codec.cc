@@ -44,6 +44,17 @@ void SemanticEncoder::Reset() {
   prev_quantized_.clear();
 }
 
+void SemanticEncoder::Reconfigure(SemanticCodecConfig config) {
+  if (config.temporal_delta && config.quantize_bits == 0) {
+    throw std::invalid_argument("temporal delta requires quantization");
+  }
+  if (config.quantize_bits < 0 || config.quantize_bits > 21) {
+    throw std::invalid_argument("quantize_bits out of range");
+  }
+  config_ = config;
+  prev_quantized_.clear();
+}
+
 std::vector<std::uint8_t> SemanticEncoder::EncodeFrame(std::span<const Vec3> points) {
   std::vector<std::uint8_t> out;
   EncodeFrameInto(points, out);

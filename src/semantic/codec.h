@@ -51,6 +51,32 @@ class SemanticEncoder {
   /// Resets temporal state (e.g. after a receiver resync).
   void Reset();
 
+  /// Switches to a different ladder rung mid-stream. Keeps the frame-index
+  /// sequence but clears temporal state, so the next frame is encoded
+  /// standalone (a keyframe) and any decoder can pick up the new rung
+  /// without resync. Validates `config` like the constructor.
+  void Reconfigure(SemanticCodecConfig config);
+
+  /// Forces the next frame to encode standalone (no temporal reference) —
+  /// the periodic-keyframe hook that bounds loss desync on temporal rungs.
+  void ForceKeyframe() { prev_quantized_.clear(); }
+
+  /// Advances the frame index without emitting a frame (freeze mode ships
+  /// only every Nth frame; the skipped indices must still burn so receivers
+  /// keep measuring content lag against the live pace). Clears temporal
+  /// state: the next emitted frame cannot reference an unshipped one.
+  void SkipFrame() {
+    ++frame_;
+    prev_quantized_.clear();
+  }
+
+  /// Frame index the next EncodeFrame call will carry. The coarse-rung
+  /// simulcast encoder is kept in lockstep with the primary through this.
+  std::uint64_t next_frame_index() const { return frame_; }
+  void set_next_frame_index(std::uint64_t index) { frame_ = index; }
+
+  const SemanticCodecConfig& config() const { return config_; }
+
   /// The embedded lzr hot path (arena stats for benches/tests).
   const compress::LzrEncoder& lzr() const { return lzr_; }
 

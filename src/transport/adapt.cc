@@ -1,0 +1,161 @@
+#include "transport/adapt.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vtp::transport {
+
+void PathEstimator::OnCounters(std::uint64_t bytes_sent, std::uint64_t packets_sent,
+                               std::uint64_t packets_lost, double srtt_ms, net::SimTime now) {
+  if (srtt_ms > 0.0) {
+    estimate_.srtt_ms = srtt_ms;
+    if (estimate_.min_rtt_ms == 0.0 || srtt_ms < estimate_.min_rtt_ms) {
+      estimate_.min_rtt_ms = srtt_ms;
+    }
+  }
+  if (!have_baseline_) {
+    have_baseline_ = true;
+    last_bytes_ = bytes_sent;
+    last_packets_ = packets_sent;
+    last_lost_ = packets_lost;
+    last_time_ = now;
+    return;
+  }
+  const std::uint64_t d_bytes = bytes_sent - last_bytes_;
+  const std::uint64_t d_packets = packets_sent - last_packets_;
+  const std::uint64_t d_lost = packets_lost - last_lost_;
+  const net::SimTime d_time = now - last_time_;
+  last_bytes_ = bytes_sent;
+  last_packets_ = packets_sent;
+  last_lost_ = packets_lost;
+  last_time_ = now;
+  if (d_time <= 0) return;
+
+  // Loss is declared against packets sent in the same window. The ring
+  // declares loss a few ACKs late, so a sample can exceed 1 right after a
+  // burst; clamp rather than smear it into later windows.
+  estimate_.loss_sample =
+      d_packets > 0 ? std::min(1.0, static_cast<double>(d_lost) / static_cast<double>(d_packets))
+                    : (d_lost > 0 ? 1.0 : 0.0);
+  estimate_.loss_ewma = config_.loss_alpha * estimate_.loss_sample +
+                        (1.0 - config_.loss_alpha) * estimate_.loss_ewma;
+  estimate_.send_rate_bps =
+      static_cast<double>(d_bytes) * 8.0 / net::ToSeconds(d_time);
+  estimate_.delivery_rate_bps = estimate_.send_rate_bps * (1.0 - estimate_.loss_ewma);
+  estimate_.valid = true;
+}
+
+void PathEstimator::OnLossFraction(double fraction, net::SimTime now) {
+  estimate_.loss_sample = std::clamp(fraction, 0.0, 1.0);
+  estimate_.loss_ewma = config_.loss_alpha * estimate_.loss_sample +
+                        (1.0 - config_.loss_alpha) * estimate_.loss_ewma;
+  estimate_.valid = true;
+  last_time_ = now;
+}
+
+AdaptController::AdaptController(net::Simulator* sim, std::vector<AdaptLevel> levels,
+                                 AdaptConfig config, const std::string& scope)
+    : levels_(std::move(levels)),
+      config_(config),
+      hold_down_(config.hold_down),
+      residency_(levels_.size(), 0) {
+  assert(!levels_.empty());
+  obs::MetricRegistry& reg = sim->metrics();
+  downswitches_ = reg.NewCounter(scope + ".downswitches");
+  upswitches_ = reg.NewCounter(scope + ".upswitches");
+  probes_ = reg.NewCounter(scope + ".probes");
+  probe_failures_ = reg.NewCounter(scope + ".probe_failures");
+  level_gauge_ = reg.NewGauge(scope + ".level");
+  residency_ms_.reserve(levels_.size());
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    residency_ms_.push_back(reg.NewCounter(scope + ".residency_ms.level" + std::to_string(i)));
+  }
+}
+
+void AdaptController::SwitchTo(int level, net::SimTime now) {
+  level_ = std::clamp(level, 0, static_cast<int>(levels_.size()) - 1);
+  level_gauge_->Set(static_cast<double>(level_));
+  healthy_since_.reset();
+  last_down_ = now;
+}
+
+bool AdaptController::Update(const PathEstimate& estimate, net::SimTime now) {
+  // Charge residency for the interval just elapsed to the level that was
+  // active during it.
+  const net::SimTime elapsed = now > last_update_ ? now - last_update_ : 0;
+  residency_[static_cast<std::size_t>(level_)] += elapsed;
+  residency_ms_[static_cast<std::size_t>(level_)]->Inc(
+      static_cast<std::uint64_t>(net::ToMillis(elapsed)));
+  last_update_ = now;
+
+  if (!estimate.valid) return false;
+
+  const double inflation = estimate.rtt_inflation_ms();
+  const bool panic = estimate.loss_ewma > config_.panic_loss ||
+                     inflation > net::ToMillis(config_.panic_rtt_inflation);
+  const bool overloaded = panic || estimate.loss_ewma > config_.degrade_loss ||
+                          inflation > net::ToMillis(config_.degrade_rtt_inflation);
+  const bool healthy = estimate.loss_ewma < config_.recover_loss &&
+                       inflation < net::ToMillis(config_.recover_rtt_inflation);
+
+  const int max_level = static_cast<int>(levels_.size()) - 1;
+
+  if (probing_) {
+    if (overloaded) {
+      // Probe failed: fall back below the probed level and back off.
+      probing_ = false;
+      probe_failures_->Inc();
+      downswitches_->Inc();
+      hold_down_ = std::min(hold_down_ * 2, config_.max_hold_down);
+      SwitchTo(level_ + 1, now);
+      return true;
+    }
+    if (now - probe_start_ >= config_.probe_window) {
+      // Probe accepted: the new level sticks, backoff resets.
+      probing_ = false;
+      hold_down_ = config_.hold_down;
+    }
+    return false;
+  }
+
+  if (overloaded) {
+    healthy_since_.reset();
+    if (level_ >= max_level) return false;
+    if (!panic && now - last_down_ < config_.down_dwell) return false;
+    int target = level_ + 1;
+    if (panic && estimate.delivery_rate_bps > 0.0) {
+      // Rate-match: land on the first level whose nominal rate fits under
+      // the delivery estimate with headroom, instead of stepping through
+      // levels that obviously still overload the path.
+      while (target < max_level &&
+             levels_[static_cast<std::size_t>(target)].nominal_bps >
+                 config_.headroom * estimate.delivery_rate_bps) {
+        ++target;
+      }
+    }
+    downswitches_->Inc();
+    SwitchTo(target, now);
+    return true;
+  }
+
+  if (level_ > 0 && healthy) {
+    if (!healthy_since_) {
+      healthy_since_ = now;
+    } else if (now - *healthy_since_ >= hold_down_) {
+      // Probe one level up; Update() watches the probe window from here.
+      probing_ = true;
+      probe_start_ = now;
+      probes_->Inc();
+      upswitches_->Inc();
+      const net::SimTime down = last_down_;
+      SwitchTo(level_ - 1, now);
+      last_down_ = down;  // upswitches must not reset the down-dwell clock
+      return true;
+    }
+  } else if (!healthy) {
+    healthy_since_.reset();
+  }
+  return false;
+}
+
+}  // namespace vtp::transport

@@ -89,12 +89,22 @@ void FecDecoder::OnDatagram(std::span<const std::uint8_t> framed) {
       if (deliver_) deliver_(payload);
     } else if (tag == kParityTag) {
       ++stats_.parities_received;
-      group.parity_seen = true;
-      group.lengths.resize(static_cast<std::size_t>(k));
+      std::vector<std::uint32_t> lengths(static_cast<std::size_t>(k));
+      std::uint32_t max_len = 0;
       for (int i = 0; i < k; ++i) {
-        group.lengths[static_cast<std::size_t>(i)] =
+        lengths[static_cast<std::size_t>(i)] =
             static_cast<std::uint32_t>(compress::GetUleb128(framed, &pos));
+        max_len = std::max(max_len, lengths[static_cast<std::size_t>(i)]);
       }
+      // The XOR body of a well-formed parity is exactly as long as the
+      // longest source it covers. A truncated or padded body would XOR
+      // garbage into the accumulator and "recover" a fabricated payload —
+      // reject it before it touches group state.
+      if (framed.size() - pos != max_len) {
+        throw compress::CorruptStream("fec: parity body length mismatch");
+      }
+      group.parity_seen = true;
+      group.lengths = std::move(lengths);
       XorInto(group.xor_accum, framed.subspan(pos));
     } else {
       throw compress::CorruptStream("fec: bad tag");

@@ -10,8 +10,11 @@ PlayoutBuffer::PlayoutBuffer(net::Simulator* sim, PlayoutConfig config, PlayCall
   const std::string scope = reg.UniqueScope("playout");
   frames_played_ = reg.NewCounter(scope + ".frames_played");
   frames_late_dropped_ = reg.NewCounter(scope + ".frames_late_dropped");
+  stall_bursts_ = reg.NewCounter(scope + ".stall_bursts");
+  frames_frozen_ = reg.NewCounter(scope + ".frames_frozen");
   current_delay_ns_ = reg.NewGauge(scope + ".current_delay_ns");
   occupancy_ = reg.NewGauge(scope + ".occupancy_frames");
+  longest_stall_burst_ = reg.NewGauge(scope + ".longest_stall_burst");
   current_delay_ns_->Set(static_cast<double>(delay_));
 }
 
@@ -33,12 +36,23 @@ void PlayoutBuffer::Push(std::uint32_t timestamp, std::vector<std::uint8_t> fram
 
   const net::SimTime when = PresentationTime(timestamp);
   if (when < now) {
-    // Too late to present (a stall): drop and widen the safety margin.
+    // Too late to present (a stall): drop and widen the safety margin. A
+    // run of consecutive late frames is one stall burst — the user-visible
+    // freeze — counted once at its first frame.
     frames_late_dropped_->Inc();
+    if (++consecutive_stalls_ == 1) stall_bursts_->Inc();
+    longest_stall_burst_->Max(static_cast<double>(consecutive_stalls_));
     delay_ = std::min(delay_ + config_.late_increase, config_.max_delay);
     current_delay_ns_->Set(static_cast<double>(delay_));
+    if (config_.freeze_on_stall && have_last_good_) {
+      // Hold the last good frame in the missed slot so downstream always
+      // has content to present (freeze-frame, not a blank).
+      frames_frozen_->Inc();
+      if (on_play_) on_play_(timestamp, last_good_frame_);
+    }
     return;
   }
+  consecutive_stalls_ = 0;
 
   // Track how much slack this frame had, for the shrink review.
   min_headroom_in_window_ = std::min(min_headroom_in_window_, when - now);
@@ -55,6 +69,10 @@ void PlayoutBuffer::Push(std::uint32_t timestamp, std::vector<std::uint8_t> fram
   sim_->At(when, [this, timestamp, frame = std::move(frame)]() mutable {
     frames_played_->Inc();
     occupancy_->Add(-1.0);
+    if (config_.freeze_on_stall) {
+      last_good_frame_ = frame;
+      have_last_good_ = true;
+    }
     if (on_play_) on_play_(timestamp, std::move(frame));
   });
 }

@@ -31,16 +31,29 @@ struct PlayoutConfig {
   net::SimTime early_decrease = net::Millis(5);   ///< shrink per review window
   int review_window_frames = 100;                 ///< frames per shrink review
   net::SimTime shrink_headroom = net::Millis(80); ///< required min headroom
+
+  /// Underrun fallback: when a frame misses its presentation instant,
+  /// re-present the last successfully played frame in its slot instead of
+  /// leaving the slot empty (freeze-frame, like a real renderer holding the
+  /// previous image). Off by default — existing consumers see unchanged
+  /// behaviour; the adaptive pipelines turn it on.
+  bool freeze_on_stall = false;
 };
 
 /// Counters. Since the obs refactor this is a value snapshot assembled from
 /// the buffer's registry handles (scope "playout<N>."); `frames_late_dropped`
 /// doubles as the stall count — a frame that misses its presentation instant
-/// is exactly a rendering stall.
+/// is exactly a rendering stall. `stall_bursts` counts runs of consecutive
+/// stalls (the user-visible "the persona froze" events, as opposed to
+/// isolated one-frame glitches); `frames_frozen` counts freeze-frame
+/// re-presentations when the fallback is enabled.
 struct PlayoutStats {
   std::uint64_t frames_played = 0;
   std::uint64_t frames_late_dropped = 0;
   net::SimTime current_delay = 0;
+  std::uint64_t stall_bursts = 0;
+  std::uint64_t frames_frozen = 0;
+  std::uint64_t longest_stall_burst = 0;
 };
 
 /// Schedules frames for presentation on the simulator clock.
@@ -56,8 +69,12 @@ class PlayoutBuffer {
 
   /// Back-compat snapshot of this buffer's registry counters.
   PlayoutStats stats() const {
-    return {frames_played_->value(), frames_late_dropped_->value(),
-            static_cast<net::SimTime>(current_delay_ns_->value())};
+    return {frames_played_->value(),
+            frames_late_dropped_->value(),
+            static_cast<net::SimTime>(current_delay_ns_->value()),
+            stall_bursts_->value(),
+            frames_frozen_->value(),
+            static_cast<std::uint64_t>(longest_stall_burst_->value())};
   }
 
  private:
@@ -68,8 +85,15 @@ class PlayoutBuffer {
   PlayCallback on_play_;
   obs::Counter* frames_played_ = nullptr;
   obs::Counter* frames_late_dropped_ = nullptr;
+  obs::Counter* stall_bursts_ = nullptr;
+  obs::Counter* frames_frozen_ = nullptr;
   obs::Gauge* current_delay_ns_ = nullptr;
   obs::Gauge* occupancy_ = nullptr;  ///< frames queued for presentation
+  obs::Gauge* longest_stall_burst_ = nullptr;
+
+  std::uint64_t consecutive_stalls_ = 0;
+  std::vector<std::uint8_t> last_good_frame_;
+  bool have_last_good_ = false;
 
   bool anchored_ = false;
   net::SimTime anchor_arrival_ = 0;

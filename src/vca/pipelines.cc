@@ -1,11 +1,35 @@
 #include "vca/pipelines.h"
 
+#include <algorithm>
 #include <span>
 
 #include "compress/bitstream.h"
+#include "compress/varint.h"
 #include "obs/trace.h"
 
 namespace vtp::vca {
+
+namespace {
+
+/// Frames between forced keyframes on temporal rungs: bounds loss-induced
+/// delta desync to ~1/3 s at 90 fps.
+constexpr std::uint64_t kKeyframeInterval = 30;
+
+}  // namespace
+
+const std::vector<SemanticRung>& DefaultSemanticLadder() {
+  // Approximate frame bytes measured over the keypoint generator's steady
+  // state; used only for the controller's nominal-rate matching, so rough
+  // numbers are fine.
+  static const std::vector<SemanticRung> kLadder = {
+      {{.quantize_bits = 0, .temporal_delta = false, .lz_compress = true}, 830, "float32+lz"},
+      {{.quantize_bits = 12, .temporal_delta = false, .lz_compress = true}, 420, "q12"},
+      {{.quantize_bits = 12, .temporal_delta = true, .lz_compress = true}, 230, "q12-temporal"},
+      {{.quantize_bits = 10, .temporal_delta = true, .lz_compress = true}, 170, "q10-temporal"},
+      {{.quantize_bits = 8, .temporal_delta = true, .lz_compress = true}, 120, "q8-temporal"},
+  };
+  return kLadder;
+}
 
 // ---------------------------------------------------------------------------
 // SpatialPersonaSender
@@ -26,6 +50,7 @@ SpatialPersonaSender::SpatialPersonaSender(net::Simulator* sim, transport::QuicC
   const std::string scope = reg.UniqueScope("persona.tx");
   frames_sent_ = reg.NewCounter(scope + ".frames_sent");
   payload_bytes_sent_ = reg.NewCounter(scope + ".payload_bytes_sent");
+  fec_parity_bytes_ = reg.NewCounter(scope + ".fec_parity_bytes");
   // The semantic codec's lzr stage, exposed as pull-probes so snapshots see
   // the encoder's byte flow and match-finder hit rate without per-frame cost.
   reg.NewProbe(scope + ".lzr_bytes_in", [this] {
@@ -43,38 +68,104 @@ SpatialPersonaSender::SpatialPersonaSender(net::Simulator* sim, transport::QuicC
 
 void SpatialPersonaSender::Start(net::SimTime until) { Tick(until); }
 
+void SpatialPersonaSender::ConfigureAdaptive(std::vector<semantic::SemanticCodecConfig> rungs,
+                                             int fec_k) {
+  adaptive_ = true;
+  rungs_ = std::move(rungs);
+  // Rung 0 defines the adaptive baseline regardless of the session codec
+  // (no frames have been shipped yet, so the reconfigure is free).
+  if (!rungs_.empty()) encoder_.Reconfigure(rungs_[0]);
+  rung_ = 0;
+  if (fec_k > 0 && !fec_) fec_.emplace(fec_k);
+}
+
+void SpatialPersonaSender::ApplyLevel(int rung, bool fec_on, bool freeze) {
+  if (!adaptive_ || rungs_.empty()) return;
+  rung = std::clamp(rung, 0, static_cast<int>(rungs_.size()) - 1);
+  if (rung != rung_) {
+    // Reconfigure clears temporal state, so the first frame on the new rung
+    // encodes standalone and every decoder re-syncs from it.
+    encoder_.Reconfigure(rungs_[static_cast<std::size_t>(rung)]);
+    rung_ = rung;
+    frames_since_key_ = 0;
+  }
+  fec_enabled_ = fec_on;
+  freeze_ = freeze;
+}
+
+void SpatialPersonaSender::SetCoarseEnabled(bool on) { coarse_enabled_ = on; }
+
+void SpatialPersonaSender::OnAdaptCtrl(std::span<const std::uint8_t> data) {
+  // [relay_tag][sfu_origin_id][kMediaAdaptCtrl][target_sender][rung]
+  if (data.size() < 5 || data[3] != sender_id_) return;
+  SetCoarseEnabled(data[4] != 0);
+}
+
+void SpatialPersonaSender::Ship(std::uint8_t media, std::span<const std::uint8_t> body) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(body.size() + 3);
+  payload.push_back(kRelayTagLocal);
+  payload.push_back(sender_id_);
+  payload.push_back(media);
+  payload.insert(payload.end(), body.begin(), body.end());
+  payload_bytes_sent_->Inc(payload.size());
+  conn_->SendDatagram(payload);
+}
+
 void SpatialPersonaSender::Tick(net::SimTime until) {
   if (sim_->now() >= until) return;
-  // The encoder's embedded frame index equals the number of frames encoded
-  // so far — the tracer keys the lifecycle span by (sender, that index).
-  const std::uint64_t seq = frames_sent_->value();
+  // The encoder's embedded frame index counts every captured frame (in
+  // freeze mode, skipped frames too) — the tracer keys the lifecycle span
+  // by (sender, that index), and receivers measure content lag against it.
+  const std::uint64_t seq = encoder_.next_frame_index();
   obs::FrameTracer& tracer = sim_->tracer();
   const bool trace = tracer.enabled() && sender_id_ < obs::FrameTracer::kMaxPersonas;
   const net::SimTime now = sim_->now();
+
+  if (freeze_ && seq % kFreezeStride != 0) {
+    // Freeze mode: this frame is not shipped. The index must still advance
+    // so the eventual recovery isn't judged permanently stale.
+    encoder_.SkipFrame();
+    sim_->After(static_cast<net::SimTime>(net::kSecond / fps_), [this, until] { Tick(until); });
+    return;
+  }
   if (trace) tracer.StampSource(sender_id_, seq, obs::Stage::kCapture, now);
 
   const semantic::KeypointFrame frame = generator_.Next();
   const std::vector<semantic::Vec3> subset = semantic::ExtractSemanticSubset(frame);
+  if (freeze_) {
+    encoder_.ForceKeyframe();  // shipped freeze frames must decode standalone
+  } else if (adaptive_ && encoder_.config().temporal_delta) {
+    if (frames_since_key_ >= kKeyframeInterval) {
+      encoder_.ForceKeyframe();
+      frames_since_key_ = 0;
+    }
+    ++frames_since_key_;
+  }
   encoder_.EncodeFrameInto(subset, encode_scratch_);
   const std::span<const std::uint8_t> encoded = encode_scratch_;
   if (trace) tracer.StampSource(sender_id_, seq, obs::Stage::kEncode, sim_->now());
   frames_sent_->Inc();
 
-  const auto ship = [this](std::uint8_t media, std::span<const std::uint8_t> body) {
-    std::vector<std::uint8_t> payload;
-    payload.reserve(body.size() + 3);
-    payload.push_back(kRelayTagLocal);
-    payload.push_back(sender_id_);
-    payload.push_back(media);
-    payload.insert(payload.end(), body.begin(), body.end());
-    payload_bytes_sent_->Inc(payload.size());
-    conn_->SendDatagram(payload);
-  };
-  if (fec_) {
-    for (const auto& framed : fec_->Protect(encoded)) ship(kMediaSemanticFec, framed);
+  if (fec_ && fec_enabled_) {
+    for (const auto& framed : fec_->Protect(encoded)) {
+      if (!framed.empty() && framed[0] == 0x01) fec_parity_bytes_->Inc(framed.size());
+      Ship(kMediaSemanticFec, framed);
+    }
   } else {
-    ship(kMediaSemantic, encoded);
+    Ship(freeze_ ? kMediaSemanticFreeze : kMediaSemantic, encoded);
   }
+
+  // Simulcast-lite: the coarse alternate stream rides along only while the
+  // primary is at full quality — a degraded uplink has no headroom for two
+  // streams, and a degraded primary is already coarse.
+  if (adaptive_ && coarse_enabled_ && !freeze_ && rung_ == 0 && rungs_.size() > 1) {
+    if (!coarse_encoder_) coarse_encoder_.emplace(rungs_[1]);
+    coarse_encoder_->set_next_frame_index(seq);
+    coarse_encoder_->EncodeFrameInto(subset, coarse_scratch_);
+    Ship(kMediaSemanticAlt, coarse_scratch_);
+  }
+
   if (trace) tracer.StampSource(sender_id_, seq, obs::Stage::kSend, sim_->now());
   sim_->After(static_cast<net::SimTime>(net::kSecond / fps_), [this, until] { Tick(until); });
 }
@@ -108,23 +199,40 @@ void SpatialPersonaReceiver::OnDatagram(std::span<const std::uint8_t> data) {
       // Map node references are stable, so capturing &remote is safe.
       remote.fec = std::make_unique<transport::FecDecoder>(
           [this, sender, &remote](std::span<const std::uint8_t> payload) {
-            ProcessSemantic(sender, remote, payload);
+            ProcessSemantic(sender, remote, payload, /*freeze=*/false);
           });
     }
     remote.fec->OnDatagram(data.subspan(3));
     return;
   }
-  if (media != kMediaSemantic) return;
-  ProcessSemantic(sender, remote, data.subspan(3));
+  if (media != kMediaSemantic && media != kMediaSemanticAlt &&
+      media != kMediaSemanticFreeze) {
+    return;
+  }
+  ProcessSemantic(sender, remote, data.subspan(3), media == kMediaSemanticFreeze);
 }
 
 void SpatialPersonaReceiver::ProcessSemantic(std::uint8_t sender, Remote& remote,
-                                             std::span<const std::uint8_t> data) {
+                                             std::span<const std::uint8_t> data,
+                                             bool freeze) {
   if (remote.base == nullptr) {
     const auto it = bases_.find(sender);
     if (it != bases_.end()) remote.base = it->second;
   }
   try {
+    // Arrival log, pre-decode: the frame index is in the payload header
+    // ([tag][uleb128 index]...), so gaps are visible even on frames the
+    // decoder then rejects. Feeds DownlinkLossEstimate.
+    if (!data.empty()) {
+      std::size_t pos = 1;
+      const std::uint64_t arrival_index = compress::GetUleb128(data, &pos);
+      const net::SimTime arrival_now = sim_->now();
+      remote.recent_arrivals.emplace_back(arrival_now, arrival_index);
+      while (!remote.recent_arrivals.empty() &&
+             remote.recent_arrivals.front().first < arrival_now - net::kSecond) {
+        remote.recent_arrivals.pop_front();
+      }
+    }
     const auto frame = remote.decoder.DecodeFrame(data);
     if (!frame) {
       ++remote.stats.decode_failures;  // temporal-delta desync
@@ -132,6 +240,10 @@ void SpatialPersonaReceiver::ProcessSemantic(std::uint8_t sender, Remote& remote
     }
     ++remote.stats.frames_decoded;
     const net::SimTime now = sim_->now();
+    if (freeze != remote.freeze_mode) {
+      remote.freeze_mode = freeze;
+      remote.mode_changed_at = now;
+    }
     remote.stats.last_frame_time = now;
     remote.stats.last_frame_index = frame->frame_index;
     if (!remote.saw_first) {
@@ -175,15 +287,22 @@ bool SpatialPersonaReceiver::PersonaAvailable(std::uint8_t sender, net::SimTime 
   // 1. Recency.
   if (now - remote.stats.last_frame_time > kAvailabilityTimeout) return false;
 
-  // 2. Sustained decode rate (skip during the initial ramp-up second).
-  if (now - remote.first_decode_time > net::kSecond) {
+  // 2. Sustained decode rate, against the stream's advertised cadence: the
+  // capture rate normally, the freeze stride on the freeze rung. Skipped
+  // during the initial ramp-up second and for a second after a mode flip
+  // (the rate window still holds frames from the previous cadence).
+  const double expected_fps =
+      remote.freeze_mode ? nominal_fps_ / static_cast<double>(kFreezeStride)
+                         : nominal_fps_;
+  if (now - remote.first_decode_time > net::kSecond &&
+      now - remote.mode_changed_at > net::kSecond) {
     std::size_t recent = 0;
     for (auto rit = remote.recent_decodes.rbegin(); rit != remote.recent_decodes.rend();
          ++rit) {
       if (*rit < now - net::kSecond) break;
       ++recent;
     }
-    if (static_cast<double>(recent) < kMinRateFraction * nominal_fps_) return false;
+    if (static_cast<double>(recent) < kMinRateFraction * expected_fps) return false;
   }
 
   // 3. Content freshness: frame indices must keep pace with the wall clock
@@ -196,6 +315,45 @@ bool SpatialPersonaReceiver::PersonaAvailable(std::uint8_t sender, net::SimTime 
   if (lag_s > net::ToSeconds(kMaxContentLag)) return false;
 
   return true;
+}
+
+double SpatialPersonaReceiver::DownlinkLossEstimate(std::uint8_t sender,
+                                                    net::SimTime now) const {
+  const auto it = remotes_.find(sender);
+  if (it == remotes_.end()) return 0.0;
+  const Remote& remote = it->second;
+
+  std::uint64_t received = 0;
+  std::uint64_t min_index = 0;
+  std::uint64_t max_index = 0;
+  for (auto rit = remote.recent_arrivals.rbegin(); rit != remote.recent_arrivals.rend();
+       ++rit) {
+    if (rit->first < now - net::kSecond) break;
+    if (received == 0) {
+      min_index = max_index = rit->second;
+    } else {
+      min_index = std::min(min_index, rit->second);
+      max_index = std::max(max_index, rit->second);
+    }
+    ++received;
+  }
+  if (received == 0) {
+    // A started stream that has gone silent for a full second is 100% lossy
+    // as far as this subscriber is concerned.
+    return remote.saw_first ? 1.0 : 0.0;
+  }
+  // On the freeze rung only every kFreezeStride-th index is shipped, so the
+  // expected arrival count over the window is the index span divided by the
+  // stride — without this a loss-free freeze stream would read as ~89% loss.
+  const std::uint64_t stride = remote.freeze_mode ? kFreezeStride : 1;
+  const std::uint64_t span = (max_index - min_index) / stride + 1;
+  if (span <= received) return 0.0;
+  return static_cast<double>(span - received) / static_cast<double>(span);
+}
+
+void SpatialPersonaReceiver::ResetDecoder(std::uint8_t sender) {
+  const auto it = remotes_.find(sender);
+  if (it != remotes_.end()) it->second.decoder = semantic::SemanticDecoder();
 }
 
 const SpatialPersonaReceiver::RemoteStats& SpatialPersonaReceiver::remote(
@@ -263,6 +421,10 @@ void VideoPersonaSender::Tick(net::SimTime until) {
 
 void VideoPersonaSender::OnLossFeedback(double loss_rate) {
   rate_.OnTransportFeedback(loss_rate);
+}
+
+void VideoPersonaSender::SetRateScale(double scale) {
+  rate_.set_ceiling_bps(profile_.target_bitrate_bps * std::max(scale, 0.05));
 }
 
 // ---------------------------------------------------------------------------

@@ -15,6 +15,8 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "audio/codec.h"
 #include "audio/speech_source.h"
@@ -42,6 +44,41 @@ inline constexpr std::uint8_t kMediaSemanticFec = 2;  ///< FEC-framed semantics
 /// (viewport-aware delivery culling, the §4.4 extension). Audio is always
 /// delivered. Never forwarded to other participants.
 inline constexpr std::uint8_t kMediaSubscription = 3;
+/// Per-subscriber adaptation control (VTP_ADAPT): body is
+/// [target_sender_id][rung] where rung 0 = full stream, nonzero = coarse
+/// alternate stream. Client -> SFU: "deliver me `target`'s semantics at
+/// this rung". SFU -> sender (on the sender's own connection): "at least
+/// one subscriber wants your coarse stream" (aggregate, same encoding).
+/// Never forwarded to other participants.
+inline constexpr std::uint8_t kMediaAdaptCtrl = 4;
+/// Coarse-rung alternate semantic stream (simulcast-lite). Encoded
+/// standalone per frame (no temporal chain) so a subscriber can switch onto
+/// it at any packet; frame indices are in lockstep with the primary stream.
+inline constexpr std::uint8_t kMediaSemanticAlt = 5;
+/// Freeze-frame semantic stream: the ladder's last rung ships standalone
+/// frames at 1/kFreezeStride of the capture rate. The distinct media byte
+/// tells receivers to judge stream health against the advertised freeze
+/// cadence — the persona is presented frozen-but-present instead of being
+/// torn down like the non-adaptive cliff.
+inline constexpr std::uint8_t kMediaSemanticFreeze = 6;
+
+/// Freeze mode ships every Nth captured frame. Frame indices still advance
+/// at the capture rate, so content lag stays measurable across the gap.
+inline constexpr std::uint64_t kFreezeStride = 9;
+
+/// One rung of the semantic rate ladder: the codec config plus the rough
+/// per-frame wire size used for the controller's nominal-rate matching.
+struct SemanticRung {
+  semantic::SemanticCodecConfig codec;
+  double approx_frame_bytes = 0;
+  const char* name = "";
+};
+
+/// The ~5x degradation ladder the paper's discussion motivates (§4.3d):
+/// rung 0 is the measured float32+LZ scheme, deeper rungs trade precision
+/// for rate. Rung 1 (q12 spatial-delta) doubles as the simulcast coarse
+/// stream because its frames decode standalone.
+const std::vector<SemanticRung>& DefaultSemanticLadder();
 
 /// Captures keypoints and ships semantic frames over a QUIC connection.
 class SpatialPersonaSender {
@@ -57,12 +94,40 @@ class SpatialPersonaSender {
   /// Starts ticking now and stops at `until`.
   void Start(net::SimTime until);
 
+  /// Arms the adaptive-delivery hooks (VTP_ADAPT sessions only): the rung
+  /// ladder ApplyLevel() indexes into, and the FEC group size used when a
+  /// level enables FEC. Without this call the sender behaves exactly as
+  /// seeded (no keyframe cadence, no freeze path, no simulcast).
+  void ConfigureAdaptive(std::vector<semantic::SemanticCodecConfig> rungs, int fec_k);
+
+  /// Applies one controller decision: switch the encoder to `rung` (the
+  /// first frame after a switch encodes standalone, so decoders follow
+  /// without resync), enable/disable FEC, and enter/leave freeze mode
+  /// (ship only every 9th frame, each standalone, ~10 fps).
+  void ApplyLevel(int rung, bool fec_on, bool freeze);
+
+  /// SFU aggregate notification: at least one subscriber wants the coarse
+  /// alternate stream. Simulcast is suppressed while the sender itself is
+  /// degraded (rung > 0 or frozen) — the uplink has no headroom for two
+  /// streams then, and the primary is already coarse.
+  void SetCoarseEnabled(bool on);
+
+  /// Routes a kMediaAdaptCtrl datagram from the SFU ([.., target, rung]).
+  void OnAdaptCtrl(std::span<const std::uint8_t> data);
+
+  int current_rung() const { return rung_; }
+  bool frozen() const { return freeze_; }
+  bool fec_enabled() const { return fec_.has_value() && fec_enabled_; }
+  bool coarse_enabled() const { return coarse_enabled_; }
+
   /// Back-compat views of the "persona.tx<N>" registry counters.
   std::uint64_t frames_sent() const { return frames_sent_->value(); }
   std::uint64_t payload_bytes_sent() const { return payload_bytes_sent_->value(); }
+  std::uint64_t fec_parity_bytes_sent() const { return fec_parity_bytes_->value(); }
 
  private:
   void Tick(net::SimTime until);
+  void Ship(std::uint8_t media, std::span<const std::uint8_t> body);
 
   net::Simulator* sim_;
   transport::QuicConnection* conn_;
@@ -72,8 +137,21 @@ class SpatialPersonaSender {
   semantic::SemanticEncoder encoder_;
   std::vector<std::uint8_t> encode_scratch_;  // reused per-frame encode buffer
   std::optional<transport::FecEncoder> fec_;
+
+  // Adaptive-delivery state (inert until ConfigureAdaptive).
+  bool adaptive_ = false;
+  std::vector<semantic::SemanticCodecConfig> rungs_;
+  int rung_ = 0;
+  bool fec_enabled_ = true;   ///< effective only when fec_ exists
+  bool freeze_ = false;
+  std::uint64_t frames_since_key_ = 0;
+  bool coarse_enabled_ = false;
+  std::optional<semantic::SemanticEncoder> coarse_encoder_;
+  std::vector<std::uint8_t> coarse_scratch_;
+
   obs::Counter* frames_sent_ = nullptr;
   obs::Counter* payload_bytes_sent_ = nullptr;
+  obs::Counter* fec_parity_bytes_ = nullptr;
 };
 
 /// Decodes semantic frames from every remote sender; optionally reconstructs
@@ -83,9 +161,10 @@ class SpatialPersonaSender {
 /// persona is shown only while its semantic stream is *healthy* —
 ///   1. a decodable frame arrived within kAvailabilityTimeout,
 ///   2. the decoded frame rate over the last second is at least
-///      kMinRateFraction of the nominal capture rate (semantic streams
-///      cannot be reconstructed from partial data, so sustained loss kills
-///      the persona), and
+///      kMinRateFraction of the stream's advertised rate — the nominal
+///      capture rate normally, or the freeze cadence while the sender is
+///      on the kMediaSemanticFreeze rung (a frozen persona is degraded,
+///      not gone; only the non-adaptive cliff tears it down), and
 ///   3. content is not stale: the newest frame's index keeps pace with
 ///      wall-clock time (a rate-capped uplink queues packets, so frames
 ///      arrive increasingly late — the paper's <700 Kbps cliff).
@@ -117,6 +196,18 @@ class SpatialPersonaReceiver {
   /// True if `sender`'s persona stream is currently healthy (see above).
   bool PersonaAvailable(std::uint8_t sender, net::SimTime now) const;
 
+  /// Downlink loss estimate for `sender`'s semantic stream over the last
+  /// second, from gaps in the arriving frame-index sequence (frame indices
+  /// are contiguous at the sender, so span - arrivals = losses). Feeds the
+  /// per-subscriber adaptation loop; returns 1.0 when a started stream has
+  /// gone silent, 0.0 before the stream starts.
+  double DownlinkLossEstimate(std::uint8_t sender, net::SimTime now) const;
+
+  /// Drops `sender`'s decoder state (rung-switch resync: the next
+  /// standalone frame restarts the temporal chain cleanly instead of
+  /// delta-decoding against a mismatched quantization grid).
+  void ResetDecoder(std::uint8_t sender);
+
   const RemoteStats& remote(std::uint8_t sender) const;
   std::size_t known_senders() const { return remotes_.size(); }
 
@@ -133,13 +224,21 @@ class SpatialPersonaReceiver {
     RemoteStats stats;
     std::uint64_t decoded_since_reconstruct = 0;
     std::deque<net::SimTime> recent_decodes;      // decode times, last second
+    // Arrival log (time, frame index) over the last second, pre-decode —
+    // the per-subscriber loss estimator's input.
+    std::deque<std::pair<net::SimTime, std::uint64_t>> recent_arrivals;
     net::SimTime first_decode_time = 0;
     std::uint64_t first_frame_index = 0;
     bool saw_first = false;
+    // Stream mode of the newest decoded frame: true while the sender is on
+    // the freeze rung. Flips re-arm a one-second rate-check grace period
+    // (the decode-rate window still holds the previous cadence).
+    bool freeze_mode = false;
+    net::SimTime mode_changed_at = -net::Seconds(3600);
   };
 
   void ProcessSemantic(std::uint8_t sender, Remote& remote,
-                       std::span<const std::uint8_t> payload);
+                       std::span<const std::uint8_t> payload, bool freeze);
 
   net::Simulator* sim_;
   std::map<std::uint8_t, const mesh::TriangleMesh*> bases_;
@@ -162,6 +261,10 @@ class VideoPersonaSender {
 
   /// RTCP loss feedback from any receiver of this stream.
   void OnLossFeedback(double loss_rate);
+
+  /// Adaptive-delivery hook ("coarsen video rate model"): scales the rate
+  /// ceiling relative to the profile target; 1.0 restores full quality.
+  void SetRateScale(double scale);
 
   double current_target_bps() const { return rate_.target_bps(); }
   std::uint64_t frames_sent() const { return frames_sent_; }

@@ -21,6 +21,60 @@ std::vector<DeviceType> Devices(const std::vector<Participant>& participants) {
   return devices;
 }
 
+// --- Adaptive-delivery ladders (VTP_ADAPT, DESIGN §9) -----------------------
+
+/// Approximate wire rate of a semantic rung: framed payload plus per-frame
+/// wrapper/QUIC overhead at `fps`, plus the always-on audio stream.
+double SemanticNominalBps(double frame_bytes, double fps) {
+  constexpr double kPerFrameOverheadBytes = 50;  // wrapper + QUIC + UDP/IP
+  constexpr double kAudioBps = 50e3;
+  return (frame_bytes + kPerFrameOverheadBytes) * 8.0 * fps + kAudioBps;
+}
+
+/// The 7-level spatial degradation ladder: drop FEC, then coarsen through
+/// the semantic rate ladder, then freeze-frame (~10 fps standalone frames).
+std::vector<transport::AdaptLevel> BuildSpatialLevels(double fps, int fec_k) {
+  const std::vector<SemanticRung>& ladder = DefaultSemanticLadder();
+  std::vector<transport::AdaptLevel> levels;
+  const double fec_factor = 1.0 + 1.0 / static_cast<double>(fec_k);
+  levels.push_back({0, true, false,
+                    SemanticNominalBps(ladder[0].approx_frame_bytes * fec_factor, fps),
+                    std::string(ladder[0].name) + "+fec"});
+  for (std::size_t r = 0; r < ladder.size(); ++r) {
+    levels.push_back({static_cast<int>(r), false, false,
+                      SemanticNominalBps(ladder[r].approx_frame_bytes, fps),
+                      ladder[r].name});
+  }
+  // Freeze: every kFreezeStride-th frame, each standalone (larger than a
+  // temporal delta).
+  const double freeze_frame_bytes = ladder.back().approx_frame_bytes * 1.8;
+  levels.push_back({static_cast<int>(ladder.size() - 1), false, true,
+                    SemanticNominalBps(freeze_frame_bytes,
+                                       fps / static_cast<double>(kFreezeStride)),
+                    "freeze"});
+  return levels;
+}
+
+/// The 2D ladder maps levels onto video rate-control ceilings: `rung`
+/// indexes kVideoScales and `freeze` marks the bottom (slideshow) level.
+constexpr double kVideoScales[] = {1.0, 0.7, 0.5, 0.35, 0.25, 0.12};
+
+std::vector<transport::AdaptLevel> BuildVideoLevels(double target_bps) {
+  constexpr const char* kNames[] = {"video-100", "video-70",  "video-50",
+                                    "video-35",  "video-25",  "video-slideshow"};
+  std::vector<transport::AdaptLevel> levels;
+  for (int r = 0; r < 6; ++r) {
+    levels.push_back({r, false, r == 5, target_bps * kVideoScales[r] + 50e3, kNames[r]});
+  }
+  return levels;
+}
+
+// Subscriber-side coarse-request hysteresis (per remote sender).
+constexpr double kCoarseEnterLoss = 0.08;   ///< two consecutive samples above
+constexpr double kCoarseExitLoss = 0.02;    ///< sustained below, for...
+constexpr net::SimTime kCoarseExitHold = net::Seconds(3);
+constexpr net::SimTime kCoarseRefresh = net::Seconds(1);
+
 }  // namespace
 
 TelepresenceSession::TelepresenceSession(SessionConfig config)
@@ -39,6 +93,10 @@ TelepresenceSession::TelepresenceSession(SessionConfig config)
   sim_ = std::make_unique<net::Simulator>(config_.seed);
   network_ = std::make_unique<net::Network>(sim_.get());
   network_->BuildBackbone();
+
+  // Resolve the adaptation knob once, at construction: a bench batching
+  // sessions under different env values gets a coherent per-session answer.
+  adapt_enabled_ = core::knobs::kAdapt.Get();
 
   for (std::size_t i = 0; i < config_.participants.size(); ++i) {
     hosts_.push_back(network_->AddHost(config_.participants[i].name,
@@ -191,9 +249,24 @@ void TelepresenceSession::SetupSpatialPipelines() {
     auto receiver = std::make_unique<SpatialPersonaReceiver>(
         sim_.get(), std::move(bases), config_.reconstruct_stride, config_.spatial_fps);
     receiver->set_self_id(static_cast<std::uint8_t>(i));
-    conn->set_on_datagram([rx = receiver.get()](std::span<const std::uint8_t> data) {
-      rx->OnDatagram(data);
-    });
+    if (adapt_enabled_) {
+      // Demux: SFU coarse-stream notifications route to the sender (created
+      // below — looked up at dispatch time), media to the receiver.
+      conn->set_on_datagram(
+          [this, i, rx = receiver.get()](std::span<const std::uint8_t> data) {
+            if (data.size() >= 5 && data[2] == kMediaAdaptCtrl) {
+              if (i < spatial_senders_.size() && spatial_senders_[i]) {
+                spatial_senders_[i]->OnAdaptCtrl(data);
+              }
+              return;
+            }
+            rx->OnDatagram(data);
+          });
+    } else {
+      conn->set_on_datagram([rx = receiver.get()](std::span<const std::uint8_t> data) {
+        rx->OnDatagram(data);
+      });
+    }
     spatial_receivers_.push_back(std::move(receiver));
 
     auto sender = std::make_unique<SpatialPersonaSender>(
@@ -213,6 +286,104 @@ void TelepresenceSession::SetupSpatialPipelines() {
     for (auto& sender : spatial_senders_) sender->Start(config_.duration);
     for (auto& sender : audio_senders_) sender->Start(config_.duration);
   });
+
+  if (adapt_enabled_) SetupSpatialAdaptation();
+}
+
+void TelepresenceSession::SetupSpatialAdaptation() {
+  const std::size_t n = config_.participants.size();
+  const int fec_k = config_.spatial_fec_k > 0 ? config_.spatial_fec_k : 4;
+  const std::vector<transport::AdaptLevel> levels =
+      BuildSpatialLevels(config_.spatial_fps, fec_k);
+
+  std::vector<semantic::SemanticCodecConfig> rungs;
+  for (const SemanticRung& rung : DefaultSemanticLadder()) rungs.push_back(rung.codec);
+
+  subscriber_adapt_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    spatial_senders_[i]->ConfigureAdaptive(rungs, fec_k);
+    path_estimators_.push_back(std::make_unique<transport::PathEstimator>());
+    adapt_controllers_.push_back(std::make_unique<transport::AdaptController>(
+        sim_.get(), levels, transport::AdaptConfig{},
+        "adapt.tx" + std::to_string(i)));
+  }
+
+  // The 200 ms control tick: sample each uplink's transport counters, run
+  // the controller, apply level changes, and drive the per-subscriber
+  // coarse-stream requests.
+  auto ticker = std::make_shared<std::function<void()>>();
+  *ticker = [this, ticker] {
+    if (sim_->now() >= config_.duration) return;
+    const net::SimTime now = sim_->now();
+    for (std::size_t i = 0; i < quic_conns_.size(); ++i) {
+      const transport::QuicStats st = quic_conns_[i]->stats();
+      path_estimators_[i]->OnCounters(st.bytes_sent, st.packets_sent,
+                                      st.packets_declared_lost, st.smoothed_rtt_ms, now);
+      if (adapt_controllers_[i]->Update(path_estimators_[i]->estimate(), now)) {
+        const transport::AdaptLevel& spec = adapt_controllers_[i]->level_spec();
+        spatial_senders_[i]->ApplyLevel(spec.rung, spec.fec, spec.freeze);
+      }
+    }
+    UpdateSubscriberAdapt(now);
+    sim_->After(net::Millis(200), *ticker);
+  };
+  sim_->After(net::Millis(500), *ticker);
+}
+
+void TelepresenceSession::SendRungRequest(std::size_t participant, std::uint8_t target,
+                                          bool coarse) {
+  const std::vector<std::uint8_t> msg{kRelayTagLocal,
+                                      static_cast<std::uint8_t>(participant),
+                                      kMediaAdaptCtrl, target,
+                                      static_cast<std::uint8_t>(coarse ? 1 : 0)};
+  quic_conns_[participant]->SendDatagram(msg);
+}
+
+void TelepresenceSession::UpdateSubscriberAdapt(net::SimTime now) {
+  for (std::size_t i = 0; i < spatial_receivers_.size(); ++i) {
+    for (const std::uint8_t j : remote_ids_[i]) {
+      // A delivery-culled persona has no stream to measure (silence would
+      // read as 100% loss).
+      if (config_.delivery_culling && i < desired_masks_.size() &&
+          (desired_masks_[i] & (1u << j)) == 0) {
+        continue;
+      }
+      const double loss = spatial_receivers_[i]->DownlinkLossEstimate(j, now);
+      SubscriberAdapt& s = subscriber_adapt_[i][j];
+      if (!s.coarse) {
+        if (loss > kCoarseEnterLoss) {
+          if (++s.high_loss_samples >= 2) {
+            s.coarse = true;
+            s.high_loss_samples = 0;
+            s.low_loss_since = -1;
+            s.last_refresh = now;
+            SendRungRequest(i, j, /*coarse=*/true);
+            spatial_receivers_[i]->ResetDecoder(j);
+          }
+        } else {
+          s.high_loss_samples = 0;
+        }
+      } else {
+        if (loss < kCoarseExitLoss) {
+          if (s.low_loss_since < 0) s.low_loss_since = now;
+          if (now - s.low_loss_since >= kCoarseExitHold) {
+            s.coarse = false;
+            s.low_loss_since = -1;
+            SendRungRequest(i, j, /*coarse=*/false);
+            spatial_receivers_[i]->ResetDecoder(j);
+            continue;
+          }
+        } else {
+          s.low_loss_since = -1;
+        }
+        // Refresh while coarse: the SFU's mask survives lost datagrams.
+        if (now - s.last_refresh >= kCoarseRefresh) {
+          s.last_refresh = now;
+          SendRungRequest(i, j, /*coarse=*/true);
+        }
+      }
+    }
+  }
 }
 
 void TelepresenceSession::Setup2dPipelines() {
@@ -240,8 +411,26 @@ void TelepresenceSession::Setup2dPipelines() {
     auto sender = std::make_unique<VideoPersonaSender>(network_.get(), hosts_[i], kMediaPort,
                                                        dst, dst_port, profile_, &model, ssrc,
                                                        config_.seed * 131 + i);
-    receiver->set_on_own_loss_report(
-        [tx = sender.get()](double loss) { tx->OnLossFeedback(loss); });
+    if (adapt_enabled_) {
+      // The RTCP RR loss report (1/s) doubles as the estimator feed; levels
+      // map onto rate-control ceiling scales ("coarsen the video rate
+      // model"), with the bottom level a slideshow stand-in for freeze.
+      path_estimators_.push_back(std::make_unique<transport::PathEstimator>());
+      adapt_controllers_.push_back(std::make_unique<transport::AdaptController>(
+          sim_.get(), BuildVideoLevels(profile_.target_bitrate_bps), transport::AdaptConfig{},
+          "adapt.tx" + std::to_string(i)));
+      receiver->set_on_own_loss_report([this, i, tx = sender.get()](double loss) {
+        tx->OnLossFeedback(loss);
+        const net::SimTime now = sim_->now();
+        path_estimators_[i]->OnLossFraction(loss, now);
+        if (adapt_controllers_[i]->Update(path_estimators_[i]->estimate(), now)) {
+          tx->SetRateScale(kVideoScales[adapt_controllers_[i]->level_spec().rung]);
+        }
+      });
+    } else {
+      receiver->set_on_own_loss_report(
+          [tx = sender.get()](double loss) { tx->OnLossFeedback(loss); });
+    }
     video_receivers_.push_back(std::move(receiver));
     video_senders_.push_back(std::move(sender));
 

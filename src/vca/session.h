@@ -11,6 +11,7 @@
 // access links), Run() it, and read the SessionReport.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -23,6 +24,7 @@
 #include "render/frame_loop.h"
 #include "render/lod.h"
 #include "render/scenario.h"
+#include "transport/adapt.h"
 #include "transport/tcp_ping.h"
 #include "vca/pipelines.h"
 #include "vca/profile.h"
@@ -141,6 +143,15 @@ class TelepresenceSession {
   const SpatialPersonaSender* spatial_sender(std::size_t participant) const;
   const VideoPersonaReceiver* video_receiver(std::size_t participant) const;
 
+  /// Uplink adaptation controller for `participant` (VTP_ADAPT sessions;
+  /// nullptr when the knob is off). Spatial sessions drive the semantic
+  /// ladder; 2D sessions drive the video rate-scale ladder.
+  const transport::AdaptController* adapt_controller(std::size_t participant) const {
+    return participant < adapt_controllers_.size() ? adapt_controllers_[participant].get()
+                                                   : nullptr;
+  }
+  bool adapt_enabled() const { return adapt_enabled_; }
+
   /// How often each LOD class was selected across a participant's rendered
   /// frames (indexed by LodClass; valid after Run, spatial sessions only).
   const std::array<std::uint64_t, 5>& lod_histogram(std::size_t participant) const {
@@ -169,6 +180,9 @@ class TelepresenceSession {
   void SetupSpatialPipelines();
   void Setup2dPipelines();
   void SetupRenderLoops();
+  void SetupSpatialAdaptation();
+  void UpdateSubscriberAdapt(net::SimTime now);
+  void SendRungRequest(std::size_t participant, std::uint8_t target, bool coarse);
 
   SessionConfig config_;
   const VcaProfile& profile_;
@@ -213,6 +227,20 @@ class TelepresenceSession {
   std::vector<std::uint8_t> desired_masks_;  // per participant, delivery culling
   std::vector<std::uint8_t> sent_masks_;
   std::vector<std::vector<std::uint8_t>> remote_ids_;  ///< per participant
+
+  // Adaptive delivery (VTP_ADAPT; cached at construction so a batch of
+  // sessions under different env values stays coherent).
+  bool adapt_enabled_ = false;
+  std::vector<std::unique_ptr<transport::PathEstimator>> path_estimators_;
+  std::vector<std::unique_ptr<transport::AdaptController>> adapt_controllers_;
+  /// Per-(subscriber, remote sender) coarse-stream request hysteresis.
+  struct SubscriberAdapt {
+    bool coarse = false;
+    int high_loss_samples = 0;
+    net::SimTime low_loss_since = -1;
+    net::SimTime last_refresh = 0;
+  };
+  std::vector<std::map<std::uint8_t, SubscriberAdapt>> subscriber_adapt_;
 };
 
 }  // namespace vtp::vca

@@ -34,6 +34,8 @@ SfuServer::SfuServer(net::Network* network, net::NodeId node, std::uint16_t port
   scope_ = reg.UniqueScope("sfu");
   forwarded_ = reg.NewCounter(scope_ + ".forwarded");
   culled_ = reg.NewCounter(scope_ + ".culled");
+  rung_requests_ = reg.NewCounter(scope_ + ".rung_requests");
+  coarse_notifies_ = reg.NewCounter(scope_ + ".coarse_notifies");
   subscriptions_ = reg.NewGauge(scope_ + ".subscription_table_size");
   if (kind_ == TransportKind::kRtp) {
     network_->BindUdp(node_, port_, [this](const net::Packet& p) { OnRtpPacket(p); });
@@ -77,6 +79,14 @@ void SfuServer::OnConnClosed(transport::QuicConnection* conn) {
   // table (the subscription entry in particular used to leak here).
   semantic_subscriptions_.erase(conn);
   subscriptions_->Set(static_cast<double>(semantic_subscriptions_.size()));
+  if (coarse_masks_.erase(conn) > 0) {
+    for (std::uint8_t id = 0; id < coarse_aggregate_.size(); ++id) {
+      RecomputeCoarseAggregate(id);
+    }
+  }
+  for (transport::QuicConnection*& sender_conn : sender_conns_) {
+    if (sender_conn == conn) sender_conn = nullptr;
+  }
   if (const auto it = std::find(client_conns_.begin(), client_conns_.end(), conn);
       it != client_conns_.end()) {
     client_conns_.erase(it);
@@ -85,6 +95,43 @@ void SfuServer::OnConnClosed(transport::QuicConnection* conn) {
       it != peer_conns_.end()) {
     peer_conns_.erase(it);
   }
+}
+
+void SfuServer::RecomputeCoarseAggregate(std::uint8_t sender_id) {
+  std::uint8_t aggregate = 0;
+  for (const auto& [conn, mask] : coarse_masks_) {
+    if (mask & (1u << sender_id)) {
+      aggregate = 1;
+      break;
+    }
+  }
+  const bool changed = aggregate != coarse_aggregate_[sender_id];
+  coarse_aggregate_[sender_id] = aggregate;
+  // Notify on change, and re-notify while active (requests refresh ~1/s, so
+  // a lost notification datagram heals within a refresh interval).
+  if ((changed || aggregate != 0) && sender_conns_[sender_id] != nullptr) {
+    coarse_notifies_->Inc();
+    const std::vector<std::uint8_t> msg{kRelayTagLocal, sender_id,
+                                        4 /* kMediaAdaptCtrl */, sender_id, aggregate};
+    sender_conns_[sender_id]->SendDatagram(msg);
+  }
+}
+
+void SfuServer::OnAdaptCtrl(transport::QuicConnection* from,
+                            std::span<const std::uint8_t> data) {
+  // [tag][receiver_id][kMediaAdaptCtrl][target_sender][rung]: this
+  // subscriber wants `target`'s semantics at `rung` (0 = primary stream,
+  // nonzero = coarse alternate). Applies to the origin connection only.
+  rung_requests_->Inc();
+  const std::uint8_t target = data[3];
+  if (target >= coarse_aggregate_.size()) return;
+  std::uint8_t& mask = coarse_masks_[from];
+  if (data[4] != 0) {
+    mask |= static_cast<std::uint8_t>(1u << target);
+  } else {
+    mask &= static_cast<std::uint8_t>(~(1u << target));
+  }
+  RecomputeCoarseAggregate(target);
 }
 
 void SfuServer::OnRtpPacket(const net::Packet& p) {
@@ -145,6 +192,15 @@ void SfuServer::OnQuicDatagram(transport::QuicConnection* from,
     return;
   }
 
+  // Receiver -> server control: per-subscriber rung request. Applies
+  // locally (aggregation is per-server; a geo-distributed deployment would
+  // need the request relayed to the sender's home server — out of scope).
+  if ((tag == kRelayTagLocal || tag == kRelayTagRelayed) && data.size() >= 5 &&
+      data[2] == 4 /* kMediaAdaptCtrl */) {
+    OnAdaptCtrl(from, data);
+    return;
+  }
+
   if (tag == kRelayTagHello) {
     // A peer server announced itself on an accepted connection: reclassify.
     // Server-to-server links never subscribe, so any subscription recorded
@@ -155,19 +211,39 @@ void SfuServer::OnQuicDatagram(transport::QuicConnection* from,
       peer_conns_.push_back(from);
       semantic_subscriptions_.erase(from);
       subscriptions_->Set(static_cast<double>(semantic_subscriptions_.size()));
+      if (coarse_masks_.erase(from) > 0) {
+        for (std::uint8_t id = 0; id < coarse_aggregate_.size(); ++id) {
+          RecomputeCoarseAggregate(id);
+        }
+      }
+      for (transport::QuicConnection*& sender_conn : sender_conns_) {
+        if (sender_conn == from) sender_conn = nullptr;
+      }
     }
     return;
   }
 
   // Fan out to all local clients except the origin, honouring each
   // receiver's semantic subscription mask (audio always flows).
-  const bool is_semantic = data.size() >= 3 && (data[2] == 0 || data[2] == 2);
+  const std::uint8_t media = data.size() >= 3 ? data[2] : 0xFF;
+  const bool is_alt = media == 5 /* kMediaSemanticAlt */;
+  const bool is_semantic =
+      media == 0 || media == 2 || media == 6 /* kMediaSemanticFreeze */ || is_alt;
   const std::uint8_t sender_id = data.size() >= 2 ? data[1] : 0;
 
+  // Learn which connection each sender id originates on — the return path
+  // for coarse-stream notifications.
+  if (tag == kRelayTagLocal && media != 0xFF && sender_id < sender_conns_.size()) {
+    sender_conns_[sender_id] = from;
+  }
+  if (is_alt && sender_id < last_alt_time_.size()) {
+    last_alt_time_[sender_id] = network_->sim().now();
+  }
+
   // Frame-lifecycle span: mark the relay instant for semantic media
-  // (media byte 0 = full semantic frame; FEC repair is not a frame).
+  // (media 0 = full frame, 6 = freeze frame; FEC repair is not a frame).
   obs::FrameTracer& tracer = network_->sim().tracer();
-  if (tracer.enabled() && data.size() >= 5 && data[2] == 0 &&
+  if (tracer.enabled() && data.size() >= 5 && (data[2] == 0 || data[2] == 6) &&
       sender_id < obs::FrameTracer::kMaxPersonas) {
     std::uint64_t seq = 0;
     if (SemanticFrameSeq(data, &seq)) {
@@ -184,6 +260,18 @@ void SfuServer::OnQuicDatagram(transport::QuicConnection* from,
         culled_->Inc();
         continue;  // receiver culled this persona from delivery
       }
+      // Rung-exclusive delivery: a subscriber gets either the primary
+      // stream (+FEC) or the coarse alternate for a given sender — never
+      // both. A coarse request only sticks while the alternate is actually
+      // flowing (a degraded sender suppresses its simulcast; starving the
+      // subscriber of both streams would be worse than full quality).
+      const auto cm = coarse_masks_.find(conn);
+      const bool alt_flowing =
+          sender_id < last_alt_time_.size() &&
+          last_alt_time_[sender_id] + net::Millis(300) >= network_->sim().now();
+      const bool wants_coarse = cm != coarse_masks_.end() &&
+                                (cm->second & (1u << sender_id)) != 0 && alt_flowing;
+      if (wants_coarse != is_alt) continue;
     }
     forwarded_->Inc();
     conn->SendDatagram(data);

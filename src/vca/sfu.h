@@ -13,6 +13,7 @@
 //     chain servers over a private backbone without relay loops.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -64,6 +65,12 @@ class SfuServer {
   /// when their connection is reclassified as a peer server or closes).
   std::size_t semantic_subscription_count() const { return semantic_subscriptions_.size(); }
 
+  /// True while at least one local subscriber has requested `sender`'s
+  /// coarse alternate stream (per-subscriber adaptation, for tests).
+  bool coarse_requested(std::uint8_t sender) const {
+    return sender < coarse_aggregate_.size() && coarse_aggregate_[sender] != 0;
+  }
+
  private:
   struct RtpMember {
     net::NodeId node;
@@ -78,6 +85,8 @@ class SfuServer {
   void OnRtpPacket(const net::Packet& p);
   void OnQuicDatagram(transport::QuicConnection* from, std::span<const std::uint8_t> data);
   void OnConnClosed(transport::QuicConnection* conn);
+  void OnAdaptCtrl(transport::QuicConnection* from, std::span<const std::uint8_t> data);
+  void RecomputeCoarseAggregate(std::uint8_t sender_id);
 
   net::Network* network_;
   net::NodeId node_;
@@ -86,6 +95,8 @@ class SfuServer {
   std::string scope_;
   obs::Counter* forwarded_ = nullptr;       ///< "<scope>.forwarded"
   obs::Counter* culled_ = nullptr;          ///< sends skipped by subscription masks
+  obs::Counter* rung_requests_ = nullptr;   ///< kMediaAdaptCtrl messages from clients
+  obs::Counter* coarse_notifies_ = nullptr; ///< aggregate notifications to senders
   obs::Gauge* subscriptions_ = nullptr;     ///< live subscription-table entries
 
   // RTP mode. Members are looked up per packet by transport address, so the
@@ -98,6 +109,20 @@ class SfuServer {
   std::vector<transport::QuicConnection*> client_conns_;
   std::vector<transport::QuicConnection*> peer_conns_;
   std::map<transport::QuicConnection*, std::uint8_t> semantic_subscriptions_;
+
+  // Per-subscriber adaptation (VTP_ADAPT). Each client conn carries a
+  // bitmask of sender ids whose coarse alternate stream it wants instead of
+  // the primary; the per-sender aggregate drives a notification to the
+  // sender's own connection (learned from its locally originated media) so
+  // it starts/stops the simulcast stream.
+  std::map<transport::QuicConnection*, std::uint8_t> coarse_masks_;
+  std::array<std::uint8_t, 8> coarse_aggregate_{};
+  std::array<transport::QuicConnection*, 8> sender_conns_{};
+  /// Last time a coarse-alternate datagram arrived per sender. A degraded
+  /// sender suppresses its simulcast, so a subscriber's coarse request only
+  /// becomes rung-exclusive while the alternate is actually flowing —
+  /// otherwise the primary is delivered as a fallback (no starvation).
+  std::array<net::SimTime, 8> last_alt_time_{};
 };
 
 }  // namespace vtp::vca

@@ -5,7 +5,11 @@
 namespace vtp::video {
 
 RateController::RateController(double target_bps, double fps, int initial_qp)
-    : target_bps_(target_bps), configured_bps_(target_bps), fps_(fps), qp_(initial_qp) {}
+    : target_bps_(target_bps),
+      configured_bps_(target_bps),
+      ceiling_bps_(target_bps),
+      fps_(fps),
+      qp_(initial_qp) {}
 
 void RateController::OnFrameEncoded(std::size_t bytes) {
   const double budget = target_bps_ / fps_;
@@ -28,7 +32,8 @@ void RateController::OnTransportFeedback(double loss_rate) {
   if (loss_rate > 0.02) {
     target_bps_ = std::max(target_bps_ * (1.0 - 0.5 * loss_rate), 100e3);
   } else {
-    target_bps_ = std::min(target_bps_ + 0.02 * configured_bps_, configured_bps_);
+    target_bps_ =
+        std::min(target_bps_ + 0.02 * configured_bps_, std::min(configured_bps_, ceiling_bps_));
   }
 }
 

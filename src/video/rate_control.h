@@ -7,6 +7,7 @@
 // WebRTC-class congestion controller exposes to the codec).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 
 namespace vtp::video {
@@ -31,9 +32,20 @@ class RateController {
   /// recovery otherwise — applied to the target bitrate.
   void OnTransportFeedback(double loss_rate);
 
+  /// Adaptive-delivery ceiling: recovery never raises the target above it.
+  /// The control loop's "coarsen video rate model" levels lower the ceiling
+  /// and restore it on recovery; defaults to the configured target, which
+  /// keeps legacy behaviour bit-identical.
+  void set_ceiling_bps(double bps) {
+    ceiling_bps_ = bps;
+    target_bps_ = std::min(target_bps_, bps);
+  }
+  double ceiling_bps() const { return ceiling_bps_; }
+
  private:
   double target_bps_;
   double configured_bps_;
+  double ceiling_bps_;
   double fps_;
   int qp_;
   double buffer_bits_ = 0;

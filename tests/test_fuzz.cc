@@ -199,6 +199,93 @@ TEST(Fuzz, FecDecoderNeverCrashes) {
   SUCCEED();
 }
 
+// Valid repair packets, then damaged: truncated at every length and
+// bit-flipped at random positions. The decoder must neither crash nor let a
+// corrupt parity frame damage sources that arrived intact.
+TEST(Fuzz, FecCorruptRepairPacketsNeverCrashOrCorruptSources) {
+  std::mt19937_64 rng(9);
+  for (int round = 0; round < 60; ++round) {
+    transport::FecEncoder encoder(3);
+    std::vector<std::vector<std::uint8_t>> sources;   // original payloads
+    std::vector<std::vector<std::uint8_t>> parities;  // valid repair frames
+    std::vector<std::vector<std::uint8_t>> framed_sources;
+    for (int i = 0; i < 9; ++i) {
+      std::vector<std::uint8_t> payload(20 + rng() % 200);
+      for (auto& b : payload) b = static_cast<std::uint8_t>(rng());
+      sources.push_back(payload);
+      for (auto& f : encoder.Protect(payload)) {
+        (f[0] == 0x01 ? parities : framed_sources).push_back(std::move(f));
+      }
+    }
+    ASSERT_EQ(parities.size(), 3u);
+
+    std::vector<std::vector<std::uint8_t>> delivered;
+    transport::FecDecoder decoder([&](std::span<const std::uint8_t> p) {
+      delivered.emplace_back(p.begin(), p.end());
+    });
+    for (const auto& f : framed_sources) decoder.OnDatagram(f);
+    for (const auto& parity : parities) {
+      // Truncations of a valid repair frame, including the empty one.
+      for (std::size_t len = 0; len < parity.size(); len += 1 + rng() % 7) {
+        ExpectNoCrash(
+            [&] { decoder.OnDatagram(std::span(parity.data(), len)); });
+      }
+      // Bit flips anywhere in the frame (header or XOR payload).
+      for (int flips = 0; flips < 8; ++flips) {
+        auto corrupt = parity;
+        corrupt[rng() % corrupt.size()] ^=
+            static_cast<std::uint8_t>(1u << (rng() % 8));
+        ExpectNoCrash([&] { decoder.OnDatagram(corrupt); });
+      }
+    }
+    // Every intact source was delivered exactly once with its exact bytes,
+    // no matter what the damaged repair frames claimed.
+    ASSERT_GE(delivered.size(), sources.size());
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      EXPECT_EQ(delivered[i], sources[i]);
+    }
+  }
+}
+
+// A truncated parity that still parses as a frame header must not be used
+// to "recover" a wrong payload for a genuinely missing source.
+TEST(Fuzz, FecTruncatedRepairNeverFabricatesARecovery) {
+  std::mt19937_64 rng(10);
+  for (int round = 0; round < 60; ++round) {
+    transport::FecEncoder encoder(4);
+    std::vector<std::vector<std::uint8_t>> framed;
+    std::vector<std::vector<std::uint8_t>> sources;
+    for (int i = 0; i < 4; ++i) {
+      std::vector<std::uint8_t> payload(30 + rng() % 100);
+      for (auto& b : payload) b = static_cast<std::uint8_t>(rng());
+      sources.push_back(payload);
+      for (auto& f : encoder.Protect(payload)) framed.push_back(std::move(f));
+    }
+    ASSERT_EQ(framed.size(), 5u);
+
+    const std::size_t dropped = rng() % 4;  // one missing source
+    std::vector<std::vector<std::uint8_t>> delivered;
+    transport::FecDecoder decoder([&](std::span<const std::uint8_t> p) {
+      delivered.emplace_back(p.begin(), p.end());
+    });
+    for (std::size_t i = 0; i < 4; ++i) {
+      if (i != dropped) decoder.OnDatagram(framed[i]);
+    }
+    const auto& parity = framed[4];
+    const std::size_t cut = 1 + rng() % (parity.size() - 1);
+    ExpectNoCrash([&] { decoder.OnDatagram(std::span(parity.data(), cut)); });
+    // Whatever happened, nothing delivered may differ from a real source.
+    for (const auto& p : delivered) {
+      bool is_real = false;
+      for (std::size_t i = 0; i < 4; ++i) {
+        if (i != dropped && p == sources[i]) is_real = true;
+      }
+      if (p == sources[dropped]) is_real = true;  // full recovery is fine
+      EXPECT_TRUE(is_real) << "decoder fabricated a payload from a truncated parity";
+    }
+  }
+}
+
 TEST(Fuzz, QuicEndpointSurvivesGarbagePackets) {
   net::Simulator sim(9);
   net::Network network(&sim);
