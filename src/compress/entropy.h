@@ -13,10 +13,13 @@ namespace vtp::compress {
 /// through an adaptive bit tree, then the value's trailing bits at
 /// probability 1/2. Small magnitudes cost ~2-4 bits after adaptation.
 /// Used by the mesh codec (position/index residuals) and the video codec
-/// (quantized DCT coefficients).
+/// (quantized DCT coefficients). Encode/Decode template over the coder so
+/// the same tree drives the serial range coder and the multi-lane rANS
+/// stage (rans.h) interchangeably.
 class SignedValueCoder {
  public:
-  void Encode(RangeEncoder& rc, std::int64_t value) {
+  template <class Encoder>
+  void Encode(Encoder& rc, std::int64_t value) {
     const std::uint64_t z = ZigZagEncode(value);
     const int slot = z == 0 ? 0 : 64 - std::countl_zero(z);
     slots_.Encode(rc, static_cast<std::uint32_t>(slot));
@@ -25,7 +28,8 @@ class SignedValueCoder {
     }
   }
 
-  std::int64_t Decode(RangeDecoder& rc) {
+  template <class Decoder>
+  std::int64_t Decode(Decoder& rc) {
     const int slot = static_cast<int>(slots_.Decode(rc));
     std::uint64_t z = 0;
     if (slot == 1) {

@@ -44,6 +44,18 @@ inline LzParser DefaultLzParser() {
   return core::knobs::kLzParser.Is("lazy") ? LzParser::kLazy : LzParser::kGreedy;
 }
 
+/// Entropy stage for the lzr container: the legacy serial adaptive range
+/// coder (LZR1, seed byte-identical) or the interleaved multi-lane rANS
+/// coder (LZR2, see compress/rans.h). Decode sniffs the container magic, so
+/// the choice only affects encoders.
+enum class EntropyMode : std::uint8_t { kLegacy, kLanes };
+
+/// Mode selected by VTP_ENTROPY ("legacy"/"lanes"); legacy when unset or
+/// unrecognized (malformed values are inert). Allocation-free.
+inline EntropyMode DefaultEntropyMode() {
+  return core::knobs::kEntropy.Is("lanes") ? EntropyMode::kLanes : EntropyMode::kLegacy;
+}
+
 /// Tunables for the match finder.
 struct LzParams {
   static constexpr std::uint32_t kMinMatch = 3;
@@ -52,6 +64,8 @@ struct LzParams {
   std::uint32_t window_size = 1u << 20;  ///< max back-reference distance
   int max_chain_length = 64;             ///< hash-chain probes per position
   LzParser parser = DefaultLzParser();   ///< parse strategy (VTP_LZ_PARSER)
+  EntropyMode entropy = DefaultEntropyMode();  ///< entropy stage (VTP_ENTROPY)
+  int entropy_lanes = 8;  ///< rANS lane count; powers of two in [1, 16]
 };
 
 /// Tokenises `data` with the configured parser. Deterministic for identical

@@ -5,6 +5,7 @@
 #include "compress/bitstream.h"
 #include "compress/lzr_stream.h"
 #include "compress/range_coder.h"
+#include "compress/rans.h"
 #include "compress/varint.h"
 
 namespace vtp::compress {
@@ -122,28 +123,17 @@ std::vector<std::uint8_t> LzrCompressLegacy(std::span<const std::uint8_t> data,
   return out;
 }
 
-void LzrDecompressInto(std::span<const std::uint8_t> data, std::vector<std::uint8_t>& out) {
-  out.clear();
-  if (data.size() < detail::kLzrMagic.size() ||
-      !std::equal(detail::kLzrMagic.begin(), detail::kLzrMagic.end(), data.begin())) {
-    throw CorruptStream("lzr: bad magic");
-  }
-  std::size_t pos = detail::kLzrMagic.size();
-  const std::uint64_t original_size = GetUleb128(data, &pos);
-  // Plausibility bound: adaptive coding of a fully repetitive stream can
-  // spend well under a bit per max-length match, but not less than ~1/60 of
-  // one. Protects decoders of attacker-controlled headers from huge
-  // allocations while admitting any stream the encoder can produce.
-  const std::uint64_t max_plausible = static_cast<std::uint64_t>(data.size()) * 16384 + 4096;
-  if (original_size > max_plausible) throw CorruptStream("lzr: implausible original size");
-  if (original_size == 0) return;
+namespace {
 
-  // Fast path: size the output once, then write literals in place and
-  // block-copy matches (LzCopyMatch handles overlapping RLE-style ones).
+/// The token decode loop, shared by both containers: the legacy stream
+/// drives it with a RangeDecoder, the lanes stream with a RansLaneDecoder.
+/// Fast path either way: the output is sized once, literals write in place
+/// and matches block-copy (LzCopyMatch handles overlapping RLE-style ones).
+template <class Decoder>
+void DecodeTokens(Decoder& rc, std::uint64_t original_size, std::vector<std::uint8_t>& out) {
   out.resize(original_size);
   std::size_t wr = 0;
 
-  RangeDecoder rc(data.subspan(pos));
   detail::LzrModels m;
   while (wr < original_size) {
     if (rc.DecodeBit(m.is_match) == 0) {
@@ -165,6 +155,40 @@ void LzrDecompressInto(std::span<const std::uint8_t> data, std::vector<std::uint
     LzCopyMatch(out.data(), wr, length, dist);
     wr += length;
   }
+}
+
+}  // namespace
+
+void LzrDecompressInto(std::span<const std::uint8_t> data, std::vector<std::uint8_t>& out) {
+  out.clear();
+  const bool lanes =
+      data.size() >= detail::kLzrLanesMagic.size() &&
+      std::equal(detail::kLzrLanesMagic.begin(), detail::kLzrLanesMagic.end(), data.begin());
+  if (!lanes && (data.size() < detail::kLzrMagic.size() ||
+                 !std::equal(detail::kLzrMagic.begin(), detail::kLzrMagic.end(), data.begin()))) {
+    throw CorruptStream("lzr: bad magic");
+  }
+  std::size_t pos = detail::kLzrMagic.size();
+  const std::uint64_t original_size = GetUleb128(data, &pos);
+  // Plausibility bound: adaptive coding of a fully repetitive stream can
+  // spend well under a bit per max-length match, but not less than ~1/60 of
+  // one. Protects decoders of attacker-controlled headers from huge
+  // allocations while admitting any stream the encoder can produce.
+  const std::uint64_t max_plausible = static_cast<std::uint64_t>(data.size()) * 16384 + 4096;
+  if (original_size > max_plausible) throw CorruptStream("lzr: implausible original size");
+  if (original_size == 0) return;
+
+  if (lanes) {
+    if (pos >= data.size()) throw CorruptStream("lzr: missing lane count");
+    const int lane_count = data[pos++];
+    RansLaneDecoder rc(data.subspan(pos), lane_count);  // validates lane_count
+    DecodeTokens(rc, original_size, out);
+    rc.Finish();
+    return;
+  }
+
+  RangeDecoder rc(data.subspan(pos));
+  DecodeTokens(rc, original_size, out);
 }
 
 std::vector<std::uint8_t> LzrDecompress(std::span<const std::uint8_t> data) {

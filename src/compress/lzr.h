@@ -1,13 +1,17 @@
 // "lzr" — a general-purpose LZ77 + adaptive-range-coder compressor.
 //
 // This is the repository's stand-in for LZMA (the paper compresses keypoint
-// streams with LZMA in §4.3). The container is:
+// streams with LZMA in §4.3). Two containers share one token model
+// (selected per LzParams::entropy / VTP_ENTROPY; decode sniffs the magic):
 //
 //   magic "LZR1" | uleb128 original_size | range-coded token stream
+//   magic "LZR2" | uleb128 original_size | u8 lanes | interleaved rANS stream
 //
 // Tokens are entropy-coded with adaptive bit models: a match/literal flag,
 // order-0 context literals, a length bit tree, and distance slots with direct
-// bits (the LZMA distance scheme, simplified).
+// bits (the LZMA distance scheme, simplified). LZR1 runs them through the
+// serial adaptive range coder; LZR2 through the multi-lane rANS stage
+// (compress/rans.h), which breaks the serial per-bit dependency chain.
 //
 // The functions here are convenience wrappers for tests and tools. Per-frame
 // callers (semantic codec, pipelines, benches) hold a compress::LzrEncoder

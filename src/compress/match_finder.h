@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "compress/lz77.h"
+#include "core/simd.h"
 
 namespace vtp::compress {
 
@@ -47,10 +48,19 @@ inline std::uint32_t LzHash3(const std::uint8_t* p, std::uint32_t hash_bits) {
   return (v * 2654435761u) >> (32 - hash_bits);
 }
 
-/// Length of the common prefix of `a` and `b`, up to `max_len`. Word-at-a-time.
+/// Length of the common prefix of `a` and `b`, up to `max_len`.
+/// 16 bytes per probe through the SIMD wrapper (cmpeq + movemask + ctz on
+/// SSE2), then word-at-a-time, then bytes near the tail. Exact-prefix
+/// semantics are identical across paths, so which build's ISA ran never
+/// changes a parse decision — greedy streams stay seed-byte-identical.
 inline std::uint32_t LzMatchLength(const std::uint8_t* a, const std::uint8_t* b,
                                    std::uint32_t max_len) {
   std::uint32_t len = 0;
+  while (len + 16 <= max_len) {
+    const std::uint32_t p = simd::CommonPrefix16(a + len, b + len);
+    len += p;
+    if (p < 16) return len;
+  }
   while (len + 8 <= max_len) {
     std::uint64_t va, vb;
     std::memcpy(&va, a + len, 8);

@@ -1,0 +1,287 @@
+// Interleaved multi-lane rANS entropy stage for the "lzr" container.
+//
+// DESIGN §6 documents the ceiling this file breaks: the adaptive range
+// coder's low/range update is one serial dependency chain, ~8.9 cycles per
+// model bit, and no amount of parsing speed moves it. rANS (range asymmetric
+// numeral systems) admits what a carry-based range coder cannot: N fully
+// independent coder states whose renormalisation bytes interleave
+// deterministically, so N model bits are in flight per N-cycle chain step
+// and the decoder needs no side table to demux.
+//
+// The catch is that rANS encodes LIFO — the encoder must push symbols in
+// reverse while the models adapt forward. The stage therefore runs in two
+// passes:
+//
+//   pass 1 (forward)  — RansRecordCoder walks the token stream through the
+//       SAME adaptive BitModel update rule as the range coder, but instead
+//       of coding it appends one packed (freq, start) record per binary
+//       decision to a scratch vector;
+//   pass 2 (reverse)  — RansEncodeRecords replays the records back-to-front
+//       round-robin across N lane states (decision i belongs to lane
+//       i & (N-1)), emitting renorm bytes backwards. Division by freq is
+//       replaced with an exact reciprocal multiply (table below): the
+//       reference machine's 32-bit divide has ~26-cycle latency, which
+//       would hand back everything the lanes bought.
+//
+// The decoder is one forward pass: decision i reads lane i & (N-1), maps the
+// low kTotalBits of the state through the adaptive model, and renormalises
+// byte-wise from the stream. Because decode is exactly encode run backwards,
+// the interleaved byte order works out with no markers. Decode consumes
+// exactly the bytes encode produced and finishes with every lane back at
+// kRansL; RansLaneDecoder::Finish checks that as a cheap integrity gate.
+//
+// Lane states are u32 in [kRansL, kRansL << 8); with kRansL = 2^23 and
+// 11-bit model totals the encoder renorm bound freq << 20 never overflows.
+// Lane counts are powers of two in [1, 16] so the lane index is one AND.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "compress/bitstream.h"
+#include "compress/range_coder.h"
+
+namespace vtp::compress {
+
+inline constexpr std::uint32_t kRansL = 1u << 23;  ///< lane-state lower bound
+inline constexpr int kRansDefaultLanes = 8;
+inline constexpr int kRansMaxLanes = 16;
+
+/// True for the lane counts the format admits: powers of two in [1, 16].
+inline constexpr bool RansValidLanes(int n) {
+  return n >= 1 && n <= kRansMaxLanes && (n & (n - 1)) == 0;
+}
+
+namespace detail {
+
+/// One binary decision, packed: bits [16,27] the symbol's frequency and bits
+/// [0,11] its cumulative start, both in units of 1/BitModel::kTotal.
+using RansRecord = std::uint32_t;
+
+inline constexpr RansRecord PackRansRecord(std::uint32_t freq, std::uint32_t start) {
+  return (freq << 16) | start;
+}
+
+/// Exact division-free encoder step for every freq in [1, kTotal - 1]:
+/// q = floor(x / freq) computed as ((x * rcp) >> 32) >> shift, the
+/// ceil-reciprocal construction from ryg's rans_byte (exact for all u32 x).
+/// freq == 1 uses the degenerate form via bias_add (see RansEncodeRecords).
+struct RansReciprocal {
+  std::uint32_t rcp;
+  std::uint32_t cmpl;      ///< kTotal - freq
+  std::uint16_t shift;
+  std::uint16_t bias_add;  ///< kTotal - 1 when freq == 1, else 0
+};
+
+inline constexpr std::array<RansReciprocal, BitModel::kTotal> MakeRansReciprocals() {
+  std::array<RansReciprocal, BitModel::kTotal> t{};
+  t[0] = {0, 0, 0, 0};  // freq 0 never occurs (probs stay in [31, 2017])
+  for (std::uint32_t freq = 1; freq < BitModel::kTotal; ++freq) {
+    RansReciprocal& r = t[freq];
+    r.cmpl = BitModel::kTotal - freq;
+    if (freq < 2) {
+      r.rcp = ~0u;
+      r.shift = 0;
+      r.bias_add = BitModel::kTotal - 1;
+    } else {
+      std::uint32_t shift = 0;
+      while (freq > (1u << shift)) ++shift;
+      r.rcp = static_cast<std::uint32_t>(((1ull << (shift + 31)) + freq - 1) / freq);
+      r.shift = static_cast<std::uint16_t>(shift - 1);
+      r.bias_add = 0;
+    }
+  }
+  return t;
+}
+
+inline constexpr std::array<RansReciprocal, BitModel::kTotal> kRansReciprocals =
+    MakeRansReciprocals();
+
+}  // namespace detail
+
+/// Pass-1 coder: same EncodeBit/EncodeDirectBits surface as
+/// RangeEncoder::Hot (so BitTree and the token sinks template over it), but
+/// it only adapts the models and appends one record per decision.
+class RansRecordCoder {
+ public:
+  explicit RansRecordCoder(std::vector<detail::RansRecord>& records) : records_(records) {}
+
+  void EncodeBit(BitModel& m, int bit) {
+    const std::uint32_t prob = m.prob;
+    const std::uint32_t mask = 0u - static_cast<std::uint32_t>(bit);  // 0 or ~0
+    // Symbol 0 spans [0, prob), symbol 1 spans [prob, kTotal).
+    const std::uint32_t freq = (prob & ~mask) | ((BitModel::kTotal - prob) & mask);
+    records_.push_back(detail::PackRansRecord(freq, prob & mask));
+    // Model update identical to RangeEncoder::Hot::EncodeBit, so both
+    // entropy modes share the same adaptation tuning.
+    const std::uint32_t d0 = (BitModel::kTotal - prob) >> BitModel::kMoveBits;
+    const std::uint32_t d1 = prob >> BitModel::kMoveBits;
+    m.prob = static_cast<std::uint16_t>(prob + (d0 & ~mask) - (d1 & mask));
+  }
+
+  /// `count` bits of `value`, MSB first, at fixed probability 1/2.
+  void EncodeDirectBits(std::uint32_t value, int count) {
+    constexpr std::uint32_t kHalf = BitModel::kTotal / 2;
+    for (int i = count - 1; i >= 0; --i) {
+      const std::uint32_t bit = (value >> i) & 1u;
+      records_.push_back(detail::PackRansRecord(kHalf, bit * kHalf));
+    }
+  }
+
+ private:
+  std::vector<detail::RansRecord>& records_;
+};
+
+namespace detail {
+
+/// Pass-2 core, templated over the byte sink so the counting probe
+/// (LzrEncoder::CompressedSize) shares the exact arithmetic. Emits the
+/// payload BACKWARDS into the sink: renorm bytes for records
+/// R-1 .. 0, then each lane's final state for lanes N-1 .. 0 MSB-first.
+/// A reversed copy of the sink therefore starts with lane 0's state
+/// little-endian — which is how RansLaneDecoder reads it.
+template <class Sink>
+inline void RansEncodeRecordsTo(std::span<const RansRecord> records, int lanes, Sink&& sink) {
+  std::uint32_t x[kRansMaxLanes];
+  for (int l = 0; l < lanes; ++l) x[l] = kRansL;
+  const std::uint32_t lane_mask = static_cast<std::uint32_t>(lanes - 1);
+
+  for (std::size_t i = records.size(); i-- > 0;) {
+    const RansRecord rec = records[i];
+    const std::uint32_t freq = rec >> 16;
+    const std::uint32_t start = rec & 0xFFFFu;
+    const RansReciprocal& rr = kRansReciprocals[freq];
+    std::uint32_t& xs = x[static_cast<std::uint32_t>(i) & lane_mask];
+    std::uint32_t xv = xs;
+    const std::uint32_t x_max = freq << 20;  // (kRansL >> kTotalBits) << 8 == 1 << 20
+    while (xv >= x_max) {
+      sink.Put(static_cast<std::uint8_t>(xv));
+      xv >>= 8;
+    }
+    const std::uint32_t q =
+        static_cast<std::uint32_t>((static_cast<std::uint64_t>(xv) * rr.rcp) >> 32) >> rr.shift;
+    xs = xv + start + rr.bias_add + q * rr.cmpl;
+  }
+  for (int l = lanes - 1; l >= 0; --l) {
+    sink.Put(static_cast<std::uint8_t>(x[l] >> 24));
+    sink.Put(static_cast<std::uint8_t>(x[l] >> 16));
+    sink.Put(static_cast<std::uint8_t>(x[l] >> 8));
+    sink.Put(static_cast<std::uint8_t>(x[l]));
+  }
+}
+
+}  // namespace detail
+
+/// Encodes pass-1 records as an N-lane payload appended to `out`.
+/// `tmp` is caller-owned scratch (grown here, reused across frames so the
+/// steady state allocates nothing). `lanes` must satisfy RansValidLanes.
+inline void RansEncodeRecords(std::span<const detail::RansRecord> records, int lanes,
+                              std::vector<std::uint8_t>& tmp, std::vector<std::uint8_t>& out) {
+  // The emit order is the exact reverse of the final stream, so writing each
+  // byte through a descending pointer yields the payload front-to-back in
+  // one pass (no per-byte push_back, no reverse copy). Lane states stay
+  // below kRansL << 8 = 2^31 and renormalise to under freq << 20 >= 2^20, so
+  // a record never emits more than two bytes; the flush adds 4 per lane.
+  const std::size_t bound = 2 * records.size() + 4 * static_cast<std::size_t>(lanes);
+  if (tmp.size() < bound) tmp.resize(bound);
+  std::uint8_t* const end = tmp.data() + tmp.size();
+  std::uint8_t* p = end;
+  struct PtrSink {
+    std::uint8_t*& p;
+    void Put(std::uint8_t b) { *--p = b; }
+  };
+  detail::RansEncodeRecordsTo(records, lanes, PtrSink{p});
+  out.insert(out.end(), p, end);
+}
+
+/// Payload size in bytes for the same records, without storing anything.
+inline std::size_t RansPayloadSize(std::span<const detail::RansRecord> records, int lanes) {
+  struct CountSink {
+    std::size_t n = 0;
+    void Put(std::uint8_t) { ++n; }
+  } sink;
+  detail::RansEncodeRecordsTo(records, lanes, sink);
+  return sink.n;
+}
+
+/// Forward single-pass decoder over an N-lane payload. Same DecodeBit /
+/// DecodeDirectBits surface as RangeDecoder, so BitTree::Decode and the lzr
+/// token loop template over it. All reads are bounds-checked: truncation
+/// throws CorruptStream, never overreads.
+class RansLaneDecoder {
+ public:
+  RansLaneDecoder(std::span<const std::uint8_t> data, int lanes)
+      : data_(data), lane_mask_(static_cast<std::uint32_t>(lanes - 1)), lanes_(lanes) {
+    if (!RansValidLanes(lanes)) throw CorruptStream("rans: bad lane count");
+    for (int l = 0; l < lanes; ++l) {
+      std::uint32_t v = NextByte();
+      v |= static_cast<std::uint32_t>(NextByte()) << 8;
+      v |= static_cast<std::uint32_t>(NextByte()) << 16;
+      v |= static_cast<std::uint32_t>(NextByte()) << 24;
+      if (v < kRansL) throw CorruptStream("rans: bad lane state");
+      x_[l] = v;
+    }
+  }
+
+  int DecodeBit(BitModel& m) {
+    std::uint32_t& xs = x_[idx_++ & lane_mask_];
+    std::uint32_t x = xs;
+    const std::uint32_t dv = x & (BitModel::kTotal - 1);
+    const std::uint32_t prob = m.prob;
+    const bool one = dv >= prob;
+    const std::uint32_t mask = 0u - static_cast<std::uint32_t>(one);
+    const std::uint32_t freq = (prob & ~mask) | ((BitModel::kTotal - prob) & mask);
+    x = freq * (x >> BitModel::kTotalBits) + dv - (prob & mask);
+    const std::uint32_t d0 = (BitModel::kTotal - prob) >> BitModel::kMoveBits;
+    const std::uint32_t d1 = prob >> BitModel::kMoveBits;
+    m.prob = static_cast<std::uint16_t>(prob + (d0 & ~mask) - (d1 & mask));
+    while (x < kRansL) x = (x << 8) | NextByte();
+    xs = x;
+    return static_cast<int>(mask & 1u);
+  }
+
+  std::uint32_t DecodeDirectBits(int count) {
+    constexpr std::uint32_t kHalf = BitModel::kTotal / 2;
+    std::uint32_t result = 0;
+    for (int i = 0; i < count; ++i) {
+      std::uint32_t& xs = x_[idx_++ & lane_mask_];
+      std::uint32_t x = xs;
+      const std::uint32_t dv = x & (BitModel::kTotal - 1);
+      const std::uint32_t bit = dv >> (BitModel::kTotalBits - 1);
+      x = kHalf * (x >> BitModel::kTotalBits) + dv - bit * kHalf;
+      result = (result << 1) | bit;
+      while (x < kRansL) x = (x << 8) | NextByte();
+      xs = x;
+    }
+    return result;
+  }
+
+  /// Integrity gate after the last decision: a well-formed stream returns
+  /// every lane to its initial state with the input fully consumed.
+  /// Throws CorruptStream otherwise.
+  void Finish() const {
+    for (int l = 0; l < lanes_; ++l) {
+      if (x_[l] != kRansL) throw CorruptStream("rans: lane state mismatch at end of stream");
+    }
+    if (pos_ != data_.size()) throw CorruptStream("rans: trailing bytes");
+  }
+
+  std::size_t bytes_consumed() const { return pos_; }
+
+ private:
+  std::uint8_t NextByte() {
+    if (pos_ >= data_.size()) throw CorruptStream("rans: truncated stream");
+    return data_[pos_++];
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  std::uint64_t idx_ = 0;
+  std::uint32_t lane_mask_;
+  int lanes_;
+  std::uint32_t x_[kRansMaxLanes] = {};
+};
+
+}  // namespace vtp::compress

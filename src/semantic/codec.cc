@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "compress/bitstream.h"
+#include "compress/codec_engine.h"
 #include "compress/lzr.h"
 #include "compress/varint.h"
 
@@ -103,10 +104,37 @@ void SemanticEncoder::EncodeFrameInto(std::span<const Vec3> points,
   }
 
   if (config_.lz_compress) {
-    lzr_.CompressInto(body_, out);
+    if (engine_ != nullptr) {
+      engine_->CompressInto(body_, out);
+    } else {
+      lzr_.CompressInto(body_, out);
+    }
   } else {
     out.insert(out.end(), body_.begin(), body_.end());
   }
+}
+
+const compress::LzrEncoder& SemanticEncoder::lzr() const {
+  return engine_ != nullptr ? engine_->lzr() : lzr_;
+}
+
+std::size_t SemanticBatchEncoder::AddStream(SemanticCodecConfig config) {
+  streams_.emplace_back(config);
+  streams_.back().AttachEngine(engine_);
+  return streams_.size() - 1;
+}
+
+void SemanticBatchEncoder::EncodeBatch(std::span<const std::span<const Vec3>> frames,
+                                       std::vector<std::vector<std::uint8_t>>& outputs) {
+  if (frames.size() != streams_.size()) {
+    throw std::invalid_argument("SemanticBatchEncoder: one frame per stream required");
+  }
+  outputs.resize(streams_.size());
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    outputs[i].clear();
+    streams_[i].EncodeFrameInto(frames[i], outputs[i]);
+  }
+  engine_->NoteBatch();
 }
 
 SemanticDecoder::SemanticDecoder() = default;

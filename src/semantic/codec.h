@@ -17,6 +17,10 @@
 #include "compress/lzr_stream.h"
 #include "semantic/keypoints.h"
 
+namespace vtp::compress {
+class CodecEngine;
+}  // namespace vtp::compress
+
 namespace vtp::semantic {
 
 /// Encoder configuration.
@@ -77,8 +81,17 @@ class SemanticEncoder {
 
   const SemanticCodecConfig& config() const { return config_; }
 
-  /// The embedded lzr hot path (arena stats for benches/tests).
-  const compress::LzrEncoder& lzr() const { return lzr_; }
+  /// Routes the LZ stage through a session-shared CodecEngine instead of
+  /// the embedded LzrEncoder. The engine's arena is generation-stamped, so
+  /// interleaving many encoders' frames through it is free and the bytes
+  /// stay identical to per-encoder compression. Pass nullptr to detach.
+  /// The engine must outlive this encoder.
+  void AttachEngine(compress::CodecEngine* engine) { engine_ = engine; }
+  bool engine_attached() const { return engine_ != nullptr; }
+
+  /// The active lzr hot path (arena stats for benches/tests): the shared
+  /// engine's when attached, else the embedded one.
+  const compress::LzrEncoder& lzr() const;
 
  private:
   SemanticCodecConfig config_;
@@ -88,6 +101,39 @@ class SemanticEncoder {
   std::vector<std::uint8_t> body_;
   std::vector<std::int32_t> quantized_scratch_;
   compress::LzrEncoder lzr_;
+  compress::CodecEngine* engine_ = nullptr;  ///< optional shared LZ stage
+};
+
+/// Batch front-end over a shared CodecEngine: one encoder per persona
+/// stream, every frame's LZ stage funnelled through the engine's single
+/// warm arena. EncodeBatch is the per-tick entry point — all personas'
+/// captures go through the codec back to back (one pass over a hot match
+/// finder and entropy stage) instead of round-robining cold per-sender
+/// state. Wire bytes are identical to per-encoder compression.
+class SemanticBatchEncoder {
+ public:
+  /// The engine must outlive this batch encoder.
+  explicit SemanticBatchEncoder(compress::CodecEngine& engine) : engine_(&engine) {}
+
+  /// Adds a persona stream; returns its index. References returned by
+  /// stream() are invalidated by further AddStream calls.
+  std::size_t AddStream(SemanticCodecConfig config = {});
+
+  SemanticEncoder& stream(std::size_t i) { return streams_[i]; }
+  const SemanticEncoder& stream(std::size_t i) const { return streams_[i]; }
+  std::size_t stream_count() const { return streams_.size(); }
+
+  /// Encodes frames[i] through stream i (frames.size() must equal
+  /// stream_count()); outputs is resized and each payload replaced.
+  /// Allocation-free in steady state once outputs' capacities are warm.
+  void EncodeBatch(std::span<const std::span<const Vec3>> frames,
+                   std::vector<std::vector<std::uint8_t>>& outputs);
+
+  compress::CodecEngine& engine() { return *engine_; }
+
+ private:
+  compress::CodecEngine* engine_;
+  std::vector<SemanticEncoder> streams_;
 };
 
 /// Decoded frame.

@@ -38,32 +38,39 @@ const std::vector<SemanticRung>& DefaultSemanticLadder() {
 SpatialPersonaSender::SpatialPersonaSender(net::Simulator* sim, transport::QuicConnection* conn,
                                            std::uint8_t sender_id, std::uint64_t seed,
                                            semantic::SemanticCodecConfig codec_config, double fps,
-                                           int fec_k)
+                                           int fec_k, compress::CodecEngine* engine)
     : sim_(sim),
       conn_(conn),
       sender_id_(sender_id),
       fps_(fps),
       generator_(semantic::TrackConfig{.fps = fps}, seed),
-      encoder_(codec_config) {
+      encoder_(codec_config),
+      engine_(engine) {
   if (fec_k > 0) fec_.emplace(fec_k);
+  if (engine_ != nullptr) encoder_.AttachEngine(engine_);
   obs::MetricRegistry& reg = sim_->metrics();
   const std::string scope = reg.UniqueScope("persona.tx");
   frames_sent_ = reg.NewCounter(scope + ".frames_sent");
   payload_bytes_sent_ = reg.NewCounter(scope + ".payload_bytes_sent");
   fec_parity_bytes_ = reg.NewCounter(scope + ".fec_parity_bytes");
   // The semantic codec's lzr stage, exposed as pull-probes so snapshots see
-  // the encoder's byte flow and match-finder hit rate without per-frame cost.
-  reg.NewProbe(scope + ".lzr_bytes_in", [this] {
-    return static_cast<double>(encoder_.lzr().io_stats().bytes_in);
-  });
-  reg.NewProbe(scope + ".lzr_bytes_out", [this] {
-    return static_cast<double>(encoder_.lzr().io_stats().bytes_out);
-  });
-  reg.NewProbe(scope + ".lzr_match_hit_rate", [this] {
-    const compress::LzrEncoder::IoStats io = encoder_.lzr().io_stats();
-    const double tokens = static_cast<double>(io.literals + io.matches);
-    return tokens > 0 ? static_cast<double>(io.matches) / tokens : 0.0;
-  });
+  // the encoder's byte flow and match-finder hit rate without per-frame
+  // cost. With a shared engine the byte flow is an engine-wide aggregate;
+  // the session registers it once under "codec.engine" instead, so the
+  // per-sender probes exist only for standalone (embedded-lzr) senders.
+  if (engine_ == nullptr) {
+    reg.NewProbe(scope + ".lzr_bytes_in", [this] {
+      return static_cast<double>(encoder_.lzr().io_stats().bytes_in);
+    });
+    reg.NewProbe(scope + ".lzr_bytes_out", [this] {
+      return static_cast<double>(encoder_.lzr().io_stats().bytes_out);
+    });
+    reg.NewProbe(scope + ".lzr_match_hit_rate", [this] {
+      const compress::LzrEncoder::IoStats io = encoder_.lzr().io_stats();
+      const double tokens = static_cast<double>(io.literals + io.matches);
+      return tokens > 0 ? static_cast<double>(io.matches) / tokens : 0.0;
+    });
+  }
 }
 
 void SpatialPersonaSender::Start(net::SimTime until) { Tick(until); }
@@ -160,7 +167,10 @@ void SpatialPersonaSender::Tick(net::SimTime until) {
   // primary is at full quality — a degraded uplink has no headroom for two
   // streams, and a degraded primary is already coarse.
   if (adaptive_ && coarse_enabled_ && !freeze_ && rung_ == 0 && rungs_.size() > 1) {
-    if (!coarse_encoder_) coarse_encoder_.emplace(rungs_[1]);
+    if (!coarse_encoder_) {
+      coarse_encoder_.emplace(rungs_[1]);
+      if (engine_ != nullptr) coarse_encoder_->AttachEngine(engine_);
+    }
     coarse_encoder_->set_next_frame_index(seq);
     coarse_encoder_->EncodeFrameInto(subset, coarse_scratch_);
     Ship(kMediaSemanticAlt, coarse_scratch_);

@@ -20,6 +20,7 @@
 
 #include "audio/codec.h"
 #include "audio/speech_source.h"
+#include "compress/codec_engine.h"
 #include "netsim/event_queue.h"
 #include "semantic/codec.h"
 #include "semantic/generator.h"
@@ -86,10 +87,15 @@ class SpatialPersonaSender {
   /// `fec_k` > 0 protects the semantic stream with XOR parity every k
   /// frames (the loss-resilience extension the paper's findings motivate);
   /// 0 reproduces FaceTime's measured unprotected behaviour.
+  /// `engine` (optional) routes this sender's LZ stage through a
+  /// session-shared compress::CodecEngine — one warm arena for every
+  /// persona, with engine-level metrics registered by the session. When
+  /// null the sender embeds its own lzr state and registers the per-sender
+  /// lzr probes (the seeded behaviour, kept for standalone constructions).
   SpatialPersonaSender(net::Simulator* sim, transport::QuicConnection* conn,
                        std::uint8_t sender_id, std::uint64_t seed,
                        semantic::SemanticCodecConfig codec_config = {}, double fps = 90.0,
-                       int fec_k = 0);
+                       int fec_k = 0, compress::CodecEngine* engine = nullptr);
 
   /// Starts ticking now and stops at `until`.
   void Start(net::SimTime until);
@@ -135,6 +141,7 @@ class SpatialPersonaSender {
   double fps_;
   semantic::KeypointTrackGenerator generator_;
   semantic::SemanticEncoder encoder_;
+  compress::CodecEngine* engine_ = nullptr;  ///< session-shared LZ stage (optional)
   std::vector<std::uint8_t> encode_scratch_;  // reused per-frame encode buffer
   std::optional<transport::FecEncoder> fec_;
 

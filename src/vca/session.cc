@@ -216,6 +216,24 @@ void TelepresenceSession::SetupSpatialPipelines() {
         config_.seed * 1000 + i, config_.lod_policy, config_.persona_triangles));
   }
 
+  // One codec engine for the whole session: every spatial sender's LZ
+  // stage shares a single warm match-finder arena and entropy
+  // configuration (VTP_ENTROPY resolved here, once). Engine-level batch
+  // counters surface in snapshots under "codec.engine".
+  codec_engine_ = std::make_unique<compress::CodecEngine>();
+  {
+    obs::MetricRegistry& reg = sim_->metrics();
+    compress::CodecEngine* eng = codec_engine_.get();
+    reg.NewProbe("codec.engine.frames",
+                 [eng] { return static_cast<double>(eng->stats().frames); });
+    reg.NewProbe("codec.engine.lanes_active",
+                 [eng] { return static_cast<double>(eng->lanes_active()); });
+    reg.NewProbe("codec.engine.bytes_in",
+                 [eng] { return static_cast<double>(eng->stats().bytes_in); });
+    reg.NewProbe("codec.engine.bytes_out",
+                 [eng] { return static_cast<double>(eng->stats().bytes_out); });
+  }
+
   // Connect everyone to their assigned server; peer-connect servers after
   // construction (geo-distributed mode).
   if (config_.strategy == ServerStrategy::kGeoDistributed && servers_.size() > 1) {
@@ -271,7 +289,8 @@ void TelepresenceSession::SetupSpatialPipelines() {
 
     auto sender = std::make_unique<SpatialPersonaSender>(
         sim_.get(), conn, static_cast<std::uint8_t>(i), config_.seed * 77 + i,
-        config_.semantic_codec, config_.spatial_fps, config_.spatial_fec_k);
+        config_.semantic_codec, config_.spatial_fps, config_.spatial_fec_k,
+        codec_engine_.get());
     spatial_senders_.push_back(std::move(sender));
 
     if (config_.enable_audio) {

@@ -205,6 +205,9 @@ class TelepresenceSession {
   std::vector<std::unique_ptr<render::PersonaLodLadder>> ladders_;  ///< per participant
   std::vector<std::unique_ptr<transport::QuicEndpoint>> quic_endpoints_;
   std::vector<transport::QuicConnection*> quic_conns_;
+  /// Session-shared codec engine: one lzr arena + entropy stage for every
+  /// spatial sender (metrics under "codec.engine").
+  std::unique_ptr<compress::CodecEngine> codec_engine_;
   std::vector<std::unique_ptr<SpatialPersonaSender>> spatial_senders_;
   std::vector<std::unique_ptr<SpatialPersonaReceiver>> spatial_receivers_;
 

@@ -7,16 +7,28 @@
 // reference — adequate for videoconferencing content, whose motion is small
 // (a swaying head over a static background, Figure 1b).
 //
+// The hot path is vectorized through core/simd.h: float DCT passes as
+// broadcast-madd sweeps over a shared basis table, quant/dequant as packed
+// multiplies against per-QP step tables (hoisted — rebuilt only when QP
+// changes), SAD-based motion probes 8 bytes a row. The entropy stage follows
+// VideoCodecConfig::entropy: the serial range coder, or the interleaved
+// multi-lane rANS stage (compress/rans.h) flagged in the frame header so
+// decode is self-describing. All per-frame buffers (reconstruction frame,
+// coefficient blocks, rANS records) persist across calls — steady-state
+// EncodeInto/DecodeInto perform no heap allocation.
+//
 // The encoder is a real codec (decodable, tested for rate/distortion
 // monotonicity); the VCA session layer uses it through CalibratedRateModel
 // so 120-second simulations don't pay per-pixel costs in the event loop.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <span>
 #include <vector>
 
+#include "compress/lz77.h"
 #include "video/frame.h"
 
 namespace vtp::video {
@@ -24,6 +36,10 @@ namespace vtp::video {
 /// Codec parameters.
 struct VideoCodecConfig {
   int gop_length = 30;  ///< distance between keyframes
+  /// Coefficient entropy stage (VTP_ENTROPY by default). Decoders sniff the
+  /// frame-header flag, so streams from either mode always decode.
+  compress::EntropyMode entropy = compress::DefaultEntropyMode();
+  int entropy_lanes = 8;  ///< rANS lane count; powers of two in [1, 16]
 };
 
 /// One encoded access unit.
@@ -32,6 +48,27 @@ struct EncodedFrame {
   bool keyframe = false;
   int qp = 0;
 };
+
+namespace detail {
+
+/// Per-QP quantization tables in block (raster) order, so quant/dequant are
+/// straight packed multiplies. Rebuilt only when the QP changes.
+struct QuantLut {
+  alignas(16) std::array<float, 64> step{};      // qstep * FreqWeight, per position
+  alignas(16) std::array<float, 64> inv_step{};  // reciprocals for the encoder
+  int qp = -1;                                   // QP the tables were built for
+};
+
+/// Per-instance coefficient scratch shared by every block of a frame.
+struct CodecScratch {
+  alignas(16) std::array<float, 64> pixels;
+  alignas(16) std::array<float, 64> coeffs;
+  alignas(16) std::array<float, 64> deq;
+  alignas(16) std::array<float, 64> rec;
+  alignas(16) std::array<std::int32_t, 64> qblock;
+};
+
+}  // namespace detail
 
 /// Stateful encoder (keeps the reconstructed reference frame).
 class VideoEncoder {
@@ -42,8 +79,14 @@ class VideoEncoder {
   /// doubles every +6). Frame must match the configured resolution.
   EncodedFrame Encode(const VideoFrame& frame, int qp);
 
+  /// Same, reusing `out` (bytes replaced) — the allocation-free per-frame
+  /// path once `out.bytes` and the internal buffers are warm.
+  void EncodeInto(const VideoFrame& frame, int qp, EncodedFrame& out);
+
   /// Forces the next frame to be a keyframe (e.g. after receiver feedback).
   void RequestKeyframe() { force_keyframe_ = true; }
+
+  const VideoCodecConfig& config() const { return config_; }
 
  private:
   Resolution resolution_;
@@ -52,6 +95,14 @@ class VideoEncoder {
   bool force_keyframe_ = false;
   VideoFrame reference_;
   bool have_reference_ = false;
+  // Persistent hot-path state: the reconstruction target swaps with
+  // reference_ each frame, quant tables persist across same-QP frames, and
+  // the rANS record/byte scratch is reused in lanes mode.
+  VideoFrame recon_;
+  detail::QuantLut lut_;
+  detail::CodecScratch scratch_;
+  std::vector<std::uint32_t> records_;
+  std::vector<std::uint8_t> rans_tmp_;
 };
 
 /// Stateful decoder.
@@ -64,10 +115,16 @@ class VideoDecoder {
   /// Throws compress::CorruptStream on malformed data.
   std::optional<VideoFrame> Decode(std::span<const std::uint8_t> bytes);
 
+  /// Same, into `out` (replaced; resized to the stream's resolution).
+  /// Returns false for an undecodable P-frame. Allocation-free once warm.
+  bool DecodeInto(std::span<const std::uint8_t> bytes, VideoFrame& out);
+
  private:
   Resolution resolution_;
   VideoFrame reference_;
   bool have_reference_ = false;
+  detail::QuantLut lut_;
+  detail::CodecScratch scratch_;
 };
 
 }  // namespace vtp::video

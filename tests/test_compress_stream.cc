@@ -9,8 +9,11 @@
 #include <cstdlib>
 #include <new>
 #include <random>
+#include <span>
 #include <vector>
 
+#include "compress/codec_engine.h"
+#include "compress/crc32.h"
 #include "compress/lz77.h"
 #include "compress/lzr.h"
 #include "compress/lzr_stream.h"
@@ -160,6 +163,52 @@ TEST(LzrStream, DefaultParserFollowsEnv) {
   ::unsetenv("VTP_LZ_PARSER");
 }
 
+TEST(LzrStream, DefaultEntropyFollowsEnvAndIgnoresGarbage) {
+  ASSERT_EQ(DefaultEntropyMode(), EntropyMode::kLegacy);
+  ::setenv("VTP_ENTROPY", "lanes", 1);
+  EXPECT_EQ(DefaultEntropyMode(), EntropyMode::kLanes);
+  ::setenv("VTP_ENTROPY", "legacy", 1);
+  EXPECT_EQ(DefaultEntropyMode(), EntropyMode::kLegacy);
+  // Unknown values must resolve to the legacy default, not throw or
+  // half-enable the new coder.
+  ::setenv("VTP_ENTROPY", "rans", 1);
+  EXPECT_EQ(DefaultEntropyMode(), EntropyMode::kLegacy);
+  ::setenv("VTP_ENTROPY", "", 1);
+  EXPECT_EQ(DefaultEntropyMode(), EntropyMode::kLegacy);
+  ::unsetenv("VTP_ENTROPY");
+  EXPECT_EQ(DefaultEntropyMode(), EntropyMode::kLegacy);
+}
+
+TEST(LzrStream, LegacyGoldenStreamsPinned) {
+  // Hard pins of the legacy (LZR1) container: size and CRC32 of the
+  // compressed stream for fixed corpora, captured from the growth seed.
+  // Any change here is a wire-format break for knob-off users — the lanes
+  // coder must never perturb these bytes.
+  struct Golden {
+    std::size_t size;
+    std::uint32_t crc;
+  };
+  const Golden goldens[] = {
+      {4161u, 0xC29D1D14u},  // RandomCorpus(4096, 1)
+      {410u, 0xC78F9FFDu},   // RepetitiveCorpus(4096, 2)
+      {26u, 0x79FC2AEBu},    // 2048 x 0x55
+      {377u, 0xD84AEA97u},   // KeypointDeltaFrames(8, 3), frames 0..7
+      {141u, 0xF82EF242u},  {139u, 0x227D9D7Du}, {140u, 0x1A98261Du}, {138u, 0x8871D356u},
+      {141u, 0x63551747u},  {136u, 0x77044633u}, {146u, 0xF91613B9u},
+  };
+  std::vector<std::vector<std::uint8_t>> corpora;
+  corpora.push_back(RandomCorpus(4096, 1));
+  corpora.push_back(RepetitiveCorpus(4096, 2));
+  corpora.push_back(std::vector<std::uint8_t>(2048, 0x55));
+  for (auto& f : KeypointDeltaFrames(8, 3)) corpora.push_back(std::move(f));
+  ASSERT_EQ(corpora.size(), std::size(goldens));
+  for (std::size_t i = 0; i < corpora.size(); ++i) {
+    const std::vector<std::uint8_t> stream = LzrCompress(corpora[i]);
+    EXPECT_EQ(stream.size(), goldens[i].size) << "corpus " << i;
+    EXPECT_EQ(Crc32(stream), goldens[i].crc) << "corpus " << i;
+  }
+}
+
 // ---- match finder reuse -----------------------------------------------------
 
 TEST(MatchFinder, ReuseAcrossInputsMatchesFreshEncoder) {
@@ -262,6 +311,101 @@ TEST(LzrStream, SteadyStateFrameEncodeDoesNotAllocate) {
     for (const auto& s : subsets) encoder.EncodeFrameInto(s, payload);
   }
   EXPECT_EQ(g_allocs.load() - before, 0u) << "warm EncodeFrameInto touched the heap";
+}
+
+TEST(LzrStream, LanesSteadyStateEncodeDoesNotAllocate) {
+  // The zero-allocation discipline must hold in lanes mode too: records,
+  // the reversal scratch, and the decoder all reuse warm buffers.
+  LzParams lanes;
+  lanes.entropy = EntropyMode::kLanes;
+  const auto frames = KeypointDeltaFrames(32, 9);
+  LzrEncoder encoder;
+  std::vector<std::uint8_t> out, decoded;
+  for (const auto& f : frames) {
+    out.clear();
+    encoder.CompressInto(f, out, lanes);
+    LzrDecompressInto(out, decoded);
+  }
+
+  const std::uint64_t allocs_before = g_allocs.load();
+  for (int rep = 0; rep < 4; ++rep) {
+    for (const auto& f : frames) {
+      out.clear();
+      encoder.CompressInto(f, out, lanes);
+      LzrDecompressInto(out, decoded);
+    }
+  }
+  EXPECT_EQ(g_allocs.load() - allocs_before, 0u) << "warm lanes encode+decode touched the heap";
+}
+
+// ---- shared engine / batch front-end ---------------------------------------
+
+TEST(CodecEngine, SharedEngineBytesMatchStandaloneEncoders) {
+  // Three personas through one engine must produce exactly the bytes three
+  // embedded encoders would (generation-stamped arena, no cross-talk).
+  CodecEngine engine;
+  semantic::SemanticBatchEncoder batch(engine);
+  std::vector<semantic::SemanticEncoder> standalone;
+  const semantic::SemanticCodecConfig config{.quantize_bits = 11, .temporal_delta = true};
+  for (int p = 0; p < 3; ++p) {
+    batch.AddStream(config);
+    standalone.emplace_back(config);
+  }
+
+  std::vector<semantic::KeypointTrackGenerator> gens;
+  for (int p = 0; p < 3; ++p) gens.emplace_back(semantic::TrackConfig{}, 40 + p);
+
+  std::vector<std::vector<std::uint8_t>> outputs;
+  std::vector<std::uint8_t> expected;
+  for (int i = 0; i < 16; ++i) {
+    std::vector<std::vector<semantic::Vec3>> subsets;
+    std::vector<std::span<const semantic::Vec3>> views;
+    for (int p = 0; p < 3; ++p) {
+      subsets.push_back(semantic::ExtractSemanticSubset(gens[p].Next()));
+      views.emplace_back(subsets.back());
+    }
+    batch.EncodeBatch(views, outputs);
+    for (int p = 0; p < 3; ++p) {
+      standalone[p].EncodeFrameInto(subsets[p], expected);
+      EXPECT_EQ(outputs[p], expected) << "frame " << i << " persona " << p;
+    }
+  }
+  EXPECT_EQ(engine.stats().frames, 3u * 16u);
+  EXPECT_EQ(engine.stats().batches, 16u);
+  EXPECT_GT(engine.stats().bytes_in, 0u);
+  EXPECT_GT(engine.stats().bytes_out, 0u);
+}
+
+TEST(CodecEngine, BatchSteadyStateDoesNotAllocate) {
+  CodecEngine engine;
+  semantic::SemanticBatchEncoder batch(engine);
+  for (int p = 0; p < 4; ++p) {
+    batch.AddStream({.quantize_bits = 11, .temporal_delta = true});
+  }
+  std::vector<std::vector<std::vector<semantic::Vec3>>> inputs;  // [frame][persona]
+  std::vector<semantic::KeypointTrackGenerator> gens;
+  for (int p = 0; p < 4; ++p) gens.emplace_back(semantic::TrackConfig{}, 50 + p);
+  for (int i = 0; i < 24; ++i) {
+    inputs.emplace_back();
+    for (int p = 0; p < 4; ++p) {
+      inputs.back().push_back(semantic::ExtractSemanticSubset(gens[p].Next()));
+    }
+  }
+  std::vector<std::span<const semantic::Vec3>> views(4);
+  std::vector<std::vector<std::uint8_t>> outputs;
+  for (const auto& frame : inputs) {  // warm
+    for (int p = 0; p < 4; ++p) views[static_cast<std::size_t>(p)] = frame[p];
+    batch.EncodeBatch(views, outputs);
+  }
+
+  const std::uint64_t before = g_allocs.load();
+  for (int rep = 0; rep < 4; ++rep) {
+    for (const auto& frame : inputs) {
+      for (int p = 0; p < 4; ++p) views[static_cast<std::size_t>(p)] = frame[p];
+      batch.EncodeBatch(views, outputs);
+    }
+  }
+  EXPECT_EQ(g_allocs.load() - before, 0u) << "warm EncodeBatch touched the heap";
 }
 
 // ---- decode buffer reuse ----------------------------------------------------
