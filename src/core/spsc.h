@@ -1,0 +1,69 @@
+// A bounded single-producer / single-consumer ring for cross-shard handoff.
+//
+// The sharded simulation core moves packet-handoff records between shard
+// threads through one SpscRing per directed shard pair. Exactly one thread
+// pushes and exactly one thread pops; the release/acquire pair on the
+// indices is the only synchronization, so a push is a store + index bump and
+// a pop is a load + index bump — no locks, no allocation.
+//
+// Capacity is fixed at construction (rounded up to a power of two). TryPush
+// returns false when the ring is full; callers that must not drop records
+// (the conservative-lookahead engine) keep a mutex-guarded spill lane beside
+// the ring — see net::ShardMailbox.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace vtp::core {
+
+template <class T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity)
+      : mask_(std::bit_ceil(capacity < 2 ? std::size_t{2} : capacity) - 1),
+        slots_(mask_ + 1) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. Returns false (record untouched) when the ring is full.
+  bool TryPush(T&& value) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail > mask_) return false;
+    slots_[head & mask_] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool TryPop(T* out) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail == head) return false;
+    *out = std::move(slots_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer-side size estimate (exact while the producer is quiescent).
+  std::size_t size() const {
+    return static_cast<std::size_t>(head_.load(std::memory_order_acquire) -
+                                    tail_.load(std::memory_order_relaxed));
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  const std::size_t mask_;
+  std::vector<T> slots_;
+  alignas(64) std::atomic<std::uint64_t> head_{0};  ///< producer index
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  ///< consumer index
+};
+
+}  // namespace vtp::core

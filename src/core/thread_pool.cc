@@ -2,16 +2,22 @@
 
 namespace vtp::core {
 
+namespace {
+thread_local int tl_worker_index = -1;
+}  // namespace
+
 unsigned ThreadPool::HardwareThreads() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
 }
 
+int ThreadPool::CurrentWorkerIndex() { return tl_worker_index; }
+
 ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) threads = HardwareThreads();
   workers_.reserve(threads);
   for (unsigned i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -42,7 +48,8 @@ void ThreadPool::Wait() {
   }
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(unsigned index) {
+  tl_worker_index = static_cast<int>(index);
   std::unique_lock<std::mutex> lock(mutex_);
   while (true) {
     work_available_.wait(lock, [this] { return shutdown_ || !jobs_.empty(); });

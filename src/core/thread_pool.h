@@ -36,8 +36,14 @@ class ThreadPool {
   /// std::thread::hardware_concurrency with a floor of 1.
   static unsigned HardwareThreads();
 
+  /// Index of the pool worker running the calling task: 0..thread_count()-1
+  /// inside a job, -1 on any thread that is not a pool worker (including the
+  /// caller running jobs inline on the ParallelRepeats serial path). The
+  /// sharded simulation core uses this to pin shard state to one worker.
+  static int CurrentWorkerIndex();
+
  private:
-  void WorkerLoop();
+  void WorkerLoop(unsigned index);
 
   std::mutex mutex_;
   std::condition_variable work_available_;

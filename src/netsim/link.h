@@ -60,11 +60,30 @@ class DirectedLink {
   /// tap: the packet made it onto the wire).
   using Tap = std::function<void(const Packet&, SimTime)>;
 
-  DirectedLink(Simulator* sim, LinkConfig config) : sim_(sim), config_(config) {
-    // Per-link metrics live in the owning Simulator's registry; the scope id
-    // follows construction order, which is deterministic per topology.
+  /// The outcome of offering one packet to the link: either dropped, or
+  /// serialized with a computed arrival instant (plus an optional duplicate
+  /// arrival when netem duplication fired). Produced by PlanTransmit, which
+  /// is the single place queue/loss/serialization decisions are made — both
+  /// the event-scheduling Transmit path and the sharded core's handoff seam
+  /// (TransmitInto) consume it, so they stay decision-for-decision identical.
+  struct TxPlan {
+    bool dropped = false;
+    SimTime start = 0;       ///< transmission start (tap instant)
+    SimTime arrive = 0;      ///< delivery instant at the far end
+    bool duplicated = false;
+    SimTime dup_arrive = 0;  ///< delivery instant of the netem duplicate
+  };
+
+  DirectedLink(Simulator* sim, LinkConfig config) : DirectedLink(sim, config, std::string()) {}
+
+  /// `scope` names this link's metrics explicitly ("fabric.link3.fwd"). An
+  /// empty scope mints the next "net.linkN" — construction order, which is
+  /// deterministic per topology. The sharded fabric passes explicit scopes
+  /// so per-shard registries merge by identity regardless of shard count.
+  DirectedLink(Simulator* sim, LinkConfig config, std::string scope)
+      : sim_(sim), config_(config), scope_(std::move(scope)) {
     obs::MetricRegistry& reg = sim_->metrics();
-    scope_ = reg.UniqueScope("net.link");
+    if (scope_.empty()) scope_ = reg.UniqueScope("net.link");
     packets_sent_ = reg.NewCounter(scope_ + ".packets_sent");
     bytes_sent_ = reg.NewCounter(scope_ + ".bytes_sent");
     dropped_queue_ = reg.NewCounter(scope_ + ".dropped_queue");
@@ -72,19 +91,20 @@ class DirectedLink {
     queue_peak_bytes_ = reg.NewGauge(scope_ + ".queue_peak_bytes");
   }
 
-  /// Enqueues `p`; on success schedules delivery, otherwise drops it.
-  /// `deliver` is invoked as deliver(Packet) when the packet reaches the far
-  /// end. Keep its captures small — together with the Packet it is stored
-  /// inline in the scheduled event (see InlineCallback::kInlineBytes).
-  template <class Deliver>
-  void Transmit(Packet p, Deliver deliver) {
+  /// Offers a `wire_bytes`-sized packet to the link right now: advances the
+  /// loss chains, serializes into the drop-tail queue, and returns the
+  /// resulting schedule. All counters are updated here. RNG draws happen in
+  /// the exact order of the original Transmit (GE chain, loss, jitter,
+  /// reorder, duplicate), each gated on its feature being armed.
+  TxPlan PlanTransmit(std::uint32_t bytes) {
     const SimTime now = sim_->now();
-    const std::uint32_t bytes = p.wire_bytes();
+    TxPlan plan;
 
     const std::size_t backlog = backlog_bytes(now);
     if (backlog + bytes > config_.queue_limit_bytes) {
       dropped_queue_->Inc();
-      return;
+      plan.dropped = true;
+      return plan;
     }
     double loss = config_.loss_rate + extra_loss_;
     if (burst_loss_) {
@@ -92,15 +112,16 @@ class DirectedLink {
       // draws for fault injection are gated on the feature being armed, so
       // un-faulted sessions consume the exact same random stream as before.
       if (burst_bad_) {
-        if (sim_->rng().Chance(burst_loss_->p_exit)) burst_bad_ = false;
-      } else if (sim_->rng().Chance(burst_loss_->p_enter)) {
+        if (draw_rng().Chance(burst_loss_->p_exit)) burst_bad_ = false;
+      } else if (draw_rng().Chance(burst_loss_->p_enter)) {
         burst_bad_ = true;
       }
       loss += burst_bad_ ? burst_loss_->loss_bad : burst_loss_->loss_good;
     }
-    if (loss > 0.0 && sim_->rng().Chance(std::min(loss, 1.0))) {
+    if (loss > 0.0 && draw_rng().Chance(std::min(loss, 1.0))) {
       dropped_loss_->Inc();
-      return;
+      plan.dropped = true;
+      return plan;
     }
 
     const SimTime start = std::max(now, busy_until_);
@@ -115,9 +136,9 @@ class DirectedLink {
     SimTime arrive = busy_until_ + config_.prop_delay + extra_delay_;
     if (config_.jitter_mean > 0) {
       arrive += static_cast<SimTime>(
-          sim_->rng().Exponential(1.0 / static_cast<double>(config_.jitter_mean)));
+          draw_rng().Exponential(1.0 / static_cast<double>(config_.jitter_mean)));
     }
-    if (reorder_prob_ > 0.0 && sim_->rng().Chance(reorder_prob_)) {
+    if (reorder_prob_ > 0.0 && draw_rng().Chance(reorder_prob_)) {
       // A reordered packet is held back and skips the FIFO clamp below, so
       // it genuinely arrives behind packets sent after it.
       arrive += reorder_delay_;
@@ -127,22 +148,62 @@ class DirectedLink {
       arrive = std::max(arrive, last_arrival_);
       last_arrival_ = arrive;
     }
+    if (duplicate_prob_ > 0.0 && draw_rng().Chance(duplicate_prob_)) {
+      if (duplicated_ != nullptr) duplicated_->Inc();
+      plan.duplicated = true;
+      plan.dup_arrive = arrive + Micros(50);
+    }
+    plan.start = start;
+    plan.arrive = arrive;
+    return plan;
+  }
+
+  /// Enqueues `p`; on success schedules delivery, otherwise drops it.
+  /// `deliver` is invoked as deliver(Packet) when the packet reaches the far
+  /// end. Keep its captures small — together with the Packet it is stored
+  /// inline in the scheduled event (see InlineCallback::kInlineBytes).
+  template <class Deliver>
+  void Transmit(Packet p, Deliver deliver) {
+    const TxPlan plan = PlanTransmit(p.wire_bytes());
+    if (plan.dropped) return;
     if (tap_) {
       // Tap fires at transmission start: the packet is on the wire. Sharing
       // `p` here only bumps the payload refcount.
+      const SimTime start = plan.start;
       sim_->At(start, [this, p, start] {
         if (tap_) tap_(p, start);
       });
     }
-    if (duplicate_prob_ > 0.0 && sim_->rng().Chance(duplicate_prob_)) {
+    if (plan.duplicated) {
       // The copy shares the payload (refcount bump) and lands slightly after
       // the original, bypassing the FIFO clamp like a real duplicated frame.
-      if (duplicated_ != nullptr) duplicated_->Inc();
-      sim_->At(arrive + Micros(50), [deliver, p]() mutable { deliver(std::move(p)); });
+      sim_->At(plan.dup_arrive, [deliver, p]() mutable { deliver(std::move(p)); });
     }
-    sim_->At(arrive, [deliver = std::move(deliver), p = std::move(p)]() mutable {
+    sim_->At(plan.arrive, [deliver = std::move(deliver), p = std::move(p)]() mutable {
       deliver(std::move(p));
     });
+  }
+
+  /// The sharded core's handoff seam: like Transmit, but instead of
+  /// scheduling delivery events it reports the computed arrival instant(s)
+  /// synchronously — handoff(Packet, SimTime arrive), once per delivered
+  /// copy. A cross-shard mailbox can therefore be filled at *transmission*
+  /// time, which is what makes the link's propagation delay a valid
+  /// conservative-lookahead bound (the record exists a full prop-delay
+  /// before it is due anywhere).
+  template <class Handoff>
+  void TransmitInto(Packet p, Handoff&& handoff) {
+    const TxPlan plan = PlanTransmit(p.wire_bytes());
+    if (plan.dropped) return;
+    if (tap_) {
+      const SimTime start = plan.start;
+      Packet shared = p;
+      sim_->At(start, [this, shared, start] {
+        if (tap_) tap_(shared, start);
+      });
+    }
+    if (plan.duplicated) handoff(Packet(p), plan.dup_arrive);
+    handoff(std::move(p), plan.arrive);
   }
 
   /// netem-style impairments (applied on top of the base config).
@@ -174,6 +235,15 @@ class DirectedLink {
   /// Installs (or clears) the capture tap.
   void set_tap(Tap tap) { tap_ = std::move(tap); }
 
+  /// Routes this link's stochastic draws (loss, GE chain, jitter, reorder,
+  /// duplicate) through a dedicated stream instead of the Simulator's shared
+  /// Rng. The sharded fabric installs a per-link stream derived from the
+  /// link's *logical* id (DeriveSeed), so the draw sequence is independent
+  /// of which shard owns the link and of the shard count. nullptr (default)
+  /// keeps the historical shared-Rng behaviour. The Rng must outlive the
+  /// link.
+  void set_fault_rng(Rng* rng) { fault_rng_ = rng; }
+
   const LinkConfig& config() const { return config_; }
   /// Back-compat snapshot of this link's registry counters.
   LinkStats stats() const {
@@ -186,6 +256,7 @@ class DirectedLink {
 
  private:
   double effective_rate_bps() const;
+  Rng& draw_rng() { return fault_rng_ != nullptr ? *fault_rng_ : sim_->rng(); }
 
   Simulator* sim_;
   LinkConfig config_;
@@ -200,6 +271,7 @@ class DirectedLink {
   double reorder_prob_ = 0.0;
   SimTime reorder_delay_ = 0;
   double duplicate_prob_ = 0.0;
+  Rng* fault_rng_ = nullptr;
   Tap tap_;
   obs::Counter* packets_sent_ = nullptr;
   obs::Counter* bytes_sent_ = nullptr;

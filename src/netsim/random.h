@@ -50,4 +50,37 @@ class Rng {
   std::uniform_real_distribution<double> unit_{0.0, 1.0};
 };
 
+// --- counter-based per-stream seed derivation --------------------------------
+//
+// The sharded simulation core gives every stochastic entity its own Rng,
+// seeded by a pure function of (experiment seed, logical domain, logical
+// stream id). The ids are *logical* — a session index, a directed-link id, a
+// metro index — never a physical shard index, so moving an entity between
+// shards (or changing the shard count) cannot perturb any draw sequence.
+// That property is what makes fleet digests bit-identical at 1, 2, and 4
+// shards (see DESIGN §12 and the regression tests in test_fleet.cc).
+
+/// Namespaces for derived streams; each (domain, stream) pair is independent.
+enum class RngDomain : std::uint64_t {
+  kArrivals = 1,        ///< fleet session arrival/departure process
+  kSessionTraffic = 2,  ///< per-sender frame-size / behaviour draws
+  kLinkFaults = 3,      ///< per-directed-link loss/jitter/fault draws
+  kShardCore = 4,       ///< per-shard Simulator-owned Rng (engine-internal)
+};
+
+/// SplitMix64 finalizer: a cheap, well-mixed 64->64 bijection.
+constexpr std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Derives the seed for stream `stream` of `domain` under experiment `seed`.
+/// Counter-based (three chained SplitMix64 rounds), so no draw from one
+/// stream is ever consumed to seed another.
+constexpr std::uint64_t DeriveSeed(std::uint64_t seed, RngDomain domain, std::uint64_t stream) {
+  return SplitMix64(SplitMix64(SplitMix64(seed) ^ static_cast<std::uint64_t>(domain)) ^ stream);
+}
+
 }  // namespace vtp::net

@@ -95,6 +95,61 @@ struct Snapshot {
     return snap;
   }
 
+  /// True for gauges that are high-water marks (registered with a name
+  /// containing "peak"): merging takes the max instead of the sum.
+  static bool IsPeakGauge(const std::string& name) {
+    return name.find("peak") != std::string::npos;
+  }
+
+  /// Folds another snapshot into this one (the fleet bench merges one
+  /// snapshot per shard into a fleet-wide view; ParallelRepeats aggregation
+  /// can do the same across repeats):
+  ///   * counters sum by name;
+  ///   * gauges sum by name, except peak gauges (IsPeakGauge) which
+  ///     max-combine — a queue high-water mark across shards is the largest
+  ///     shard's, not their total;
+  ///   * histograms bucket-add when bounds match exactly (count and sum
+  ///     accumulate); a same-name histogram with different bounds is kept
+  ///     as-is from *this (mismatch is a registration bug, not data);
+  ///   * names present on only one side carry over unchanged.
+  /// Trace scalars (spans/dropped/orphans) sum; per-stage Summary rows are
+  /// percentiles and cannot be combined after the fact, so the first traced
+  /// snapshot's stages win. Sorted-name order is preserved throughout, so
+  /// Merge is associative and ToJson stays canonical.
+  void Merge(const Snapshot& other) {
+    counters = MergeSorted<std::uint64_t>(
+        counters, other.counters,
+        [](const std::string&, std::uint64_t a, std::uint64_t b) { return a + b; });
+    gauges = MergeSorted<double>(gauges, other.gauges,
+                                 [](const std::string& name, double a, double b) {
+                                   return IsPeakGauge(name) ? std::max(a, b) : a + b;
+                                 });
+    for (const HistogramRow& theirs : other.histograms) {
+      HistogramRow* ours = nullptr;
+      for (HistogramRow& row : histograms) {
+        if (row.name == theirs.name) {
+          ours = &row;
+          break;
+        }
+      }
+      if (ours == nullptr) {
+        histograms.push_back(theirs);
+        continue;
+      }
+      if (ours->bounds != theirs.bounds) continue;  // registration bug; keep ours
+      for (std::size_t i = 0; i < ours->buckets.size(); ++i) ours->buckets[i] += theirs.buckets[i];
+      ours->count += theirs.count;
+      ours->sum += theirs.sum;
+    }
+    if (other.traced) {
+      if (!traced) stages = other.stages;
+      traced = true;
+      spans += other.spans;
+      dropped_spans += other.dropped_spans;
+      orphan_completions += other.orphan_completions;
+    }
+  }
+
   /// Writes the snapshot as one JSON object into an open writer (the caller
   /// brackets it, so snapshots embed naturally in bench reports).
   void WriteJson(core::JsonWriter& w) const {
@@ -175,6 +230,32 @@ struct Snapshot {
     core::JsonWriter w;
     WriteJson(w);
     return w.str();
+  }
+
+ private:
+  /// Two-pointer merge of name-sorted (name, value) vectors; `combine` is
+  /// called only for names present on both sides.
+  template <class V, class Combine>
+  static std::vector<std::pair<std::string, V>> MergeSorted(
+      const std::vector<std::pair<std::string, V>>& a,
+      const std::vector<std::pair<std::string, V>>& b, Combine combine) {
+    std::vector<std::pair<std::string, V>> out;
+    out.reserve(a.size() + b.size());
+    std::size_t i = 0, j = 0;
+    while (i < a.size() && j < b.size()) {
+      if (a[i].first < b[j].first) {
+        out.push_back(a[i++]);
+      } else if (b[j].first < a[i].first) {
+        out.push_back(b[j++]);
+      } else {
+        out.emplace_back(a[i].first, combine(a[i].first, a[i].second, b[j].second));
+        ++i;
+        ++j;
+      }
+    }
+    while (i < a.size()) out.push_back(a[i++]);
+    while (j < b.size()) out.push_back(b[j++]);
+    return out;
   }
 };
 

@@ -1,0 +1,491 @@
+#include "vca/fleet.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "core/thread_pool.h"
+#include "netsim/random.h"
+
+namespace vtp::vca {
+namespace {
+
+using net::FabricShard;
+using net::FleetHop;
+using net::HandoffRecord;
+using net::PacketBuffer;
+using net::Rng;
+using net::SimTime;
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t Fnv1a(const std::string& s) {
+  std::uint64_t h = kFnvOffset;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Frame wire header: send timestamp (le64) + leg byte. The minimum frame
+/// size keeps room for it.
+constexpr std::size_t kHeaderBytes = 9;
+
+void WriteSendTs(std::span<std::uint8_t> bytes, SimTime ts) {
+  for (int i = 0; i < 8; ++i) bytes[static_cast<std::size_t>(i)] = (ts >> (8 * i)) & 0xFF;
+}
+
+SimTime ReadSendTs(std::span<const std::uint8_t> bytes) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(bytes[static_cast<std::size_t>(i)]) << (8 * i);
+  return static_cast<SimTime>(v);
+}
+
+/// Flow key: unique per (session, part, leg, seq) — the fabric's
+/// same-instant tiebreak.
+std::uint64_t FlowKey(std::uint32_t session, int part, int leg, std::uint32_t seq) {
+  return ((static_cast<std::uint64_t>(session) * 2 + static_cast<std::uint64_t>(part)) * 2 +
+          static_cast<std::uint64_t>(leg))
+             << 32 |
+         seq;
+}
+
+/// Geometric bucket bounds for the fleet e2e histogram, in whole
+/// microseconds (integer-valued doubles: exact under bucket-add and sum).
+std::vector<double> E2eBoundsUs() {
+  std::vector<double> bounds;
+  for (double b = 1000; b < 1.5e6; b = std::floor(b * 1.22)) bounds.push_back(b);
+  return bounds;
+}
+
+/// Reusable N-thread rendezvous for the window protocol (std::barrier is
+/// avoided for toolchain portability; this is cold — two waits per window).
+class Barrier {
+ public:
+  explicit Barrier(int n) : n_(n) {}
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const std::uint64_t gen = generation_;
+    if (++arrived_ == n_) {
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lock, [&] { return generation_ != gen; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  int n_;
+  int arrived_ = 0;
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace
+
+/// One shard's model state: the fabric plus the senders whose metros this
+/// shard owns. Construction order (and therefore metric registration order)
+/// is identical in every shard, so per-shard registries merge by identity.
+struct FleetWorld {
+  const FleetConfig* cfg;
+  const std::vector<SessionSpec>* sched;
+  FabricShard fabric;
+  SimTime period;
+
+  obs::Counter* frames_sent;
+  obs::Counter* bytes_sent;
+  obs::Counter* frames_relayed;
+  obs::Counter* frames_delivered;
+  obs::Counter* senders_started;
+  obs::Counter* sessions_completed;
+  obs::Gauge* concurrent_peak;
+  obs::Histogram* e2e_us;
+
+  struct Sender {
+    const SessionSpec* spec;
+    std::uint8_t part;
+    bool probe;
+    SimTime phase;
+    SimTime busy_until = 0;
+    std::uint32_t seq = 0;
+    Rng stream;
+    std::vector<double> draws;  ///< probe only: phase then per-frame sizes
+
+    Sender(const SessionSpec* sp, int p, std::uint64_t seed, bool is_probe, SimTime period)
+        : spec(sp),
+          part(static_cast<std::uint8_t>(p)),
+          probe(is_probe),
+          stream(net::DeriveSeed(seed, net::RngDomain::kSessionTraffic,
+                                 static_cast<std::uint64_t>(sp->id) * 2 +
+                                     static_cast<std::uint64_t>(p))) {
+      // Draw #0 of every sender stream: the pacing phase within one frame
+      // period. Drawn only by the owning shard, identically for any count.
+      phase = stream.UniformInt(0, period - 1);
+      if (probe) draws.push_back(static_cast<double>(phase));
+    }
+  };
+  std::vector<Sender> senders;
+
+  FleetWorld(const FleetConfig* config, const net::FabricTopology* topo,
+             const std::vector<int>* owner, int shard_id, const std::vector<SessionSpec>* schedule,
+             double peak_concurrent)
+      : cfg(config),
+        sched(schedule),
+        fabric(topo, owner, shard_id, config->seed),
+        period(static_cast<SimTime>(std::llround(net::kSecond / config->fps))) {
+    obs::MetricRegistry& reg = fabric.sim().metrics();
+    frames_sent = reg.NewCounter("fleet.frames_sent");
+    bytes_sent = reg.NewCounter("fleet.bytes_sent");
+    frames_relayed = reg.NewCounter("fleet.frames_relayed");
+    frames_delivered = reg.NewCounter("fleet.frames_delivered");
+    senders_started = reg.NewCounter("fleet.senders_started");
+    sessions_completed = reg.NewCounter("fleet.sessions_completed");
+    concurrent_peak = reg.NewGauge("fleet.concurrent_peak");
+    e2e_us = reg.NewHistogram("fleet.e2e_us", E2eBoundsUs());
+    // Schedule-derived, so every shard count agrees; shard 0 reports it and
+    // the peak-gauge max-merge keeps the zeros of the others out.
+    if (shard_id == 0) concurrent_peak->Set(peak_concurrent);
+
+    std::size_t owned = 0;
+    for (const SessionSpec& sp : *sched) {
+      owned += fabric.owns(sp.metro[0]) ? 1u : 0u;
+      owned += fabric.owns(sp.metro[1]) ? 1u : 0u;
+    }
+    senders.reserve(owned);  // pointer-stable: event callbacks index into it
+    for (const SessionSpec& sp : *sched) {
+      for (int part = 0; part < 2; ++part) {
+        if (!fabric.owns(sp.metro[part])) continue;
+        senders.emplace_back(&sp, part, cfg->seed, sp.id == cfg->probe_session, period);
+      }
+    }
+    fabric.set_deliver(
+        [this](const FleetHop& hop, PacketBuffer payload) { OnDeliver(hop, std::move(payload)); });
+  }
+
+  /// Schedules every owned sender's first tick. Called on the shard's own
+  /// thread so payload blocks come from (and return to) that thread's pool.
+  void Start() {
+    for (std::size_t i = 0; i < senders.size(); ++i) {
+      senders_started->Inc();
+      fabric.sim().At(senders[i].spec->start + senders[i].phase, [this, i] { Tick(i); });
+    }
+  }
+
+  void Tick(std::size_t idx) {
+    Sender& s = senders[idx];
+    const SessionSpec& sp = *s.spec;
+    net::Simulator& sim = fabric.sim();
+    const SimTime now = sim.now();
+    const SimTime stop = std::min(sp.end, cfg->duration);
+    if (now >= stop) {
+      if (s.part == 0) sessions_completed->Inc();
+      return;
+    }
+    const std::int64_t jitter =
+        cfg->frame_jitter_bytes > 0
+            ? s.stream.UniformInt(-cfg->frame_jitter_bytes, cfg->frame_jitter_bytes)
+            : 0;
+    const auto size = static_cast<std::size_t>(cfg->frame_bytes + jitter);
+    if (s.probe) s.draws.push_back(static_cast<double>(size));
+
+    frames_sent->Inc();
+    bytes_sent->Inc(size);
+
+    // Serialize onto the sender's metro access uplink (modelled inline: a
+    // busy-until horizon plus a fixed one-way delay; per-session links would
+    // mint per-shard metric scopes and break merge-by-identity).
+    const SimTime tx_start = std::max(now, s.busy_until);
+    s.busy_until = tx_start + static_cast<SimTime>(std::llround(
+                                  static_cast<double>(size) * 8.0 / cfg->access_rate_bps *
+                                  net::kSecond));
+    const SimTime backbone_entry = s.busy_until + cfg->access_delay;
+
+    PacketBuffer payload(size);
+    std::span<std::uint8_t> bytes = payload.writable();
+    WriteSendTs(bytes, now);
+    bytes[8] = 0;  // leg
+    fabric.PushHop({backbone_entry, FlowKey(sp.id, s.part, 0, s.seq), sp.metro[s.part], sp.server,
+                    0, s.part, sp.id, s.seq},
+                   std::move(payload));
+
+    ++s.seq;
+    sim.At(sp.start + s.phase + static_cast<SimTime>(s.seq) * period, [this, idx] { Tick(idx); });
+  }
+
+  void OnDeliver(const FleetHop& hop, PacketBuffer payload) {
+    const SessionSpec& sp = (*sched)[hop.session];
+    if (hop.leg == 0) {
+      // At the SFU (initiator metro): rewrite the leg and fan out to the
+      // peer's metro. PushHop is legal here — we own the SFU's metro, since
+      // the fabric just delivered to it.
+      frames_relayed->Inc();
+      const int peer = 1 - hop.part;
+      if (payload.ref_count() > 1) payload = PacketBuffer::CopyOf(payload.view());
+      payload.writable()[8] = 1;
+      fabric.PushHop({fabric.sim().now() + cfg->sfu_delay, FlowKey(sp.id, hop.part, 1, hop.seq),
+                      sp.server, sp.metro[peer], 1, hop.part, sp.id, hop.seq},
+                     std::move(payload));
+      return;
+    }
+    // At the receiver's metro: the frame exits over the access downlink.
+    // Observe whole microseconds — integer-valued doubles keep the merged
+    // histogram sum exact and associative, which the digest relies on.
+    const SimTime e2e = fabric.sim().now() + cfg->access_delay - ReadSendTs(payload.view());
+    frames_delivered->Inc();
+    e2e_us->Observe(static_cast<double>(e2e / net::kMicrosecond));
+  }
+};
+
+FleetSim::FleetSim(FleetConfig config)
+    : config_(std::move(config)), topo_(net::FabricTopology::Backbone()) {
+  if (config_.metro_limit < 1 ||
+      static_cast<std::size_t>(config_.metro_limit) > topo_.metro_count()) {
+    throw std::invalid_argument("FleetSim: metro_limit out of range");
+  }
+  if (config_.frame_bytes - config_.frame_jitter_bytes < static_cast<int>(kHeaderBytes)) {
+    throw std::invalid_argument("FleetSim: frame_bytes too small for the wire header");
+  }
+  // The whole fleet's schedule comes from one arrival stream, generated
+  // before any world exists: every shard (and every shard count) iterates
+  // the identical session list.
+  Rng arrivals(net::DeriveSeed(config_.seed, net::RngDomain::kArrivals, 0));
+  const double dur_s = net::ToSeconds(config_.duration);
+  const SimTime frame_period =
+      static_cast<SimTime>(std::llround(net::kSecond / config_.fps));
+  auto add_session = [&](SimTime start) {
+    SessionSpec sp;
+    sp.id = static_cast<std::uint32_t>(schedule_.size());
+    sp.start = start;
+    sp.end = start + static_cast<SimTime>(std::llround(
+                         arrivals.Exponential(1.0 / config_.mean_session_s) * net::kSecond));
+    sp.metro[0] = static_cast<std::uint8_t>(arrivals.UniformInt(0, config_.metro_limit - 1));
+    sp.metro[1] = static_cast<std::uint8_t>(arrivals.UniformInt(0, config_.metro_limit - 1));
+    sp.server = sp.metro[0];
+    schedule_.push_back(sp);
+  };
+  // Warm start: the stationary population is already on the phones at t=0
+  // (exponential holding times are memoryless, so a fresh duration draw is
+  // the correct remaining time).
+  for (int i = 0; i < static_cast<int>(config_.target_sessions); ++i) {
+    add_session(arrivals.UniformInt(0, frame_period - 1));
+  }
+  // Ongoing arrivals: nonhomogeneous Poisson by thinning under the diurnal
+  // rate curve. Little's law sets the base rate that sustains the target.
+  const double base_rate = config_.target_sessions / config_.mean_session_s;
+  const double max_rate = base_rate * (1.0 + std::abs(config_.diurnal_amplitude));
+  if (max_rate > 0) {
+    double t = 0;
+    while (true) {
+      t += arrivals.Exponential(max_rate);
+      if (t >= dur_s) break;
+      const double rate =
+          base_rate *
+          std::max(0.0, 1.0 + config_.diurnal_amplitude *
+                                  std::sin(2.0 * M_PI * t / config_.diurnal_period_s));
+      if (arrivals.Uniform() * max_rate > rate) continue;
+      add_session(static_cast<SimTime>(std::llround(t * net::kSecond)));
+    }
+  }
+  // Peak concurrency from the schedule alone (sweep over +1/-1 edges).
+  std::vector<std::pair<SimTime, int>> edges;
+  edges.reserve(schedule_.size() * 2);
+  for (const SessionSpec& sp : schedule_) {
+    edges.emplace_back(sp.start, 1);
+    edges.emplace_back(std::min(sp.end, config_.duration), -1);
+  }
+  std::sort(edges.begin(), edges.end());
+  int live = 0, peak = 0;
+  for (const auto& [when, delta] : edges) {
+    live += delta;
+    peak = std::max(peak, live);
+  }
+  peak_concurrent_ = peak;
+}
+
+void FleetSim::ScheduleFlap(int metro_a, int metro_b, SimTime at, SimTime duration) {
+  flaps_.push_back({metro_a, metro_b, at, duration});
+}
+
+FleetResult FleetSim::Run() {
+  std::vector<double> weights(topo_.metro_count(), 0.0);
+  for (const SessionSpec& sp : schedule_) {
+    weights[sp.metro[0]] += 1.0;
+    weights[sp.metro[1]] += 1.0;
+  }
+  const std::vector<int> owner = topo_.Partition(config_.shards, &weights);
+  const int shards = 1 + *std::max_element(owner.begin(), owner.end());
+  return RunWorlds(owner, shards, /*windowed=*/true);
+}
+
+FleetResult FleetSim::RunDirect() {
+  const std::vector<int> owner(topo_.metro_count(), 0);
+  return RunWorlds(owner, 1, /*windowed=*/false);
+}
+
+FleetResult FleetSim::RunWorlds(const std::vector<int>& owner, int shards, bool windowed) {
+  const SimTime end = config_.duration + net::Seconds(1);  // drain margin
+  const SimTime delta = windowed ? topo_.Lookahead(owner, end) : end;
+
+  std::vector<std::unique_ptr<FleetWorld>> worlds;
+  worlds.reserve(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    worlds.push_back(
+        std::make_unique<FleetWorld>(&config_, &topo_, &owner, s, &schedule_, peak_concurrent_));
+    for (const Flap& f : flaps_) worlds.back()->fabric.ScheduleFlap(f.a, f.b, f.at, f.duration);
+  }
+
+  // mail[from][to]; only cross-shard pairs are ever pushed.
+  std::vector<std::vector<std::unique_ptr<net::ShardMailbox>>> mail(
+      static_cast<std::size_t>(shards));
+  for (int from = 0; from < shards; ++from) {
+    for (int to = 0; to < shards; ++to) {
+      mail[static_cast<std::size_t>(from)].push_back(std::make_unique<net::ShardMailbox>());
+    }
+  }
+  for (int s = 0; s < shards; ++s) {
+    worlds[static_cast<std::size_t>(s)]->fabric.set_post(
+        [&mail, s](int dst, HandoffRecord&& rec) {
+          mail[static_cast<std::size_t>(s)][static_cast<std::size_t>(dst)]->Push(std::move(rec));
+        });
+  }
+
+  FleetResult result;
+  result.shards = shards;
+  result.lookahead = windowed ? delta : 0;
+  result.shard_workers.assign(static_cast<std::size_t>(shards), -1);
+
+  Barrier barrier(shards);
+  std::vector<std::uint64_t> windows_per_shard(static_cast<std::size_t>(shards), 0);
+
+  auto shard_main = [&](int s) {
+    FleetWorld& world = *worlds[static_cast<std::size_t>(s)];
+    result.shard_workers[static_cast<std::size_t>(s)] = core::ThreadPool::CurrentWorkerIndex();
+    world.Start();
+    if (!windowed) {
+      world.fabric.sim().Run();
+      return;
+    }
+    std::vector<HandoffRecord> batch;
+    auto exchange = [&] {
+      // Two barriers bracket the ingest: every producer is parked before any
+      // consumer drains, and no producer resumes until all ingests finished.
+      barrier.Wait();
+      batch.clear();
+      for (int from = 0; from < shards; ++from) {
+        if (from == s) continue;
+        mail[static_cast<std::size_t>(from)][static_cast<std::size_t>(s)]->DrainInto(&batch);
+      }
+      // Heap order alone already fixes execution order; sorting the batch
+      // additionally makes the *scheduling* sequence deterministic.
+      std::sort(batch.begin(), batch.end(), [](const HandoffRecord& x, const HandoffRecord& y) {
+        return x.hop.arrive != y.hop.arrive ? x.hop.arrive < y.hop.arrive : x.hop.key < y.hop.key;
+      });
+      for (const HandoffRecord& rec : batch) world.fabric.Ingest(rec);
+      barrier.Wait();
+      return batch.size();
+    };
+    SimTime t1 = std::min(delta, end);
+    while (true) {
+      // Run this window's events, stopping one tick short of the boundary so
+      // ingested hops due exactly at t1 are scheduled before the clock
+      // reaches them.
+      world.fabric.sim().RunUntil(t1 - 1);
+      ++windows_per_shard[static_cast<std::size_t>(s)];
+      exchange();
+      if (t1 >= end) break;
+      t1 = std::min(t1 + delta, end);
+    }
+    world.fabric.sim().RunUntil(end);
+    if (exchange() != 0 || world.fabric.hops_pending() != 0) {
+      throw std::runtime_error("FleetSim: traffic still in flight past the drain horizon");
+    }
+  };
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  if (shards == 1) {
+    // Single world: run inline (the differential reference and the windowed
+    // 1-shard baseline share the calling thread; no pool, no contention).
+    shard_main(0);
+  } else {
+    core::ThreadPool pool(static_cast<unsigned>(shards));
+    for (int s = 0; s < shards; ++s) pool.Submit([&shard_main, s] { shard_main(s); });
+    pool.Wait();
+  }
+  result.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+
+  for (int s = 0; s < shards; ++s) {
+    FleetWorld& world = *worlds[static_cast<std::size_t>(s)];
+    obs::Snapshot snap = obs::Snapshot::Capture(world.fabric.sim().metrics());
+    if (s == 0) {
+      result.merged = std::move(snap);
+    } else {
+      result.merged.Merge(snap);
+    }
+    result.events += world.fabric.sim().events_executed();
+    result.hops += world.fabric.hops_processed();
+    result.handoffs += world.fabric.handoffs_posted();
+    result.handoff_copies += world.fabric.handoff_copies();
+    result.windows = std::max(result.windows, windows_per_shard[static_cast<std::size_t>(s)]);
+  }
+  for (const auto& row : mail) {
+    for (const auto& box : row) result.spills += box->spilled();
+  }
+  result.digest = Fnv1a(result.merged.ToJson());
+  result.frames_sent = result.merged.counter("fleet.frames_sent");
+  result.frames_delivered = result.merged.counter("fleet.frames_delivered");
+  result.e2e_p50_ms = E2eQuantileMs(result.merged, 0.50);
+  result.e2e_p95_ms = E2eQuantileMs(result.merged, 0.95);
+  result.peak_concurrent = result.merged.gauge("fleet.concurrent_peak");
+
+  // Probe-session sender draws, part 0 then part 1, from whichever world
+  // owned each part (exactly one does).
+  if (config_.probe_session < schedule_.size()) {
+    for (int part = 0; part < 2; ++part) {
+      for (const auto& world : worlds) {
+        for (const FleetWorld::Sender& s : world->senders) {
+          if (s.spec->id == config_.probe_session && s.part == part && s.probe) {
+            result.probe_draws.insert(result.probe_draws.end(), s.draws.begin(), s.draws.end());
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+double FleetSim::E2eQuantileMs(const obs::Snapshot& snap, double q) {
+  for (const obs::Snapshot::HistogramRow& row : snap.histograms) {
+    if (row.name != "fleet.e2e_us") continue;
+    if (row.count == 0) return 0.0;
+    // Same interpolation as obs::Histogram::Quantile, over the merged row.
+    const double target = std::clamp(q, 0.0, 1.0) * static_cast<double>(row.count);
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < row.buckets.size(); ++i) {
+      const std::uint64_t in_bucket = row.buckets[i];
+      if (in_bucket == 0) continue;
+      if (static_cast<double>(cum + in_bucket) >= target) {
+        const double lo = i == 0 ? 0.0 : row.bounds[i - 1];
+        if (i >= row.bounds.size()) return lo / 1000.0;
+        const double frac =
+            (target - static_cast<double>(cum)) / static_cast<double>(in_bucket);
+        return (lo + (row.bounds[i] - lo) * std::clamp(frac, 0.0, 1.0)) / 1000.0;
+      }
+      cum += in_bucket;
+    }
+    return row.bounds.empty() ? 0.0 : row.bounds.back() / 1000.0;
+  }
+  return 0.0;
+}
+
+}  // namespace vtp::vca

@@ -291,5 +291,86 @@ TEST(Config, BoolKnobParsesAndFallsBack) {
   unsetenv("VTP_OBS");
 }
 
+// --- snapshot merge ----------------------------------------------------------
+
+TEST(SnapshotMerge, CountersSumByName) {
+  obs::MetricRegistry a, b;
+  a.NewCounter("x")->Inc(3);
+  a.NewCounter("only_a")->Inc(1);
+  b.NewCounter("x")->Inc(4);
+  b.NewCounter("only_b")->Inc(9);
+  obs::Snapshot merged = obs::Snapshot::Capture(a);
+  merged.Merge(obs::Snapshot::Capture(b));
+  EXPECT_EQ(merged.counter("x"), 7u);
+  EXPECT_EQ(merged.counter("only_a"), 1u);
+  EXPECT_EQ(merged.counter("only_b"), 9u);
+  // Sorted-name order is preserved so ToJson stays canonical.
+  for (std::size_t i = 1; i < merged.counters.size(); ++i) {
+    EXPECT_LT(merged.counters[i - 1].first, merged.counters[i].first);
+  }
+}
+
+TEST(SnapshotMerge, PeakGaugesMaxCombineOthersSum) {
+  obs::MetricRegistry a, b;
+  a.NewGauge("queue_peak_bytes")->Set(100);
+  b.NewGauge("queue_peak_bytes")->Set(40);
+  a.NewGauge("occupancy")->Set(2);
+  b.NewGauge("occupancy")->Set(5);
+  obs::Snapshot merged = obs::Snapshot::Capture(a);
+  merged.Merge(obs::Snapshot::Capture(b));
+  EXPECT_DOUBLE_EQ(merged.gauge("queue_peak_bytes"), 100);  // high-water: max
+  EXPECT_DOUBLE_EQ(merged.gauge("occupancy"), 7);           // plain gauge: sum
+}
+
+TEST(SnapshotMerge, HistogramsBucketAddWhenBoundsMatch) {
+  obs::MetricRegistry a, b;
+  obs::Histogram* ha = a.NewHistogram("lat", {1.0, 10.0});
+  obs::Histogram* hb = b.NewHistogram("lat", {1.0, 10.0});
+  ha->Observe(0.5);
+  ha->Observe(5);
+  hb->Observe(5);
+  hb->Observe(50);
+  obs::Snapshot merged = obs::Snapshot::Capture(a);
+  merged.Merge(obs::Snapshot::Capture(b));
+  ASSERT_EQ(merged.histograms.size(), 1u);
+  EXPECT_EQ(merged.histograms[0].buckets, (std::vector<std::uint64_t>{1, 2, 1}));
+  EXPECT_EQ(merged.histograms[0].count, 4u);
+  EXPECT_DOUBLE_EQ(merged.histograms[0].sum, 60.5);
+}
+
+TEST(SnapshotMerge, HistogramBoundsMismatchKeepsOursAndNewNamesAppend) {
+  obs::MetricRegistry a, b;
+  a.NewHistogram("lat", {1.0, 10.0})->Observe(5);
+  b.NewHistogram("lat", {2.0, 20.0})->Observe(5);  // registration bug: bounds differ
+  b.NewHistogram("extra", {1.0})->Observe(0.5);
+  obs::Snapshot merged = obs::Snapshot::Capture(a);
+  merged.Merge(obs::Snapshot::Capture(b));
+  ASSERT_EQ(merged.histograms.size(), 2u);
+  EXPECT_EQ(merged.histograms[0].name, "lat");
+  EXPECT_EQ(merged.histograms[0].bounds, (std::vector<double>{1.0, 10.0}));  // ours won
+  EXPECT_EQ(merged.histograms[0].count, 1u);
+  EXPECT_EQ(merged.histograms[1].name, "extra");
+  EXPECT_EQ(merged.histograms[1].count, 1u);
+}
+
+TEST(SnapshotMerge, IsAssociativeAcrossThreeShards) {
+  auto make = [](std::uint64_t c, double peak) {
+    obs::MetricRegistry reg;
+    reg.NewCounter("n")->Inc(c);
+    reg.NewGauge("p.peak")->Set(peak);
+    return obs::Snapshot::Capture(reg);
+  };
+  obs::Snapshot left = make(1, 5);
+  left.Merge(make(2, 9));
+  left.Merge(make(4, 7));
+  obs::Snapshot right23 = make(2, 9);
+  right23.Merge(make(4, 7));
+  obs::Snapshot right = make(1, 5);
+  right.Merge(right23);
+  EXPECT_EQ(left.ToJson(), right.ToJson());
+  EXPECT_EQ(left.counter("n"), 7u);
+  EXPECT_DOUBLE_EQ(left.gauge("p.peak"), 9);
+}
+
 }  // namespace
 }  // namespace vtp
