@@ -6,19 +6,27 @@
 // fleet-wide p50/p95 frame latency from the merged per-shard snapshots.
 //
 // Hard gates (exit 1 on failure):
-//   * merged-snapshot digests are bit-identical across every shard count;
+//   * merged-snapshot digests are bit-identical across every shard count
+//     AND across the express / per-hop delivery engines;
 //   * --smoke additionally pins the windowed 1-shard engine against the
-//     plain single-threaded Simulator::Run() reference (RunDirect);
-//   * full mode sustains the 2k-session target, and — only on machines with
+//     plain single-threaded Simulator::Run() reference (RunDirect), in both
+//     engines;
+//   * --baseline=FILE compares the windowed 1-shard frames_per_wall_s
+//     against the committed report and fails on a >10% regression;
+//   * full mode sustains the session target, and — only on machines with
 //     >= 4 hardware threads, where the comparison is meaningful — requires
 //     >= 3x speedup at 4 shards over 1.
 //
 // Results land in BENCH_fleet.json (VTP_BENCH_JSON overrides).
 //
-// Usage: bench_fleet [--smoke]
+// Usage: bench_fleet [--smoke] [--sessions=N] [--shards=K1,K2,...]
+//                    [--minutes=M] [--baseline=FILE]
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -39,24 +47,29 @@ struct Row {
   FleetResult r;
 };
 
+double Fpws(const Row& row) {
+  return row.r.wall_s > 0 ? static_cast<double>(row.r.frames_delivered) / row.r.wall_s : 0;
+}
+
 void PrintRow(const Row& row) {
-  const double frames_per_s = row.r.wall_s > 0 ? row.r.frames_delivered / row.r.wall_s : 0;
   std::printf(
-      "  %-10s shards=%d  wall=%6.2fs  events=%9" PRIu64 "  frames=%8" PRIu64
-      "  %8.0f fr/s  p50=%6.2fms  p95=%6.2fms  handoffs=%8" PRIu64 "  digest=%016" PRIx64 "\n",
-      row.label.c_str(), row.shards, row.r.wall_s, row.r.events, row.r.frames_delivered,
-      frames_per_s, row.r.e2e_p50_ms, row.r.e2e_p95_ms, row.r.handoffs, row.r.digest);
+      "  %-8s %-7s shards=%d  wall=%6.2fs  frames=%8" PRIu64 "  %9.0f fr/s  p50=%6.2fms  "
+      "p95=%6.2fms  handoffs=%8" PRIu64 "  ff=%9" PRIu64 "  digest=%016" PRIx64 "\n",
+      row.label.c_str(), row.r.path.c_str(), row.shards, row.r.wall_s, row.r.frames_delivered,
+      Fpws(row), row.r.e2e_p50_ms, row.r.e2e_p95_ms, row.r.handoffs, row.r.fastforwards,
+      row.r.digest);
 }
 
 void WriteRow(vtp::core::JsonWriter& w, const Row& row, double fps) {
   w.BeginObject();
   w.Key("label"); w.String(row.label);
   w.Key("shards"); w.Int(row.shards);
+  w.Key("path"); w.String(row.r.path);
   w.Key("wall_s"); w.Number(row.r.wall_s);
   w.Key("events"); w.Int(static_cast<std::int64_t>(row.r.events));
   w.Key("hops"); w.Int(static_cast<std::int64_t>(row.r.hops));
   w.Key("handoffs"); w.Int(static_cast<std::int64_t>(row.r.handoffs));
-  w.Key("handoff_copies"); w.Int(static_cast<std::int64_t>(row.r.handoff_copies));
+  w.Key("fastforwards"); w.Int(static_cast<std::int64_t>(row.r.fastforwards));
   w.Key("spills"); w.Int(static_cast<std::int64_t>(row.r.spills));
   w.Key("windows"); w.Int(static_cast<std::int64_t>(row.r.windows));
   w.Key("lookahead_us"); w.Number(vtp::net::ToMicros(row.r.lookahead));
@@ -65,12 +78,11 @@ void WriteRow(vtp::core::JsonWriter& w, const Row& row, double fps) {
   w.Key("peak_concurrent"); w.Number(row.r.peak_concurrent);
   w.Key("e2e_p50_ms"); w.Number(row.r.e2e_p50_ms);
   w.Key("e2e_p95_ms"); w.Number(row.r.e2e_p95_ms);
-  const double wall = row.r.wall_s;
-  w.Key("frames_per_wall_s"); w.Number(wall > 0 ? row.r.frames_delivered / wall : 0);
+  w.Key("frames_per_wall_s"); w.Number(Fpws(row));
   // "Sessions per second" at fleet scale: concurrent session-seconds
   // simulated per wall-clock second (frames / (2 senders * fps) session-s).
   const double session_s = row.r.frames_sent / (2.0 * fps);
-  w.Key("session_s_per_wall_s"); w.Number(wall > 0 ? session_s / wall : 0);
+  w.Key("session_s_per_wall_s"); w.Number(row.r.wall_s > 0 ? session_s / row.r.wall_s : 0);
   char digest[32];
   std::snprintf(digest, sizeof digest, "%016" PRIx64, row.r.digest);
   w.Key("digest"); w.String(digest);
@@ -94,31 +106,89 @@ FleetConfig BaseConfig(bool smoke) {
   return cfg;
 }
 
+/// Pulls the windowed 1-shard frames_per_wall_s out of a committed
+/// BENCH_fleet.json (compact core::JsonWriter output; the first windowed
+/// shards=1 run is the single-core baseline row). Returns -1 when the file
+/// is missing or doesn't contain the row.
+double ReadBaselineFpws(const std::string& file) {
+  std::ifstream in(file);
+  if (!in) return -1;
+  const std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  const std::size_t at = text.find("\"label\":\"windowed\",\"shards\":1");
+  if (at == std::string::npos) return -1;
+  const std::string key = "\"frames_per_wall_s\":";
+  const std::size_t k = text.find(key, at);
+  if (k == std::string::npos) return -1;
+  return std::atof(text.c_str() + k + key.size());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  double sessions = -1;
+  double minutes = -1;
+  std::vector<int> shard_counts;
+  std::string baseline;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(arg, "--sessions=", 11) == 0) {
+      sessions = std::atof(arg + 11);
+    } else if (std::strncmp(arg, "--minutes=", 10) == 0) {
+      minutes = std::atof(arg + 10);
+    } else if (std::strncmp(arg, "--shards=", 9) == 0) {
+      for (const char* p = arg + 9; *p != '\0';) {
+        shard_counts.push_back(std::atoi(p));
+        while (*p != '\0' && *p != ',') ++p;
+        if (*p == ',') ++p;
+      }
+    } else if (std::strncmp(arg, "--baseline=", 11) == 0) {
+      baseline = arg + 11;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_fleet [--smoke] [--sessions=N] [--shards=K1,K2,...] "
+                   "[--minutes=M] [--baseline=FILE]\n");
+      return 2;
+    }
   }
 
   vtp::bench::Banner(smoke ? "fleet bench (smoke)" : "fleet bench");
   FleetConfig cfg = BaseConfig(smoke);
+  if (sessions > 0) cfg.target_sessions = sessions;
+  if (minutes > 0) {
+    cfg.duration = static_cast<vtp::net::SimTime>(minutes * 60.0 * vtp::net::kSecond);
+  }
+  if (shard_counts.empty()) shard_counts = smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4};
+
+  // Windowed rows defer to VTP_FLEET_PATH (default express) so the engines
+  // can be A/B'd per run; the smoke differential rows pin both explicitly.
   FleetSim fleet(cfg);
   std::printf("  schedule: %zu sessions, peak concurrency %d, horizon %.1fs\n",
               fleet.schedule().size(), static_cast<int>(cfg.target_sessions),
               vtp::net::ToSeconds(cfg.duration));
 
   std::vector<Row> rows;
-  const std::vector<int> shard_counts = smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4};
-
   if (smoke) {
-    // Differential pin: the same model on a plain Simulator::Run(), no
-    // windows, no mailboxes.
-    FleetConfig direct_cfg = cfg;
-    FleetSim direct(direct_cfg);
-    rows.push_back({"direct", 1, direct.RunDirect()});
-    PrintRow(rows.back());
+    // Differential pins: the same model on a plain Simulator::Run() (no
+    // windows, no mailboxes), in both delivery engines, plus the per-hop
+    // windowed single shard — every digest must match the express rows.
+    for (const char* path : {"express", "hops"}) {
+      FleetConfig c = cfg;
+      c.path = path;
+      FleetSim direct(c);
+      rows.push_back({"direct", 1, direct.RunDirect()});
+      PrintRow(rows.back());
+    }
+    {
+      FleetConfig c = cfg;
+      c.path = "hops";
+      c.shards = 1;
+      FleetSim sim(c);
+      rows.push_back({"refpath", 1, sim.Run()});
+      PrintRow(rows.back());
+    }
   }
   for (int shards : shard_counts) {
     FleetConfig c = cfg;
@@ -131,9 +201,9 @@ int main(int argc, char** argv) {
   bool digests_identical = true;
   for (std::size_t i = 1; i < rows.size(); ++i) {
     if (rows[i].r.digest != rows[0].r.digest) {
-      std::printf("FAIL: digest mismatch: %s/%d %016" PRIx64 " vs %s/%d %016" PRIx64 "\n",
-                  rows[i].label.c_str(), rows[i].shards, rows[i].r.digest, rows[0].label.c_str(),
-                  rows[0].shards, rows[0].r.digest);
+      std::printf("FAIL: digest mismatch: %s/%s/%d %016" PRIx64 " vs %s/%s/%d %016" PRIx64 "\n",
+                  rows[i].label.c_str(), rows[i].r.path.c_str(), rows[i].shards, rows[i].r.digest,
+                  rows[0].label.c_str(), rows[0].r.path.c_str(), rows[0].shards, rows[0].r.digest);
       digests_identical = false;
     }
   }
@@ -141,6 +211,45 @@ int main(int argc, char** argv) {
   if (rows[0].r.frames_delivered == 0) {
     std::printf("FAIL: no frames delivered\n");
     ok = false;
+  }
+
+  const Row* gate_row = nullptr;  // windowed express, 1 shard: the baseline row
+  for (const Row& row : rows) {
+    if (row.label == "windowed" && row.shards == 1 && row.r.path == "express") {
+      gate_row = &row;
+      break;
+    }
+  }
+  if (smoke) {
+    const Row* hops_row = nullptr;
+    for (const Row& row : rows) {
+      if (row.label == "refpath") hops_row = &row;
+    }
+    if (gate_row != nullptr && hops_row != nullptr && hops_row->r.wall_s > 0) {
+      std::printf("  express vs per-hop, 1 shard: %.2fx frames/wall-s\n",
+                  Fpws(*gate_row) / Fpws(*hops_row));
+    }
+  }
+
+  double baseline_fpws = -1;
+  if (!baseline.empty()) {
+    baseline_fpws = ReadBaselineFpws(baseline);
+    if (baseline_fpws <= 0) {
+      std::printf("FAIL: no windowed 1-shard frames_per_wall_s in baseline %s\n",
+                  baseline.c_str());
+      ok = false;
+    } else if (gate_row == nullptr) {
+      std::printf("FAIL: --baseline given but no windowed 1-shard express run\n");
+      ok = false;
+    } else {
+      const double fpws = Fpws(*gate_row);
+      std::printf("  single-core throughput vs baseline: %.0f vs %.0f fr/wall-s (%.2fx)\n",
+                  fpws, baseline_fpws, fpws / baseline_fpws);
+      if (fpws < 0.9 * baseline_fpws) {
+        std::printf("FAIL: >10%% single-core throughput regression\n");
+        ok = false;
+      }
+    }
   }
 
   double speedup4 = 0;
@@ -154,6 +263,7 @@ int main(int argc, char** argv) {
     const Row* one = nullptr;
     const Row* four = nullptr;
     for (const Row& row : rows) {
+      if (row.label != "windowed") continue;
       if (row.shards == 1) one = &row;
       if (row.shards == 4) four = &row;
     }
@@ -179,6 +289,9 @@ int main(int argc, char** argv) {
   w.Key("target_concurrent"); w.Number(cfg.target_sessions);
   w.Key("hw_threads"); w.Int(static_cast<std::int64_t>(vtp::core::ThreadPool::HardwareThreads()));
   w.Key("digests_identical"); w.Bool(digests_identical);
+  if (baseline_fpws > 0 && gate_row != nullptr) {
+    w.Key("baseline_frames_per_wall_s"); w.Number(baseline_fpws);
+  }
   if (!smoke) {
     w.Key("speedup_4_vs_1"); w.Number(speedup4);
     w.Key("speedup_gated"); w.Bool(speedup_gated);

@@ -7,6 +7,8 @@
 // BENCH_<bench>.json, so CI can collect BENCH_*.json uniformly.
 #pragma once
 
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 
@@ -38,7 +40,18 @@ class JsonReport {
 
   /// Closes the root object, resolves the output path (VTP_BENCH_JSON or
   /// BENCH_<bench>.json), writes the file, and returns the path used.
+  /// Under VTP_BENCH_REQUIRE_CLEAN a -dirty build id aborts instead of
+  /// writing: committed BENCH_*.json baselines must describe a reproducible
+  /// commit, not whatever happened to be in the working tree.
   std::string Write() {
+    if (core::knobs::kBenchRequireClean.Get() &&
+        std::string(VTP_GIT_DESCRIBE).find("-dirty") != std::string::npos) {
+      std::fprintf(stderr,
+                   "JsonReport: refusing to write %s report from dirty tree %s "
+                   "(VTP_BENCH_REQUIRE_CLEAN is set)\n",
+                   name_.c_str(), VTP_GIT_DESCRIBE);
+      std::exit(1);
+    }
     w_.EndObject();
     std::string path = core::knobs::kBenchJson.Get();
     if (path.empty()) path = "BENCH_" + name_ + ".json";

@@ -64,6 +64,22 @@ inline const BoolKnob kObs{"VTP_OBS", true,
 inline const BoolKnob kAdapt{"VTP_ADAPT", false,
                              "enable the adaptive delivery control loop (rate ladder + FEC)"};
 
+/// Fleet-sim delivery engine (vca::FleetSim; bench_fleet A/Bs these per
+/// run). Express fast-forwards fabric hops analytically from the (arrive,
+/// key) heap with zero per-hop Simulator events; hops is the original
+/// event-per-link-traversal engine, kept as the differential reference.
+/// Digests are bit-identical either way (DESIGN §13).
+inline const ChoiceKnob kFleetPath{
+    "VTP_FLEET_PATH", "express", {"express", "hops"},
+    "fleet delivery engine: analytic express fast-forwarding or per-hop events"};
+
+/// Makes bench::JsonReport refuse to write a report whose git header would
+/// record a -dirty tree. CI sets this so committed BENCH_*.json baselines
+/// always describe a reproducible commit.
+inline const BoolKnob kBenchRequireClean{
+    "VTP_BENCH_REQUIRE_CLEAN", false,
+    "refuse to write bench JSON reports from a -dirty working tree"};
+
 /// Fault injection (netsim). Each knob arms one impairment on the access
 /// uplink when a session calls net::ApplyFaultKnobs(); empty = off. Formats
 /// are comma-separated numbers, documented per knob.

@@ -96,8 +96,17 @@ class DirectedLink {
   /// resulting schedule. All counters are updated here. RNG draws happen in
   /// the exact order of the original Transmit (GE chain, loss, jitter,
   /// reorder, duplicate), each gated on its feature being armed.
-  TxPlan PlanTransmit(std::uint32_t bytes) {
-    const SimTime now = sim_->now();
+  TxPlan PlanTransmit(std::uint32_t bytes) { return PlanTransmitAt(sim_->now(), bytes); }
+
+  /// PlanTransmit at an explicit offer instant `now` instead of the
+  /// simulator clock. The express fleet path processes hops in global
+  /// (arrive, key) order at event times *later* than the hop's logical
+  /// arrival; passing the logical instant here makes every queue/loss/
+  /// serialization decision — and therefore every counter and RNG draw —
+  /// identical to the per-hop schedule, where offers always happen at
+  /// sim->now() == arrive. Offers to one link must be made in nondecreasing
+  /// `now` order (both engines guarantee this).
+  TxPlan PlanTransmitAt(SimTime now, std::uint32_t bytes) {
     TxPlan plan;
 
     const std::size_t backlog = backlog_bytes(now);

@@ -66,6 +66,20 @@ FabricTopology::FabricTopology(std::size_t metro_count, std::vector<FabricEdge> 
       }
     }
   }
+  // Memoize route lengths by walking the (now final) next-hop table once.
+  hop_count_.assign(n, std::vector<int>(n, -1));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      int at = static_cast<int>(i);
+      int hops = 0;
+      while (at != static_cast<int>(j) && hops <= static_cast<int>(n)) {
+        at = next_hop_[static_cast<std::size_t>(at)][j];
+        if (at < 0) break;
+        ++hops;
+      }
+      if (at == static_cast<int>(j)) hop_count_[i][j] = hops;
+    }
+  }
 }
 
 FabricTopology FabricTopology::Backbone(double rate_bps) {
@@ -157,10 +171,11 @@ SimTime FabricTopology::Lookahead(const std::vector<int>& owner, SimTime horizon
 }
 
 FabricShard::FabricShard(const FabricTopology* topo, const std::vector<int>* owner, int shard_id,
-                         std::uint64_t seed)
+                         std::uint64_t seed, bool express)
     : topo_(topo),
       owner_(owner),
       shard_id_(shard_id),
+      express_(express),
       sim_(DeriveSeed(seed, RngDomain::kShardCore, static_cast<std::uint64_t>(shard_id))) {
   topo_->ValidatePartition(*owner_);
   const std::size_t n = topo_->metro_count();
@@ -188,6 +203,7 @@ FabricShard::FabricShard(const FabricTopology* topo, const std::vector<int>* own
     }
   }
   flap_transitions_ = sim_.metrics().NewCounter("fabric.flap_transitions");
+  fault_transitions_ = sim_.metrics().NewCounter("fabric.fault_transitions");
 }
 
 DirectedLink& FabricShard::link(int a, int b) {
@@ -200,77 +216,151 @@ DirectedLink& FabricShard::link(int a, int b) {
   return *links_[static_cast<std::size_t>(idx)];
 }
 
-void FabricShard::PushHop(FleetHop hop, PacketBuffer payload) {
-  hops_.push_back({hop, std::move(payload)});
-  std::push_heap(hops_.begin(), hops_.end(), HopLater{});
-  // One drain event per queued hop: later drains for the same instant find
-  // the heap already empty or future-dated and fall through. Every hop is
-  // queued strictly before its arrival instant (links post at transmission
-  // time), so the drain runs in-order and the (arrive, key) heap order — not
-  // scheduling order — decides execution.
-  sim_.At(hop.arrive, [this] { DrainDue(); });
-}
+void FabricShard::PushHop(const FleetHop& hop) { PushLocal(hop); }
 
-void FabricShard::Ingest(const HandoffRecord& rec) {
-  PushHop(rec.hop, PacketBuffer::AdoptBlock(rec.block));
+void FabricShard::PushLocal(const FleetHop& hop) {
+  hops_.push_back(hop);
+  std::push_heap(hops_.begin(), hops_.end(), HopLater{});
+  // Per-hop engine: one drain event per queued hop. Later drains for the
+  // same instant find the heap already empty or future-dated and fall
+  // through. Every hop is queued strictly before its arrival instant, so
+  // the drain runs in-order and the (arrive, key) heap order — not
+  // scheduling order — decides execution. The express engine schedules
+  // nothing here: its owner drains at bin ticks and window boundaries.
+  if (!express_) sim_.At(hop.arrive, [this] { DrainDue(); });
 }
 
 void FabricShard::DrainDue() {
-  while (!hops_.empty() && hops_.front().hop.arrive <= sim_.now()) {
+  while (!hops_.empty() && hops_.front().arrive <= sim_.now()) {
     std::pop_heap(hops_.begin(), hops_.end(), HopLater{});
-    QueuedHop due = std::move(hops_.back());
+    const FleetHop due = hops_.back();
     hops_.pop_back();
-    ProcessHop(due.hop, std::move(due.payload));
+    if (const std::optional<FleetHop> cont = ProcessHop(due)) PushLocal(*cont);
   }
 }
 
-void FabricShard::ProcessHop(FleetHop hop, PacketBuffer payload) {
+void FabricShard::DrainUpTo(SimTime bound) {
+  while (!hops_.empty() && hops_.front().arrive <= bound) {
+    std::pop_heap(hops_.begin(), hops_.end(), HopLater{});
+    FleetHop cur = hops_.back();
+    hops_.pop_back();
+    for (;;) {
+      const std::optional<FleetHop> cont = ProcessHop(cur);
+      if (!cont) break;
+      // Inline fast-forward: the continuation is provably the next hop in
+      // the (arrive, key) total order — nothing queued precedes it and it
+      // is inside the bound — so executing it immediately skips the heap
+      // round-trip. Anything else re-enters the heap.
+      if (cont->arrive <= bound &&
+          (hops_.empty() || cont->arrive < hops_.front().arrive ||
+           (cont->arrive == hops_.front().arrive && cont->key < hops_.front().key))) {
+        ++fastforwards_;
+        cur = *cont;
+        continue;
+      }
+      PushLocal(*cont);
+      break;
+    }
+  }
+}
+
+std::optional<FleetHop> FabricShard::ProcessHop(const FleetHop& hop) {
   ++hops_processed_;
   if (hop.at == hop.dst) {
-    if (deliver_) deliver_(hop, std::move(payload));
-    return;
+    if (deliver_) deliver_(hop);
+    return std::nullopt;
   }
   const int next = topo_->next_hop(hop.at, hop.dst);
-  if (next < 0) return;  // unreachable: drop
-  Continue(hop, next, std::move(payload));
+  if (next < 0) return std::nullopt;  // unreachable: drop
+  // Offer the frame to the link at the hop's logical instant. In per-hop
+  // mode hop.arrive == sim().now() (the drain event fires exactly then); in
+  // express mode the clock may be ahead, but offers still happen in global
+  // (arrive, key) order, so the link sees the identical offer sequence.
+  const DirectedLink::TxPlan plan =
+      link(hop.at, next).PlanTransmitAt(hop.arrive, hop.bytes + kIpUdpOverheadBytes);
+  if (plan.dropped) return std::nullopt;
+  FleetHop cont = hop;
+  cont.at = static_cast<std::uint8_t>(next);
+  if (plan.duplicated) {
+    FleetHop dup = cont;
+    dup.arrive = plan.dup_arrive + kFabricHopDelay;
+    Route(dup);
+  }
+  cont.arrive = plan.arrive + kFabricHopDelay;
+  if (owner_of(next) != shard_id_) {
+    ++handoffs_posted_;
+    post_(owner_of(next), cont);
+    return std::nullopt;
+  }
+  return cont;
 }
 
-void FabricShard::Continue(FleetHop hop, int next, PacketBuffer payload) {
-  Packet p;
-  p.src = hop.at;
-  p.dst = static_cast<NodeId>(next);
-  p.payload = std::move(payload);
-  link(hop.at, next).TransmitInto(std::move(p), [this, hop, next](Packet out, SimTime arrive) {
-    FleetHop cont = hop;
-    cont.at = static_cast<std::uint8_t>(next);
-    cont.arrive = arrive + kFabricHopDelay;
-    const int dst_shard = owner_of(next);
-    if (dst_shard == shard_id_) {
-      PushHop(cont, std::move(out.payload));
-      return;
-    }
-    ++handoffs_posted_;
-    PacketBuffer buf = std::move(out.payload);
-    if (buf.ref_count() > 1) {
-      // Still shared (netem duplicate or capture tap): detach a private copy
-      // so the block crosses threads with a sole owner.
-      buf = PacketBuffer::CopyOf(buf.view());
-      ++handoff_copies_;
-    }
-    post_(dst_shard, HandoffRecord{cont, buf.ReleaseBlock()});
-  });
+void FabricShard::Route(const FleetHop& hop) {
+  const int dst_shard = owner_of(hop.at);
+  if (dst_shard == shard_id_) {
+    PushLocal(hop);
+    return;
+  }
+  ++handoffs_posted_;
+  post_(dst_shard, hop);
 }
 
 bool FabricShard::ScheduleFlap(int a, int b, SimTime at, SimTime duration) {
   DirectedLink& flapped = link(a, b);  // validates the edge in every shard
   if (!owns(a)) return false;
+  // Drain strictly below the transition instant before mutating: hops due
+  // exactly at the instant then see the post-transition state, matching the
+  // per-hop engine where fault events (scheduled pre-run, lower seq) run
+  // FIFO-first at their instant. A no-op in per-hop mode.
   sim_.At(at, [this, &flapped] {
+    DrainUpTo(sim_.now() - 1);
     flapped.set_extra_loss(1.0);
     flap_transitions_->Inc();
   });
   sim_.At(at + duration, [this, &flapped] {
+    DrainUpTo(sim_.now() - 1);
     flapped.set_extra_loss(0.0);
     flap_transitions_->Inc();
+  });
+  return true;
+}
+
+bool FabricShard::ScheduleBurstLoss(int a, int b, SimTime at, SimTime duration,
+                                    const BurstLossConfig& config) {
+  DirectedLink& lossy = link(a, b);
+  if (!owns(a)) return false;
+  sim_.At(at, [this, &lossy, config] {
+    DrainUpTo(sim_.now() - 1);
+    lossy.set_burst_loss(config);
+    fault_transitions_->Inc();
+  });
+  sim_.At(at + duration, [this, &lossy] {
+    DrainUpTo(sim_.now() - 1);
+    lossy.set_burst_loss(std::nullopt);
+    fault_transitions_->Inc();
+  });
+  return true;
+}
+
+bool FabricShard::ScheduleRateRamp(int a, int b, SimTime at, SimTime duration, double from_bps,
+                                   double to_bps, int steps) {
+  if (steps < 1) throw std::invalid_argument("FabricShard::ScheduleRateRamp: steps < 1");
+  DirectedLink& ramped = link(a, b);
+  if (!owns(a)) return false;
+  for (int i = 0; i < steps; ++i) {
+    const SimTime when = at + duration * i / steps;
+    const double cap =
+        steps == 1 ? from_bps : from_bps + (to_bps - from_bps) * i / (steps - 1);
+    sim_.At(when, [this, &ramped, cap] {
+      DrainUpTo(sim_.now() - 1);
+      ramped.set_rate_cap_bps(cap);
+      fault_transitions_->Inc();
+    });
+  }
+  sim_.At(at + duration, [this, &ramped] {
+    DrainUpTo(sim_.now() - 1);
+    ramped.set_rate_cap_bps(std::nullopt);
+    fault_transitions_->Inc();
   });
   return true;
 }

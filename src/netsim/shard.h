@@ -6,19 +6,28 @@
 // lockstep windows of the *lookahead* — the minimum propagation delay over
 // all cross-shard links — because a packet transmitted during one window
 // cannot arrive anywhere off-shard before the next window starts. Cross-
-// shard packets ride per-shard-pair SPSC mailboxes as detached pooled
-// blocks (no allocation, no copy on the handoff path) and are ingested at
-// window boundaries in a deterministic total order.
+// shard hops ride per-shard-pair SPSC mailboxes as plain FleetHop records
+// (the fleet model carries sizes and timestamps, not payload bytes, so a
+// handoff is a 40-byte copy — no allocation, no shared blocks) and are
+// ingested at window boundaries in a deterministic total order.
 //
-// Determinism contract (pinned by test_fleet.cc and the bench_fleet smoke):
-// for a model that (a) draws only from logical per-entity RNG streams
-// (net::DeriveSeed) and (b) names its metrics by logical entity, the merged
-// obs::Snapshot is bit-identical for ANY shard count, and the 1-shard run is
-// bit-identical to the same model driven directly by one Simulator::Run().
-// The mechanism: every metro-to-metro hop — local or remote — is queued in a
-// per-shard hop heap ordered by (arrival time, flow key) and executed by
-// drain events at its arrival instant, so same-instant hops run in flow-key
-// order no matter which mailbox (or none) they travelled through.
+// Two delivery engines share one decision path (DESIGN §13):
+//
+//   * per-hop ("hops"): every queued hop gets a Simulator drain event at its
+//     arrival instant — the original engine, one event per link traversal;
+//   * express: no per-hop events at all. Hops accumulate in the (arrive,
+//     key) heap and DrainUpTo(bound) fast-forwards them in that exact order,
+//     offering each to its link at the hop's *logical* instant
+//     (DirectedLink::PlanTransmitAt). Drains happen at model bin ticks, at
+//     window boundaries (before the mailbox exchange), at the start of every
+//     fault-transition event (so state mutations never reorder against
+//     in-flight hops), and at the end of the run.
+//
+// Both engines execute the identical hop sequence against identical link
+// state, so every counter, histogram observation, and RNG draw — and
+// therefore the merged obs::Snapshot digest — is bit-identical between them
+// and across any shard count (pinned by test_fleet.cc and the bench_fleet
+// smoke).
 #pragma once
 
 #include <atomic>
@@ -26,6 +35,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -41,26 +51,24 @@ namespace vtp::net {
 /// Network::kHopProcessingDelay).
 inline constexpr SimTime kFabricHopDelay = Micros(50);
 
-/// Addressing and ordering metadata for one packet copy traversing the
+/// Addressing and ordering metadata for one frame copy traversing the
 /// fabric. `key` is a model-assigned flow key, unique per in-flight copy; it
 /// breaks ties between hops due at the same instant, which is what keeps
-/// execution order independent of the shard count.
+/// execution order independent of the shard count (and of the delivery
+/// engine). The fleet model is metrics-only, so the record carries the wire
+/// size and the send timestamp instead of payload bytes — hops cross shard
+/// boundaries by value.
 struct FleetHop {
   SimTime arrive = 0;     ///< when this copy is due at metro `at`
   std::uint64_t key = 0;  ///< deterministic total-order tiebreak
-  std::uint8_t at = 0;    ///< metro currently holding the packet
-  std::uint8_t dst = 0;   ///< destination metro
-  std::uint8_t leg = 0;   ///< model tag (fleet: 0 = uplink, 1 = SFU fan-out)
-  std::uint8_t part = 0;  ///< model tag (sending participant)
+  SimTime send_ts = 0;    ///< sender-side capture instant (e2e latency)
   std::uint32_t session = 0;
   std::uint32_t seq = 0;
-};
-
-/// A mailbox record: a hop plus its payload block, detached from the
-/// producer thread's pool (PacketBuffer::ReleaseBlock).
-struct HandoffRecord {
-  FleetHop hop;
-  void* block = nullptr;
+  std::uint32_t bytes = 0;  ///< payload size; wire adds kIpUdpOverheadBytes
+  std::uint8_t at = 0;      ///< metro currently holding the packet
+  std::uint8_t dst = 0;     ///< destination metro
+  std::uint8_t leg = 0;     ///< model tag (fleet: 0 = uplink, 1 = SFU fan-out)
+  std::uint8_t part = 0;    ///< model tag (sending participant)
 };
 
 /// One directed shard-pair mailbox: an SPSC ring with a mutex-guarded spill
@@ -72,29 +80,29 @@ class ShardMailbox {
  public:
   explicit ShardMailbox(std::size_t capacity = 1 << 14) : ring_(capacity) {}
 
-  void Push(HandoffRecord&& rec) {
-    if (ring_.TryPush(std::move(rec))) return;
+  void Push(const FleetHop& hop) {
+    if (ring_.TryPush(FleetHop(hop))) return;
     std::lock_guard<std::mutex> lock(spill_mutex_);
-    spill_.push_back(rec);
+    spill_.push_back(hop);
     spilled_.fetch_add(1, std::memory_order_relaxed);
   }
 
   /// Consumer side; requires the producer to be quiescent (between
   /// barriers). Appends in push order.
-  void DrainInto(std::vector<HandoffRecord>* out) {
-    HandoffRecord rec;
-    while (ring_.TryPop(&rec)) out->push_back(rec);
+  void DrainInto(std::vector<FleetHop>* out) {
+    FleetHop hop;
+    while (ring_.TryPop(&hop)) out->push_back(hop);
     std::lock_guard<std::mutex> lock(spill_mutex_);
-    for (HandoffRecord& r : spill_) out->push_back(r);
+    for (const FleetHop& h : spill_) out->push_back(h);
     spill_.clear();
   }
 
   std::uint64_t spilled() const { return spilled_.load(std::memory_order_relaxed); }
 
  private:
-  core::SpscRing<HandoffRecord> ring_;
+  core::SpscRing<FleetHop> ring_;
   std::mutex spill_mutex_;
-  std::vector<HandoffRecord> spill_;
+  std::vector<FleetHop> spill_;
   std::atomic<std::uint64_t> spilled_{0};
 };
 
@@ -128,6 +136,12 @@ class FabricTopology {
   SimTime path_delay(int from, int to) const {
     return dist_[static_cast<std::size_t>(from)][static_cast<std::size_t>(to)];
   }
+  /// Link count of the shortest path (memoized at construction; 0 for
+  /// from == to, -1 when unreachable). The express bench reports mean route
+  /// length from this without walking routes.
+  int hop_count(int from, int to) const {
+    return hop_count_[static_cast<std::size_t>(from)][static_cast<std::size_t>(to)];
+  }
 
   /// Splits the metros into `shards` contiguous groups of roughly equal
   /// weight (default weight 1 per metro; the fleet passes 0 for metros that
@@ -153,25 +167,30 @@ class FabricTopology {
   std::vector<FabricEdge> edges_;
   std::vector<std::vector<int>> next_hop_;
   std::vector<std::vector<SimTime>> dist_;
+  std::vector<std::vector<int>> hop_count_;
 };
 
 /// One shard: a Simulator owning the *entire* backbone's DirectedLinks
 /// (built in identical order in every shard so metric scopes align; only the
 /// owned partition ever carries traffic) plus the hop heap that orders
 /// metro-to-metro continuations. The model layers on top via set_deliver
-/// (packets reaching their destination metro) and drives traffic in with
+/// (hops reaching their destination metro) and drives traffic in with
 /// PushHop; the parallel runner wires set_post to the mailboxes and calls
 /// Ingest at window boundaries.
 class FabricShard {
  public:
-  using DeliverFn = std::function<void(const FleetHop&, PacketBuffer)>;
-  using PostFn = std::function<void(int dst_shard, HandoffRecord&&)>;
+  using DeliverFn = std::function<void(const FleetHop&)>;
+  using PostFn = std::function<void(int dst_shard, const FleetHop&)>;
 
+  /// `express` selects the delivery engine (see the file comment): false
+  /// schedules one Simulator event per queued hop; true relies on the owner
+  /// calling DrainUpTo at its drain points.
   FabricShard(const FabricTopology* topo, const std::vector<int>* owner, int shard_id,
-              std::uint64_t seed);
+              std::uint64_t seed, bool express = false);
 
   Simulator& sim() { return sim_; }
   int shard_id() const { return shard_id_; }
+  bool express() const { return express_; }
   bool owns(int metro) const { return (*owner_)[static_cast<std::size_t>(metro)] == shard_id_; }
   int owner_of(int metro) const { return (*owner_)[static_cast<std::size_t>(metro)]; }
 
@@ -181,11 +200,21 @@ class FabricShard {
   /// Queues a hop due at `hop.arrive` (strictly in the future) at a metro
   /// this shard owns. The model's traffic entry point, and the target of
   /// boundary ingestion.
-  void PushHop(FleetHop hop, PacketBuffer payload);
+  void PushHop(const FleetHop& hop);
 
   /// Adopts a mailbox record into the hop heap (consumer thread only; the
   /// runner pre-sorts each boundary batch by (arrive, key)).
-  void Ingest(const HandoffRecord& rec);
+  void Ingest(const FleetHop& hop) { PushHop(hop); }
+
+  /// Express engine: executes every queued hop with arrive <= `bound` in
+  /// (arrive, key) order, offering each to its link at the hop's logical
+  /// instant. Continuations landing inside the bound are fast-forwarded in
+  /// the same call — inline, without touching the heap, whenever the
+  /// continuation is provably the next hop in the total order. Exact for
+  /// any bound <= sim().now(): every hop with arrive <= bound is already
+  /// queued (pushes are strictly future-dated from their cause). No-op in
+  /// per-hop mode, where due hops never linger in the heap.
+  void DrainUpTo(SimTime bound);
 
   /// The directed link `a`->`b` (owned by whichever shard owns `a`; every
   /// shard holds an identically-scoped instance). Throws on a non-edge.
@@ -195,51 +224,67 @@ class FabricShard {
   /// the directed boundary link a->b. Only the shard owning `a` — the
   /// transmitting side, where the link's queue lives — arms anything, so
   /// the flap fires exactly once regardless of shard count. Returns whether
-  /// this shard armed it.
+  /// this shard armed it. Every fault transition drains the express heap
+  /// strictly below its instant first, so hops due exactly at the
+  /// transition see the post-transition state in both engines (fault
+  /// events are scheduled pre-run and run FIFO-first at their instant).
   bool ScheduleFlap(int a, int b, SimTime at, SimTime duration);
+
+  /// Arms a Gilbert–Elliott burst-loss episode on the directed link a->b
+  /// during [at, at+duration). Owner-armed like ScheduleFlap.
+  bool ScheduleBurstLoss(int a, int b, SimTime at, SimTime duration,
+                         const BurstLossConfig& config);
+
+  /// Arms a stepped rate-cap ramp on the directed link a->b: `steps` equal
+  /// intervals across [at, at+duration) interpolating from_bps -> to_bps,
+  /// with the cap cleared at at+duration. Owner-armed like ScheduleFlap.
+  bool ScheduleRateRamp(int a, int b, SimTime at, SimTime duration, double from_bps,
+                        double to_bps, int steps);
 
   /// Hops executed by this shard (local + ingested); shard-count invariant
   /// in aggregate.
   std::uint64_t hops_processed() const { return hops_processed_; }
   /// Records posted to other shards' mailboxes (0 for a single shard).
   std::uint64_t handoffs_posted() const { return handoffs_posted_; }
-  /// Cross-shard payloads that had to be copied because the block was still
-  /// shared (netem duplicates); everything else moves without a copy.
-  std::uint64_t handoff_copies() const { return handoff_copies_; }
+  /// Continuations executed inline by DrainUpTo without a heap round-trip.
+  std::uint64_t fastforwards() const { return fastforwards_; }
   /// Hops still queued (nonzero after a run means the drain horizon was too
   /// short for in-flight traffic).
   std::size_t hops_pending() const { return hops_.size(); }
 
  private:
-  struct QueuedHop {
-    FleetHop hop;
-    PacketBuffer payload;
-  };
   /// Min-first over (arrive, key) — the fabric's deterministic total order.
   struct HopLater {
-    bool operator()(const QueuedHop& x, const QueuedHop& y) const {
-      return x.hop.arrive != y.hop.arrive ? x.hop.arrive > y.hop.arrive : x.hop.key > y.hop.key;
+    bool operator()(const FleetHop& x, const FleetHop& y) const {
+      return x.arrive != y.arrive ? x.arrive > y.arrive : x.key > y.key;
     }
   };
 
   void DrainDue();
-  void ProcessHop(FleetHop hop, PacketBuffer payload);
-  void Continue(FleetHop hop, int next, PacketBuffer payload);
+  /// Delivers or forwards one hop. Returns the on-shard continuation (if
+  /// any) instead of queueing it, so DrainUpTo can fast-forward chains.
+  std::optional<FleetHop> ProcessHop(const FleetHop& hop);
+  /// Heap-queues or mails a forwarded copy (netem duplicates take this
+  /// path; the primary continuation flows through ProcessHop's return).
+  void Route(const FleetHop& hop);
+  void PushLocal(const FleetHop& hop);
 
   const FabricTopology* topo_;
   const std::vector<int>* owner_;
   int shard_id_;
+  bool express_;
   Simulator sim_;
   std::vector<std::unique_ptr<DirectedLink>> links_;  ///< 2 per edge, [2i]=a->b, [2i+1]=b->a
   std::vector<std::unique_ptr<Rng>> link_rngs_;       ///< per directed link, logical-id seeded
   std::vector<int> link_index_;                       ///< [a * metros + b] -> links_ index
-  std::vector<QueuedHop> hops_;                       ///< binary heap under HopLater
+  std::vector<FleetHop> hops_;                        ///< binary heap under HopLater
   DeliverFn deliver_;
   PostFn post_;
   obs::Counter* flap_transitions_ = nullptr;
+  obs::Counter* fault_transitions_ = nullptr;
   std::uint64_t hops_processed_ = 0;
   std::uint64_t handoffs_posted_ = 0;
-  std::uint64_t handoff_copies_ = 0;
+  std::uint64_t fastforwards_ = 0;
 };
 
 }  // namespace vtp::net

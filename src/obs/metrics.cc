@@ -12,11 +12,24 @@ Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
 }
 
 void Histogram::Observe(double v) {
-  std::size_t i = 0;
-  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  // First bound >= v, i.e. the first bucket whose `v <= bounds[i]` predicate
+  // holds — identical to the old linear scan, in O(log buckets).
+  const std::size_t i = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
   ++buckets_[i];
   ++count_;
   sum_ += v;
+}
+
+void Histogram::ObserveBatch(const double* values, std::size_t count) {
+  for (std::size_t k = 0; k < count; ++k) {
+    const double v = values[k];
+    const std::size_t i = static_cast<std::size_t>(
+        std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+    ++buckets_[i];
+    sum_ += v;
+  }
+  count_ += count;
 }
 
 bool Histogram::Merge(const Histogram& other) {

@@ -53,14 +53,19 @@ class Gauge {
 
 /// Fixed-bucket histogram. Bucket `i` counts observations with
 /// `v <= bounds[i]`; one implicit overflow bucket counts the rest. Bounds are
-/// fixed at registration so hot-path Observe() is a branch-light scan with no
-/// allocation, and two histograms with identical bounds can be merged.
+/// fixed (and sorted) at registration so hot-path Observe() is a binary
+/// search with no allocation, and two histograms with identical bounds can
+/// be merged.
 class Histogram {
  public:
   Histogram() = default;
   explicit Histogram(std::vector<double> bounds);
 
   void Observe(double v);
+  /// Observes `count` values in one call: the bulk path for batched
+  /// producers (the fleet sim flushes e2e latencies per drain instead of per
+  /// frame). Equivalent to Observe() per value, in order.
+  void ObserveBatch(const double* values, std::size_t count);
 
   std::uint64_t count() const { return count_; }
   double sum() const { return sum_; }

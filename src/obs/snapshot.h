@@ -15,6 +15,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -109,21 +110,50 @@ struct Snapshot {
   ///     max-combine — a queue high-water mark across shards is the largest
   ///     shard's, not their total;
   ///   * histograms bucket-add when bounds match exactly (count and sum
-  ///     accumulate); a same-name histogram with different bounds is kept
-  ///     as-is from *this (mismatch is a registration bug, not data);
+  ///     accumulate);
   ///   * names present on only one side carry over unchanged.
+  /// Registration bugs are rejected loudly instead of silently skewing the
+  /// merged view: a same-name histogram with different bounds, or a name
+  /// that is a counter on one side and a gauge on the other, throws
+  /// std::invalid_argument and leaves *this untouched (checks run before any
+  /// state is committed).
   /// Trace scalars (spans/dropped/orphans) sum; per-stage Summary rows are
   /// percentiles and cannot be combined after the fact, so the first traced
   /// snapshot's stages win. Sorted-name order is preserved throughout, so
   /// Merge is associative and ToJson stays canonical.
   void Merge(const Snapshot& other) {
-    counters = MergeSorted<std::uint64_t>(
+    auto merged_counters = MergeSorted<std::uint64_t>(
         counters, other.counters,
         [](const std::string&, std::uint64_t a, std::uint64_t b) { return a + b; });
-    gauges = MergeSorted<double>(gauges, other.gauges,
-                                 [](const std::string& name, double a, double b) {
-                                   return IsPeakGauge(name) ? std::max(a, b) : a + b;
-                                 });
+    auto merged_gauges = MergeSorted<double>(gauges, other.gauges,
+                                             [](const std::string& name, double a, double b) {
+                                               return IsPeakGauge(name) ? std::max(a, b) : a + b;
+                                             });
+    // A name must not be a counter on one side and a gauge on the other —
+    // the merged JSON would report both and every consumer of one kind would
+    // silently miss half the data. Both lists are name-sorted: two-pointer.
+    for (std::size_t i = 0, j = 0; i < merged_counters.size() && j < merged_gauges.size();) {
+      if (merged_counters[i].first < merged_gauges[j].first) {
+        ++i;
+      } else if (merged_gauges[j].first < merged_counters[i].first) {
+        ++j;
+      } else {
+        throw std::invalid_argument("Snapshot::Merge: \"" + merged_counters[i].first +
+                                    "\" is a counter on one side and a gauge on the other");
+      }
+    }
+    // Validate every histogram pairing before mutating any row, so a throw
+    // leaves *this exactly as it was.
+    for (const HistogramRow& theirs : other.histograms) {
+      for (const HistogramRow& row : histograms) {
+        if (row.name == theirs.name && row.bounds != theirs.bounds) {
+          throw std::invalid_argument("Snapshot::Merge: histogram \"" + row.name +
+                                      "\" bounds differ between snapshots");
+        }
+      }
+    }
+    counters = std::move(merged_counters);
+    gauges = std::move(merged_gauges);
     for (const HistogramRow& theirs : other.histograms) {
       HistogramRow* ours = nullptr;
       for (HistogramRow& row : histograms) {
@@ -136,7 +166,6 @@ struct Snapshot {
         histograms.push_back(theirs);
         continue;
       }
-      if (ours->bounds != theirs.bounds) continue;  // registration bug; keep ours
       for (std::size_t i = 0; i < ours->buckets.size(); ++i) ours->buckets[i] += theirs.buckets[i];
       ours->count += theirs.count;
       ours->sum += theirs.sum;

@@ -6,9 +6,11 @@
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <numeric>
 #include <stdexcept>
 #include <utility>
 
+#include "core/knobs.h"
 #include "core/thread_pool.h"
 #include "netsim/random.h"
 
@@ -17,9 +19,6 @@ namespace {
 
 using net::FabricShard;
 using net::FleetHop;
-using net::HandoffRecord;
-using net::PacketBuffer;
-using net::Rng;
 using net::SimTime;
 
 constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
@@ -34,19 +33,13 @@ std::uint64_t Fnv1a(const std::string& s) {
   return h;
 }
 
-/// Frame wire header: send timestamp (le64) + leg byte. The minimum frame
-/// size keeps room for it.
-constexpr std::size_t kHeaderBytes = 9;
+/// Frame wire header budget: send timestamp (8) + leg byte. Frames are
+/// metrics-only records now, but the minimum frame size still reserves room
+/// so sizes stay faithful to the wire format.
+constexpr int kHeaderBytes = 9;
 
-void WriteSendTs(std::span<std::uint8_t> bytes, SimTime ts) {
-  for (int i = 0; i < 8; ++i) bytes[static_cast<std::size_t>(i)] = (ts >> (8 * i)) & 0xFF;
-}
-
-SimTime ReadSendTs(std::span<const std::uint8_t> bytes) {
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(bytes[static_cast<std::size_t>(i)]) << (8 * i);
-  return static_cast<SimTime>(v);
-}
+/// e2e observations buffered per world before a bulk ObserveBatch flush.
+constexpr std::size_t kE2eFlushAt = 2048;
 
 /// Flow key: unique per (session, part, leg, seq) — the fabric's
 /// same-instant tiebreak.
@@ -55,6 +48,13 @@ std::uint64_t FlowKey(std::uint32_t session, int part, int leg, std::uint32_t se
           static_cast<std::uint64_t>(leg))
              << 32 |
          seq;
+}
+
+/// Lemire's multiply-shift bounded draw: maps a full-width uniform word onto
+/// [0, range) without divisions (the slab sender hot path).
+std::uint64_t Bounded(std::uint64_t x, std::uint64_t range) {
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(x) * static_cast<unsigned __int128>(range)) >> 64);
 }
 
 /// Geometric bucket bounds for the fleet e2e histogram, in whole
@@ -96,11 +96,24 @@ class Barrier {
 /// One shard's model state: the fabric plus the senders whose metros this
 /// shard owns. Construction order (and therefore metric registration order)
 /// is identical in every shard, so per-shard registries merge by identity.
+///
+/// Senders live in structure-of-arrays slabs: per-sender RNG counters
+/// (counter-mode SplitMix64 — 8 bytes of state instead of a 2.5 KB
+/// mt19937_64), frame anchors, next-due times, seq counters, and access-
+/// uplink busy horizons, each in its own flat array so batch generation
+/// touches cache lines sequentially. Both delivery engines emit frames from
+/// the same slabs with the same draws:
+///
+///   * express: a calendar-bin ring over next-due times; one self-
+///     rescheduling Simulator event per bin emits every frame due in the
+///     bin and then fast-forwards the fabric (FabricShard::DrainUpTo).
+///   * hops: one Simulator event per frame (the reference engine).
 struct FleetWorld {
   const FleetConfig* cfg;
   const std::vector<SessionSpec>* sched;
   FabricShard fabric;
   SimTime period;
+  bool express;
 
   obs::Counter* frames_sent;
   obs::Counter* bytes_sent;
@@ -111,38 +124,40 @@ struct FleetWorld {
   obs::Gauge* concurrent_peak;
   obs::Histogram* e2e_us;
 
-  struct Sender {
-    const SessionSpec* spec;
-    std::uint8_t part;
-    bool probe;
-    SimTime phase;
-    SimTime busy_until = 0;
-    std::uint32_t seq = 0;
-    Rng stream;
-    std::vector<double> draws;  ///< probe only: phase then per-frame sizes
-
-    Sender(const SessionSpec* sp, int p, std::uint64_t seed, bool is_probe, SimTime period)
-        : spec(sp),
-          part(static_cast<std::uint8_t>(p)),
-          probe(is_probe),
-          stream(net::DeriveSeed(seed, net::RngDomain::kSessionTraffic,
-                                 static_cast<std::uint64_t>(sp->id) * 2 +
-                                     static_cast<std::uint64_t>(p))) {
-      // Draw #0 of every sender stream: the pacing phase within one frame
-      // period. Drawn only by the owning shard, identically for any count.
-      phase = stream.UniformInt(0, period - 1);
-      if (probe) draws.push_back(static_cast<double>(phase));
-    }
+  struct Slabs {
+    std::vector<SimTime> anchor;      ///< session start + pacing phase
+    std::vector<SimTime> stop;        ///< min(session end, run duration)
+    std::vector<SimTime> next_due;    ///< anchor + seq * period
+    std::vector<SimTime> busy_until;  ///< access-uplink serialization horizon
+    std::vector<std::uint64_t> rng;   ///< counter-mode SplitMix64 state
+    std::vector<std::uint32_t> session;
+    std::vector<std::uint32_t> seq;
+    std::vector<std::uint8_t> metro;   ///< sender's metro (backbone entry)
+    std::vector<std::uint8_t> server;  ///< session SFU metro
+    std::vector<std::uint8_t> part;
+    std::vector<std::uint8_t> probe;
+    std::size_t size() const { return anchor.size(); }
   };
-  std::vector<Sender> senders;
+  Slabs senders;
+
+  // Express generation state: senders ring-bucketed by next-due bin.
+  SimTime bin_width = 0;
+  SimTime gen_end = 0;
+  std::vector<std::vector<std::uint32_t>> ring;
+  std::vector<std::uint32_t> admit_order;  ///< slab indices by (anchor, index)
+  std::size_t admit_cursor = 0;
+
+  std::vector<double> e2e_scratch;     ///< pending ObserveBatch values
+  std::vector<double> probe_draws[2];  ///< probe sender: phase then sizes
 
   FleetWorld(const FleetConfig* config, const net::FabricTopology* topo,
              const std::vector<int>* owner, int shard_id, const std::vector<SessionSpec>* schedule,
-             double peak_concurrent)
+             double peak_concurrent, bool express_path)
       : cfg(config),
         sched(schedule),
-        fabric(topo, owner, shard_id, config->seed),
-        period(static_cast<SimTime>(std::llround(net::kSecond / config->fps))) {
+        fabric(topo, owner, shard_id, config->seed, express_path),
+        period(static_cast<SimTime>(std::llround(net::kSecond / config->fps))),
+        express(express_path) {
     obs::MetricRegistry& reg = fabric.sim().metrics();
     frames_sent = reg.NewCounter("fleet.frames_sent");
     bytes_sent = reg.NewCounter("fleet.bytes_sent");
@@ -161,42 +176,81 @@ struct FleetWorld {
       owned += fabric.owns(sp.metro[0]) ? 1u : 0u;
       owned += fabric.owns(sp.metro[1]) ? 1u : 0u;
     }
-    senders.reserve(owned);  // pointer-stable: event callbacks index into it
+    senders.anchor.reserve(owned);
+    senders.stop.reserve(owned);
+    senders.next_due.reserve(owned);
+    senders.busy_until.reserve(owned);
+    senders.rng.reserve(owned);
+    senders.session.reserve(owned);
+    senders.seq.reserve(owned);
+    senders.metro.reserve(owned);
+    senders.server.reserve(owned);
+    senders.part.reserve(owned);
+    senders.probe.reserve(owned);
     for (const SessionSpec& sp : *sched) {
       for (int part = 0; part < 2; ++part) {
         if (!fabric.owns(sp.metro[part])) continue;
-        senders.emplace_back(&sp, part, cfg->seed, sp.id == cfg->probe_session, period);
+        std::uint64_t state = net::DeriveSeed(
+            cfg->seed, net::RngDomain::kSessionTraffic,
+            static_cast<std::uint64_t>(sp.id) * 2 + static_cast<std::uint64_t>(part));
+        // Draw #0 of every sender stream: the pacing phase within one frame
+        // period. Drawn only by the owning shard, identically for any count.
+        const SimTime phase = static_cast<SimTime>(
+            Bounded(net::SplitMix64(state++), static_cast<std::uint64_t>(period)));
+        const bool is_probe = sp.id == cfg->probe_session;
+        if (is_probe) probe_draws[part].push_back(static_cast<double>(phase));
+        senders.anchor.push_back(sp.start + phase);
+        senders.stop.push_back(std::min(sp.end, cfg->duration));
+        senders.next_due.push_back(sp.start + phase);
+        senders.busy_until.push_back(0);
+        senders.rng.push_back(state);
+        senders.session.push_back(sp.id);
+        senders.seq.push_back(0);
+        senders.metro.push_back(sp.metro[part]);
+        senders.server.push_back(sp.server);
+        senders.part.push_back(static_cast<std::uint8_t>(part));
+        senders.probe.push_back(is_probe ? 1 : 0);
       }
     }
-    fabric.set_deliver(
-        [this](const FleetHop& hop, PacketBuffer payload) { OnDeliver(hop, std::move(payload)); });
+    fabric.set_deliver([this](const FleetHop& hop) { OnDeliver(hop); });
+
+    bin_width = std::max<SimTime>(1, std::min(net::Millis(1), period));
+    gen_end = cfg->duration + period + bin_width;
+    ring.resize(static_cast<std::size_t>(period / bin_width) + 3);
+    admit_order.resize(senders.size());
+    std::iota(admit_order.begin(), admit_order.end(), 0u);
+    std::stable_sort(admit_order.begin(), admit_order.end(),
+                     [this](std::uint32_t x, std::uint32_t y) {
+                       return senders.anchor[x] < senders.anchor[y];
+                     });
   }
 
-  /// Schedules every owned sender's first tick. Called on the shard's own
-  /// thread so payload blocks come from (and return to) that thread's pool.
+  /// Schedules frame generation for every owned sender: the calendar-bin
+  /// tick chain (express) or one event per sender (hops).
   void Start() {
-    for (std::size_t i = 0; i < senders.size(); ++i) {
-      senders_started->Inc();
-      fabric.sim().At(senders[i].spec->start + senders[i].phase, [this, i] { Tick(i); });
-    }
-  }
-
-  void Tick(std::size_t idx) {
-    Sender& s = senders[idx];
-    const SessionSpec& sp = *s.spec;
-    net::Simulator& sim = fabric.sim();
-    const SimTime now = sim.now();
-    const SimTime stop = std::min(sp.end, cfg->duration);
-    if (now >= stop) {
-      if (s.part == 0) sessions_completed->Inc();
+    senders_started->Inc(senders.size());
+    if (express) {
+      if (!senders.size()) return;
+      fabric.sim().At(0, [this] { BinTick(0); });
       return;
     }
-    const std::int64_t jitter =
-        cfg->frame_jitter_bytes > 0
-            ? s.stream.UniformInt(-cfg->frame_jitter_bytes, cfg->frame_jitter_bytes)
-            : 0;
-    const auto size = static_cast<std::size_t>(cfg->frame_bytes + jitter);
-    if (s.probe) s.draws.push_back(static_cast<double>(size));
+    for (std::size_t i = 0; i < senders.size(); ++i) {
+      fabric.sim().At(senders.next_due[i], [this, i] { Tick(i); });
+    }
+  }
+
+  /// Emits the frame due at `due` from sender `idx`: size draw, counters,
+  /// access-uplink serialization, and the leg-0 hop into the fabric.
+  /// Identical math and draw order in both engines.
+  void EmitFrame(std::size_t idx, SimTime due) {
+    std::int64_t jitter = 0;
+    if (cfg->frame_jitter_bytes > 0) {
+      const auto span = static_cast<std::uint64_t>(2 * cfg->frame_jitter_bytes + 1);
+      jitter = static_cast<std::int64_t>(Bounded(net::SplitMix64(senders.rng[idx]++), span)) -
+               cfg->frame_jitter_bytes;
+    }
+    const auto size = static_cast<std::uint32_t>(cfg->frame_bytes + jitter);
+    if (senders.probe[idx]) probe_draws[senders.part[idx]].push_back(static_cast<double>(size));
 
     frames_sent->Inc();
     bytes_sent->Inc(size);
@@ -204,45 +258,101 @@ struct FleetWorld {
     // Serialize onto the sender's metro access uplink (modelled inline: a
     // busy-until horizon plus a fixed one-way delay; per-session links would
     // mint per-shard metric scopes and break merge-by-identity).
-    const SimTime tx_start = std::max(now, s.busy_until);
-    s.busy_until = tx_start + static_cast<SimTime>(std::llround(
-                                  static_cast<double>(size) * 8.0 / cfg->access_rate_bps *
-                                  net::kSecond));
-    const SimTime backbone_entry = s.busy_until + cfg->access_delay;
+    const SimTime tx_start = std::max(due, senders.busy_until[idx]);
+    senders.busy_until[idx] =
+        tx_start + static_cast<SimTime>(std::llround(static_cast<double>(size) * 8.0 /
+                                                     cfg->access_rate_bps * net::kSecond));
+    const SimTime backbone_entry = senders.busy_until[idx] + cfg->access_delay;
 
-    PacketBuffer payload(size);
-    std::span<std::uint8_t> bytes = payload.writable();
-    WriteSendTs(bytes, now);
-    bytes[8] = 0;  // leg
-    fabric.PushHop({backbone_entry, FlowKey(sp.id, s.part, 0, s.seq), sp.metro[s.part], sp.server,
-                    0, s.part, sp.id, s.seq},
-                   std::move(payload));
-
-    ++s.seq;
-    sim.At(sp.start + s.phase + static_cast<SimTime>(s.seq) * period, [this, idx] { Tick(idx); });
+    const std::uint32_t s = senders.seq[idx];
+    fabric.PushHop({backbone_entry,
+                    FlowKey(senders.session[idx], senders.part[idx], 0, s), due,
+                    senders.session[idx], s, size, senders.metro[idx], senders.server[idx], 0,
+                    senders.part[idx]});
+    senders.seq[idx] = s + 1;
   }
 
-  void OnDeliver(const FleetHop& hop, PacketBuffer payload) {
+  /// Hops engine: one event per frame, rescheduling itself at the next due.
+  void Tick(std::size_t idx) {
+    const SimTime due = fabric.sim().now();
+    if (due >= senders.stop[idx]) {
+      if (senders.part[idx] == 0) sessions_completed->Inc();
+      return;
+    }
+    EmitFrame(idx, due);
+    fabric.sim().At(
+        senders.anchor[idx] + static_cast<SimTime>(senders.seq[idx]) * period,
+        [this, idx] { Tick(idx); });
+  }
+
+  /// Express engine: emits every frame sender `idx` has due before
+  /// `bin_end`, then re-buckets it at its next due bin (or retires it once
+  /// past its stop time).
+  void RunSenderInBin(std::uint32_t idx, SimTime bin_end) {
+    SimTime due = senders.next_due[idx];
+    for (;;) {
+      if (due >= senders.stop[idx]) {
+        if (senders.part[idx] == 0) sessions_completed->Inc();
+        return;
+      }
+      if (due >= bin_end) break;
+      EmitFrame(idx, due);
+      due = senders.anchor[idx] + static_cast<SimTime>(senders.seq[idx]) * period;
+    }
+    senders.next_due[idx] = due;
+    ring[static_cast<std::size_t>(due / bin_width) % ring.size()].push_back(idx);
+  }
+
+  /// Express engine: the per-bin generation tick. Admits senders whose
+  /// anchor falls in [t, t + bin_width), runs this bin's bucket, then
+  /// fast-forwards the fabric strictly below t — every hop pushed by this
+  /// bin arrives at or after t, so the drain bound never overtakes a push.
+  void BinTick(SimTime t) {
+    while (admit_cursor < admit_order.size()) {
+      const std::uint32_t idx = admit_order[admit_cursor];
+      if (senders.anchor[idx] >= t + bin_width) break;
+      ++admit_cursor;
+      RunSenderInBin(idx, t + bin_width);
+    }
+    std::vector<std::uint32_t>& slot = ring[static_cast<std::size_t>(t / bin_width) % ring.size()];
+    // Re-buckets always land 1..ring.size()-1 bins ahead, never back in this
+    // slot, so indexed iteration is safe against the appends.
+    for (std::size_t k = 0; k < slot.size(); ++k) RunSenderInBin(slot[k], t + bin_width);
+    slot.clear();
+    if (t > 0) fabric.DrainUpTo(t - 1);
+    if (t + bin_width <= gen_end) {
+      fabric.sim().At(t + bin_width, [this, t] { BinTick(t + bin_width); });
+    }
+  }
+
+  void OnDeliver(const FleetHop& hop) {
     const SessionSpec& sp = (*sched)[hop.session];
     if (hop.leg == 0) {
       // At the SFU (initiator metro): rewrite the leg and fan out to the
       // peer's metro. PushHop is legal here — we own the SFU's metro, since
-      // the fabric just delivered to it.
+      // the fabric just delivered to it. hop.arrive is the delivery instant
+      // in both engines (== sim.now() under per-hop events).
       frames_relayed->Inc();
       const int peer = 1 - hop.part;
-      if (payload.ref_count() > 1) payload = PacketBuffer::CopyOf(payload.view());
-      payload.writable()[8] = 1;
-      fabric.PushHop({fabric.sim().now() + cfg->sfu_delay, FlowKey(sp.id, hop.part, 1, hop.seq),
-                      sp.server, sp.metro[peer], 1, hop.part, sp.id, hop.seq},
-                     std::move(payload));
+      fabric.PushHop({hop.arrive + cfg->sfu_delay, FlowKey(sp.id, hop.part, 1, hop.seq),
+                      hop.send_ts, hop.session, hop.seq, hop.bytes, sp.server, sp.metro[peer], 1,
+                      hop.part});
       return;
     }
     // At the receiver's metro: the frame exits over the access downlink.
     // Observe whole microseconds — integer-valued doubles keep the merged
-    // histogram sum exact and associative, which the digest relies on.
-    const SimTime e2e = fabric.sim().now() + cfg->access_delay - ReadSendTs(payload.view());
+    // histogram sum exact and associative, which the digest relies on (and
+    // makes the batch flush order-independent).
+    const SimTime e2e = hop.arrive + cfg->access_delay - hop.send_ts;
     frames_delivered->Inc();
-    e2e_us->Observe(static_cast<double>(e2e / net::kMicrosecond));
+    e2e_scratch.push_back(static_cast<double>(e2e / net::kMicrosecond));
+    if (e2e_scratch.size() >= kE2eFlushAt) FlushE2e();
+  }
+
+  void FlushE2e() {
+    if (e2e_scratch.empty()) return;
+    e2e_us->ObserveBatch(e2e_scratch.data(), e2e_scratch.size());
+    e2e_scratch.clear();
   }
 };
 
@@ -252,13 +362,16 @@ FleetSim::FleetSim(FleetConfig config)
       static_cast<std::size_t>(config_.metro_limit) > topo_.metro_count()) {
     throw std::invalid_argument("FleetSim: metro_limit out of range");
   }
-  if (config_.frame_bytes - config_.frame_jitter_bytes < static_cast<int>(kHeaderBytes)) {
+  if (config_.frame_bytes - config_.frame_jitter_bytes < kHeaderBytes) {
     throw std::invalid_argument("FleetSim: frame_bytes too small for the wire header");
+  }
+  if (!config_.path.empty() && config_.path != "express" && config_.path != "hops") {
+    throw std::invalid_argument("FleetSim: path must be \"express\" or \"hops\"");
   }
   // The whole fleet's schedule comes from one arrival stream, generated
   // before any world exists: every shard (and every shard count) iterates
   // the identical session list.
-  Rng arrivals(net::DeriveSeed(config_.seed, net::RngDomain::kArrivals, 0));
+  net::Rng arrivals(net::DeriveSeed(config_.seed, net::RngDomain::kArrivals, 0));
   const double dur_s = net::ToSeconds(config_.duration);
   const SimTime frame_period =
       static_cast<SimTime>(std::llround(net::kSecond / config_.fps));
@@ -316,6 +429,21 @@ void FleetSim::ScheduleFlap(int metro_a, int metro_b, SimTime at, SimTime durati
   flaps_.push_back({metro_a, metro_b, at, duration});
 }
 
+void FleetSim::ScheduleBurstLoss(int metro_a, int metro_b, SimTime at, SimTime duration,
+                                 const net::BurstLossConfig& config) {
+  bursts_.push_back({metro_a, metro_b, at, duration, config});
+}
+
+void FleetSim::ScheduleRateRamp(int metro_a, int metro_b, SimTime at, SimTime duration,
+                                double from_bps, double to_bps, int steps) {
+  ramps_.push_back({metro_a, metro_b, at, duration, from_bps, to_bps, steps});
+}
+
+bool FleetSim::UsesExpressPath() const {
+  if (!config_.path.empty()) return config_.path == "express";
+  return core::knobs::kFleetPath.Is("express");
+}
+
 FleetResult FleetSim::Run() {
   std::vector<double> weights(topo_.metro_count(), 0.0);
   for (const SessionSpec& sp : schedule_) {
@@ -335,13 +463,19 @@ FleetResult FleetSim::RunDirect() {
 FleetResult FleetSim::RunWorlds(const std::vector<int>& owner, int shards, bool windowed) {
   const SimTime end = config_.duration + net::Seconds(1);  // drain margin
   const SimTime delta = windowed ? topo_.Lookahead(owner, end) : end;
+  const bool express = UsesExpressPath();
 
   std::vector<std::unique_ptr<FleetWorld>> worlds;
   worlds.reserve(static_cast<std::size_t>(shards));
   for (int s = 0; s < shards; ++s) {
-    worlds.push_back(
-        std::make_unique<FleetWorld>(&config_, &topo_, &owner, s, &schedule_, peak_concurrent_));
-    for (const Flap& f : flaps_) worlds.back()->fabric.ScheduleFlap(f.a, f.b, f.at, f.duration);
+    worlds.push_back(std::make_unique<FleetWorld>(&config_, &topo_, &owner, s, &schedule_,
+                                                  peak_concurrent_, express));
+    FabricShard& fabric = worlds.back()->fabric;
+    for (const Flap& f : flaps_) fabric.ScheduleFlap(f.a, f.b, f.at, f.duration);
+    for (const Burst& b : bursts_) fabric.ScheduleBurstLoss(b.a, b.b, b.at, b.duration, b.config);
+    for (const Ramp& r : ramps_) {
+      fabric.ScheduleRateRamp(r.a, r.b, r.at, r.duration, r.from_bps, r.to_bps, r.steps);
+    }
   }
 
   // mail[from][to]; only cross-shard pairs are ever pushed.
@@ -353,14 +487,14 @@ FleetResult FleetSim::RunWorlds(const std::vector<int>& owner, int shards, bool 
     }
   }
   for (int s = 0; s < shards; ++s) {
-    worlds[static_cast<std::size_t>(s)]->fabric.set_post(
-        [&mail, s](int dst, HandoffRecord&& rec) {
-          mail[static_cast<std::size_t>(s)][static_cast<std::size_t>(dst)]->Push(std::move(rec));
-        });
+    worlds[static_cast<std::size_t>(s)]->fabric.set_post([&mail, s](int dst, const FleetHop& hop) {
+      mail[static_cast<std::size_t>(s)][static_cast<std::size_t>(dst)]->Push(hop);
+    });
   }
 
   FleetResult result;
   result.shards = shards;
+  result.path = express ? "express" : "hops";
   result.lookahead = windowed ? delta : 0;
   result.shard_workers.assign(static_cast<std::size_t>(shards), -1);
 
@@ -373,9 +507,11 @@ FleetResult FleetSim::RunWorlds(const std::vector<int>& owner, int shards, bool 
     world.Start();
     if (!windowed) {
       world.fabric.sim().Run();
+      world.fabric.DrainUpTo(end);
+      world.FlushE2e();
       return;
     }
-    std::vector<HandoffRecord> batch;
+    std::vector<FleetHop> batch;
     auto exchange = [&] {
       // Two barriers bracket the ingest: every producer is parked before any
       // consumer drains, and no producer resumes until all ingests finished.
@@ -387,10 +523,10 @@ FleetResult FleetSim::RunWorlds(const std::vector<int>& owner, int shards, bool 
       }
       // Heap order alone already fixes execution order; sorting the batch
       // additionally makes the *scheduling* sequence deterministic.
-      std::sort(batch.begin(), batch.end(), [](const HandoffRecord& x, const HandoffRecord& y) {
-        return x.hop.arrive != y.hop.arrive ? x.hop.arrive < y.hop.arrive : x.hop.key < y.hop.key;
+      std::sort(batch.begin(), batch.end(), [](const FleetHop& x, const FleetHop& y) {
+        return x.arrive != y.arrive ? x.arrive < y.arrive : x.key < y.key;
       });
-      for (const HandoffRecord& rec : batch) world.fabric.Ingest(rec);
+      for (const FleetHop& hop : batch) world.fabric.Ingest(hop);
       barrier.Wait();
       return batch.size();
     };
@@ -398,17 +534,21 @@ FleetResult FleetSim::RunWorlds(const std::vector<int>& owner, int shards, bool 
     while (true) {
       // Run this window's events, stopping one tick short of the boundary so
       // ingested hops due exactly at t1 are scheduled before the clock
-      // reaches them.
+      // reaches them. The express heap then fast-forwards to the same point
+      // so every cross-shard hop of the closed window is already posted.
       world.fabric.sim().RunUntil(t1 - 1);
+      world.fabric.DrainUpTo(world.fabric.sim().now());
       ++windows_per_shard[static_cast<std::size_t>(s)];
       exchange();
       if (t1 >= end) break;
       t1 = std::min(t1 + delta, end);
     }
     world.fabric.sim().RunUntil(end);
+    world.fabric.DrainUpTo(end);
     if (exchange() != 0 || world.fabric.hops_pending() != 0) {
       throw std::runtime_error("FleetSim: traffic still in flight past the drain horizon");
     }
+    world.FlushE2e();
   };
 
   const auto wall_start = std::chrono::steady_clock::now();
@@ -435,7 +575,7 @@ FleetResult FleetSim::RunWorlds(const std::vector<int>& owner, int shards, bool 
     result.events += world.fabric.sim().events_executed();
     result.hops += world.fabric.hops_processed();
     result.handoffs += world.fabric.handoffs_posted();
-    result.handoff_copies += world.fabric.handoff_copies();
+    result.fastforwards += world.fabric.fastforwards();
     result.windows = std::max(result.windows, windows_per_shard[static_cast<std::size_t>(s)]);
   }
   for (const auto& row : mail) {
@@ -450,15 +590,10 @@ FleetResult FleetSim::RunWorlds(const std::vector<int>& owner, int shards, bool 
 
   // Probe-session sender draws, part 0 then part 1, from whichever world
   // owned each part (exactly one does).
-  if (config_.probe_session < schedule_.size()) {
-    for (int part = 0; part < 2; ++part) {
-      for (const auto& world : worlds) {
-        for (const FleetWorld::Sender& s : world->senders) {
-          if (s.spec->id == config_.probe_session && s.part == part && s.probe) {
-            result.probe_draws.insert(result.probe_draws.end(), s.draws.begin(), s.draws.end());
-          }
-        }
-      }
+  for (int part = 0; part < 2; ++part) {
+    for (const auto& world : worlds) {
+      result.probe_draws.insert(result.probe_draws.end(), world->probe_draws[part].begin(),
+                                world->probe_draws[part].end());
     }
   }
   return result;

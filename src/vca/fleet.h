@@ -1,26 +1,36 @@
 // Fleet-scale FaceTime-style session load over the sharded backbone.
 //
-// FleetSim drives 1k–10k concurrent two-party sessions (nonhomogeneous
+// FleetSim drives 1k–50k concurrent two-party sessions (nonhomogeneous
 // Poisson arrivals under a diurnal rate curve, exponential holding times)
 // through net::FabricShard worlds: each frame serializes onto the sender's
 // metro access uplink, rides the backbone to the initiator-metro SFU, is
 // relayed to the peer's metro, and records end-to-end frame latency at the
-// receiver. The same model runs three ways:
+// receiver. The same model runs under two delivery engines (VTP_FLEET_PATH,
+// overridable per config):
 //
-//   * RunDirect(): one FabricShard driven by a plain Simulator::Run() — the
-//     single-threaded reference the differential tests pin against;
-//   * Run() with shards == 1: the windowed engine, one shard;
-//   * Run() with shards > 1: N shards on a core::ThreadPool, advancing in
-//     conservative-lookahead windows with SPSC mailbox handoffs.
+//   * "express" (default): zero per-frame and per-hop Simulator events.
+//     Senders live in structure-of-arrays slabs and generate frames in
+//     calendar bins (one self-rescheduling tick per bin); the fabric
+//     fast-forwards hops analytically from the (arrive, key) heap
+//     (FabricShard::DrainUpTo), and e2e latencies flush through
+//     obs::Histogram::ObserveBatch.
+//   * "hops": one Simulator event per sender frame and per link traversal —
+//     the original engine, kept as the differential reference.
 //
-// All three produce bit-identical merged obs::Snapshot digests: every
-// stochastic entity draws from a net::DeriveSeed stream keyed by its logical
-// id, the fabric orders same-instant hops by flow key, and the end-to-end
-// histogram observes whole microseconds so double sums stay exact and
-// associative under merge.
+// And in three harnesses: RunDirect() (one world, plain Simulator::Run()),
+// Run() with shards == 1 (the windowed engine), and Run() with shards > 1
+// (N shards on a core::ThreadPool, conservative-lookahead windows, SPSC
+// mailbox handoffs).
+//
+// All combinations produce bit-identical merged obs::Snapshot digests:
+// every stochastic entity draws from a net::DeriveSeed stream keyed by its
+// logical id, the fabric orders hops by (arrive, key) and offers them to
+// links at their logical instants, and the end-to-end histogram observes
+// whole microseconds so double sums stay exact and associative under merge.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "netsim/shard.h"
@@ -49,6 +59,10 @@ struct FleetConfig {
 
   int metro_limit = 15;  ///< sessions use metros [0, metro_limit) — US only
   std::uint32_t probe_session = 0;  ///< session whose sender draws are recorded
+
+  /// Delivery engine override: "express" or "hops"; empty defers to the
+  /// VTP_FLEET_PATH knob.
+  std::string path;
 };
 
 /// One scheduled session: two participants at `metro[0]` / `metro[1]`, SFU
@@ -66,11 +80,12 @@ struct FleetResult {
   obs::Snapshot merged;       ///< all shards' registries, Merge()d in order
   std::uint64_t digest = 0;   ///< FNV-1a over merged.ToJson() — the
                               ///< determinism fingerprint the tests compare
+  std::string path;           ///< delivery engine used ("express" / "hops")
   double wall_s = 0;          ///< wall-clock of the run phase
   std::uint64_t events = 0;   ///< sum of per-shard Simulator events
   std::uint64_t hops = 0;     ///< fabric hops executed (shard-count invariant)
   std::uint64_t handoffs = 0; ///< cross-shard mailbox records (0 unsharded)
-  std::uint64_t handoff_copies = 0;  ///< handoffs that needed a block copy
+  std::uint64_t fastforwards = 0;  ///< hops executed inline by DrainUpTo
   std::uint64_t spills = 0;   ///< mailbox ring overflows into the spill lane
   std::uint64_t windows = 0;  ///< lookahead windows executed
   net::SimTime lookahead = 0; ///< window width used
@@ -102,9 +117,24 @@ class FleetSim {
   /// shard fires it exactly once regardless of shard count.
   void ScheduleFlap(int metro_a, int metro_b, net::SimTime at, net::SimTime duration);
 
+  /// Arms a Gilbert–Elliott burst-loss episode on the directed backbone
+  /// link a->b during [at, at+duration). Owner-armed like ScheduleFlap.
+  void ScheduleBurstLoss(int metro_a, int metro_b, net::SimTime at, net::SimTime duration,
+                         const net::BurstLossConfig& config);
+
+  /// Arms a stepped rate-cap ramp on the directed backbone link a->b across
+  /// [at, at+duration), interpolating from_bps -> to_bps in `steps` steps
+  /// and restoring the link afterwards. Owner-armed like ScheduleFlap.
+  void ScheduleRateRamp(int metro_a, int metro_b, net::SimTime at, net::SimTime duration,
+                        double from_bps, double to_bps, int steps);
+
   const FleetConfig& config() const { return config_; }
   const net::FabricTopology& topology() const { return topo_; }
   const std::vector<SessionSpec>& schedule() const { return schedule_; }
+
+  /// The delivery engine a run will use: the config override when set, else
+  /// the VTP_FLEET_PATH knob (resolved per call).
+  bool UsesExpressPath() const;
 
   /// Quantile (ms) of the merged fleet e2e histogram row, 0 when absent.
   static double E2eQuantileMs(const obs::Snapshot& snap, double q);
@@ -114,6 +144,17 @@ class FleetSim {
     int a, b;
     net::SimTime at, duration;
   };
+  struct Burst {
+    int a, b;
+    net::SimTime at, duration;
+    net::BurstLossConfig config;
+  };
+  struct Ramp {
+    int a, b;
+    net::SimTime at, duration;
+    double from_bps, to_bps;
+    int steps;
+  };
 
   FleetResult RunWorlds(const std::vector<int>& owner, int shards, bool windowed);
 
@@ -121,6 +162,8 @@ class FleetSim {
   net::FabricTopology topo_;
   std::vector<SessionSpec> schedule_;
   std::vector<Flap> flaps_;
+  std::vector<Burst> bursts_;
+  std::vector<Ramp> ramps_;
   double peak_concurrent_ = 0;
 };
 

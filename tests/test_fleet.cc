@@ -6,7 +6,11 @@
 // injection on boundary links.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
 #include <stdexcept>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "netsim/random.h"
@@ -145,6 +149,104 @@ TEST(FabricTopology, BackboneRoutesAreSymmetricallyReachable) {
                 topo.path_delay(static_cast<int>(j), static_cast<int>(i)));
     }
   }
+}
+
+// --- express vs per-hop delivery engines -------------------------------------
+
+TEST(FleetExpress, ConfigAndKnobSelectEngine) {
+  FleetConfig cfg = SmallFleet();
+  unsetenv("VTP_FLEET_PATH");
+  EXPECT_TRUE(FleetSim(cfg).UsesExpressPath());  // knob default
+  setenv("VTP_FLEET_PATH", "hops", 1);
+  EXPECT_FALSE(FleetSim(cfg).UsesExpressPath());
+  cfg.path = "express";  // explicit config override beats the env
+  EXPECT_TRUE(FleetSim(cfg).UsesExpressPath());
+  unsetenv("VTP_FLEET_PATH");
+  cfg.path = "bogus";
+  EXPECT_THROW(FleetSim{cfg}, std::invalid_argument);
+}
+
+TEST(FleetExpress, DigestIsBitIdenticalToPerHopAcrossShardCountsAndHarnesses) {
+  // The tentpole contract: the express engine (no per-hop events, analytic
+  // fast-forwarding from the hop heap) must reproduce the per-hop reference
+  // bit-for-bit — same merged snapshot, any shard count, both harnesses.
+  std::vector<FleetResult> results;
+  for (const char* path : {"hops", "express"}) {
+    FleetConfig cfg = SmallFleet();
+    cfg.path = path;
+    results.push_back(FleetSim(cfg).RunDirect());
+    for (int shards : {1, 2, 4}) {
+      FleetConfig c = SmallFleet();
+      c.path = path;
+      c.shards = shards;
+      results.push_back(FleetSim(c).Run());
+    }
+  }
+  ASSERT_GT(results[0].frames_delivered, 1000u);
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].digest, results[0].digest)
+        << results[i].path << " shards=" << results[i].shards;
+    EXPECT_EQ(results[i].merged.ToJson(), results[0].merged.ToJson());
+    EXPECT_EQ(results[i].hops, results[0].hops);
+  }
+  // Express really skipped the per-hop events: same hops, but far fewer
+  // Simulator events than one-per-traversal (results[1] = hops shards=1,
+  // results[5] = express shards=1).
+  EXPECT_EQ(results[1].path, "hops");
+  EXPECT_EQ(results[5].path, "express");
+  EXPECT_LT(results[5].events * 10, results[1].events);
+}
+
+TEST(FleetExpress, FaultedScenarioForcesFallbackAndStaysBitIdentical) {
+  // Flap + Gilbert-Elliott burst + stepped rate ramp, all mid-run: the
+  // express engine must drain around every fault transition and still match
+  // the per-hop reference exactly, at 1 shard and across a 4-way partition.
+  FleetConfig probe_cfg = SmallFleet();
+  FleetSim probe(probe_cfg);
+  const FleetResult clean_run = probe.Run();
+  // The three busiest edges, so every impairment provably carries traffic.
+  std::vector<std::pair<std::uint64_t, std::size_t>> by_traffic;
+  for (std::size_t i = 0; i < probe.topology().edges().size(); ++i) {
+    const std::uint64_t traffic =
+        clean_run.merged.counter("fabric.e" + std::to_string(i) + ".f.packets_sent");
+    by_traffic.emplace_back(traffic, i);
+  }
+  std::sort(by_traffic.rbegin(), by_traffic.rend());
+  ASSERT_GE(by_traffic.size(), 3u);
+  ASSERT_GT(by_traffic[2].first, 0u);
+  const FabricEdge& flap_e = probe.topology().edges()[by_traffic[0].second];
+  const FabricEdge& burst_e = probe.topology().edges()[by_traffic[1].second];
+  const FabricEdge& ramp_e = probe.topology().edges()[by_traffic[2].second];
+
+  net::BurstLossConfig burst;
+  burst.p_enter = 0.02;
+  burst.p_exit = 0.25;
+  burst.loss_bad = 0.8;
+  std::vector<FleetResult> results;
+  for (const char* path : {"hops", "express"}) {
+    for (int shards : {1, 4}) {
+      FleetConfig cfg = SmallFleet();
+      cfg.path = path;
+      cfg.shards = shards;
+      FleetSim fleet(cfg);
+      fleet.ScheduleFlap(flap_e.a, flap_e.b, net::Millis(400), net::Millis(300));
+      fleet.ScheduleBurstLoss(burst_e.a, burst_e.b, net::Millis(200), net::Millis(900), burst);
+      fleet.ScheduleRateRamp(ramp_e.a, ramp_e.b, net::Millis(600), net::Millis(800), 2e9, 2e6,
+                             4);
+      results.push_back(fleet.Run());
+    }
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].digest, results[0].digest)
+        << results[i].path << " shards=" << results[i].shards;
+    EXPECT_EQ(results[i].merged.ToJson(), results[0].merged.ToJson());
+  }
+  // Every impairment actually fired and actually bit.
+  EXPECT_EQ(results[0].merged.counter("fabric.flap_transitions"), 2u);
+  EXPECT_GT(results[0].merged.counter("fabric.fault_transitions"), 0u);
+  const std::string burst_scope = "fabric.e" + std::to_string(by_traffic[1].second) + ".f";
+  EXPECT_GT(results[0].merged.counter(burst_scope + ".dropped_loss"), 0u);
+  EXPECT_NE(results[0].digest, clean_run.digest);
 }
 
 // --- fault injection on boundary links --------------------------------------

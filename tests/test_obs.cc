@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -250,10 +251,17 @@ TEST(Snapshot, DeterministicAcrossBenchThreadCounts) {
 
 TEST(Config, CatalogueListsEveryKnob) {
   core::Config& config = core::Config::Instance();
-  for (const char* name : {"VTP_FULL", "VTP_BENCH_THREADS", "VTP_BENCH_JSON",
-                           "VTP_SIM_SCHEDULER", "VTP_QUIC_PATH", "VTP_LZ_PARSER", "VTP_OBS"}) {
+  for (const char* name :
+       {"VTP_FULL", "VTP_BENCH_THREADS", "VTP_BENCH_JSON", "VTP_SIM_SCHEDULER", "VTP_QUIC_PATH",
+        "VTP_LZ_PARSER", "VTP_OBS", "VTP_ADAPT", "VTP_ENTROPY", "VTP_FLEET_PATH",
+        "VTP_BENCH_REQUIRE_CLEAN", "VTP_FAULT_BURST", "VTP_FAULT_REORDER", "VTP_FAULT_DUP",
+        "VTP_FAULT_FLAP", "VTP_FAULT_RAMP"}) {
     EXPECT_NE(config.Find(name), nullptr) << name;
   }
+  // The fleet delivery engine defaults to the express path.
+  const core::Config::KnobInfo* fleet_path = config.Find("VTP_FLEET_PATH");
+  ASSERT_NE(fleet_path, nullptr);
+  EXPECT_EQ(fleet_path->def, "express");
   const core::Config::KnobInfo* obs = config.Find("VTP_OBS");
   ASSERT_NE(obs, nullptr);
   EXPECT_STREQ(obs->type, "bool");
@@ -338,19 +346,55 @@ TEST(SnapshotMerge, HistogramsBucketAddWhenBoundsMatch) {
   EXPECT_DOUBLE_EQ(merged.histograms[0].sum, 60.5);
 }
 
-TEST(SnapshotMerge, HistogramBoundsMismatchKeepsOursAndNewNamesAppend) {
+TEST(SnapshotMerge, NewHistogramNamesAppend) {
   obs::MetricRegistry a, b;
   a.NewHistogram("lat", {1.0, 10.0})->Observe(5);
-  b.NewHistogram("lat", {2.0, 20.0})->Observe(5);  // registration bug: bounds differ
   b.NewHistogram("extra", {1.0})->Observe(0.5);
   obs::Snapshot merged = obs::Snapshot::Capture(a);
   merged.Merge(obs::Snapshot::Capture(b));
   ASSERT_EQ(merged.histograms.size(), 2u);
   EXPECT_EQ(merged.histograms[0].name, "lat");
-  EXPECT_EQ(merged.histograms[0].bounds, (std::vector<double>{1.0, 10.0}));  // ours won
   EXPECT_EQ(merged.histograms[0].count, 1u);
   EXPECT_EQ(merged.histograms[1].name, "extra");
   EXPECT_EQ(merged.histograms[1].count, 1u);
+}
+
+TEST(SnapshotMerge, HistogramBoundsMismatchThrowsAndLeavesTargetUntouched) {
+  // Two shards registering the same histogram with different bounds is a
+  // registration bug; silently keeping one side would skew every merged
+  // quantile, so Merge must reject loudly — and atomically.
+  obs::MetricRegistry a, b;
+  a.NewCounter("n")->Inc(3);
+  b.NewCounter("n")->Inc(4);
+  a.NewHistogram("lat", {1.0, 10.0})->Observe(5);
+  b.NewHistogram("lat", {2.0, 20.0})->Observe(5);
+  obs::Snapshot merged = obs::Snapshot::Capture(a);
+  const std::string before = merged.ToJson();
+  EXPECT_THROW(merged.Merge(obs::Snapshot::Capture(b)), std::invalid_argument);
+  EXPECT_EQ(merged.ToJson(), before);  // strong guarantee: nothing committed
+  EXPECT_EQ(merged.counter("n"), 3u);
+}
+
+TEST(SnapshotMerge, CounterVsGaugeNameCollisionThrows) {
+  // A name that is a counter on one side and a gauge on the other would
+  // surface twice in the merged JSON, with each consumer seeing half the
+  // data. Reject it whichever side contributes which kind.
+  obs::MetricRegistry a, b;
+  a.NewCounter("load")->Inc(1);
+  b.NewGauge("load")->Set(2.5);
+  obs::Snapshot merged = obs::Snapshot::Capture(a);
+  const std::string before = merged.ToJson();
+  EXPECT_THROW(merged.Merge(obs::Snapshot::Capture(b)), std::invalid_argument);
+  EXPECT_EQ(merged.ToJson(), before);
+
+  obs::Snapshot flipped = obs::Snapshot::Capture(b);
+  EXPECT_THROW(flipped.Merge(obs::Snapshot::Capture(a)), std::invalid_argument);
+  // A collision already present within one side is caught on the next merge.
+  obs::MetricRegistry both, clean;
+  both.NewCounter("x")->Inc(1);
+  both.NewGauge("x")->Set(1);
+  obs::Snapshot tainted = obs::Snapshot::Capture(both);
+  EXPECT_THROW(tainted.Merge(obs::Snapshot::Capture(clean)), std::invalid_argument);
 }
 
 TEST(SnapshotMerge, IsAssociativeAcrossThreeShards) {
