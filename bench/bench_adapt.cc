@@ -45,16 +45,6 @@ struct CapRun {
   std::uint64_t probe_failures = 0;
 };
 
-vca::SessionConfig TwoPartySpatial(net::SimTime duration) {
-  vca::SessionConfig config;
-  config.participants = {
-      {.name = "U1", .metro = "SanFrancisco", .device = vca::DeviceType::kVisionPro},
-      {.name = "U2", .metro = "NewYork", .device = vca::DeviceType::kVisionPro}};
-  config.duration = duration;
-  config.enable_reconstruction = false;
-  return config;
-}
-
 // Samples U2's view of U1's persona at 10 Hz over [duration - window, duration).
 void ScheduleAvailabilitySampling(vca::TelepresenceSession& session, net::SimTime duration,
                                   net::SimTime window, int* available, int* total) {
@@ -80,7 +70,7 @@ void FillControllerStats(const vca::TelepresenceSession& session, CapRun* run) {
 
 CapRun RunCappedSession(double cap_kbps, bool adaptive, net::SimTime duration,
                         net::SimTime window) {
-  vca::TelepresenceSession session(TwoPartySpatial(duration));
+  vca::TelepresenceSession session(vca::TwoPartySpatialConfig(duration));
   net::Netem netem = session.UplinkNetem(0);
   session.sim().After(net::Seconds(4), [&netem, cap_kbps] {
     netem.SetRateBps(cap_kbps * 1e3);
@@ -113,7 +103,7 @@ struct BurstRun {
 // in-burst loss) between t=8s and t=12s. The controller must walk down
 // during the episode and probe back up afterwards.
 BurstRun RunBurstEpisode(net::SimTime duration, net::SimTime window) {
-  vca::TelepresenceSession session(TwoPartySpatial(duration));
+  vca::TelepresenceSession session(vca::TwoPartySpatialConfig(duration));
   net::Netem netem = session.UplinkNetem(0);
   session.sim().After(net::Seconds(8), [&netem] {
     netem.SetBurstLoss({.p_enter = 0.2, .p_exit = 0.2, .loss_bad = 1.0});

@@ -44,6 +44,7 @@
 #include "obs/snapshot.h"
 #include "obs/trace.h"
 #include "transport/quic.h"
+#include "transport/taps.h"
 #include "vca/session.h"
 #include "vca/sfu.h"
 
@@ -180,13 +181,15 @@ SessionResult RunSession(bool legacy, net::SimTime duration, net::SimTime warmup
   net::Capture capture;
   if (with_capture) capture.AttachToLink(net, server, hub);
 
-  std::vector<std::unique_ptr<transport::QuicEndpoint>> endpoints;
+  std::vector<std::unique_ptr<transport::taps::Connection>> connections;
   std::vector<transport::QuicConnection*> conns;
   std::vector<PersonaSender> senders(kPersonas);
   for (int i = 0; i < kPersonas; ++i) {
-    endpoints.push_back(std::make_unique<transport::QuicEndpoint>(
-        &net, clients[i], static_cast<std::uint16_t>(9000 + i)));
-    transport::QuicConnection* conn = endpoints.back()->Connect(server, kSfuPort);
+    connections.push_back(transport::taps::Preconnection{}
+                              .WithLocal({clients[i], static_cast<std::uint16_t>(9000 + i)})
+                              .WithRemote({server, kSfuPort})
+                              .Initiate(net));
+    transport::QuicConnection* conn = connections.back()->quic();
     conn->set_on_datagram([&r](std::span<const std::uint8_t> data) {
       ++r.delivered;
       r.payload_digest = Fnv(r.payload_digest, data.data(), data.size());

@@ -28,13 +28,7 @@ using namespace vtp;
 int main() {
   const bool adaptive = core::knobs::kAdapt.Get();
 
-  vca::SessionConfig config;
-  config.participants = {
-      {.name = "U1", .metro = "SanFrancisco", .device = vca::DeviceType::kVisionPro},
-      {.name = "U2", .metro = "NewYork", .device = vca::DeviceType::kVisionPro}};
-  config.duration = net::Seconds(54);
-  config.enable_reconstruction = false;
-  vca::TelepresenceSession session(std::move(config));
+  vca::TelepresenceSession session(vca::TwoPartySpatialConfig(net::Seconds(54)));
 
   // Staircase of uplink caps, like dragging a tc tbf rate down and back up.
   net::Netem netem = session.UplinkNetem(0);

@@ -1,0 +1,56 @@
+// Clock sources for wall-clock-driven schedulers (DESIGN §14).
+//
+// The discrete-event Simulator has no idea of real time: in the sim backend
+// its clock is purely virtual, while the socket backend advances the same
+// timer wheel to "wall now" between polls. ClockSource is the seam between
+// those two modes: production code injects SteadyClock, tests inject
+// ManualClock so wall-clock behaviour (never-early firing, late-tick
+// coalescing) is deterministic to test.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace vtp::core {
+
+/// Monotonic nanosecond clock interface.
+class ClockSource {
+ public:
+  virtual ~ClockSource() = default;
+
+  /// Nanoseconds since an arbitrary fixed epoch; must be monotonic.
+  virtual std::int64_t NowNanos() = 0;
+};
+
+/// std::chrono::steady_clock, rebased so the first reading is ~0. Rebasing
+/// keeps SimTime (int64 ns from session start) in range no matter how long
+/// the host has been up.
+class SteadyClock final : public ClockSource {
+ public:
+  SteadyClock() : epoch_(std::chrono::steady_clock::now()) {}
+
+  std::int64_t NowNanos() override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// A hand-cranked clock for tests: time only moves when the test says so.
+class ManualClock final : public ClockSource {
+ public:
+  explicit ManualClock(std::int64_t start_nanos = 0) : now_(start_nanos) {}
+
+  std::int64_t NowNanos() override { return now_; }
+
+  void Set(std::int64_t nanos) { now_ = nanos; }
+  void Advance(std::int64_t delta_nanos) { now_ += delta_nanos; }
+
+ private:
+  std::int64_t now_;
+};
+
+}  // namespace vtp::core

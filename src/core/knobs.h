@@ -80,6 +80,21 @@ inline const BoolKnob kBenchRequireClean{
     "VTP_BENCH_REQUIRE_CLEAN", false,
     "refuse to write bench JSON reports from a -dirty working tree"};
 
+/// Medium backend for socket-capable tools (`vtp client`). sim (default)
+/// keeps everything inside netsim — byte-identical to the pre-seam stack;
+/// socket drives real nonblocking UDP through the event loop (DESIGN §14).
+inline const ChoiceKnob kMedium{
+    "VTP_MEDIUM", "sim", {"sim", "socket"},
+    "transport backend: simulated internetwork or real UDP sockets + event loop"};
+
+/// Listen address for `vtp serve` (the socket backend's bind interface).
+inline const StringKnob kListenAddr{"VTP_LISTEN_ADDR", "127.0.0.1",
+                                    "IPv4 address vtp serve binds its UDP sockets to"};
+
+/// Default host:port `vtp client` dials when --connect is not given.
+inline const StringKnob kConnect{"VTP_CONNECT", "127.0.0.1:4433",
+                                 "host:port vtp client connects persona traffic to"};
+
 /// Fault injection (netsim). Each knob arms one impairment on the access
 /// uplink when a session calls net::ApplyFaultKnobs(); empty = off. Formats
 /// are comma-separated numbers, documented per knob.

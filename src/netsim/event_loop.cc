@@ -1,0 +1,92 @@
+#include "netsim/event_loop.h"
+
+#include <cerrno>
+#include <stdexcept>
+#include <vector>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#include <unistd.h>
+#else
+#include <poll.h>
+#endif
+
+namespace vtp::net {
+
+#ifdef __linux__
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) throw std::runtime_error("epoll_create1 failed");
+}
+
+EventLoop::~EventLoop() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void EventLoop::Add(int fd, FdReadHandler on_readable) {
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    throw std::runtime_error("epoll_ctl(ADD) failed");
+  }
+  handlers_[fd] = std::move(on_readable);
+}
+
+void EventLoop::Remove(int fd) {
+  if (handlers_.erase(fd) == 0) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+int EventLoop::Wait(int timeout_ms) {
+  epoll_event events[64];
+  int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+  if (n < 0) {
+    if (errno == EINTR) return 0;
+    throw std::runtime_error("epoll_wait failed");
+  }
+  int dispatched = 0;
+  for (int i = 0; i < n; ++i) {
+    auto it = handlers_.find(events[i].data.fd);
+    if (it == handlers_.end()) continue;  // removed by an earlier handler
+    it->second(it->first);
+    ++dispatched;
+  }
+  return dispatched;
+}
+
+#else  // poll(2) fallback (macOS and other POSIX)
+
+EventLoop::EventLoop() = default;
+EventLoop::~EventLoop() = default;
+
+void EventLoop::Add(int fd, FdReadHandler on_readable) { handlers_[fd] = std::move(on_readable); }
+
+void EventLoop::Remove(int fd) { handlers_.erase(fd); }
+
+int EventLoop::Wait(int timeout_ms) {
+  std::vector<pollfd> fds;
+  fds.reserve(handlers_.size());
+  for (const auto& [fd, handler] : handlers_) {
+    fds.push_back(pollfd{fd, POLLIN, 0});
+  }
+  int n = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
+  if (n < 0) {
+    if (errno == EINTR) return 0;
+    throw std::runtime_error("poll failed");
+  }
+  int dispatched = 0;
+  for (const pollfd& p : fds) {
+    if ((p.revents & (POLLIN | POLLERR | POLLHUP)) == 0) continue;
+    auto it = handlers_.find(p.fd);
+    if (it == handlers_.end()) continue;  // removed by an earlier handler
+    it->second(it->first);
+    ++dispatched;
+  }
+  return dispatched;
+}
+
+#endif
+
+}  // namespace vtp::net

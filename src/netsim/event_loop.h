@@ -1,0 +1,49 @@
+// A minimal readiness event loop for the socket Medium backend.
+//
+// epoll on Linux, poll(2) everywhere else — the surface is the small subset
+// both can serve: register a nonblocking fd with a read callback, wait with
+// a timeout, dispatch. The loop knows nothing about timers; SocketMedium
+// pairs it with a WallClockDriver so the poll timeout is exactly the next
+// timer-wheel deadline (sleep, don't spin — DESIGN §14).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+namespace vtp::net {
+
+/// Invoked when `fd` is readable. Handlers should drain the fd (read until
+/// EAGAIN): readiness is level-triggered on both backends, but draining
+/// keeps syscall counts down.
+using FdReadHandler = std::function<void(int fd)>;
+
+class EventLoop {
+ public:
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `fd` for readability. The fd must already be nonblocking.
+  void Add(int fd, FdReadHandler on_readable);
+
+  /// Deregisters `fd` (does not close it).
+  void Remove(int fd);
+
+  /// Waits up to `timeout_ms` (-1 = indefinitely, 0 = just poll) and
+  /// dispatches read handlers for every ready fd. Returns the number of fds
+  /// dispatched (0 on timeout).
+  int Wait(int timeout_ms);
+
+  std::size_t watched_fds() const { return handlers_.size(); }
+
+ private:
+  std::map<int, FdReadHandler> handlers_;
+#ifdef __linux__
+  int epoll_fd_ = -1;
+#endif
+};
+
+}  // namespace vtp::net

@@ -177,6 +177,18 @@ void Simulator::RunUntil(SimTime t) {
   if (!stopped_ && now_ < t) now_ = t;
 }
 
+std::optional<SimTime> Simulator::NextEventTime() {
+  if (scheduler_ == Scheduler::kHeap) {
+    if (legacy_.empty()) return std::nullopt;
+    return legacy_.top().time;
+  }
+  // PrimeDue only advances the cursor and moves events into due_; it never
+  // executes callbacks or touches now_, so peeking here is side-effect-free
+  // with respect to the (time, seq) execution order.
+  if (!PrimeDue()) return std::nullopt;
+  return due_.top()->time;
+}
+
 void Simulator::RunLegacy() {
   while (!legacy_.empty() && !stopped_) {
     LegacyEvent e = legacy_.top();

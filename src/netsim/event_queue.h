@@ -23,6 +23,7 @@
 #include <functional>
 #include <memory>
 #include <new>
+#include <optional>
 #include <queue>
 #include <type_traits>
 #include <utility>
@@ -191,6 +192,11 @@ class Simulator {
 
   /// Requests Run()/RunUntil() to return after the current event.
   void Stop() { stopped_ = true; }
+
+  /// Timestamp of the earliest pending event, or nullopt when idle. Does not
+  /// execute anything or advance now(); wall-clock drivers use it to sleep
+  /// exactly until the next deadline instead of busy-polling (DESIGN §14).
+  std::optional<SimTime> NextEventTime();
 
   /// Number of events executed so far (useful in tests).
   std::uint64_t events_executed() const { return executed_; }

@@ -1,0 +1,58 @@
+// The Medium seam: the UDP datagram service the transport stack runs on.
+//
+// Everything above the network layer — QUIC-lite, RTP, FEC, the adapt
+// controller, the SFU fan-out — talks to a Medium, never to a concrete
+// backend. Two implementations exist:
+//
+//   * net::Network — the simulated internetwork (netsim). Binding and
+//     delivery semantics are exactly what they were before the seam was
+//     introduced; making the UDP surface virtual changes no event order, so
+//     sim-backend wire/delivery/stats digests stay byte-identical.
+//   * net::SocketMedium — real nonblocking UDP sockets driven by an
+//     epoll/poll event loop that feeds the same timer wheel in wall-clock
+//     mode (DESIGN §14).
+//
+// A Medium also owns the Simulator that schedules the stack's timers: in
+// the sim backend timers run in virtual time, in the socket backend the
+// event loop advances the same wheel to the wall clock between polls.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "netsim/event_queue.h"
+#include "netsim/packet.h"
+
+namespace vtp::net {
+
+/// Invoked on datagram arrival at a bound (node, port).
+using DatagramHandler = std::function<void(const Packet&)>;
+
+/// Abstract UDP service + timer source. Exactly the surface the transport
+/// and vca layers used on net::Network before the seam existed.
+class Medium {
+ public:
+  virtual ~Medium() = default;
+
+  /// Binds `handler` to (node, port); overwrites any existing binding.
+  virtual void BindUdp(NodeId node, std::uint16_t port, DatagramHandler handler) = 0;
+
+  /// Removes a binding (arriving datagrams are then dropped silently).
+  virtual void UnbindUdp(NodeId node, std::uint16_t port) = 0;
+
+  /// Sends a datagram. The payload is copied into a pooled buffer.
+  virtual void SendUdp(NodeId src, std::uint16_t src_port, NodeId dst, std::uint16_t dst_port,
+                       const std::vector<std::uint8_t>& payload) = 0;
+
+  /// Sends a datagram sharing an existing payload buffer (zero-copy; the SFU
+  /// fan-out path forwards one buffer to every receiver this way).
+  virtual void SendUdp(NodeId src, std::uint16_t src_port, NodeId dst, std::uint16_t dst_port,
+                       PacketBuffer payload) = 0;
+
+  /// The scheduler this medium's timers run on (virtual time for the sim
+  /// backend, wall-clock-driven for the socket backend).
+  virtual Simulator& sim() = 0;
+};
+
+}  // namespace vtp::net

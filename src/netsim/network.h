@@ -16,12 +16,10 @@
 #include "netsim/event_queue.h"
 #include "netsim/geo.h"
 #include "netsim/link.h"
+#include "netsim/medium.h"
 #include "netsim/packet.h"
 
 namespace vtp::net {
-
-/// Invoked on datagram arrival at a bound (node, port).
-using DatagramHandler = std::function<void(const Packet&)>;
 
 /// A host or router.
 struct Node {
@@ -33,8 +31,10 @@ struct Node {
   std::uint32_t ipv4 = 0;  ///< synthetic address assigned by the Network
 };
 
-/// The network graph plus the routing and delivery machinery.
-class Network {
+/// The network graph plus the routing and delivery machinery. This is the
+/// simulated Medium backend; its UDP surface is the seam's reference
+/// semantics (DESIGN §14).
+class Network : public Medium {
  public:
   explicit Network(Simulator* sim) : sim_(sim) {
     obs::MetricRegistry& reg = sim_->metrics();
@@ -72,25 +72,25 @@ class Network {
   // --- UDP service ------------------------------------------------------
 
   /// Binds `handler` to (node, port); overwrites any existing binding.
-  void BindUdp(NodeId node, std::uint16_t port, DatagramHandler handler);
+  void BindUdp(NodeId node, std::uint16_t port, DatagramHandler handler) override;
 
   /// Removes a binding (arriving datagrams are then dropped silently).
-  void UnbindUdp(NodeId node, std::uint16_t port);
+  void UnbindUdp(NodeId node, std::uint16_t port) override;
 
   /// Sends a datagram. The payload is copied into a pooled buffer.
   void SendUdp(NodeId src, std::uint16_t src_port, NodeId dst, std::uint16_t dst_port,
-               const std::vector<std::uint8_t>& payload);
+               const std::vector<std::uint8_t>& payload) override;
 
   /// Sends a datagram sharing an existing payload buffer (zero-copy; the SFU
   /// fan-out path forwards one buffer to every receiver this way).
   void SendUdp(NodeId src, std::uint16_t src_port, NodeId dst, std::uint16_t dst_port,
-               PacketBuffer payload);
+               PacketBuffer payload) override;
 
   // --- access -----------------------------------------------------------
 
   const Node& node(NodeId id) const { return nodes_.at(id); }
   std::size_t node_count() const { return nodes_.size(); }
-  Simulator& sim() { return *sim_; }
+  Simulator& sim() override { return *sim_; }
 
   /// The directed link a->b. Throws std::out_of_range if absent.
   DirectedLink& link(NodeId a, NodeId b);

@@ -150,7 +150,7 @@ QuicConnection::QuicConnection(QuicEndpoint* endpoint, std::uint64_t local_cid,
   if (!legacy_) sent_ring_.resize(kInitialRingSize);
   // Connection metrics live in the owning Simulator's registry under a
   // per-connection scope; construction order is deterministic per seed.
-  obs::MetricRegistry& reg = endpoint_->network().sim().metrics();
+  obs::MetricRegistry& reg = endpoint_->medium().sim().metrics();
   scope_ = reg.UniqueScope("quic.conn");
   obs_.packets_sent = reg.NewCounter(scope_ + ".packets_sent");
   obs_.packets_received = reg.NewCounter(scope_ + ".packets_received");
@@ -368,7 +368,7 @@ void QuicConnection::SendPacket(std::vector<std::uint8_t> frames, bool ack_elici
   }
 
   SentPacketInfo info;
-  info.sent_time = endpoint_->network().sim().now();
+  info.sent_time = endpoint_->medium().sim().now();
   info.bytes = static_cast<std::uint32_t>(packet.size());
   info.ack_eliciting = ack_eliciting;
   info.chunks = std::move(chunks);
@@ -408,7 +408,7 @@ void QuicConnection::FinishPacket(QuicPacketWriter&& w, bool ack_eliciting,
   if (pad_initial) w.pad_to(kMaxPacketSize);  // RFC 9000 §14.1, one memset
   const std::uint64_t pn = next_pn_++;
   SentPacketInfo& info = SentSlot(pn);
-  info.sent_time = endpoint_->network().sim().now();
+  info.sent_time = endpoint_->medium().sim().now();
   info.bytes = static_cast<std::uint32_t>(w.size());
   info.ack_eliciting = ack_eliciting;
   info.acked = false;
@@ -512,7 +512,7 @@ void QuicConnection::OnDatagramReceived(std::span<const std::uint8_t> payload) {
         SendAckIfNeeded();
       } else if (!ack_timer_armed_) {
         ack_timer_armed_ = true;
-        endpoint_->network().sim().After(kMaxAckDelay, [this] {
+        endpoint_->medium().sim().After(kMaxAckDelay, [this] {
           ack_timer_armed_ = false;
           SendAckIfNeeded();
         });
@@ -528,7 +528,7 @@ void QuicConnection::ProcessFrames(std::span<const std::uint8_t> payload) {
   const auto mark_ack_eliciting = [this] {
     if (!ack_pending_) {
       ack_pending_ = true;
-      first_pending_ack_time_ = endpoint_->network().sim().now();
+      first_pending_ack_time_ = endpoint_->medium().sim().now();
       pending_ack_eliciting_ = 0;
     }
     ++pending_ack_eliciting_;
@@ -670,7 +670,7 @@ void QuicConnection::HandleAckFrame(std::span<const std::uint8_t> payload, std::
   // RTT sample from the largest acked, if it is newly acknowledged.
   if (SentPacketInfo* info = FindSent(largest);
       info != nullptr && !info->acked && !info->lost) {
-    const net::SimTime now = endpoint_->network().sim().now();
+    const net::SimTime now = endpoint_->medium().sim().now();
     net::SimTime sample = now - info->sent_time -
                           static_cast<net::SimTime>(ack_delay_us) * net::kMicrosecond;
     if (sample < net::Micros(1)) sample = net::Micros(1);
@@ -820,7 +820,7 @@ void QuicConnection::AppendAckFrameTo(Out& out) {
   out.push_back(kFrameAck);
   const auto& top = recv_ranges_.back();
   PutVarintTo(out, top.second);                 // largest acknowledged
-  const net::SimTime held = endpoint_->network().sim().now() - first_pending_ack_time_;
+  const net::SimTime held = endpoint_->medium().sim().now() - first_pending_ack_time_;
   PutVarintTo(out, static_cast<std::uint64_t>(std::max<net::SimTime>(held, 0) /
                                               net::kMicrosecond));  // ack delay, µs
   PutVarintTo(out, nranges - 1);                // additional ranges
@@ -858,7 +858,7 @@ net::SimTime QuicConnection::PtoInterval() const {
 void QuicConnection::ArmPto() {
   const std::uint64_t epoch = ++pto_epoch_;
   const net::SimTime when = PtoInterval() << std::min(pto_backoff_, 6);
-  endpoint_->network().sim().After(when, [this, epoch] {
+  endpoint_->medium().sim().After(when, [this, epoch] {
     if (epoch == pto_epoch_) OnPto();
   });
 }
@@ -921,13 +921,13 @@ void QuicConnection::UpdateRtt(net::SimTime sample) {
 // QuicEndpoint
 // ---------------------------------------------------------------------------
 
-QuicEndpoint::QuicEndpoint(net::Network* network, net::NodeId node, std::uint16_t port)
-    : network_(network), node_(node), port_(port) {
+QuicEndpoint::QuicEndpoint(net::Medium* medium, net::NodeId node, std::uint16_t port)
+    : medium_(medium), node_(node), port_(port) {
   next_cid_ = (static_cast<std::uint64_t>(node) << 32) | (static_cast<std::uint64_t>(port) << 8) | 1;
-  network_->BindUdp(node_, port_, [this](const net::Packet& p) { OnPacket(p); });
+  medium_->BindUdp(node_, port_, [this](const net::Packet& p) { OnPacket(p); });
 }
 
-QuicEndpoint::~QuicEndpoint() { network_->UnbindUdp(node_, port_); }
+QuicEndpoint::~QuicEndpoint() { medium_->UnbindUdp(node_, port_); }
 
 std::uint64_t QuicEndpoint::NewCid() { return next_cid_++; }
 
@@ -943,11 +943,11 @@ QuicConnection* QuicEndpoint::Connect(net::NodeId peer, std::uint16_t peer_port)
 
 void QuicEndpoint::SendRaw(net::NodeId dst, std::uint16_t dst_port,
                            std::vector<std::uint8_t> payload) {
-  network_->SendUdp(node_, port_, dst, dst_port, std::move(payload));
+  medium_->SendUdp(node_, port_, dst, dst_port, std::move(payload));
 }
 
 void QuicEndpoint::SendRaw(net::NodeId dst, std::uint16_t dst_port, net::PacketBuffer payload) {
-  network_->SendUdp(node_, port_, dst, dst_port, std::move(payload));
+  medium_->SendUdp(node_, port_, dst, dst_port, std::move(payload));
 }
 
 void QuicEndpoint::OnPacket(const net::Packet& p) {

@@ -38,7 +38,7 @@
 #include <span>
 #include <vector>
 
-#include "netsim/network.h"
+#include "netsim/medium.h"
 #include "obs/metrics.h"
 
 namespace vtp::transport {
@@ -300,7 +300,7 @@ class QuicEndpoint {
  public:
   using AcceptHandler = std::function<void(QuicConnection*)>;
 
-  QuicEndpoint(net::Network* network, net::NodeId node, std::uint16_t port);
+  QuicEndpoint(net::Medium* medium, net::NodeId node, std::uint16_t port);
   ~QuicEndpoint();
 
   QuicEndpoint(const QuicEndpoint&) = delete;
@@ -313,7 +313,7 @@ class QuicEndpoint {
   /// its handshake enough to carry data.
   void set_on_accept(AcceptHandler h) { on_accept_ = std::move(h); }
 
-  net::Network& network() { return *network_; }
+  net::Medium& medium() { return *medium_; }
   net::NodeId node() const { return node_; }
   std::uint16_t port() const { return port_; }
 
@@ -325,7 +325,7 @@ class QuicEndpoint {
   void SendRaw(net::NodeId dst, std::uint16_t dst_port, net::PacketBuffer payload);
   std::uint64_t NewCid();
 
-  net::Network* network_;
+  net::Medium* medium_;
   net::NodeId node_;
   std::uint16_t port_;
   AcceptHandler on_accept_;

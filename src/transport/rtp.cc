@@ -44,15 +44,15 @@ std::optional<RtpHeader> RtpHeader::Parse(std::span<const std::uint8_t> data) {
   return h;
 }
 
-RtpSender::RtpSender(net::Network* network, net::NodeId node, std::uint16_t local_port,
+RtpSender::RtpSender(net::Medium* medium, net::NodeId node, std::uint16_t local_port,
                      net::NodeId dst, std::uint16_t dst_port, RtpSenderConfig config)
-    : network_(network),
+    : medium_(medium),
       node_(node),
       local_port_(local_port),
       dst_(dst),
       dst_port_(dst_port),
       config_(config) {
-  obs::MetricRegistry& reg = network_->sim().metrics();
+  obs::MetricRegistry& reg = medium_->sim().metrics();
   const std::string scope = reg.UniqueScope("rtp.tx");
   frames_sent_ = reg.NewCounter(scope + ".frames_sent");
   packets_sent_ = reg.NewCounter(scope + ".packets_sent");
@@ -75,7 +75,7 @@ void RtpSender::SendFrame(std::span<const std::uint8_t> frame, std::uint32_t rtp
     h.SerializeTo(packet);
     packet.insert(packet.end(), frame.begin() + static_cast<std::ptrdiff_t>(offset),
                   frame.begin() + static_cast<std::ptrdiff_t>(offset + chunk));
-    network_->SendUdp(node_, local_port_, dst_, dst_port_, std::move(packet));
+    medium_->SendUdp(node_, local_port_, dst_, dst_port_, std::move(packet));
 
     packets_sent_->Inc();
     payload_bytes_sent_->Inc(chunk);
@@ -84,10 +84,10 @@ void RtpSender::SendFrame(std::span<const std::uint8_t> frame, std::uint32_t rtp
   frames_sent_->Inc();
 }
 
-RtpReceiver::RtpReceiver(net::Network* network, net::NodeId node, std::uint16_t port,
+RtpReceiver::RtpReceiver(net::Medium* medium, net::NodeId node, std::uint16_t port,
                          FrameHandler on_frame)
-    : network_(network), node_(node), port_(port), on_frame_(std::move(on_frame)) {
-  obs::MetricRegistry& reg = network_->sim().metrics();
+    : medium_(medium), node_(node), port_(port), on_frame_(std::move(on_frame)) {
+  obs::MetricRegistry& reg = medium_->sim().metrics();
   const std::string scope = reg.UniqueScope("rtp.rx");
   packets_received_ = reg.NewCounter(scope + ".packets_received");
   payload_bytes_received_ = reg.NewCounter(scope + ".payload_bytes_received");
@@ -95,10 +95,10 @@ RtpReceiver::RtpReceiver(net::Network* network, net::NodeId node, std::uint16_t 
   frames_delivered_ = reg.NewCounter(scope + ".frames_delivered");
   frames_damaged_ = reg.NewCounter(scope + ".frames_damaged");
   jitter_rtp_units_ = reg.NewGauge(scope + ".jitter_rtp_units");
-  network_->BindUdp(node_, port_, [this](const net::Packet& p) { OnPacket(p); });
+  medium_->BindUdp(node_, port_, [this](const net::Packet& p) { OnPacket(p); });
 }
 
-RtpReceiver::~RtpReceiver() { network_->UnbindUdp(node_, port_); }
+RtpReceiver::~RtpReceiver() { medium_->UnbindUdp(node_, port_); }
 
 namespace {
 
@@ -181,7 +181,7 @@ void RtpReceiver::OnPacket(const net::Packet& p) {
     if (const auto sr = RtcpSenderReport::Parse(p.payload)) {
       StreamState& s = streams_[sr->sender_ssrc];
       s.last_sr_ntp_ms = sr->ntp_ms;
-      s.last_sr_arrival = network_->sim().now();
+      s.last_sr_arrival = medium_->sim().now();
       return;
     }
     if (on_rtcp_) {
@@ -191,7 +191,7 @@ void RtpReceiver::OnPacket(const net::Packet& p) {
   }
   const auto header = RtpHeader::Parse(p.payload);
   if (!header) return;  // not RTP: ignore
-  const net::SimTime now = network_->sim().now();
+  const net::SimTime now = medium_->sim().now();
 
   packets_received_->Inc();
   payload_bytes_received_->Inc(p.payload.size() - RtpHeader::kSize);
@@ -271,7 +271,7 @@ std::pair<std::uint32_t, std::uint32_t> RtpReceiver::SenderReportEcho(
   const auto it = streams_.find(ssrc);
   if (it == streams_.end() || it->second.last_sr_arrival < 0) return {0, 0};
   const auto dlsr = static_cast<std::uint32_t>(
-      net::ToMillis(network_->sim().now() - it->second.last_sr_arrival));
+      net::ToMillis(medium_->sim().now() - it->second.last_sr_arrival));
   return {it->second.last_sr_ntp_ms, dlsr};
 }
 

@@ -14,7 +14,7 @@
 #include <span>
 #include <vector>
 
-#include "netsim/network.h"
+#include "netsim/medium.h"
 #include "obs/metrics.h"
 
 namespace vtp::transport {
@@ -87,7 +87,7 @@ struct RtpSenderStats {
 /// Splits frames into RTP packets and sends them as UDP datagrams.
 class RtpSender {
  public:
-  RtpSender(net::Network* network, net::NodeId node, std::uint16_t local_port,
+  RtpSender(net::Medium* medium, net::NodeId node, std::uint16_t local_port,
             net::NodeId dst, std::uint16_t dst_port, RtpSenderConfig config);
 
   /// Packetizes one media frame; the marker bit is set on the final packet.
@@ -99,7 +99,7 @@ class RtpSender {
   }
 
  private:
-  net::Network* network_;
+  net::Medium* medium_;
   net::NodeId node_;
   std::uint16_t local_port_;
   net::NodeId dst_;
@@ -133,7 +133,7 @@ class RtpReceiver {
   using FrameHandler = std::function<void(std::uint32_t, std::vector<std::uint8_t>,
                                           std::uint32_t, net::SimTime)>;
 
-  RtpReceiver(net::Network* network, net::NodeId node, std::uint16_t port,
+  RtpReceiver(net::Medium* medium, net::NodeId node, std::uint16_t port,
               FrameHandler on_frame);
   ~RtpReceiver();
 
@@ -187,7 +187,7 @@ class RtpReceiver {
   void OnPacket(const net::Packet& p);
   void FlushFrame(std::uint32_t ssrc, StreamState& s, net::SimTime arrival);
 
-  net::Network* network_;
+  net::Medium* medium_;
   net::NodeId node_;
   std::uint16_t port_;
   FrameHandler on_frame_;

@@ -1,0 +1,205 @@
+// TAPS-style session establishment (RFC 9622 shape, CTaps idiom): a
+// Preconnection gathers endpoints + transport properties, then Initiate()
+// or Listen() resolves them to a concrete protocol stack over whichever
+// Medium backend the caller passes — the simulated internetwork or real UDP
+// sockets — without the caller ever constructing transport endpoints by
+// hand (DESIGN §14).
+//
+//   taps::Preconnection pre;
+//   pre.WithLocal({client_node, 9000})
+//      .WithRemote({server_node, 4433});
+//   auto conn = pre.Initiate(medium);          // dials QUIC-lite
+//   conn->Send(frame);                          // DATAGRAM message
+//   auto& stream = conn->OpenStream();          // reliable MessageStream
+//
+// Protocol selection follows the property-driven TAPS model: QUIC-lite is
+// the only stack with a dialing API (RTP senders are one-way, constructed
+// against a known receiver), so it serves every property set it can satisfy
+// and Initiate() rejects sets that prohibit what QUIC provides. The façade
+// produces the exact endpoint-construction sequence the callers it replaced
+// used, so sim-backend wire digests are unchanged.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "netsim/medium.h"
+#include "transport/quic.h"
+
+namespace vtp::transport::taps {
+
+/// A (node, port) pair. Over the sim backend nodes are Network node ids;
+/// over the socket backend they are host-order IPv4 addresses.
+struct Endpoint {
+  net::NodeId node = 0;
+  std::uint16_t port = 0;
+};
+
+/// TAPS selection preference (RFC 9622 §6.2 reduced to the three states the
+/// stack distinguishes).
+enum class Preference {
+  kNoPreference,
+  kRequire,
+  kProhibit,
+};
+
+/// Properties the application states about the transport it wants. The
+/// defaults select QUIC-lite, the stack's native media transport (paper
+/// §4.1: persona traffic rides QUIC datagrams).
+struct TransportProperties {
+  Preference reliability = Preference::kNoPreference;           ///< reliable streams
+  Preference preserve_message_boundaries = Preference::kNoPreference;  ///< datagrams
+  Preference multistreaming = Preference::kNoPreference;        ///< >1 stream per conn
+};
+
+class Connection;
+
+/// A reliable, ordered byte stream multiplexed on a Connection (a QUIC
+/// stream). Obtained from Connection::OpenStream; received data arrives via
+/// Connection::set_on_stream_received.
+class MessageStream {
+ public:
+  std::uint64_t id() const { return id_; }
+
+  /// Queues bytes on the stream; `fin` closes it after this message.
+  void Send(std::span<const std::uint8_t> data, bool fin = false);
+
+ private:
+  friend class Connection;
+  MessageStream(QuicConnection* conn, std::uint64_t id) : conn_(conn), id_(id) {}
+
+  QuicConnection* conn_;
+  std::uint64_t id_;
+};
+
+/// An established (or establishing) transport connection. Initiated
+/// Connections own their protocol endpoint; accepted ones share the
+/// Listener's and stay valid until the Listener is destroyed.
+class Connection {
+ public:
+  using ReceivedHandler = std::function<void(std::span<const std::uint8_t> data)>;
+  using StreamReceivedHandler =
+      std::function<void(std::uint64_t stream_id, std::span<const std::uint8_t> data, bool fin)>;
+  using ReadyHandler = std::function<void()>;
+  using ClosedHandler = std::function<void(std::uint64_t error_code)>;
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Sends one message with boundaries preserved (a QUIC DATAGRAM:
+  /// unreliable, unfragmented, not congestion-gated — the persona path).
+  void Send(std::span<const std::uint8_t> data) { conn_->SendDatagram(data); }
+
+  /// Opens a new reliable stream. The reference stays valid for the
+  /// Connection's lifetime.
+  MessageStream& OpenStream();
+
+  /// Handler for incoming message-boundary (datagram) data.
+  void set_on_received(ReceivedHandler h);
+  /// Handler for incoming stream data (any stream the peer opens or echoes).
+  void set_on_stream_received(StreamReceivedHandler h);
+  /// Invoked once the connection is ready to carry data; fires immediately
+  /// if it already is.
+  void set_on_ready(ReadyHandler h);
+  void set_on_closed(ClosedHandler h);
+
+  void Close(std::uint64_t error_code = 0) { conn_->Close(error_code); }
+  bool ready() const { return conn_->established(); }
+  bool closed() const { return conn_->closed(); }
+
+  Endpoint local() const { return local_; }
+  Endpoint remote() const { return remote_; }
+
+  /// The underlying QUIC connection — the escape hatch for code that feeds
+  /// the connection into protocol-aware machinery (persona pipelines, the
+  /// adapt controller, bench digest taps).
+  QuicConnection* quic() { return conn_; }
+
+ private:
+  friend class Preconnection;
+  friend class Listener;
+  Connection(std::unique_ptr<QuicEndpoint> owned, QuicConnection* conn, Endpoint local,
+             Endpoint remote)
+      : owned_endpoint_(std::move(owned)), conn_(conn), local_(local), remote_(remote) {}
+
+  std::unique_ptr<QuicEndpoint> owned_endpoint_;  // null for accepted connections
+  QuicConnection* conn_;
+  Endpoint local_;
+  Endpoint remote_;
+  std::vector<std::unique_ptr<MessageStream>> streams_;
+  std::uint64_t next_stream_id_ = 0;  // client-initiated bidi ids: 0, 4, 8, ...
+};
+
+/// A passive endpoint producing Connections as peers dial in. Owns both the
+/// protocol endpoint and every accepted Connection.
+class Listener {
+ public:
+  using AcceptHandler = std::function<void(Connection&)>;
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Invoked for each inbound connection once it can carry data.
+  void set_on_accept(AcceptHandler h) { on_accept_ = std::move(h); }
+
+  Endpoint local() const { return local_; }
+  std::size_t accepted_count() const { return accepted_.size(); }
+
+  /// The protocol endpoint, for machinery that attaches server-side state
+  /// (e.g. an SFU) to the listening socket.
+  QuicEndpoint& endpoint() { return *endpoint_; }
+
+ private:
+  friend class Preconnection;
+  Listener(std::unique_ptr<QuicEndpoint> endpoint, Endpoint local);
+
+  std::unique_ptr<QuicEndpoint> endpoint_;
+  Endpoint local_;
+  AcceptHandler on_accept_;
+  std::vector<std::unique_ptr<Connection>> accepted_;
+};
+
+/// The pre-establishment bundle: endpoints + properties, resolved by
+/// Initiate/Listen (CTaps pattern). Reusable: one Preconnection can
+/// Initiate several Connections (bench fan-outs vary only the local port).
+class Preconnection {
+ public:
+  Preconnection& WithLocal(Endpoint local) {
+    local_ = local;
+    return *this;
+  }
+  Preconnection& WithRemote(Endpoint remote) {
+    remote_ = remote;
+    has_remote_ = true;
+    return *this;
+  }
+  Preconnection& WithProperties(TransportProperties props) {
+    props_ = props;
+    return *this;
+  }
+
+  const Endpoint& local() const { return local_; }
+  const Endpoint& remote() const { return remote_; }
+  const TransportProperties& properties() const { return props_; }
+
+  /// Actively establishes a Connection to the remote endpoint over `medium`.
+  /// Throws std::invalid_argument if no protocol satisfies the properties or
+  /// the remote endpoint is unset.
+  std::unique_ptr<Connection> Initiate(net::Medium& medium);
+
+  /// Passively listens on the local endpoint. Same property rules.
+  std::unique_ptr<Listener> Listen(net::Medium& medium);
+
+ private:
+  void CheckProperties() const;
+
+  Endpoint local_;
+  Endpoint remote_;
+  TransportProperties props_;
+  bool has_remote_ = false;
+};
+
+}  // namespace vtp::transport::taps

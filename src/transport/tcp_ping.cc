@@ -28,24 +28,24 @@ bool TcpProbe::Parse(std::span<const std::uint8_t> data, TcpProbe* out) {
   return true;
 }
 
-TcpResponder::TcpResponder(net::Network* network, net::NodeId node, std::uint16_t port)
-    : network_(network), node_(node), port_(port) {
-  network_->BindUdp(node_, port_, [this](const net::Packet& p) {
+TcpResponder::TcpResponder(net::Medium* medium, net::NodeId node, std::uint16_t port)
+    : medium_(medium), node_(node), port_(port) {
+  medium_->BindUdp(node_, port_, [this](const net::Packet& p) {
     TcpProbe probe;
     if (!TcpProbe::Parse(p.payload, &probe) || probe.flags != TcpProbe::kFlagSyn) return;
     probe.flags = TcpProbe::kFlagSynAck;
-    network_->SendUdp(node_, port_, p.src, p.src_port, probe.Serialize());
+    medium_->SendUdp(node_, port_, p.src, p.src_port, probe.Serialize());
   });
 }
 
-TcpResponder::~TcpResponder() { network_->UnbindUdp(node_, port_); }
+TcpResponder::~TcpResponder() { medium_->UnbindUdp(node_, port_); }
 
-TcpPinger::TcpPinger(net::Network* network, net::NodeId node, std::uint16_t local_port)
-    : network_(network), node_(node), local_port_(local_port) {
-  network_->BindUdp(node_, local_port_, [this](const net::Packet& p) { OnPacket(p); });
+TcpPinger::TcpPinger(net::Medium* medium, net::NodeId node, std::uint16_t local_port)
+    : medium_(medium), node_(node), local_port_(local_port) {
+  medium_->BindUdp(node_, local_port_, [this](const net::Packet& p) { OnPacket(p); });
 }
 
-TcpPinger::~TcpPinger() { network_->UnbindUdp(node_, local_port_); }
+TcpPinger::~TcpPinger() { medium_->UnbindUdp(node_, local_port_); }
 
 void TcpPinger::Run(net::NodeId dst, std::uint16_t dst_port, int count, net::SimTime interval,
                     DoneHandler on_done) {
@@ -66,13 +66,13 @@ void TcpPinger::SendProbe() {
   TcpProbe probe;
   probe.flags = TcpProbe::kFlagSyn;
   probe.sequence = next_seq_++;
-  sent_times_[probe.sequence] = network_->sim().now();
-  network_->SendUdp(node_, local_port_, dst_, dst_port_, probe.Serialize());
+  sent_times_[probe.sequence] = medium_->sim().now();
+  medium_->SendUdp(node_, local_port_, dst_, dst_port_, probe.Serialize());
   if (remaining_ > 0) {
-    network_->sim().After(interval_, [this] { SendProbe(); });
+    medium_->sim().After(interval_, [this] { SendProbe(); });
   } else {
     // Allow 2 s for the final replies, then report.
-    network_->sim().After(net::Seconds(2), [this] { Finish(); });
+    medium_->sim().After(net::Seconds(2), [this] { Finish(); });
   }
 }
 
@@ -81,7 +81,7 @@ void TcpPinger::OnPacket(const net::Packet& p) {
   if (!TcpProbe::Parse(p.payload, &probe) || probe.flags != TcpProbe::kFlagSynAck) return;
   const auto it = sent_times_.find(probe.sequence);
   if (it == sent_times_.end()) return;
-  rtts_ms_.push_back(net::ToMillis(network_->sim().now() - it->second));
+  rtts_ms_.push_back(net::ToMillis(medium_->sim().now() - it->second));
   sent_times_.erase(it);
   if (--outstanding_ == 0) Finish();
 }

@@ -10,7 +10,7 @@
 #include <span>
 #include <vector>
 
-#include "netsim/network.h"
+#include "netsim/medium.h"
 
 namespace vtp::transport {
 
@@ -31,14 +31,14 @@ struct TcpProbe {
 /// Returns an opaque token kept alive for the binding's lifetime.
 class TcpResponder {
  public:
-  TcpResponder(net::Network* network, net::NodeId node, std::uint16_t port);
+  TcpResponder(net::Medium* medium, net::NodeId node, std::uint16_t port);
   ~TcpResponder();
 
   TcpResponder(const TcpResponder&) = delete;
   TcpResponder& operator=(const TcpResponder&) = delete;
 
  private:
-  net::Network* network_;
+  net::Medium* medium_;
   net::NodeId node_;
   std::uint16_t port_;
 };
@@ -49,7 +49,7 @@ class TcpPinger {
   /// Called once with all collected RTTs (ms); unanswered probes omitted.
   using DoneHandler = std::function<void(std::vector<double> rtts_ms)>;
 
-  TcpPinger(net::Network* network, net::NodeId node, std::uint16_t local_port);
+  TcpPinger(net::Medium* medium, net::NodeId node, std::uint16_t local_port);
   ~TcpPinger();
 
   TcpPinger(const TcpPinger&) = delete;
@@ -64,7 +64,7 @@ class TcpPinger {
   void SendProbe();
   void Finish();
 
-  net::Network* network_;
+  net::Medium* medium_;
   net::NodeId node_;
   std::uint16_t local_port_;
   net::NodeId dst_ = 0;

@@ -366,6 +366,12 @@ void SpatialPersonaReceiver::ResetDecoder(std::uint8_t sender) {
   if (it != remotes_.end()) it->second.decoder = semantic::SemanticDecoder();
 }
 
+std::uint64_t SpatialPersonaReceiver::total_frames_decoded() const {
+  std::uint64_t total = 0;
+  for (const auto& [id, remote] : remotes_) total += remote.stats.frames_decoded;
+  return total;
+}
+
 const SpatialPersonaReceiver::RemoteStats& SpatialPersonaReceiver::remote(
     std::uint8_t sender) const {
   static const RemoteStats kEmpty;
@@ -377,18 +383,18 @@ const SpatialPersonaReceiver::RemoteStats& SpatialPersonaReceiver::remote(
 // VideoPersonaSender
 // ---------------------------------------------------------------------------
 
-VideoPersonaSender::VideoPersonaSender(net::Network* network, net::NodeId node,
+VideoPersonaSender::VideoPersonaSender(net::Medium* medium, net::NodeId node,
                                        std::uint16_t local_port, net::NodeId dst,
                                        std::uint16_t dst_port, const VcaProfile& profile,
                                        const video::CalibratedRateModel* model,
                                        std::uint32_t ssrc, std::uint64_t seed)
-    : network_(network),
+    : medium_(medium),
       node_(node),
       local_port_(local_port),
       dst_(dst),
       dst_port_(dst_port),
       ssrc_(ssrc),
-      sender_(network, node, local_port, dst, dst_port,
+      sender_(medium, node, local_port, dst, dst_port,
               transport::RtpSenderConfig{.payload_type = profile.rtp_payload_type,
                                          .ssrc = ssrc,
                                          .mtu_payload = 1200}),
@@ -402,7 +408,7 @@ VideoPersonaSender::VideoPersonaSender(net::Network* network, net::NodeId node,
 void VideoPersonaSender::Start(net::SimTime until) { Tick(until); }
 
 void VideoPersonaSender::Tick(net::SimTime until) {
-  if (network_->sim().now() >= until) return;
+  if (medium_->sim().now() >= until) return;
   const bool keyframe = frames_sent_ % static_cast<std::uint64_t>(profile_.gop_length) == 0;
   const int qp = rate_.NextQp();
   const std::size_t bytes = model_->SampleFrameBytes(keyframe, qp, rng_);
@@ -418,14 +424,14 @@ void VideoPersonaSender::Tick(net::SimTime until) {
   if (frames_sent_ % static_cast<std::uint64_t>(profile_.video_fps) == 1) {
     transport::RtcpSenderReport sr;
     sr.sender_ssrc = ssrc_;
-    sr.ntp_ms = static_cast<std::uint32_t>(net::ToMillis(network_->sim().now()));
+    sr.ntp_ms = static_cast<std::uint32_t>(net::ToMillis(medium_->sim().now()));
     sr.rtp_timestamp = rtp_timestamp_;
     rtcp_scratch_.clear();
     sr.SerializeTo(rtcp_scratch_);
-    network_->SendUdp(node_, local_port_, dst_, dst_port_, rtcp_scratch_);
+    medium_->SendUdp(node_, local_port_, dst_, dst_port_, rtcp_scratch_);
   }
 
-  network_->sim().After(static_cast<net::SimTime>(net::kSecond / profile_.video_fps),
+  medium_->sim().After(static_cast<net::SimTime>(net::kSecond / profile_.video_fps),
                         [this, until] { Tick(until); });
 }
 
@@ -441,11 +447,11 @@ void VideoPersonaSender::SetRateScale(double scale) {
 // AudioSender
 // ---------------------------------------------------------------------------
 
-AudioSender::AudioSender(net::Network* network, net::NodeId node, std::uint16_t local_port,
+AudioSender::AudioSender(net::Medium* medium, net::NodeId node, std::uint16_t local_port,
                          net::NodeId dst, std::uint16_t dst_port, const VcaProfile& profile,
                          std::uint32_t ssrc, std::uint64_t seed)
-    : sim_(&network->sim()),
-      rtp_(std::in_place, network, node, local_port, dst, dst_port,
+    : sim_(&medium->sim()),
+      rtp_(std::in_place, medium, node, local_port, dst, dst_port,
            transport::RtpSenderConfig{.payload_type = profile.rtp_payload_type_audio,
                                       .ssrc = ssrc,
                                       .mtu_payload = 1200}),
@@ -485,23 +491,23 @@ void AudioSender::Tick(net::SimTime until) {
 // VideoPersonaReceiver
 // ---------------------------------------------------------------------------
 
-VideoPersonaReceiver::VideoPersonaReceiver(net::Network* network, net::NodeId node,
+VideoPersonaReceiver::VideoPersonaReceiver(net::Medium* medium, net::NodeId node,
                                            std::uint16_t port, net::NodeId feedback_dst,
                                            std::uint16_t feedback_port, std::uint32_t own_ssrc)
-    : network_(network),
+    : medium_(medium),
       node_(node),
       port_(port),
       feedback_dst_(feedback_dst),
       feedback_port_(feedback_port),
       own_ssrc_(own_ssrc),
-      rtp_(network, node, port,
+      rtp_(medium, node, port,
            [this](std::uint32_t, std::vector<std::uint8_t>, std::uint32_t, net::SimTime) {
              ++frames_received_;
            }) {
   rtp_.set_rtcp_handler([this](const transport::RtcpReceiverReport& rr) {
     if (rr.source_ssrc != own_ssrc_) return;
     if (rr.lsr_ms != 0) {
-      const double now_ms = net::ToMillis(network_->sim().now());
+      const double now_ms = net::ToMillis(medium_->sim().now());
       own_rtt_ms_ = now_ms - static_cast<double>(rr.lsr_ms) - static_cast<double>(rr.dlsr_ms);
     }
     if (on_own_loss_) on_own_loss_(rr.fraction_lost);
@@ -509,11 +515,11 @@ VideoPersonaReceiver::VideoPersonaReceiver(net::Network* network, net::NodeId no
 }
 
 void VideoPersonaReceiver::Start(net::SimTime until, net::SimTime interval) {
-  network_->sim().After(interval, [this, until, interval] { SendReports(until, interval); });
+  medium_->sim().After(interval, [this, until, interval] { SendReports(until, interval); });
 }
 
 void VideoPersonaReceiver::SendReports(net::SimTime until, net::SimTime interval) {
-  if (network_->sim().now() >= until) return;
+  if (medium_->sim().now() >= until) return;
   for (const std::uint32_t ssrc : rtp_.KnownSsrcs()) {
     transport::RtcpReceiverReport rr;
     rr.reporter_ssrc = own_ssrc_;
@@ -524,9 +530,9 @@ void VideoPersonaReceiver::SendReports(net::SimTime until, net::SimTime interval
     rr.dlsr_ms = dlsr;
     rtcp_scratch_.clear();
     rr.SerializeTo(rtcp_scratch_);
-    network_->SendUdp(node_, port_, feedback_dst_, feedback_port_, rtcp_scratch_);
+    medium_->SendUdp(node_, port_, feedback_dst_, feedback_port_, rtcp_scratch_);
   }
-  network_->sim().After(interval, [this, until, interval] { SendReports(until, interval); });
+  medium_->sim().After(interval, [this, until, interval] { SendReports(until, interval); });
 }
 
 }  // namespace vtp::vca

@@ -218,6 +218,10 @@ class SpatialPersonaReceiver {
   const RemoteStats& remote(std::uint8_t sender) const;
   std::size_t known_senders() const { return remotes_.size(); }
 
+  /// Semantic frames decoded across every remote sender (the `vtp client`
+  /// end-to-end delivery gate).
+  std::uint64_t total_frames_decoded() const;
+
   /// This participant's own sender id, used only to label completed frame
   /// spans in the tracer (sessions set it; standalone receivers may not).
   void set_self_id(std::uint8_t id) { self_id_ = id; }
@@ -259,7 +263,7 @@ class SpatialPersonaReceiver {
 /// model, packetized over RTP toward one destination (SFU or peer).
 class VideoPersonaSender {
  public:
-  VideoPersonaSender(net::Network* network, net::NodeId node, std::uint16_t local_port,
+  VideoPersonaSender(net::Medium* medium, net::NodeId node, std::uint16_t local_port,
                      net::NodeId dst, std::uint16_t dst_port, const VcaProfile& profile,
                      const video::CalibratedRateModel* model, std::uint32_t ssrc,
                      std::uint64_t seed);
@@ -279,7 +283,7 @@ class VideoPersonaSender {
  private:
   void Tick(net::SimTime until);
 
-  net::Network* network_;
+  net::Medium* medium_;
   net::NodeId node_;
   std::uint16_t local_port_;
   net::NodeId dst_;
@@ -301,7 +305,7 @@ class VideoPersonaSender {
 class AudioSender {
  public:
   /// RTP flavour (2D sessions); shares the media port with the video SSRC.
-  AudioSender(net::Network* network, net::NodeId node, std::uint16_t local_port,
+  AudioSender(net::Medium* medium, net::NodeId node, std::uint16_t local_port,
               net::NodeId dst, std::uint16_t dst_port, const VcaProfile& profile,
               std::uint32_t ssrc, std::uint64_t seed);
 
@@ -330,7 +334,7 @@ class AudioSender {
 /// (loss feedback routed back through the SFU or directly to the peer).
 class VideoPersonaReceiver {
  public:
-  VideoPersonaReceiver(net::Network* network, net::NodeId node, std::uint16_t port,
+  VideoPersonaReceiver(net::Medium* medium, net::NodeId node, std::uint16_t port,
                        net::NodeId feedback_dst, std::uint16_t feedback_port,
                        std::uint32_t own_ssrc);
 
@@ -351,7 +355,7 @@ class VideoPersonaReceiver {
  private:
   void SendReports(net::SimTime until, net::SimTime interval);
 
-  net::Network* network_;
+  net::Medium* medium_;
   net::NodeId node_;
   std::uint16_t port_;
   net::NodeId feedback_dst_;

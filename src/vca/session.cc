@@ -77,6 +77,16 @@ constexpr net::SimTime kCoarseRefresh = net::Seconds(1);
 
 }  // namespace
 
+SessionConfig TwoPartySpatialConfig(net::SimTime duration) {
+  SessionConfig config;
+  config.participants = {
+      {.name = "U1", .metro = "SanFrancisco", .device = DeviceType::kVisionPro},
+      {.name = "U2", .metro = "NewYork", .device = DeviceType::kVisionPro}};
+  config.duration = duration;
+  config.enable_reconstruction = false;
+  return config;
+}
+
 TelepresenceSession::TelepresenceSession(SessionConfig config)
     : config_(std::move(config)),
       profile_(GetProfile(config_.app)),
@@ -245,13 +255,15 @@ void TelepresenceSession::SetupSpatialPipelines() {
   }
 
   for (std::size_t i = 0; i < n; ++i) {
-    auto endpoint = std::make_unique<transport::QuicEndpoint>(
-        network_.get(), hosts_[i], static_cast<std::uint16_t>(kQuicClientPortBase + i));
     const std::size_t server = assigned_server_.empty() ? 0 : assigned_server_[i];
-    transport::QuicConnection* conn =
-        endpoint->Connect(server_nodes_.at(server), kQuicServerPort);
+    auto connection =
+        transport::taps::Preconnection{}
+            .WithLocal({hosts_[i], static_cast<std::uint16_t>(kQuicClientPortBase + i)})
+            .WithRemote({server_nodes_.at(server), kQuicServerPort})
+            .Initiate(*network_);
+    transport::QuicConnection* conn = connection->quic();
     quic_conns_.push_back(conn);
-    quic_endpoints_.push_back(std::move(endpoint));
+    connections_.push_back(std::move(connection));
 
     // Receiver: reconstruct every other participant's persona.
     std::map<std::uint8_t, const mesh::TriangleMesh*> bases;

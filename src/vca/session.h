@@ -25,6 +25,7 @@
 #include "render/lod.h"
 #include "render/scenario.h"
 #include "transport/adapt.h"
+#include "transport/taps.h"
 #include "transport/tcp_ping.h"
 #include "vca/pipelines.h"
 #include "vca/profile.h"
@@ -117,6 +118,12 @@ struct SessionReport {
   std::vector<ParticipantReport> participants;
 };
 
+/// The canonical two-party spatial call — SF and NY Vision Pros on FaceTime,
+/// reconstruction off so runs isolate delivery. bench_adapt, the
+/// poor-connection demo, and impairment tests all start from this config
+/// (it used to be duplicated inline at each site).
+SessionConfig TwoPartySpatialConfig(net::SimTime duration);
+
 /// Builds, runs, and reports one telepresence session.
 class TelepresenceSession {
  public:
@@ -203,7 +210,10 @@ class TelepresenceSession {
 
   // Spatial mode.
   std::vector<std::unique_ptr<render::PersonaLodLadder>> ladders_;  ///< per participant
-  std::vector<std::unique_ptr<transport::QuicEndpoint>> quic_endpoints_;
+  /// Per-participant TAPS connections to their assigned SFU (the façade owns
+  /// the underlying QUIC endpoints); quic_conns_ caches the protocol handles
+  /// the demux/adapt/subscription machinery needs.
+  std::vector<std::unique_ptr<transport::taps::Connection>> connections_;
   std::vector<transport::QuicConnection*> quic_conns_;
   /// Session-shared codec engine: one lzr arena + entropy stage for every
   /// spatial sender (metrics under "codec.engine").

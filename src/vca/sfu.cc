@@ -27,10 +27,10 @@ bool SemanticFrameSeq(std::span<const std::uint8_t> data, std::uint64_t* seq) {
 
 }  // namespace
 
-SfuServer::SfuServer(net::Network* network, net::NodeId node, std::uint16_t port,
+SfuServer::SfuServer(net::Medium* medium, net::NodeId node, std::uint16_t port,
                      TransportKind kind)
-    : network_(network), node_(node), port_(port), kind_(kind) {
-  obs::MetricRegistry& reg = network_->sim().metrics();
+    : medium_(medium), node_(node), port_(port), kind_(kind) {
+  obs::MetricRegistry& reg = medium_->sim().metrics();
   scope_ = reg.UniqueScope("sfu");
   forwarded_ = reg.NewCounter(scope_ + ".forwarded");
   culled_ = reg.NewCounter(scope_ + ".culled");
@@ -38,9 +38,9 @@ SfuServer::SfuServer(net::Network* network, net::NodeId node, std::uint16_t port
   coarse_notifies_ = reg.NewCounter(scope_ + ".coarse_notifies");
   subscriptions_ = reg.NewGauge(scope_ + ".subscription_table_size");
   if (kind_ == TransportKind::kRtp) {
-    network_->BindUdp(node_, port_, [this](const net::Packet& p) { OnRtpPacket(p); });
+    medium_->BindUdp(node_, port_, [this](const net::Packet& p) { OnRtpPacket(p); });
   } else {
-    quic_ = std::make_unique<transport::QuicEndpoint>(network_, node_, port_);
+    quic_ = std::make_unique<transport::QuicEndpoint>(medium_, node_, port_);
     quic_->set_on_accept([this](transport::QuicConnection* conn) {
       client_conns_.push_back(conn);
       conn->set_on_datagram([this, conn](std::span<const std::uint8_t> data) {
@@ -52,7 +52,7 @@ SfuServer::SfuServer(net::Network* network, net::NodeId node, std::uint16_t port
 }
 
 SfuServer::~SfuServer() {
-  if (kind_ == TransportKind::kRtp) network_->UnbindUdp(node_, port_);
+  if (kind_ == TransportKind::kRtp) medium_->UnbindUdp(node_, port_);
 }
 
 void SfuServer::AddRtpMember(net::NodeId node, std::uint16_t port) {
@@ -147,7 +147,7 @@ void SfuServer::OnRtpPacket(const net::Packet& p) {
       for (const RtpMember& m : rtp_members_) {
         if (&m != from && m.ssrc == rr->source_ssrc) {
           forwarded_->Inc();
-          network_->SendUdp(node_, port_, m.node, m.port, p.payload);
+          medium_->SendUdp(node_, port_, m.node, m.port, p.payload);
           return;
         }
       }
@@ -157,7 +157,7 @@ void SfuServer::OnRtpPacket(const net::Packet& p) {
       for (const RtpMember& m : rtp_members_) {
         if (&m == from) continue;
         forwarded_->Inc();
-        network_->SendUdp(node_, port_, m.node, m.port, p.payload);
+        medium_->SendUdp(node_, port_, m.node, m.port, p.payload);
       }
     }
     return;
@@ -173,7 +173,7 @@ void SfuServer::OnRtpPacket(const net::Packet& p) {
   for (const RtpMember& m : rtp_members_) {
     if (&m == from) continue;
     forwarded_->Inc();
-    network_->SendUdp(node_, port_, m.node, m.port, p.payload);
+    medium_->SendUdp(node_, port_, m.node, m.port, p.payload);
   }
 }
 
@@ -237,17 +237,17 @@ void SfuServer::OnQuicDatagram(transport::QuicConnection* from,
     sender_conns_[sender_id] = from;
   }
   if (is_alt && sender_id < last_alt_time_.size()) {
-    last_alt_time_[sender_id] = network_->sim().now();
+    last_alt_time_[sender_id] = medium_->sim().now();
   }
 
   // Frame-lifecycle span: mark the relay instant for semantic media
   // (media 0 = full frame, 6 = freeze frame; FEC repair is not a frame).
-  obs::FrameTracer& tracer = network_->sim().tracer();
+  obs::FrameTracer& tracer = medium_->sim().tracer();
   if (tracer.enabled() && data.size() >= 5 && (data[2] == 0 || data[2] == 6) &&
       sender_id < obs::FrameTracer::kMaxPersonas) {
     std::uint64_t seq = 0;
     if (SemanticFrameSeq(data, &seq)) {
-      tracer.StampSource(sender_id, seq, obs::Stage::kSfuRelay, network_->sim().now());
+      tracer.StampSource(sender_id, seq, obs::Stage::kSfuRelay, medium_->sim().now());
     }
   }
 
@@ -268,7 +268,7 @@ void SfuServer::OnQuicDatagram(transport::QuicConnection* from,
       const auto cm = coarse_masks_.find(conn);
       const bool alt_flowing =
           sender_id < last_alt_time_.size() &&
-          last_alt_time_[sender_id] + net::Millis(300) >= network_->sim().now();
+          last_alt_time_[sender_id] + net::Millis(300) >= medium_->sim().now();
       const bool wants_coarse = cm != coarse_masks_.end() &&
                                 (cm->second & (1u << sender_id)) != 0 && alt_flowing;
       if (wants_coarse != is_alt) continue;

@@ -20,7 +20,7 @@
 #include <string>
 #include <vector>
 
-#include "netsim/network.h"
+#include "netsim/medium.h"
 #include "obs/metrics.h"
 #include "transport/quic.h"
 #include "transport/rtp.h"
@@ -38,7 +38,7 @@ inline constexpr std::uint8_t kRelayTagHello = 2;    ///< peer-server handshake
 /// A forwarding server instance on one node.
 class SfuServer {
  public:
-  SfuServer(net::Network* network, net::NodeId node, std::uint16_t port, TransportKind kind);
+  SfuServer(net::Medium* medium, net::NodeId node, std::uint16_t port, TransportKind kind);
   ~SfuServer();
 
   SfuServer(const SfuServer&) = delete;
@@ -88,7 +88,7 @@ class SfuServer {
   void OnAdaptCtrl(transport::QuicConnection* from, std::span<const std::uint8_t> data);
   void RecomputeCoarseAggregate(std::uint8_t sender_id);
 
-  net::Network* network_;
+  net::Medium* medium_;
   net::NodeId node_;
   std::uint16_t port_;
   TransportKind kind_;
